@@ -1,0 +1,127 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§5) and prints them next to the published numbers.
+//
+// Usage:
+//
+//	experiments                 # run everything at paper scale
+//	experiments -run table3     # one experiment: table3, table4, figure5, figure6
+//	experiments -run figure6 -scale 64   # scaled-down quick look
+//	experiments -quick          # everything, scaled for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hipec/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "which experiment: all, table3, table4, figure5, figure6, ablation")
+		scale = flag.Int64("scale", 1, "divide figure6 sizes by this factor for quick runs")
+		quick = flag.Bool("quick", false, "scale everything down for a fast smoke run")
+		users = flag.Int("users", 15, "maximum simulated users for figure5")
+		jobs  = flag.Int("jobs", 6, "jobs per user for figure5")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	ok := true
+	runOne := func(name string, fn func() error) {
+		if *run != "all" && *run != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			ok = false
+			return
+		}
+		fmt.Printf("(%s completed in %v wall time)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	runOne("table3", func() error {
+		cfg := bench.DefaultTable3()
+		if *quick {
+			cfg.RegionBytes = 4 << 20
+			cfg.Frames = 4096
+		}
+		r, err := bench.RunTable3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		return nil
+	})
+
+	runOne("table4", func() error {
+		iters := 200000
+		if *quick {
+			iters = 5000
+		}
+		r, err := bench.RunTable4(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		return nil
+	})
+
+	runOne("figure5", func() error {
+		cfg := bench.DefaultFigure5()
+		if *users > 0 {
+			cfg.UserCounts = cfg.UserCounts[:0]
+			for i := 1; i <= *users; i++ {
+				cfg.UserCounts = append(cfg.UserCounts, i)
+			}
+		}
+		cfg.JobsPerUser = *jobs
+		if *quick {
+			cfg.UserCounts = []int{1, 2, 4, 8}
+			cfg.JobsPerUser = 2
+			cfg.Frames = 2048
+		}
+		series, err := bench.RunFigure5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFigure5(series))
+		return nil
+	})
+
+	runOne("figure6", func() error {
+		cfg := bench.DefaultFigure6()
+		cfg.Scale = *scale
+		if *quick && *scale == 1 {
+			cfg.Scale = 256
+		}
+		points, err := bench.RunFigure6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFigure6(points, cfg.Scale))
+		return nil
+	})
+
+	runOne("ablation", func() error {
+		s := *scale
+		if *quick && s == 1 {
+			s = 256
+		}
+		rows, err := bench.RunMechanismAblation(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatMechanismAblation(rows, s))
+		return nil
+	})
+
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Command hipecc is the HiPEC pseudo-code translator (§4.3.4 of the paper)
+// as a stand-alone program: it compiles an HPL policy into HiPEC command
+// streams and prints the Table-2-style listing, or an encoded binary dump.
+//
+// Usage:
+//
+//	hipecc [-o out.bin] [-list] policy.hpl
+//	hipecc -builtin mru -minframe 1024        # show a canned policy
+//
+// With -list (default) the annotated disassembly is written to stdout; with
+// -o the raw little-endian command words of each event are concatenated
+// (preceded by a one-word event count and per-event word counts) for
+// loading elsewhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hipec/internal/core"
+	"hipec/internal/hpl"
+	"hipec/internal/policies"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "write encoded command words to this file")
+		list     = flag.Bool("list", true, "print the annotated listing")
+		builtin  = flag.String("builtin", "", "show a canned policy instead of compiling a file (fifo, lru, mru, fifo2, sequential)")
+		minFrame = flag.Int("minframe", 64, "minFrame for -builtin policies")
+		name     = flag.String("name", "", "policy name (defaults to the file name)")
+	)
+	flag.Parse()
+
+	spec, err := loadSpec(*builtin, *minFrame, *name, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hipecc:", err)
+		os.Exit(1)
+	}
+	if *list {
+		fmt.Print(hpl.DisassembleSpec(spec))
+	}
+	if *out != "" {
+		if err := writeBinary(*out, spec); err != nil {
+			fmt.Fprintln(os.Stderr, "hipecc:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hipecc: wrote %s\n", *out)
+	}
+}
+
+func loadSpec(builtin string, minFrame int, name string, args []string) (*core.Spec, error) {
+	if builtin != "" {
+		return policies.ByName(builtin, minFrame)
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("usage: hipecc [-o out.bin] policy.hpl (or -builtin <name>)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = args[0]
+	}
+	return hpl.Translate(name, string(src))
+}
+
+// writeBinary emits the shared hipecc binary container (see
+// internal/hpl/binary.go).
+func writeBinary(path string, spec *core.Spec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return hpl.EncodeBinary(f, spec)
+}

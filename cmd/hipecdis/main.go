@@ -1,0 +1,48 @@
+// Command hipecdis disassembles a binary HiPEC policy produced by
+// hipecc -o, printing the Table-2-style annotated listing of every event.
+//
+// Usage:
+//
+//	hipecdis policy.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hipec/internal/core"
+	"hipec/internal/hpl"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hipecdis policy.bin")
+		os.Exit(1)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hipecdis:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := hpl.DecodeBinary(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hipecdis:", err)
+		os.Exit(1)
+	}
+	for i, prog := range events {
+		if len(prog) == 0 {
+			continue
+		}
+		name := fmt.Sprintf("event%d", i)
+		switch i {
+		case core.EventPageFault:
+			name = "PageFault"
+		case core.EventReclaimFrame:
+			name = "ReclaimFrame"
+		}
+		fmt.Printf("# The %s Event\n%s\n", name, hpl.Disassemble(prog))
+	}
+}

@@ -1,0 +1,183 @@
+// Command hipecvm runs a HiPEC policy against a synthetic workload on the
+// simulated kernel and reports fault statistics and virtual elapsed time —
+// a quick way to compare replacement policies on an access pattern.
+//
+// Usage:
+//
+//	hipecvm -policy mru -workload cyclic -pages 2048 -pool 512 -accesses 100000
+//	hipecvm -hpl mypolicy.hpl -workload zipf -pages 4096 -accesses 200000
+//	hipecvm -baseline -workload random ...        # default Mach daemon instead of HiPEC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hipec/internal/core"
+	"hipec/internal/hpl"
+	"hipec/internal/policies"
+	"hipec/internal/trace"
+	"hipec/internal/vm"
+	"hipec/internal/workload"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "fifo2", "canned policy: fifo, lru, mru, fifo2, sequential")
+		hplFile  = flag.String("hpl", "", "compile and use this HPL policy file instead")
+		baseline = flag.Bool("baseline", false, "use the default Mach pageout daemon (no HiPEC)")
+		wl       = flag.String("workload", "cyclic", "workload: sequential, cyclic, random, zipf, hotcold")
+		pages    = flag.Int64("pages", 2048, "region size in pages")
+		pool     = flag.Int("pool", 512, "private pool size (minFrame) in frames")
+		accesses = flag.Int("accesses", 100000, "number of memory accesses to drive")
+		writes   = flag.Float64("writes", 0.2, "write fraction (random workload)")
+		frames   = flag.Int("frames", 16384, "machine size in frames")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		fromDisk = flag.Bool("disk", false, "populate the region on disk (page-ins cost I/O)")
+		traceIn  = flag.String("trace", "", "replay this trace file instead of a generated workload")
+		traceOut = flag.String("save-trace", "", "save the generated access trace to this file")
+		compare  = flag.Bool("compare-opt", false, "also report Belady OPT and exact-LRU fault counts for the same trace")
+		report   = flag.Bool("report", false, "print a full kernel state report after the run")
+	)
+	flag.Parse()
+
+	if err := run(*policy, *hplFile, *baseline, *wl, *pages, *pool, *accesses, *writes, *frames, *seed, *fromDisk, *traceIn, *traceOut, *compare, *report); err != nil {
+		fmt.Fprintln(os.Stderr, "hipecvm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(policy, hplFile string, baseline bool, wl string, pages int64, pool, accesses int, writes float64, frames int, seed int64, fromDisk bool, traceIn, traceOut string, compare, report bool) error {
+	k := core.New(core.Config{Frames: frames, HiPECDisabled: baseline, StartChecker: !baseline})
+	sp := k.NewSpace()
+
+	// Obtain the access trace: from a file or a generator.
+	var tr *trace.Trace
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return err
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		pages = tr.Pages
+		wl = "trace:" + traceIn
+	} else {
+		var gen workload.Generator
+		switch wl {
+		case "sequential", "cyclic":
+			gen = &workload.Sequential{N: pages}
+		case "random":
+			gen = workload.NewRandom(pages, writes, seed)
+		case "zipf":
+			gen = workload.NewZipf(pages, 1.2, seed)
+		case "hotcold":
+			gen = workload.NewHotCold(pages, 0.1, 0.9, seed)
+		default:
+			return fmt.Errorf("unknown workload %q", wl)
+		}
+		tr = trace.FromGenerator(gen, accesses)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if _, err := tr.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hipecvm: wrote %s (%d references)\n", traceOut, tr.Len())
+	}
+
+	size := pages * 4096
+	var entry *vm.MapEntry
+	var container *core.Container
+	var err error
+	makeObj := func() *vm.Object {
+		obj := k.VM.NewObject(size, !fromDisk)
+		if fromDisk {
+			k.VM.Populate(obj, nil)
+		}
+		return obj
+	}
+	if baseline {
+		entry, err = sp.Map(makeObj(), 0, size)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("policy: default Mach pageout daemon (FIFO second chance, shared pool)\n")
+	} else {
+		var spec *core.Spec
+		if hplFile != "" {
+			src, rerr := os.ReadFile(hplFile)
+			if rerr != nil {
+				return rerr
+			}
+			spec, err = hpl.Translate(hplFile, string(src))
+			if err != nil {
+				return err
+			}
+			if spec.MinFrame == 0 {
+				spec.MinFrame = pool
+			}
+		} else {
+			spec, err = policies.ByName(policy, pool)
+			if err != nil {
+				return err
+			}
+		}
+		entry, container, err = k.MapHiPEC(sp, makeObj(), 0, size, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("policy: %s (minFrame %d)\n", spec.Name, spec.MinFrame)
+	}
+	fmt.Printf("workload: %s over %d pages, %d accesses\n", wl, pages, tr.Len())
+
+	start := k.Clock.Now()
+	faults, err := trace.Replay(sp, entry, tr)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Duration(k.Clock.Now().Sub(start))
+
+	fmt.Printf("\naccesses:        %d\n", sp.Stats.Accesses)
+	fmt.Printf("faults:          %d (%.2f%%)\n", faults, 100*float64(faults)/float64(sp.Stats.Accesses))
+	fmt.Printf("page-ins:        %d\n", sp.Stats.PageIns)
+	fmt.Printf("page-outs:       %d\n", k.VM.Stats.PageOuts)
+	fmt.Printf("virtual elapsed: %v\n", elapsed)
+	if container != nil {
+		fmt.Printf("policy commands: %d (%.1f per fault)\n", container.Stats.Commands,
+			float64(container.Stats.Commands)/float64(max64(1, container.Stats.Activations)))
+		if container.State() != core.StateActive {
+			fmt.Printf("CONTAINER TERMINATED: %s\n", container.TerminationReason())
+		}
+	}
+	if report {
+		fmt.Printf("\n%s", k.Report())
+	}
+	if compare {
+		st := trace.Analyze(tr)
+		fmt.Printf("\ntrace: %d refs over %d unique pages (reuse p50=%d p90=%d)\n",
+			st.References, st.UniquePages, st.ReuseP50, st.ReuseP90)
+		fmt.Printf("exact LRU  @%d frames: %d faults\n", pool, trace.LRU(tr, pool))
+		fmt.Printf("Belady OPT @%d frames: %d faults (no policy can do better)\n", pool, trace.OPT(tr, pool))
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

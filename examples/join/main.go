@@ -1,0 +1,85 @@
+// Join: the paper's §5.3 database experiment as a library user would write
+// it — a nested-loop join whose outer table is managed by a HiPEC MRU
+// policy, compared against the LRU-like policy of a conventional kernel.
+//
+// The inner table (4 KB, 64 tuples) is pinned; the outer table is scanned
+// once per inner tuple. With an LRU cache smaller than the outer table,
+// every scan faults on every page (sequential flooding); MRU keeps a stable
+// prefix resident and only re-reads the tail.
+//
+// Run with: go run ./examples/join [-outer-mb 48] [-mem-mb 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"hipec"
+)
+
+func main() {
+	outerMB := flag.Int64("outer-mb", 48, "outer table size in MB")
+	memMB := flag.Int64("mem-mb", 40, "memory allocated to the outer table in MB")
+	flag.Parse()
+
+	const (
+		pageSize  = 4096
+		tupleSize = 64
+		innerSize = 4 << 10
+	)
+	outerBytes := *outerMB << 20
+	poolFrames := int(*memMB << 20 / pageSize)
+	loops := innerSize / tupleSize // one outer scan per inner tuple
+
+	fmt.Printf("nested-loop join: outer %d MB, inner %d B (%d scans), cache %d MB\n\n",
+		*outerMB, innerSize, loops, *memMB)
+
+	for _, policy := range []string{"lru", "mru"} {
+		k := hipec.New(hipec.Config{Frames: 16384, StartChecker: true})
+		task := k.NewSpace()
+
+		// The outer table is a disk-resident file mapped through HiPEC.
+		outer := k.VM.NewObject(outerBytes, false)
+		k.VM.Populate(outer, nil)
+		spec, err := hipec.PolicyByName(policy, poolFrames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		region, container, err := k.MapHiPEC(task, outer, 0, outer.Size, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The pinned inner table: a wired 4 KB region.
+		innerRegion, err := task.Allocate(innerSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := task.WireRange(innerRegion); err != nil {
+			log.Fatal(err)
+		}
+
+		// Drive the join at page granularity: every outer page is
+		// touched once per scan (tuple accesses within a page hit).
+		start := k.Clock.Now()
+		for scan := 0; scan < loops; scan++ {
+			for addr := region.Start; addr < region.End; addr += pageSize {
+				if _, err := task.Touch(addr); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		elapsed := time.Duration(k.Clock.Now().Sub(start))
+
+		fmt.Printf("%-4s policy: elapsed %8.2f min, faults %8d, page-ins %8d",
+			policy, elapsed.Minutes(), task.Stats.Faults, task.Stats.PageIns)
+		if container.State() != hipec.StateActive {
+			fmt.Printf("  [policy died: %s]", container.TerminationReason())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n(paper Figure 6: the gap opens once the outer table exceeds the cache)")
+}

@@ -1,0 +1,137 @@
+// Scientific: an out-of-core simulation sweep (the paper's third motivating
+// class, citing McDonald's particle simulator). The solver makes repeated
+// passes over a state array larger than memory — the same cyclic pattern
+// that defeats LRU — and additionally shows the Migrate extension (§6
+// future work #1) moving frames between two cooperating phases.
+//
+// Run with: go run ./examples/scientific
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hipec"
+)
+
+const solverPolicy = `
+// Cyclic sweeps over a state array: MRU keeps a stable prefix.
+minframe = 3072
+access_order = 1
+
+event PageFault() {
+    if (empty(_free_queue)) {
+        mru(_active_queue)
+    }
+    page = dequeue_head(_free_queue)
+    return page
+}
+
+event ReclaimFrame() {
+    if (empty(_free_queue)) { fifo(_active_queue) }
+    if (!empty(_free_queue)) { release(1) }
+    return
+}
+`
+
+func main() {
+	const (
+		pageSize   = 4096
+		statePages = 6144 // 24 MB state array on a 16 MB machine
+		sweeps     = 8
+	)
+
+	run := func(policyName string, spec *hipec.Spec) (time.Duration, int64) {
+		k := hipec.New(hipec.Config{Frames: 4096, StartChecker: true})
+		task := k.NewSpace()
+		var region *hipec.MapEntry
+		var err error
+		if spec != nil {
+			region, _, err = k.AllocateHiPEC(task, statePages*pageSize, spec)
+		} else {
+			region, err = task.Allocate(statePages * pageSize)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := k.Clock.Now()
+		for s := 0; s < sweeps; s++ {
+			for addr := region.Start; addr < region.End; addr += pageSize {
+				// Read-modify-write each state page.
+				if _, err := task.Write(addr); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		return time.Duration(k.Clock.Now().Sub(start)), task.Stats.Faults
+	}
+
+	spec, err := hipec.Translate("solver-mru", solverPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The state array exceeds physical memory, so the default FIFO-with-
+	// second-chance policy degenerates to faulting on every page of every
+	// sweep (cyclic flooding); the MRU policy keeps a 3072-page prefix
+	// permanently resident and only re-reads the tail.
+	lruElapsed, lruFaults := run("default", nil)
+	mruElapsed, mruFaults := run("hipec-mru", spec)
+
+	fmt.Printf("out-of-core solver, %d sweeps over %d pages (machine: 4096 frames):\n", sweeps, statePages)
+	fmt.Printf("  default kernel : %8.1fs elapsed, %6d faults\n", lruElapsed.Seconds(), lruFaults)
+	fmt.Printf("  HiPEC MRU      : %8.1fs elapsed, %6d faults (%.2fx faster)\n",
+		mruElapsed.Seconds(), mruFaults, lruElapsed.Seconds()/mruElapsed.Seconds())
+
+	// --- Migrate extension demo -----------------------------------------
+	fmt.Println("\nframe migration between cooperating phases (§6 extension):")
+	k := hipec.New(hipec.Config{Frames: 4096})
+	task := k.NewSpace()
+	producerSpec, err := hipec.Translate("producer", `
+minframe = 128
+extensions = 1
+var partner = 0
+var donated = 0
+page donation
+
+event PageFault() {
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() {
+    if (!empty(_free_queue)) { release(1) }
+    return
+}
+event Donate() {
+    /* hand 16 frames to the consumer phase */
+    donated = 0
+    while (donated < 16 && !empty(_free_queue)) {
+        donation = dequeue_head(_free_queue)
+        migrate(donation, partner)
+        donated = donated + 1
+    }
+    return donated
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, producer, err := k.AllocateHiPEC(task, 128*pageSize, producerSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, consumer, err := k.AllocateHiPEC(task, 128*pageSize, hipec.PolicyFIFO(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Tell the producer who its partner is, then fire the Donate event.
+	if err := producer.SetIntOperand("partner", int64(consumer.ID)); err != nil {
+		log.Fatal(err)
+	}
+	before := consumer.Allocated()
+	if _, err := k.Executor.Run(producer, hipec.EventUser); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  consumer pool grew %d -> %d frames (producer now %d)\n",
+		before, consumer.Allocated(), producer.Allocated())
+}

@@ -1,0 +1,3 @@
+module hipec
+
+go 1.22

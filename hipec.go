@@ -1,0 +1,201 @@
+// Package hipec is the public API of the HiPEC reproduction: a
+// High-Performance External virtual-memory Caching mechanism (Lee, Chen,
+// Chang — OSDI 1994) implemented on a deterministic simulated Mach-3.0-like
+// kernel.
+//
+// HiPEC lets an application control page replacement for its own memory
+// regions without crossing the kernel/user boundary: the application
+// registers a policy — a program in the 20-command HiPEC command set — and
+// the in-kernel policy executor interprets it at every page fault on the
+// region, against a private frame pool granted by the global frame manager.
+//
+// # Quick start
+//
+//	k := hipec.New(hipec.Config{Frames: 16384}) // 64 MB machine
+//	task := k.NewSpace()
+//
+//	spec, err := hipec.Translate("mru", `
+//	    minframe = 1024
+//	    event PageFault() {
+//	        if (empty(_free_queue)) { mru(_active_queue) }
+//	        page = dequeue_head(_free_queue)
+//	        return page
+//	    }
+//	    event ReclaimFrame() {
+//	        if (empty(_free_queue)) { fifo(_active_queue) }
+//	        if (!empty(_free_queue)) { release(1) }
+//	        return
+//	    }`)
+//	if err != nil { ... }
+//
+//	region, container, err := k.AllocateHiPEC(task, 8<<20, spec)
+//	if err != nil { ... }
+//	task.Touch(region.Start) // faults run the policy
+//
+// Everything is driven by a virtual clock (k.Clock): elapsed times reported
+// by the simulation are deterministic virtual nanoseconds calibrated to the
+// paper's testbed, so experiments reproduce bit-for-bit.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package hipec
+
+import (
+	"hipec/internal/core"
+	"hipec/internal/emm"
+	"hipec/internal/hpl"
+	"hipec/internal/mem"
+	"hipec/internal/pageout"
+	"hipec/internal/policies"
+	"hipec/internal/simtime"
+	"hipec/internal/trace"
+	"hipec/internal/vm"
+)
+
+// Core kernel types.
+type (
+	// Kernel is the simulated Mach-with-HiPEC kernel.
+	Kernel = core.Kernel
+	// Config assembles a Kernel.
+	Config = core.Config
+	// Spec is a complete user policy: event programs plus operand
+	// declarations and resource parameters.
+	Spec = core.Spec
+	// Container is the kernel object recording a specific application's
+	// operand array, command buffers and private frame lists.
+	Container = core.Container
+	// Program is one event's command sequence.
+	Program = core.Program
+	// Command is one encoded 32-bit HiPEC command.
+	Command = core.Command
+	// Opcode is the 8-bit HiPEC operator code.
+	Opcode = core.Opcode
+	// OperandDecl declares an application operand slot.
+	OperandDecl = core.OperandDecl
+	// ExecCosts calibrates policy-execution time charging.
+	ExecCosts = core.ExecCosts
+	// ContainerState is a container's lifecycle state.
+	ContainerState = core.ContainerState
+)
+
+// Container lifecycle states.
+const (
+	StateActive     = core.StateActive
+	StateTerminated = core.StateTerminated
+	StateDestroyed  = core.StateDestroyed
+)
+
+// VM substrate types.
+type (
+	// AddressSpace is a task's virtual address space.
+	AddressSpace = vm.AddressSpace
+	// MapEntry is one mapped region.
+	MapEntry = vm.MapEntry
+	// Object is a Mach VM object.
+	Object = vm.Object
+	// Page is a physical page frame descriptor.
+	Page = mem.Page
+	// PageQueue is an intrusive list of page frames.
+	PageQueue = mem.Queue
+	// Policy is the replacement-policy interface the fault handler calls.
+	Policy = vm.Policy
+	// Fault describes one page fault in flight.
+	Fault = vm.Fault
+	// VMCosts calibrates the VM layer's time charging.
+	VMCosts = vm.Costs
+	// PageoutTargets are the default daemon's watermarks.
+	PageoutTargets = pageout.Targets
+	// Time is virtual time since kernel boot.
+	Time = simtime.Time
+)
+
+// New builds a simulated kernel. Zero-valued Config fields take calibrated
+// defaults (4 KB pages, the paper's fault/disk cost model, partition_burst
+// at 50% of startup free memory).
+func New(cfg Config) *Kernel { return core.New(cfg) }
+
+// Translate compiles an HPL pseudo-code policy (the §4.3.4 translator) into
+// a Spec.
+func Translate(name, src string) (*Spec, error) { return hpl.Translate(name, src) }
+
+// MustTranslate is Translate for known-good embedded policy source.
+func MustTranslate(name, src string) *Spec { return hpl.MustTranslate(name, src) }
+
+// Disassemble renders one event program as an annotated Table-2-style
+// listing.
+func Disassemble(p Program) string { return hpl.Disassemble(p) }
+
+// DisassembleSpec renders every event of a spec.
+func DisassembleSpec(s *Spec) string { return hpl.DisassembleSpec(s) }
+
+// Canned policies (internal/policies).
+var (
+	// PolicyFIFO returns a plain FIFO replacement policy.
+	PolicyFIFO = policies.FIFO
+	// PolicyLRU returns a least-recently-used policy.
+	PolicyLRU = policies.LRU
+	// PolicyMRU returns the most-recently-used policy of §5.3.
+	PolicyMRU = policies.MRU
+	// PolicyFIFOSecondChance returns the paper's Figure 4 policy.
+	PolicyFIFOSecondChance = policies.FIFOSecondChance
+	// PolicySequentialToss returns a scan-resistant streaming policy.
+	PolicySequentialToss = policies.SequentialToss
+	// PolicyByName resolves a policy by CLI name.
+	PolicyByName = policies.ByName
+)
+
+// Reserved event numbers.
+const (
+	EventPageFault    = core.EventPageFault
+	EventReclaimFrame = core.EventReclaimFrame
+	EventUser         = core.EventUser
+)
+
+// ErrMinFrame is returned when activation cannot grant the requested
+// minimum frames.
+var ErrMinFrame = core.ErrMinFrame
+
+// External memory management (internal/emm): user-level pagers behind the
+// Mach EMM interface.
+type (
+	// Pager supplies and receives memory-object contents (Mach EMM).
+	Pager = vm.Pager
+	// StorePager is a user-level default pager (disk-backed).
+	StorePager = emm.StorePager
+	// RemotePager pages to remote memory over a modeled network.
+	RemotePager = emm.RemotePager
+	// CompressingPager keeps evicted pages deflate-compressed in memory.
+	CompressingPager = emm.CompressingPager
+)
+
+var (
+	// NewStorePager builds a disk-backed user-level pager.
+	NewStorePager = emm.NewStorePager
+	// NewRemotePager builds a remote-memory pager.
+	NewRemotePager = emm.NewRemotePager
+	// NewCompressingPager builds a compressed-memory pager.
+	NewCompressingPager = emm.NewCompressingPager
+)
+
+// Trace analysis (internal/trace): page-reference traces, replay, and the
+// Belady-optimal baseline.
+type (
+	// Trace is a page-reference string.
+	Trace = trace.Trace
+	// TraceRecord is one page reference.
+	TraceRecord = trace.Record
+)
+
+var (
+	// ReadTrace parses a serialized trace.
+	ReadTrace = trace.Read
+	// ReplayTrace drives a trace against a mapped region.
+	ReplayTrace = trace.Replay
+	// OptimalFaults computes Belady's OPT fault count — the lower bound
+	// no replacement policy can beat.
+	OptimalFaults = trace.OPT
+	// LRUFaults computes exact-LRU fault counts for a trace.
+	LRUFaults = trace.LRU
+	// AnalyzeTrace summarizes a trace (unique pages, reuse distances).
+	AnalyzeTrace = trace.Analyze
+)

@@ -1,0 +1,137 @@
+package hipec_test
+
+// Facade integration tests: everything here goes through the public hipec
+// package only, exactly as a downstream user would.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hipec"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	k := hipec.New(hipec.Config{Frames: 4096})
+	task := k.NewSpace()
+	spec, err := hipec.Translate("mru", `
+	    minframe = 64
+	    event PageFault() {
+	        if (empty(_free_queue)) { mru(_active_queue) }
+	        page = dequeue_head(_free_queue)
+	        return page
+	    }
+	    event ReclaimFrame() {
+	        if (empty(_free_queue)) { fifo(_active_queue) }
+	        if (!empty(_free_queue)) { release(1) }
+	        return
+	    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, container, err := k.AllocateHiPEC(task, 1<<20, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := region.Start; addr < region.End; addr += 4096 {
+		if _, err := task.Touch(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if container.Allocated() != 64 {
+		t.Fatalf("allocated = %d", container.Allocated())
+	}
+	if task.Stats.Faults != 256 {
+		t.Fatalf("faults = %d, want 256", task.Stats.Faults)
+	}
+	if k.Clock.Now() == 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestCannedPoliciesViaFacade(t *testing.T) {
+	for _, mk := range []func(int) *hipec.Spec{
+		hipec.PolicyFIFO, hipec.PolicyLRU, hipec.PolicyMRU,
+		hipec.PolicyFIFOSecondChance, hipec.PolicySequentialToss,
+	} {
+		spec := mk(16)
+		k := hipec.New(hipec.Config{Frames: 1024})
+		task := k.NewSpace()
+		region, _, err := k.AllocateHiPEC(task, 32*4096, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		for addr := region.Start; addr < region.End; addr += 4096 {
+			if _, err := task.Touch(addr); err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+		}
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	if _, err := hipec.PolicyByName("mru", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hipec.PolicyByName("nope", 8); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestDisassembleViaFacade(t *testing.T) {
+	spec := hipec.PolicyMRU(8)
+	out := hipec.DisassembleSpec(spec)
+	if !strings.Contains(out, "MRU") || !strings.Contains(out, "PageFault") {
+		t.Fatalf("disassembly incomplete:\n%s", out)
+	}
+}
+
+func TestVirtualTimeDeterminism(t *testing.T) {
+	elapsed := func() time.Duration {
+		k := hipec.New(hipec.Config{Frames: 512})
+		task := k.NewSpace()
+		region, _, err := k.AllocateHiPEC(task, 64*4096, hipec.PolicyFIFO(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			for addr := region.Start; addr < region.End; addr += 4096 {
+				task.Touch(addr)
+			}
+		}
+		return time.Duration(k.Clock.Now())
+	}
+	if a, b := elapsed(), elapsed(); a != b {
+		t.Fatalf("nondeterministic elapsed time: %v vs %v", a, b)
+	}
+}
+
+func TestMinFrameErrorExposed(t *testing.T) {
+	k := hipec.New(hipec.Config{Frames: 64})
+	task := k.NewSpace()
+	_, _, err := k.AllocateHiPEC(task, 1<<20, hipec.PolicyFIFO(10000))
+	if err == nil {
+		t.Fatal("oversized minFrame accepted")
+	}
+}
+
+func TestEMMFacade(t *testing.T) {
+	k := hipec.New(hipec.Config{Frames: 256, KeepData: true})
+	// A nil IPC model skips boundary-cost charging; the pager still works.
+	pager := hipec.NewCompressingPager("zram", k.Clock, nil, 4096)
+	obj := k.VM.NewObject(8*4096, true)
+	obj.ExternalPager = pager
+	task := k.NewSpace()
+	region, _, err := k.MapHiPEC(task, obj, 0, obj.Size, hipec.PolicyFIFO(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := region.Start; addr < region.End; addr += 4096 {
+		if _, err := task.Write(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pager.Stats.Returns == 0 {
+		t.Fatal("compressing pager never received evictions")
+	}
+}

@@ -1,0 +1,293 @@
+package hipec_test
+
+// End-to-end scenarios exercising the whole stack through the public API:
+// the §3 motivation (partitioned pools prevent interference), multi-policy
+// coexistence, failure injection, and long-haul stability.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hipec"
+)
+
+// TestPartitionedPoolsPreventInterference reproduces the paper's core §3
+// claim: with the centralized pool, a scanning application evicts a
+// well-behaved application's working set; with HiPEC private pools it
+// cannot.
+func TestPartitionedPoolsPreventInterference(t *testing.T) {
+	const (
+		pageSize = 4096
+		hotPages = 1024
+		scanSize = 8192 * pageSize
+	)
+	run := func(scannerUsesHiPEC bool) int64 {
+		k := hipec.New(hipec.Config{Frames: 4096, StartChecker: scannerUsesHiPEC})
+		victim := k.NewSpace()
+		scanner := k.NewSpace()
+
+		hot, err := victim.Allocate(hotPages * pageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := hot.Start; a < hot.End; a += pageSize {
+			victim.Touch(a)
+		}
+		warm := victim.Stats.Faults
+
+		var region *hipec.MapEntry
+		if scannerUsesHiPEC {
+			region, _, err = k.AllocateHiPEC(scanner, scanSize, hipec.PolicySequentialToss(64))
+		} else {
+			region, err = scanner.Allocate(scanSize)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := region.Start; a < region.End; a += pageSize {
+			if _, err := scanner.Touch(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Victim resumes.
+		for a := hot.Start; a < hot.End; a += pageSize {
+			victim.Touch(a)
+		}
+		return victim.Stats.Faults - warm
+	}
+
+	shared := run(false)
+	private := run(true)
+	if shared < hotPages/2 {
+		t.Fatalf("shared pool scan should evict most of the working set, refaults=%d", shared)
+	}
+	if private != 0 {
+		t.Fatalf("HiPEC-contained scan still caused %d refaults", private)
+	}
+}
+
+// TestManyContainersCoexist runs several specific applications with
+// different policies simultaneously and checks global frame accounting.
+func TestManyContainersCoexist(t *testing.T) {
+	k := hipec.New(hipec.Config{Frames: 8192, StartChecker: true})
+	mks := []func(int) *hipec.Spec{
+		hipec.PolicyFIFO, hipec.PolicyLRU, hipec.PolicyMRU,
+		hipec.PolicyFIFOSecondChance, hipec.PolicySequentialToss,
+	}
+	type app struct {
+		sp *hipec.AddressSpace
+		e  *hipec.MapEntry
+		c  *hipec.Container
+	}
+	var apps []app
+	for i, mk := range mks {
+		sp := k.NewSpace()
+		e, c, err := k.AllocateHiPEC(sp, 256*4096, mk(64+i*16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app{sp, e, c})
+	}
+	// Interleave sweeps.
+	for round := 0; round < 4; round++ {
+		for _, a := range apps {
+			for addr := a.e.Start; addr < a.e.End; addr += 4096 {
+				if _, err := a.sp.Write(addr); err != nil {
+					t.Fatalf("%s: %v", a.c.Name(), err)
+				}
+			}
+		}
+	}
+	k.Clock.Advance(time.Second) // drain async laundering
+	total := 0
+	for _, a := range apps {
+		if a.c.State() != hipec.StateActive {
+			t.Fatalf("%s died: %s", a.c.Name(), a.c.TerminationReason())
+		}
+		total += a.c.Allocated()
+	}
+	if total != k.FM.SpecificTotal() {
+		t.Fatalf("accounting drift: containers hold %d, manager says %d", total, k.FM.SpecificTotal())
+	}
+	if total > k.FM.PartitionBurst {
+		t.Fatalf("specific total %d exceeds burst %d", total, k.FM.PartitionBurst)
+	}
+	// Tear down and verify every frame returns.
+	for _, a := range apps {
+		k.DestroyContainer(a.c)
+	}
+	k.Clock.Advance(time.Second)
+	if k.FM.SpecificTotal() != 0 {
+		t.Fatalf("frames leaked: specific total %d after teardown", k.FM.SpecificTotal())
+	}
+	if got := k.Daemon.FreeCount(); got != 8192 {
+		t.Fatalf("machine free = %d, want all 8192", got)
+	}
+}
+
+// TestMaliciousPoliciesAreContained injects hostile/broken policies and
+// checks the kernel survives with correct accounting every time.
+func TestMaliciousPoliciesAreContained(t *testing.T) {
+	hostile := []struct {
+		name string
+		src  string
+	}{
+		{"infinite-loop", `
+			minframe = 8
+			var x = 1
+			event PageFault() {
+			    while (x == 1) { x = 1 }
+			    page = dequeue_head(_free_queue)
+			    return page
+			}
+			event ReclaimFrame() { return }`},
+		{"dequeue-empty", `
+			minframe = 8
+			event PageFault() {
+			    page = dequeue_head(_inactive_queue)
+			    return page
+			}
+			event ReclaimFrame() { return }`},
+		{"return-nothing", `
+			minframe = 8
+			event PageFault() { return }
+			event ReclaimFrame() { return }`},
+		{"div-by-zero", `
+			minframe = 8
+			var a = 1
+			var b = 0
+			event PageFault() {
+			    a = a / b
+			    page = dequeue_head(_free_queue)
+			    return page
+			}
+			event ReclaimFrame() { return }`},
+	}
+	for _, h := range hostile {
+		t.Run(h.name, func(t *testing.T) {
+			k := hipec.New(hipec.Config{Frames: 512, StartChecker: true})
+			k.Checker.TimeOut = 5 * time.Millisecond
+			k.Checker.WakeUp = 10 * time.Millisecond
+			sp := k.NewSpace()
+			spec, err := hipec.Translate(h.name, h.src)
+			if err != nil {
+				t.Fatalf("translate: %v", err)
+			}
+			e, c, err := k.AllocateHiPEC(sp, 16*4096, spec)
+			if err != nil {
+				t.Fatalf("activation: %v", err)
+			}
+			if _, err := sp.Touch(e.Start); err == nil {
+				t.Fatal("hostile policy fault succeeded")
+			}
+			if c.State() != hipec.StateTerminated {
+				t.Fatalf("state = %v", c.State())
+			}
+			// The kernel recovered every frame and the region still works
+			// under the default policy.
+			if k.FM.SpecificTotal() != 0 {
+				t.Fatalf("frames leaked: %d", k.FM.SpecificTotal())
+			}
+			if _, err := sp.Touch(e.Start); err != nil {
+				t.Fatalf("fallback fault failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestLongHaulStability runs a mixed workload for many rounds and validates
+// global conservation at the end (the security checker's deep sweep).
+func TestLongHaulStability(t *testing.T) {
+	k := hipec.New(hipec.Config{Frames: 2048, StartChecker: true})
+	k.Checker.DeepSweep = true
+	specific := k.NewSpace()
+	e1, c1, err := k.AllocateHiPEC(specific, 512*4096, hipec.PolicyFIFOSecondChance(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	background := k.NewSpace()
+	e2, err := background.Allocate(1024 * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint64(12345)
+	next := func(n int64) int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int64(state>>33) % n
+	}
+	for i := 0; i < 30000; i++ {
+		if i%3 == 0 {
+			addr := e1.Start + next(512)*4096
+			if _, err := specific.Write(addr); err != nil {
+				t.Fatalf("specific access %d: %v", i, err)
+			}
+		} else {
+			addr := e2.Start + next(1024)*4096
+			if _, err := background.Touch(addr); err != nil {
+				t.Fatalf("background access %d: %v", i, err)
+			}
+		}
+	}
+	k.Clock.Advance(10 * time.Second)
+	if c1.State() != hipec.StateActive {
+		t.Fatal(c1.TerminationReason())
+	}
+	if k.Checker.Stats.SweepErrors != 0 {
+		t.Fatalf("deep sweep found %d violations", k.Checker.Stats.SweepErrors)
+	}
+	if k.Checker.Stats.Wakeups == 0 {
+		t.Fatal("checker never woke")
+	}
+}
+
+// TestHundredRegionsOneKernel stresses map-entry handling.
+func TestHundredRegionsOneKernel(t *testing.T) {
+	k := hipec.New(hipec.Config{Frames: 8192})
+	sp := k.NewSpace()
+	var entries []*hipec.MapEntry
+	for i := 0; i < 100; i++ {
+		e, err := sp.Allocate(4 * 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, e)
+	}
+	for i, e := range entries {
+		p, err := sp.Write(e.Start + int64(i%4)*4096)
+		if err != nil {
+			t.Fatalf("region %d: %v", i, err)
+		}
+		if p == nil {
+			t.Fatal("nil page")
+		}
+	}
+	if sp.Stats.Faults != 100 {
+		t.Fatalf("faults = %d", sp.Stats.Faults)
+	}
+}
+
+// TestTable2ByteEncodingStability pins the byte encoding of the translated
+// Figure 4 policy's first comparison against the paper's Table 2 row
+// (02 02 0C 01 — "if(_free_count > reserved_target)").
+func TestTable2ByteEncodingStability(t *testing.T) {
+	spec := hipec.PolicyFIFOSecondChance(16)
+	prog := spec.Events[hipec.EventPageFault]
+	want := hipec.Command(0x02020C01)
+	found := false
+	for _, cmd := range prog {
+		if cmd == want {
+			found = true
+			break
+		}
+	}
+	if !found {
+		var dump []string
+		for _, cmd := range prog {
+			dump = append(dump, fmt.Sprintf("%08x", uint32(cmd)))
+		}
+		t.Fatalf("Table 2 row 1 encoding %08x not found in PageFault program: %s",
+			uint32(want), strings.Join(dump, " "))
+	}
+}

@@ -1,0 +1,131 @@
+package aim
+
+import (
+	"math"
+	"testing"
+
+	"hipec/internal/core"
+)
+
+// buildKernel returns a small machine so memory pressure appears at low
+// user counts (full-size Figure 5 sweeps run in cmd/experiments).
+func buildKernel(hipec bool) func() *core.Kernel {
+	return func() *core.Kernel {
+		return core.New(core.Config{
+			Frames:        2048, // 8 MB: pressure appears at few users
+			HiPECDisabled: !hipec,
+			StartChecker:  hipec,
+		})
+	}
+}
+
+func TestRunProducesThroughput(t *testing.T) {
+	r, err := Run(buildKernel(false)(), StandardMix(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Jobs != 6 || r.Throughput <= 0 || r.Elapsed <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(buildKernel(false)(), StandardMix(), 0, 1); err == nil {
+		t.Fatal("0 users accepted")
+	}
+}
+
+func TestMixesDistinct(t *testing.T) {
+	ms := Mixes()
+	if len(ms) != 3 {
+		t.Fatalf("mixes = %d", len(ms))
+	}
+	if ms[1].DiskOpsPerJob <= ms[0].DiskOpsPerJob {
+		t.Fatal("disk mix not disk-heavier than standard")
+	}
+	if ms[2].FootprintPages <= ms[0].FootprintPages {
+		t.Fatal("memory mix not memory-heavier than standard")
+	}
+}
+
+func TestThroughputDegradesUnderMemoryPressure(t *testing.T) {
+	// With a 2048-frame machine and 1700-page footprints, 4 users
+	// (6800 pages) thrash while 1 user fits: per-access fault rate and
+	// therefore job latency rise, so aggregate throughput on the single
+	// simulated CPU falls — the post-saturation decline of Figure 5.
+	r1, err := Run(buildKernel(false)(), MemoryMix(), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(buildKernel(false)(), MemoryMix(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Faults <= r1.Faults*4 {
+		t.Fatalf("no pressure: faults %d (4 users) vs %d (1 user)", r4.Faults, r1.Faults)
+	}
+	// Under thrash, 4 users fall well short of 4x a single user's rate.
+	if r4.Throughput >= r1.Throughput*4*0.8 {
+		t.Fatalf("no contention: throughput %.1f (4 users) vs %.1f (1 user)", r4.Throughput, r1.Throughput)
+	}
+}
+
+func TestThroughputRisesBeforeSaturation(t *testing.T) {
+	// Think time dominates at one user: adding users must raise
+	// throughput while memory still fits (standard mix, 900-page
+	// footprints on a 2048-frame machine supports 2 users cleanly).
+	r1, err := Run(buildKernel(false)(), StandardMix(), 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(buildKernel(false)(), StandardMix(), 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Throughput <= r1.Throughput*1.2 {
+		t.Fatalf("throughput did not rise: %.1f (2 users) vs %.1f (1 user)", r2.Throughput, r1.Throughput)
+	}
+}
+
+func TestHiPECKernelThroughputWithinNoise(t *testing.T) {
+	// Figure 5's claim: the modified (HiPEC) kernel and the original Mach
+	// kernel provide nearly identical throughput for non-specific
+	// workloads. The deterministic simulation differs only by the
+	// per-fault region check and checker wakeups, so the gap must be
+	// well under 1%.
+	for _, mix := range Mixes() {
+		vanilla, err := Run(buildKernel(false)(), mix, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hipec, err := Run(buildKernel(true)(), mix, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := math.Abs(vanilla.Throughput-hipec.Throughput) / vanilla.Throughput
+		if diff > 0.01 {
+			t.Fatalf("mix %s: HiPEC overhead %.3f%% exceeds 1%%", mix.Name, diff*100)
+		}
+		if hipec.Throughput > vanilla.Throughput {
+			t.Logf("mix %s: HiPEC slightly faster (%.2f vs %.2f) — acceptable noise", mix.Name, hipec.Throughput, vanilla.Throughput)
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	rs, err := Sweep(buildKernel(false), StandardMix(), []int{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Users != 1 || rs[1].Users != 2 {
+		t.Fatalf("sweep = %+v", rs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(buildKernel(false)(), StandardMix(), 2, 2)
+	b, _ := Run(buildKernel(false)(), StandardMix(), 2, 2)
+	if a.Elapsed != b.Elapsed || a.Faults != b.Faults {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMechanismAblation(t *testing.T) {
+	rows, err := RunMechanismAblation(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	hipec, ext, up := rows[0], rows[1], rows[2]
+	// All three run the same MRU policy: fault counts must agree to
+	// within the tie-breaking slack of one frame per sweep (64 loops).
+	if diff := ext.Faults - hipec.Faults; diff < -128 || diff > 128 {
+		t.Fatalf("fault counts diverge: hipec=%d ext=%d", hipec.Faults, ext.Faults)
+	}
+	// Cost ordering: HiPEC < upcall < external pager.
+	if !(hipec.Elapsed < up.Elapsed && up.Elapsed < ext.Elapsed) {
+		t.Fatalf("elapsed ordering broken: hipec=%v upcall=%v ext=%v",
+			hipec.Elapsed, up.Elapsed, ext.Elapsed)
+	}
+	// The external pager must have paid one RPC per replacement.
+	if ext.IPCs != ext.Replacements {
+		t.Fatalf("IPCs=%d replacements=%d", ext.IPCs, ext.Replacements)
+	}
+	out := FormatMechanismAblation(rows, 256)
+	if !strings.Contains(out, "external pager") || !strings.Contains(out, "upcall") {
+		t.Fatalf("format incomplete:\n%s", out)
+	}
+}
+
+func TestMechanismAblationDefaultScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled ablation only in -short")
+	}
+	rows, err := RunMechanismAblation(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Elapsed >= rows[1].Elapsed {
+		t.Fatal("HiPEC not cheaper than external pager at 1/64 scale")
+	}
+}

@@ -1,0 +1,439 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5): Table 3 (HiPEC overhead on 40 MB of faults), Table 4
+// (mechanism costs), Figure 5 (AIM throughput on modified vs unmodified
+// kernels) and Figure 6 (nested-loop join, LRU vs HiPEC-MRU). Each runner
+// returns structured results plus a paper-style text rendering with the
+// paper's published numbers alongside for comparison.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hipec/internal/aim"
+	"hipec/internal/core"
+	"hipec/internal/machipc"
+	"hipec/internal/policies"
+	"hipec/internal/vm"
+	"hipec/internal/workload"
+)
+
+// MachineFrames is the paper's testbed memory: 64 MB of 4 KB frames.
+const MachineFrames = 64 << 20 / 4096
+
+// --- Table 3 ---------------------------------------------------------------
+
+// Table3Config sizes experiment 1.
+type Table3Config struct {
+	RegionBytes int64 // paper: 40 MB
+	Frames      int   // paper: 64 MB machine
+}
+
+// DefaultTable3 returns the paper's parameters.
+func DefaultTable3() Table3Config {
+	return Table3Config{RegionBytes: 40 << 20, Frames: MachineFrames}
+}
+
+// Table3Result reports the four elapsed times of Table 3.
+type Table3Result struct {
+	Faults       int64
+	MachNoIO     time.Duration
+	HiPECNoIO    time.Duration
+	OverheadNoIO float64 // percent
+	MachIO       time.Duration
+	HiPECIO      time.Duration
+	OverheadIO   float64 // percent
+}
+
+// RunTable3 measures page-fault handling time for touching the region once
+// under the unmodified kernel and under HiPEC running the same FIFO with
+// second chance policy, with and without disk I/O.
+func RunTable3(cfg Table3Config) (Table3Result, error) {
+	pages := cfg.RegionBytes / 4096
+	poolFrames := int(pages) // "both request 40 Megabytes for their private management"
+
+	touchAll := func(k *core.Kernel, sp *vm.AddressSpace, e *vm.MapEntry) (time.Duration, error) {
+		start := k.Clock.Now()
+		for addr := e.Start; addr < e.End; addr += 4096 {
+			if _, err := sp.Touch(addr); err != nil {
+				return 0, err
+			}
+		}
+		return time.Duration(k.Clock.Now().Sub(start)), nil
+	}
+
+	run := func(hipec, withIO bool) (time.Duration, error) {
+		k := core.New(core.Config{
+			Frames:        cfg.Frames,
+			HiPECDisabled: !hipec,
+			StartChecker:  hipec,
+		})
+		sp := k.NewSpace()
+		var e *vm.MapEntry
+		var err error
+		if hipec {
+			spec := policies.FIFOSecondChance(poolFrames)
+			if withIO {
+				obj := k.VM.NewObject(cfg.RegionBytes, false)
+				k.VM.Populate(obj, nil)
+				e, _, err = k.MapHiPEC(sp, obj, 0, obj.Size, spec)
+			} else {
+				e, _, err = k.AllocateHiPEC(sp, cfg.RegionBytes, spec)
+			}
+		} else {
+			if withIO {
+				obj := k.VM.NewObject(cfg.RegionBytes, false)
+				k.VM.Populate(obj, nil)
+				e, err = sp.Map(obj, 0, obj.Size)
+			} else {
+				e, err = sp.Allocate(cfg.RegionBytes)
+			}
+		}
+		if err != nil {
+			return 0, err
+		}
+		return touchAll(k, sp, e)
+	}
+
+	var r Table3Result
+	r.Faults = pages
+	var err error
+	if r.MachNoIO, err = run(false, false); err != nil {
+		return r, err
+	}
+	if r.HiPECNoIO, err = run(true, false); err != nil {
+		return r, err
+	}
+	if r.MachIO, err = run(false, true); err != nil {
+		return r, err
+	}
+	if r.HiPECIO, err = run(true, true); err != nil {
+		return r, err
+	}
+	r.OverheadNoIO = 100 * (r.HiPECNoIO - r.MachNoIO).Seconds() / r.MachNoIO.Seconds()
+	r.OverheadIO = 100 * (r.HiPECIO - r.MachIO).Seconds() / r.MachIO.Seconds()
+	return r, nil
+}
+
+// Format renders Table 3 next to the paper's published numbers.
+func (r Table3Result) Format() string {
+	var b strings.Builder
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.1f msec", float64(d.Microseconds())/1000) }
+	fmt.Fprintf(&b, "Table 3: Comparison — I (%d page faults)\n", r.Faults)
+	fmt.Fprintf(&b, "%-44s %14s %14s\n", "Evaluation", "measured", "paper")
+	fmt.Fprintf(&b, "40 Mbytes page fault, without disk I/O\n")
+	fmt.Fprintf(&b, "  %-42s %14s %14s\n", "Running on Mach 3.0 Kernel", ms(r.MachNoIO), "4016.5 msec")
+	fmt.Fprintf(&b, "  %-42s %14s %14s\n", "Running on HiPEC mechanism", ms(r.HiPECNoIO), "4088.6 msec")
+	fmt.Fprintf(&b, "  %-42s %13.2f%% %14s\n", "HiPEC Overhead", r.OverheadNoIO, "1.8%")
+	fmt.Fprintf(&b, "40 Mbytes page fault, with disk I/O\n")
+	fmt.Fprintf(&b, "  %-42s %14s %14s\n", "Running on Mach 3.0 Kernel", ms(r.MachIO), "82485.5 msec")
+	fmt.Fprintf(&b, "  %-42s %14s %14s\n", "Running on HiPEC mechanism", ms(r.HiPECIO), "82505.6 msec")
+	fmt.Fprintf(&b, "  %-42s %13.3f%% %14s\n", "HiPEC Overhead", r.OverheadIO, "0.024%")
+	return b.String()
+}
+
+// --- Table 4 ---------------------------------------------------------------
+
+// Table4Result reports the mechanism comparison.
+type Table4Result struct {
+	NullSyscall time.Duration // calibrated simulated trap
+	NullIPC     time.Duration // calibrated simulated round trip
+	HiPECFault  time.Duration // simulated simple-fault policy overhead
+	// InterpNsPerFault is the real (wall-clock, this machine) time to
+	// fetch/decode/execute the Comp,DeQueue,Return simple-fault path.
+	InterpNsPerFault time.Duration
+}
+
+// RunTable4 computes the three rows of Table 4. The simulated costs come
+// from the calibrated models; the interpreter row is additionally measured
+// for real on the host by running the executor with zero cost charging.
+func RunTable4(measureIters int) (Table4Result, error) {
+	var r Table4Result
+	costs := machipc.DefaultCosts()
+	r.NullSyscall = costs.NullSyscall
+	r.NullIPC = costs.NullIPC
+	// Simulated simple-fault overhead: 3 commands at the calibrated
+	// per-command decode cost (Table 4 reports ≈150 ns).
+	r.HiPECFault = 3 * core.DefaultExecCosts().PerCommand
+
+	// Real measurement: drive the PageFault event of the simple FIFO
+	// policy (Comp/DeQueue/Return shape) with zero virtual-cost charging.
+	k := core.New(core.Config{Frames: 4096})
+	k.Executor.Costs = core.ExecCosts{}
+	sp := k.NewSpace()
+	spec := policies.FIFO(64)
+	e, c, err := k.AllocateHiPEC(sp, 64*4096, spec)
+	if err != nil {
+		return r, err
+	}
+	if _, err := sp.Touch(e.Start); err != nil {
+		return r, err
+	}
+	if measureIters <= 0 {
+		measureIters = 200000
+	}
+	// Run the ReclaimFrame-free fast path: execute the PageFault program
+	// directly, returning the dequeued page to the free list each time.
+	start := time.Now()
+	for i := 0; i < measureIters; i++ {
+		res, err := k.Executor.Run(c, core.EventPageFault)
+		if err != nil {
+			return r, err
+		}
+		// put the frame back so the next run takes the same 3-command path
+		c.Free.EnqueueHead(res.Page)
+		c.Operand(core.SlotPageReg).Page = nil
+	}
+	r.InterpNsPerFault = time.Since(start) / time.Duration(measureIters)
+	return r, nil
+}
+
+// Format renders Table 4 next to the paper's numbers.
+func (r Table4Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: Comparison — II\n")
+	fmt.Fprintf(&b, "%-36s %14s %14s\n", "Evaluation", "this repo", "paper")
+	fmt.Fprintf(&b, "%-36s %14v %14s\n", "Null System Call (calibrated)", r.NullSyscall, "19 µsec")
+	fmt.Fprintf(&b, "%-36s %14v %14s\n", "Null IPC Call (calibrated)", r.NullIPC, "292 µsec")
+	fmt.Fprintf(&b, "%-36s %14v %14s\n", "Simple HiPEC fault (calibrated)", r.HiPECFault, "~150 nsec")
+	fmt.Fprintf(&b, "%-36s %14v %14s\n", "Simple HiPEC fault (measured here)", r.InterpNsPerFault, "-")
+	return b.String()
+}
+
+// --- Figure 5 ---------------------------------------------------------------
+
+// Figure5Point is one throughput sample.
+type Figure5Point struct {
+	Users   int
+	Vanilla float64 // jobs/min on the unmodified kernel
+	HiPEC   float64 // jobs/min on the HiPEC kernel (no specific apps)
+}
+
+// Figure5Series is one workload mix's curve.
+type Figure5Series struct {
+	Mix    string
+	Points []Figure5Point
+}
+
+// Figure5Config sizes the AIM sweep.
+type Figure5Config struct {
+	Frames      int
+	UserCounts  []int
+	JobsPerUser int
+}
+
+// DefaultFigure5 uses a 32 MB machine (the paper's 64 MB minus the kernel
+// and buffer cache of a loaded 1994 system) and 1..15 simulated users, which
+// puts the memory mix's saturation knee at 4-6 users as in Figure 5.
+func DefaultFigure5() Figure5Config {
+	users := make([]int, 15)
+	for i := range users {
+		users[i] = i + 1
+	}
+	return Figure5Config{Frames: MachineFrames / 2, UserCounts: users, JobsPerUser: 6}
+}
+
+// RunFigure5 sweeps the three AIM mixes over the user counts on both
+// kernels.
+func RunFigure5(cfg Figure5Config) ([]Figure5Series, error) {
+	build := func(hipec bool) func() *core.Kernel {
+		return func() *core.Kernel {
+			return core.New(core.Config{
+				Frames:        cfg.Frames,
+				HiPECDisabled: !hipec,
+				StartChecker:  hipec,
+			})
+		}
+	}
+	var out []Figure5Series
+	for _, mix := range aim.Mixes() {
+		series := Figure5Series{Mix: mix.Name}
+		for _, n := range cfg.UserCounts {
+			v, err := aim.Run(build(false)(), mix, n, cfg.JobsPerUser)
+			if err != nil {
+				return nil, err
+			}
+			h, err := aim.Run(build(true)(), mix, n, cfg.JobsPerUser)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, Figure5Point{
+				Users: n, Vanilla: v.Throughput, HiPEC: h.Throughput,
+			})
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// FormatFigure5 renders the curves as aligned columns with an ASCII spark
+// of the vanilla curve.
+func FormatFigure5(series []Figure5Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: AIM-style throughput, Mach kernel vs HiPEC kernel (jobs/min)\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "\nworkload mix: %s\n", s.Mix)
+		fmt.Fprintf(&b, "%6s %12s %12s %9s\n", "users", "Mach", "HiPEC", "delta")
+		for _, p := range s.Points {
+			delta := 0.0
+			if p.Vanilla != 0 {
+				delta = 100 * (p.HiPEC - p.Vanilla) / p.Vanilla
+			}
+			fmt.Fprintf(&b, "%6d %12.1f %12.1f %8.3f%%\n", p.Users, p.Vanilla, p.HiPEC, delta)
+		}
+	}
+	for _, s := range series {
+		xs := make([]float64, len(s.Points))
+		mach := make([]float64, len(s.Points))
+		hip := make([]float64, len(s.Points))
+		for i, p := range s.Points {
+			xs[i] = float64(p.Users)
+			mach[i] = p.Vanilla
+			hip[i] = p.HiPEC
+		}
+		b.WriteString("\n")
+		b.WriteString(asciiChart(
+			fmt.Sprintf("throughput vs users — %s mix (curves coincide)", s.Mix),
+			"simulated users", "jobs/min", xs,
+			[]plotSeries{{name: "Mach", marker: 'M', ys: mach}, {name: "HiPEC", marker: '*', ys: hip}},
+			56, 12))
+	}
+	b.WriteString("\npaper result: the two kernels provide almost the same throughput under all three mixes.\n")
+	return b.String()
+}
+
+// --- Figure 6 ---------------------------------------------------------------
+
+// Figure6Point is one outer-table size sample.
+type Figure6Point struct {
+	OuterBytes  int64
+	LRUElapsed  time.Duration
+	MRUElapsed  time.Duration
+	LRUFaults   int64
+	MRUFaults   int64
+	AnalyticLRU int64 // paper's PF_l
+	AnalyticMRU int64 // paper's PF_m
+}
+
+// Figure6Config sizes the join sweep. Scale divides every byte quantity to
+// allow fast scaled-down runs with identical shape (Scale=1 reproduces the
+// paper's sizes: outer 20..60 MB, memory 40 MB, 64 scans).
+type Figure6Config struct {
+	OuterBytes []int64
+	MemBytes   int64
+	Frames     int
+	Scale      int64
+}
+
+// DefaultFigure6 uses the paper's sweep: 20..60 MB outer tables.
+func DefaultFigure6() Figure6Config {
+	var outs []int64
+	for mb := int64(20); mb <= 60; mb += 5 {
+		outs = append(outs, mb<<20)
+	}
+	return Figure6Config{OuterBytes: outs, MemBytes: 40 << 20, Frames: MachineFrames, Scale: 1}
+}
+
+// RunFigure6 runs the §5.3 nested-loop join for each outer size under the
+// default-kernel LRU policy and the HiPEC MRU policy.
+func RunFigure6(cfg Figure6Config) ([]Figure6Point, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	var out []Figure6Point
+	for _, outer := range cfg.OuterBytes {
+		jc := workload.JoinConfig{
+			InnerBytes: 4 << 10,
+			OuterBytes: outer / cfg.Scale,
+			TupleSize:  64,
+			PageSize:   4096,
+			MemBytes:   cfg.MemBytes / cfg.Scale,
+		}
+		pool := int(jc.MemBytes / int64(jc.PageSize))
+		pt := Figure6Point{
+			OuterBytes:  outer,
+			AnalyticLRU: jc.LRUPageFaults(),
+			AnalyticMRU: jc.MRUPageFaults(),
+		}
+		frames := int(int64(cfg.Frames) / cfg.Scale)
+		if minFrames := pool + pool/8 + 64; frames < minFrames {
+			frames = minFrames
+		}
+		for _, pol := range []string{"lru", "mru"} {
+			k := core.New(core.Config{Frames: frames})
+			sp := k.NewSpace()
+			spec, err := policies.ByName(pol, pool)
+			if err != nil {
+				return nil, err
+			}
+			obj := k.VM.NewObject(jc.OuterBytes, false)
+			k.VM.Populate(obj, nil) // outer table lives on disk
+			e, c, err := k.MapHiPEC(sp, obj, 0, obj.Size, spec)
+			if err != nil {
+				return nil, err
+			}
+			start := k.Clock.Now()
+			res, err := workload.RunJoin(sp, e, jc)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Duration(k.Clock.Now().Sub(start))
+			if c.State() != core.StateActive {
+				return nil, fmt.Errorf("bench: %s policy died: %s", pol, c.TerminationReason())
+			}
+			if pol == "lru" {
+				pt.LRUElapsed, pt.LRUFaults = elapsed, res.Faults
+			} else {
+				pt.MRUElapsed, pt.MRUFaults = elapsed, res.Faults
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatFigure6 renders the join sweep with the analytic model.
+func FormatFigure6(points []Figure6Point, scale int64) string {
+	var b strings.Builder
+	if scale <= 0 {
+		scale = 1
+	}
+	fmt.Fprintf(&b, "Figure 6: Elapsed time for the join operation (LRU vs HiPEC MRU)")
+	if scale > 1 {
+		fmt.Fprintf(&b, " — scaled 1/%d", scale)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%9s %12s %12s %8s %12s %12s %12s %12s\n",
+		"outer", "LRU", "MRU", "speedup", "LRU faults", "PF_l", "MRU faults", "PF_m")
+	for _, p := range points {
+		speed := 0.0
+		if p.MRUElapsed > 0 {
+			speed = p.LRUElapsed.Seconds() / p.MRUElapsed.Seconds()
+		}
+		fmt.Fprintf(&b, "%6d MB %12s %12s %7.2fx %12d %12d %12d %12d\n",
+			p.OuterBytes>>20,
+			fmtMinutes(p.LRUElapsed), fmtMinutes(p.MRUElapsed), speed,
+			p.LRUFaults, p.AnalyticLRU, p.MRUFaults, p.AnalyticMRU)
+	}
+	xs := make([]float64, len(points))
+	lru := make([]float64, len(points))
+	mru := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = float64(p.OuterBytes >> 20)
+		lru[i] = p.LRUElapsed.Minutes()
+		mru[i] = p.MRUElapsed.Minutes()
+	}
+	b.WriteString("\n")
+	b.WriteString(asciiChart(
+		"elapsed time vs outer table size",
+		"outer table (MB)", "minutes", xs,
+		[]plotSeries{{name: "LRU", marker: 'L', ys: lru}, {name: "HiPEC MRU", marker: 'M', ys: mru}},
+		56, 14))
+	b.WriteString("\npaper result: a great response-time gap opens once the outer table exceeds the\n40 MB of allocated memory; measured faults match the analytic PF model.\n")
+	return b.String()
+}
+
+func fmtMinutes(d time.Duration) string {
+	return fmt.Sprintf("%.2f min", d.Minutes())
+}

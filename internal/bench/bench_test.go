@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Table 3, scaled to 4 MB so the unit test is fast; the shape (small
+// percentage without I/O, negligible with I/O) must hold at any scale.
+func TestTable3Shape(t *testing.T) {
+	r, err := RunTable3(Table3Config{RegionBytes: 4 << 20, Frames: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults != 1024 {
+		t.Fatalf("faults = %d", r.Faults)
+	}
+	if r.HiPECNoIO <= r.MachNoIO {
+		t.Fatal("HiPEC must cost slightly more than Mach without I/O")
+	}
+	if r.OverheadNoIO <= 0 || r.OverheadNoIO > 5 {
+		t.Fatalf("no-I/O overhead %.2f%% outside (0,5%%]", r.OverheadNoIO)
+	}
+	if r.OverheadIO <= 0 || r.OverheadIO > 0.2 {
+		t.Fatalf("with-I/O overhead %.3f%% outside (0,0.2%%]", r.OverheadIO)
+	}
+	if r.OverheadIO >= r.OverheadNoIO {
+		t.Fatal("disk I/O must dwarf the HiPEC overhead")
+	}
+	out := r.Format()
+	for _, want := range []string{"Table 3", "Mach 3.0", "HiPEC", "1.8%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Full-scale Table 3 must land close to the paper's published numbers —
+// the calibration test.
+func TestTable3FullScaleMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale calibration in -short mode")
+	}
+	r, err := RunTable3(DefaultTable3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := func(got time.Duration, wantMs float64, tolFrac float64) bool {
+		want := time.Duration(wantMs * float64(time.Millisecond))
+		diff := (got - want).Seconds()
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= want.Seconds()*tolFrac
+	}
+	if !within(r.MachNoIO, 4016.5, 0.05) {
+		t.Errorf("MachNoIO = %v, paper 4016.5ms", r.MachNoIO)
+	}
+	if !within(r.HiPECNoIO, 4088.6, 0.05) {
+		t.Errorf("HiPECNoIO = %v, paper 4088.6ms", r.HiPECNoIO)
+	}
+	if !within(r.MachIO, 82485.5, 0.05) {
+		t.Errorf("MachIO = %v, paper 82485.5ms", r.MachIO)
+	}
+	if r.OverheadNoIO < 0.5 || r.OverheadNoIO > 3.5 {
+		t.Errorf("no-I/O overhead %.2f%%, paper 1.8%%", r.OverheadNoIO)
+	}
+	if r.OverheadIO > 0.1 {
+		t.Errorf("with-I/O overhead %.3f%%, paper 0.024%%", r.OverheadIO)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	r, err := RunTable4(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NullSyscall != 19*time.Microsecond || r.NullIPC != 292*time.Microsecond {
+		t.Fatalf("calibrated costs wrong: %+v", r)
+	}
+	if r.HiPECFault != 150*time.Nanosecond {
+		t.Fatalf("simulated simple fault = %v, want 150ns", r.HiPECFault)
+	}
+	// Table 4's ordering: HiPEC << syscall << IPC.
+	if !(r.HiPECFault < r.NullSyscall && r.NullSyscall < r.NullIPC) {
+		t.Fatal("mechanism cost ordering broken")
+	}
+	if r.InterpNsPerFault <= 0 || r.InterpNsPerFault > 100*time.Microsecond {
+		t.Fatalf("measured interpreter cost implausible: %v", r.InterpNsPerFault)
+	}
+	if !strings.Contains(r.Format(), "Null IPC") {
+		t.Fatal("format incomplete")
+	}
+}
+
+func TestFigure5SmallSweep(t *testing.T) {
+	cfg := Figure5Config{Frames: 2048, UserCounts: []int{1, 4}, JobsPerUser: 2}
+	series, err := RunFigure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3 mixes", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("mix %s points = %d", s.Mix, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Vanilla <= 0 || p.HiPEC <= 0 {
+				t.Fatalf("mix %s users %d: zero throughput", s.Mix, p.Users)
+			}
+			gap := (p.Vanilla - p.HiPEC) / p.Vanilla
+			if gap < -0.02 || gap > 0.02 {
+				t.Fatalf("mix %s users %d: kernels differ by %.2f%%", s.Mix, p.Users, gap*100)
+			}
+		}
+	}
+	out := FormatFigure5(series)
+	if !strings.Contains(out, "standard") || !strings.Contains(out, "users") {
+		t.Fatalf("format incomplete:\n%s", out)
+	}
+}
+
+func TestFigure6ScaledShape(t *testing.T) {
+	// 1/256 scale: outer 80..240 KB, memory 160 KB. Crossover at outer ==
+	// memory must appear exactly as in the paper.
+	cfg := Figure6Config{
+		OuterBytes: []int64{20 << 20, 40 << 20, 60 << 20},
+		MemBytes:   40 << 20,
+		Frames:     MachineFrames,
+		Scale:      256,
+	}
+	points, err := RunFigure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Below memory: both policies equal (cold faults only).
+	p20 := points[0]
+	if p20.LRUFaults != p20.MRUFaults {
+		t.Fatalf("20MB: LRU %d vs MRU %d faults; expected equal", p20.LRUFaults, p20.MRUFaults)
+	}
+	// Above memory: LRU blows up, MRU stays far lower. (The paper's own
+	// formulas give PF_l/PF_m = 983040/337920 ≈ 2.9 at 60 MB.)
+	p60 := points[2]
+	if p60.LRUFaults < 2*p60.MRUFaults {
+		t.Fatalf("60MB: LRU %d vs MRU %d; expected ~2.9x gap", p60.LRUFaults, p60.MRUFaults)
+	}
+	if p60.LRUElapsed <= p60.MRUElapsed {
+		t.Fatal("60MB: LRU elapsed should exceed MRU elapsed")
+	}
+	// Analytic model agreement.
+	if p60.LRUFaults != p60.AnalyticLRU {
+		t.Fatalf("LRU faults %d != PF_l %d", p60.LRUFaults, p60.AnalyticLRU)
+	}
+	if delta := p60.MRUFaults - p60.AnalyticMRU; delta < 0 || delta > 64 {
+		t.Fatalf("MRU faults %d vs PF_m %d (delta %d)", p60.MRUFaults, p60.AnalyticMRU, delta)
+	}
+	out := FormatFigure6(points, 256)
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "PF_l") {
+		t.Fatalf("format incomplete:\n%s", out)
+	}
+}
+
+func TestFigure6Determinism(t *testing.T) {
+	cfg := Figure6Config{
+		OuterBytes: []int64{48 << 20},
+		MemBytes:   40 << 20,
+		Frames:     MachineFrames,
+		Scale:      512,
+	}
+	a, err := RunFigure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("nondeterministic: %+v vs %+v", a[0], b[0])
+	}
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// The simulation is deterministic, so the full-scale experiment outputs can
+// be pinned exactly. These are the numbers recorded in EXPERIMENTS.md; any
+// change to kernel behaviour that shifts them is either a bug or requires
+// re-documenting.
+
+func TestFigure6FullScalePinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale pin skipped in -short mode")
+	}
+	cfg := DefaultFigure6()
+	cfg.OuterBytes = []int64{40 << 20, 60 << 20}
+	points, err := RunFigure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p40, p60 := points[0], points[1]
+
+	// 40 MB: fits exactly; both policies pay only cold faults.
+	if p40.LRUFaults != 10240 || p40.MRUFaults != 10240 {
+		t.Fatalf("40MB faults = %d/%d, want 10240/10240", p40.LRUFaults, p40.MRUFaults)
+	}
+	if p40.LRUElapsed != p40.MRUElapsed {
+		t.Fatalf("40MB elapsed diverges: %v vs %v", p40.LRUElapsed, p40.MRUElapsed)
+	}
+
+	// 60 MB: the paper's analytic counts, exactly.
+	if p60.LRUFaults != 983040 {
+		t.Fatalf("60MB LRU faults = %d, want 983040", p60.LRUFaults)
+	}
+	if p60.MRUFaults != 337920 {
+		t.Fatalf("60MB MRU faults = %d, want 337920", p60.MRUFaults)
+	}
+	// Elapsed times in the paper's "minutes" regime (Figure 6's y-axis).
+	if m := p60.LRUElapsed.Minutes(); m < 125 || m > 140 {
+		t.Fatalf("60MB LRU elapsed = %.2f min, want ~132", m)
+	}
+	if m := p60.MRUElapsed.Minutes(); m < 40 || m > 50 {
+		t.Fatalf("60MB MRU elapsed = %.2f min, want ~45", m)
+	}
+	if ratio := p60.LRUElapsed.Seconds() / p60.MRUElapsed.Seconds(); ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("60MB speedup = %.2f, want ~2.9", ratio)
+	}
+}
+
+func TestTable3FullScalePinnedDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale pin skipped in -short mode")
+	}
+	r, err := RunTable3(DefaultTable3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The HiPEC delta is exactly the calibrated per-fault policy cost:
+	// 10240 * (region check + activation + interpreted commands).
+	delta := r.HiPECNoIO - r.MachNoIO
+	if delta < 70*time.Millisecond || delta > 90*time.Millisecond {
+		t.Fatalf("no-I/O delta = %v, want ~79ms (paper: 72.1ms)", delta)
+	}
+	deltaIO := r.HiPECIO - r.MachIO
+	if d := deltaIO - delta; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("I/O delta %v differs from no-I/O delta %v", deltaIO, delta)
+	}
+}
+
+func TestMechanismAblationFullScalePinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale pin skipped in -short mode")
+	}
+	rows, err := RunMechanismAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Faults != 337920 {
+			t.Fatalf("%s faults = %d, want 337920", r.Mechanism, r.Faults)
+		}
+	}
+	// The external pager's penalty is its replacements times the null-IPC
+	// cost (292 µs), within rounding.
+	extPenalty := rows[1].Elapsed - rows[0].Elapsed
+	wantIPC := time.Duration(rows[1].IPCs) * 292 * time.Microsecond
+	// HiPEC itself charges activation+commands the ext pager doesn't;
+	// allow that margin (7µs + ~6 commands * 50ns per fault).
+	margin := time.Duration(rows[0].Faults) * 8 * time.Microsecond
+	if extPenalty < wantIPC-margin || extPenalty > wantIPC+margin {
+		t.Fatalf("ext pager penalty %v, want ~%v (±%v)", extPenalty, wantIPC, margin)
+	}
+}
+
+func TestFigure5FullScalePinnedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale pin skipped in -short mode")
+	}
+	cfg := DefaultFigure5()
+	cfg.UserCounts = []int{1, 4, 15}
+	series, err := RunFigure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		p1, p4, p15 := s.Points[0], s.Points[1], s.Points[2]
+		// Rising limb: 4 users beat 1 user on every mix.
+		if p4.Vanilla <= p1.Vanilla {
+			t.Errorf("mix %s: no rise (1 user %.1f, 4 users %.1f)", s.Mix, p1.Vanilla, p4.Vanilla)
+		}
+		// Saturated/degraded tail: 15 users never exceed 15x one user.
+		if p15.Vanilla >= 15*p1.Vanilla {
+			t.Errorf("mix %s: no saturation at 15 users", s.Mix)
+		}
+		// The two kernels coincide everywhere (the Figure 5 claim).
+		for _, p := range s.Points {
+			gap := (p.Vanilla - p.HiPEC) / p.Vanilla
+			if gap < -0.001 || gap > 0.001 {
+				t.Errorf("mix %s users %d: kernel gap %.4f%%", s.Mix, p.Users, gap*100)
+			}
+		}
+	}
+	// The memory mix must show the post-knee decline.
+	mem := series[2]
+	if mem.Points[2].Vanilla >= mem.Points[1].Vanilla {
+		t.Errorf("memory mix did not degrade: 4 users %.1f, 15 users %.1f",
+			mem.Points[1].Vanilla, mem.Points[2].Vanilla)
+	}
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotSeries is one curve on an ASCII chart.
+type plotSeries struct {
+	name   string
+	marker byte
+	ys     []float64
+}
+
+// asciiChart renders one or more series over shared x values as a terminal
+// chart. Later series overwrite earlier ones where they collide (useful for
+// Figure 5, where the two kernels' curves are meant to coincide).
+func asciiChart(title, xlabel, ylabel string, xs []float64, ss []plotSeries, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range ss {
+		for _, y := range s.ys {
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minY, 1) || minY == maxY {
+		maxY = minY + 1
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range ss {
+		for i, y := range s.ys {
+			col := int(math.Round((xs[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+			r := height - 1 - row
+			grid[r][col] = s.marker
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yTop := fmt.Sprintf("%.0f", maxY)
+	yBot := fmt.Sprintf("%.0f", minY)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", pad, yTop)
+		}
+		if i == height-1 {
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.0f%*.0f   (x: %s, y: %s)\n",
+		strings.Repeat(" ", pad), width/2, minX, width-width/2, maxX, xlabel, ylabel)
+	var legend []string
+	for _, s := range ss {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.marker, s.name))
+	}
+	fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", pad), strings.Join(legend, "  "))
+	return b.String()
+}

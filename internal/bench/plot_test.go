@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiChart(t *testing.T) {
+	out := asciiChart("demo", "x", "y",
+		[]float64{1, 2, 3, 4},
+		[]plotSeries{
+			{name: "up", marker: 'U', ys: []float64{1, 2, 3, 4}},
+			{name: "down", marker: 'D', ys: []float64{4, 3, 2, 1}},
+		}, 20, 6)
+	for _, want := range []string{"demo", "U=up", "D=down", "x: x, y: y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "U") < 4 { // 3 plotted markers + legend minimum
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestAsciiChartDegenerate(t *testing.T) {
+	// Flat series and single x must not divide by zero.
+	out := asciiChart("flat", "x", "y",
+		[]float64{5, 5},
+		[]plotSeries{{name: "s", marker: 's', ys: []float64{2, 2}}}, 10, 4)
+	if !strings.Contains(out, "flat") {
+		t.Fatal("degenerate chart failed")
+	}
+	out = asciiChart("tiny", "x", "y", []float64{1}, []plotSeries{{name: "s", marker: 's', ys: []float64{0}}}, 2, 2)
+	if out == "" {
+		t.Fatal("tiny chart failed")
+	}
+}

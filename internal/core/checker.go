@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hipec/internal/simtime"
+)
+
+// CheckerStats counts security-checker activity.
+type CheckerStats struct {
+	Wakeups       int64
+	Timeouts      int64 // timed-out executions detected
+	Terminations  int64 // containers killed (timeouts and runtime faults)
+	SweepErrors   int64 // consistency-sweep violations found
+	Validations   int64
+	ValidationBad int64
+}
+
+// Checker is the in-kernel security checker (§4.3.3): it validates policy
+// programs at registration time (illegal syntax, wrong operand types) and
+// runs as a periodic watchdog that detects timed-out policy executions,
+// halving its sleep interval when a timeout is found and doubling it
+// otherwise, clamped to [250 ms, 8 s]:
+//
+//	WakeUp = WakeUp/2  if timeout detected
+//	WakeUp = WakeUp*2  if no timeout detected
+//	WakeUp clamped to [250 msec, 8 sec]
+type Checker struct {
+	kernel *Kernel
+
+	// TimeOut is the execution budget after which a policy run is killed;
+	// "the length of TimeOut period is determined manually by a
+	// privileged user".
+	TimeOut time.Duration
+	// WakeUp is the current adaptive sleep period.
+	WakeUp time.Duration
+	// MinWakeUp and MaxWakeUp clamp the adaptive schedule.
+	MinWakeUp, MaxWakeUp time.Duration
+	// DeepSweep additionally validates queue structure on every wakeup
+	// (§6 future work #3: "the security checker could do more").
+	DeepSweep bool
+
+	started bool
+	stopped bool
+	Stats   CheckerStats
+}
+
+func newChecker(k *Kernel) *Checker {
+	return &Checker{
+		kernel:    k,
+		TimeOut:   defaultExecTimeout,
+		WakeUp:    time.Second,
+		MinWakeUp: 250 * time.Millisecond,
+		MaxWakeUp: 8 * time.Second,
+	}
+}
+
+// Start schedules the watchdog on the kernel clock. Calling Start twice is
+// a no-op.
+func (ck *Checker) Start() {
+	if ck.started {
+		return
+	}
+	ck.started = true
+	ck.schedule()
+}
+
+// Stop prevents further wakeups after the next one fires.
+func (ck *Checker) Stop() { ck.stopped = true }
+
+func (ck *Checker) schedule() {
+	ck.kernel.Clock.After(ck.WakeUp, ck.wake)
+}
+
+func (ck *Checker) wake(now simtime.Time) {
+	if ck.stopped {
+		return
+	}
+	ck.Stats.Wakeups++
+	detected := false
+	// Copy: terminating mutates the list.
+	containers := append([]*Container(nil), ck.kernel.FM.containers...)
+	for _, c := range containers {
+		if executing, since := c.Executing(); executing && now.Sub(since) > ck.TimeOut {
+			// Flag the executor; it aborts at its next poll and the
+			// kernel terminates the application.
+			c.timedOut = true
+			detected = true
+			ck.Stats.Timeouts++
+		}
+		if ck.DeepSweep {
+			for _, q := range c.queues() {
+				if err := q.Validate(); err != nil {
+					ck.Stats.SweepErrors++
+					ck.kernel.terminate(c, fmt.Sprintf("checker sweep: %v", err))
+					break
+				}
+			}
+		}
+	}
+	if detected {
+		ck.WakeUp /= 2
+	} else {
+		ck.WakeUp *= 2
+	}
+	if ck.WakeUp < ck.MinWakeUp {
+		ck.WakeUp = ck.MinWakeUp
+	}
+	if ck.WakeUp > ck.MaxWakeUp {
+		ck.WakeUp = ck.MaxWakeUp
+	}
+	ck.schedule()
+}
+
+// ValidateSpec performs the registration-time static checks on a spec
+// against the operand kinds of its (already constructed) container:
+// magic numbers, legal opcodes, operand types, jump-target ranges, event
+// references, and Return reachability. It returns every violation found.
+func (ck *Checker) ValidateSpec(c *Container) []error {
+	ck.Stats.Validations++
+	var errs []error
+	report := func(ev, cc int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("event %s CC=%d: %s", c.eventName(ev), cc, fmt.Sprintf(format, args...)))
+	}
+	if len(c.events) < 2 || c.events[EventPageFault] == nil || c.events[EventReclaimFrame] == nil {
+		errs = append(errs, fmt.Errorf("spec %q must define the PageFault and ReclaimFrame events", c.spec.Name))
+		if len(c.events) < 2 {
+			ck.noteValidation(errs)
+			return errs
+		}
+	}
+	kind := func(slot uint8) Kind { return c.operands[slot].Kind }
+	wantKind := func(ev, cc int, slot uint8, k Kind, what string) {
+		if kind(slot) != k {
+			report(ev, cc, "%s operand %#02x is %v, want %v", what, slot, kind(slot), k)
+		}
+	}
+	wantIntOrBool := func(ev, cc int, slot uint8, what string) {
+		if k := kind(slot); k != KindInt && k != KindBool {
+			report(ev, cc, "%s operand %#02x is %v, want int or bool", what, slot, k)
+		}
+	}
+
+	for ev, prog := range c.events {
+		if prog == nil {
+			continue
+		}
+		if len(prog) == 0 || prog[0] != Magic {
+			report(ev, 0, "missing HiPEC magic number")
+			continue
+		}
+		if len(prog) == 1 {
+			report(ev, 0, "empty program")
+			continue
+		}
+		hasReturn := false
+		for cc := 1; cc < len(prog); cc++ {
+			cmd := prog[cc]
+			op1, op2, flag := cmd.A(), cmd.B(), cmd.C()
+			switch cmd.Op() {
+			case OpReturn:
+				hasReturn = true
+			case OpArith:
+				wantKind(ev, cc, op1, KindInt, "Arith destination")
+				if c.operands[op1].readOnly || c.operands[op1].live != nil {
+					report(ev, cc, "Arith writes read-only operand %#02x (%s)", op1, c.operands[op1].Name)
+				}
+				if flag > ArithDec {
+					report(ev, cc, "bad Arith flag %d", flag)
+				}
+				if flag != ArithInc && flag != ArithDec {
+					wantKind(ev, cc, op2, KindInt, "Arith source")
+				}
+			case OpComp:
+				wantKind(ev, cc, op1, KindInt, "Comp")
+				wantKind(ev, cc, op2, KindInt, "Comp")
+				if flag > CompLE {
+					report(ev, cc, "bad Comp flag %d", flag)
+				}
+			case OpLogic:
+				wantIntOrBool(ev, cc, op1, "Logic")
+				if flag != LogicNot {
+					wantIntOrBool(ev, cc, op2, "Logic")
+				}
+				if flag > LogicXor {
+					report(ev, cc, "bad Logic flag %d", flag)
+				}
+			case OpEmptyQ:
+				wantKind(ev, cc, op1, KindQueue, "EmptyQ")
+			case OpInQ:
+				wantKind(ev, cc, op1, KindQueue, "InQ queue")
+				wantKind(ev, cc, op2, KindPage, "InQ page")
+			case OpJump:
+				if op1 > JumpIfTrue {
+					report(ev, cc, "bad Jump mode %d", op1)
+				}
+				if t := int(flag); t < 1 || t >= len(prog) {
+					report(ev, cc, "jump target %d out of range [1,%d)", t, len(prog))
+				}
+			case OpDeQueue:
+				wantKind(ev, cc, op1, KindPage, "DeQueue destination")
+				wantKind(ev, cc, op2, KindQueue, "DeQueue source")
+				if flag != QueueHead && flag != QueueTail {
+					report(ev, cc, "bad DeQueue flag %d", flag)
+				}
+			case OpEnQueue:
+				wantKind(ev, cc, op1, KindPage, "EnQueue page")
+				wantKind(ev, cc, op2, KindQueue, "EnQueue queue")
+				if flag != QueueHead && flag != QueueTail {
+					report(ev, cc, "bad EnQueue flag %d", flag)
+				}
+			case OpRequest:
+				wantKind(ev, cc, op1, KindInt, "Request size")
+			case OpRelease:
+				if k := kind(op1); k != KindInt && k != KindPage {
+					report(ev, cc, "Release operand %#02x is %v, want int or page", op1, k)
+				}
+			case OpFlush:
+				wantKind(ev, cc, op1, KindPage, "Flush")
+			case OpSet:
+				wantKind(ev, cc, op1, KindPage, "Set")
+				if op2 != SetBitModify && op2 != SetBitReference {
+					report(ev, cc, "bad Set bit selector %d", op2)
+				}
+				if flag != SetOpSet && flag != SetOpClear {
+					report(ev, cc, "bad Set operation %d", flag)
+				}
+			case OpRef:
+				wantKind(ev, cc, op1, KindPage, "Ref")
+			case OpMod:
+				wantKind(ev, cc, op1, KindPage, "Mod")
+			case OpFind:
+				wantKind(ev, cc, op1, KindPage, "Find destination")
+				wantKind(ev, cc, op2, KindInt, "Find address")
+			case OpActivate:
+				target := int(op1)
+				if target >= len(c.events) || c.events[target] == nil {
+					report(ev, cc, "Activate of undefined event %d", target)
+				}
+				if target == ev {
+					report(ev, cc, "Activate of the running event (unbounded recursion)")
+				}
+			case OpFIFO, OpLRU, OpMRU:
+				wantKind(ev, cc, op1, KindQueue, cmd.Op().String())
+			case OpMigrate:
+				if !c.extensions {
+					report(ev, cc, "Migrate used without EnableExtensions")
+				}
+				wantKind(ev, cc, op1, KindPage, "Migrate page")
+				wantKind(ev, cc, op2, KindInt, "Migrate target")
+			case OpAge:
+				if !c.extensions {
+					report(ev, cc, "Age used without EnableExtensions")
+				}
+				wantKind(ev, cc, op1, KindQueue, "Age")
+			default:
+				report(ev, cc, "illegal opcode %#02x", uint8(cmd.Op()))
+			}
+		}
+		if !hasReturn {
+			report(ev, 0, "program has no Return command")
+		}
+		if err := checkFlow(prog); err != nil {
+			report(ev, 0, "%v", err)
+		}
+	}
+	ck.noteValidation(errs)
+	return errs
+}
+
+func (ck *Checker) noteValidation(errs []error) {
+	if len(errs) > 0 {
+		ck.Stats.ValidationBad++
+	}
+}
+
+// checkFlow performs a reachability analysis: starting from CC 1, following
+// fall-through and jump edges, execution must never run off the end of the
+// program — every reachable path must hit a Return.
+//
+// The analysis tracks whether CR is definitely false at each point, because
+// the paper's programs rely on the "non-test commands clear CR, so a
+// Jump-iff-false after one is unconditional" idiom (Table 2); without CR
+// tracking those programs would be falsely rejected.
+func checkFlow(prog Program) error {
+	type state struct {
+		cc      int
+		crFalse bool // CR is definitely false on entry
+	}
+	seen := make(map[state]bool, 2*len(prog))
+	stack := []state{{cc: 1}}
+	push := func(cc int, crFalse bool) error {
+		if cc >= len(prog) {
+			return fmt.Errorf("control flow can run off the end of the program")
+		}
+		s := state{cc, crFalse}
+		if cc >= 1 && !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+		return nil
+	}
+	seen[state{1, false}] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cmd := prog[s.cc]
+		var err error
+		switch cmd.Op() {
+		case OpReturn:
+			// terminal
+		case OpComp, OpLogic, OpEmptyQ, OpInQ, OpRef, OpMod:
+			err = push(s.cc+1, false) // CR becomes unknown
+		case OpJump:
+			// The executor clears CR when evaluating a Jump, so every
+			// successor enters with CR false.
+			target := int(cmd.C())
+			taken := true
+			fall := true
+			switch cmd.A() {
+			case JumpAlways:
+				fall = false
+			case JumpIfFalse:
+				if s.crFalse {
+					fall = false // always taken
+				}
+			case JumpIfTrue:
+				if s.crFalse {
+					taken = false // never taken
+				}
+			}
+			if taken && target >= 1 && target < len(prog) {
+				err = push(target, true)
+			}
+			if err == nil && fall {
+				err = push(s.cc+1, true)
+			}
+		default:
+			err = push(s.cc+1, true) // non-test commands clear CR
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

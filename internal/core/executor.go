@@ -1,0 +1,625 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hipec/internal/mem"
+)
+
+// ExecCosts are the virtual-time charges of policy execution, calibrated
+// from the paper (DESIGN.md §4): Table 4 reports ≈150 ns to fetch and
+// decode the three-command simple-fault path (≈50 ns/command), and Table 3
+// implies ≈7 µs of per-fault activation bookkeeping (timestamp write,
+// container lookup, executor entry/exit).
+type ExecCosts struct {
+	PerCommand time.Duration
+	Activation time.Duration
+}
+
+// DefaultExecCosts returns the calibrated values.
+func DefaultExecCosts() ExecCosts {
+	return ExecCosts{PerCommand: 50 * time.Nanosecond, Activation: 7 * time.Microsecond}
+}
+
+// Executor is the application-specific policy executor (§4.3.2). It runs in
+// "kernel mode": it fetches commands from the (conceptually wired-down,
+// read-only) policy buffer, decodes them and performs the operations,
+// without crossing the kernel/user boundary.
+type Executor struct {
+	kernel *Kernel
+	Costs  ExecCosts
+
+	// Trace, when non-nil, receives one line per executed command —
+	// the policy developer's printf. Use only for debugging; it is on
+	// the hot path.
+	Trace io.Writer
+
+	// MaxSteps bounds commands per outer activation as a hard backstop
+	// against runaway policies when command costs are zero (the adaptive
+	// security checker handles the timed case).
+	MaxSteps int
+	// MaxActivateDepth bounds Activate nesting ("non-HiPEC-defined events
+	// ... can be viewed as procedure calls").
+	MaxActivateDepth int
+
+	// Stats
+	TotalActivations int64
+	TotalCommands    int64
+}
+
+func newExecutor(k *Kernel, costs ExecCosts) *Executor {
+	return &Executor{
+		kernel:           k,
+		Costs:            costs,
+		MaxSteps:         1 << 20,
+		MaxActivateDepth: 8,
+	}
+}
+
+// Run executes event ev of container c and returns the operand named by the
+// program's Return command. A runtime fault terminates the container and is
+// returned as an error.
+func (x *Executor) Run(c *Container, ev int) (*Operand, error) {
+	if c.state != StateActive {
+		return nil, fmt.Errorf("core: container %d is %v", c.ID, c.state)
+	}
+	c.executing = true
+	c.timestamp = x.kernel.Clock.Now()
+	c.timedOut = false
+	c.Stats.Activations++
+	x.TotalActivations++
+	if x.Costs.Activation > 0 {
+		x.kernel.Clock.Sleep(x.Costs.Activation)
+	}
+	steps := 0
+	res, err := x.exec(c, ev, 0, &steps)
+	c.executing = false
+	if err != nil {
+		x.kernel.terminate(c, err.Error())
+		return nil, err
+	}
+	return res, nil
+}
+
+func (x *Executor) fail(c *Container, ev, cc int, format string, args ...any) error {
+	return &execError{Container: c, Event: ev, CC: cc, Reason: fmt.Sprintf(format, args...)}
+}
+
+// operand accessors with runtime type checking --------------------------
+
+func (x *Executor) intOp(c *Container, ev, cc int, slot uint8) (int64, error) {
+	o := &c.operands[slot]
+	if o.Kind != KindInt {
+		return 0, x.fail(c, ev, cc, "operand %#02x (%s) is %v, want int", slot, o.Name, o.Kind)
+	}
+	return o.IntValue(), nil
+}
+
+func (x *Executor) boolOp(c *Container, ev, cc int, slot uint8) (bool, error) {
+	o := &c.operands[slot]
+	switch o.Kind {
+	case KindBool:
+		return o.Bool, nil
+	case KindInt:
+		return o.IntValue() != 0, nil
+	}
+	return false, x.fail(c, ev, cc, "operand %#02x (%s) is %v, want bool", slot, o.Name, o.Kind)
+}
+
+func (x *Executor) queueOp(c *Container, ev, cc int, slot uint8) (*mem.Queue, error) {
+	o := &c.operands[slot]
+	if o.Kind != KindQueue || o.Queue == nil {
+		return nil, x.fail(c, ev, cc, "operand %#02x (%s) is %v, want queue", slot, o.Name, o.Kind)
+	}
+	return o.Queue, nil
+}
+
+func (x *Executor) pageOp(c *Container, ev, cc int, slot uint8) (*mem.Page, error) {
+	o := &c.operands[slot]
+	if o.Kind != KindPage {
+		return nil, x.fail(c, ev, cc, "operand %#02x (%s) is %v, want page", slot, o.Name, o.Kind)
+	}
+	if o.Page == nil {
+		return nil, x.fail(c, ev, cc, "page register %#02x (%s) is empty", slot, o.Name)
+	}
+	return o.Page, nil
+}
+
+// exec interprets one event program. depth counts Activate nesting; steps
+// is shared across the whole activation.
+func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, error) {
+	if ev < 0 || ev >= len(c.events) || c.events[ev] == nil {
+		return nil, x.fail(c, ev, 0, "undefined event %d", ev)
+	}
+	prog := c.events[ev]
+	cc := 1 // CC 0 is the magic word
+	for {
+		if cc < 1 || cc >= len(prog) {
+			return nil, x.fail(c, ev, cc, "command counter out of range (missing Return?)")
+		}
+		*steps++
+		if *steps > x.MaxSteps {
+			return nil, x.fail(c, ev, cc, "exceeded %d commands (runaway policy)", x.MaxSteps)
+		}
+		c.Stats.Commands++
+		x.TotalCommands++
+		if x.Costs.PerCommand > 0 {
+			// Charging per-command time is also what lets the
+			// asynchronous security checker observe a long-running
+			// execution: advancing the clock fires its wakeups.
+			x.kernel.Clock.Sleep(x.Costs.PerCommand)
+		}
+		if c.timedOut || c.state != StateActive {
+			return nil, x.fail(c, ev, cc, "terminated by security checker (timeout)")
+		}
+		cmd := prog[cc]
+		c.cc = cc
+		if x.Trace != nil {
+			fmt.Fprintf(x.Trace, "hipec%d %s CC=%-3d CR=%-5t %v\n",
+				c.ID, c.eventName(ev), cc, c.cr, cmd)
+		}
+		op1, op2, flag := cmd.A(), cmd.B(), cmd.C()
+
+		switch cmd.Op() {
+		case OpReturn:
+			return &c.operands[op1], nil
+
+		case OpArith:
+			dst := &c.operands[op1]
+			if dst.Kind != KindInt {
+				return nil, x.fail(c, ev, cc, "Arith destination %#02x (%s) is %v", op1, dst.Name, dst.Kind)
+			}
+			if dst.readOnly || dst.live != nil {
+				return nil, x.fail(c, ev, cc, "Arith write to read-only operand %#02x (%s)", op1, dst.Name)
+			}
+			var src int64
+			switch flag {
+			case ArithInc, ArithDec:
+				// no source operand
+			default:
+				v, err := x.intOp(c, ev, cc, op2)
+				if err != nil {
+					return nil, err
+				}
+				src = v
+			}
+			switch flag {
+			case ArithAdd:
+				dst.Int += src
+			case ArithSub:
+				dst.Int -= src
+			case ArithMul:
+				dst.Int *= src
+			case ArithDiv:
+				if src == 0 {
+					return nil, x.fail(c, ev, cc, "division by zero")
+				}
+				dst.Int /= src
+			case ArithMod:
+				if src == 0 {
+					return nil, x.fail(c, ev, cc, "modulo by zero")
+				}
+				dst.Int %= src
+			case ArithMov:
+				dst.Int = src
+			case ArithInc:
+				dst.Int++
+			case ArithDec:
+				dst.Int--
+			default:
+				return nil, x.fail(c, ev, cc, "bad Arith flag %d", flag)
+			}
+			c.cr = false
+
+		case OpComp:
+			a, err := x.intOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			b, err := x.intOp(c, ev, cc, op2)
+			if err != nil {
+				return nil, err
+			}
+			switch flag {
+			case CompEQ:
+				c.cr = a == b
+			case CompGT:
+				c.cr = a > b
+			case CompLT:
+				c.cr = a < b
+			case CompNE:
+				c.cr = a != b
+			case CompGE:
+				c.cr = a >= b
+			case CompLE:
+				c.cr = a <= b
+			default:
+				return nil, x.fail(c, ev, cc, "bad Comp flag %d", flag)
+			}
+
+		case OpLogic:
+			a, err := x.boolOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			switch flag {
+			case LogicNot:
+				c.cr = !a
+			case LogicAnd, LogicOr, LogicXor:
+				b, err := x.boolOp(c, ev, cc, op2)
+				if err != nil {
+					return nil, err
+				}
+				switch flag {
+				case LogicAnd:
+					c.cr = a && b
+				case LogicOr:
+					c.cr = a || b
+				case LogicXor:
+					c.cr = a != b
+				}
+			default:
+				return nil, x.fail(c, ev, cc, "bad Logic flag %d", flag)
+			}
+
+		case OpEmptyQ:
+			q, err := x.queueOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			c.cr = q.Empty()
+
+		case OpInQ:
+			q, err := x.queueOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			reg := &c.operands[op2]
+			if reg.Kind != KindPage {
+				return nil, x.fail(c, ev, cc, "InQ operand %#02x is %v, want page", op2, reg.Kind)
+			}
+			c.cr = reg.Page != nil && reg.Page.InQueue(q)
+
+		case OpJump:
+			target := int(flag)
+			take := false
+			switch op1 {
+			case JumpIfFalse:
+				take = !c.cr
+			case JumpAlways:
+				take = true
+			case JumpIfTrue:
+				take = c.cr
+			default:
+				return nil, x.fail(c, ev, cc, "bad Jump mode %d", op1)
+			}
+			c.cr = false
+			if take {
+				if target < 1 || target >= len(prog) {
+					return nil, x.fail(c, ev, cc, "jump target %d out of range", target)
+				}
+				cc = target
+				continue
+			}
+
+		case OpDeQueue:
+			q, err := x.queueOp(c, ev, cc, op2)
+			if err != nil {
+				return nil, err
+			}
+			reg := &c.operands[op1]
+			if reg.Kind != KindPage {
+				return nil, x.fail(c, ev, cc, "DeQueue destination %#02x is %v, want page", op1, reg.Kind)
+			}
+			if err := x.checkOverwrite(c, ev, cc, reg); err != nil {
+				return nil, err
+			}
+			var p *mem.Page
+			switch flag {
+			case QueueHead:
+				p = q.DequeueHead()
+			case QueueTail:
+				p = q.DequeueTail()
+			default:
+				return nil, x.fail(c, ev, cc, "bad DeQueue flag %d", flag)
+			}
+			if p == nil {
+				return nil, x.fail(c, ev, cc, "DeQueue from empty queue %s", q.Name)
+			}
+			reg.Page = p
+			c.cr = false
+
+		case OpEnQueue:
+			p, err := x.pageOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			q, err := x.queueOp(c, ev, cc, op2)
+			if err != nil {
+				return nil, err
+			}
+			if p.Queue() != nil {
+				return nil, x.fail(c, ev, cc, "EnQueue of page already on queue %s", p.Queue().Name)
+			}
+			if q == c.Free {
+				// Moving a page to the private free list implies it
+				// leaves residency; the kernel performs the detach
+				// (applications cannot corrupt VM state, §3).
+				if err := x.kernel.FM.retire(c, p); err != nil {
+					return nil, x.fail(c, ev, cc, "EnQueue to free list: %v", err)
+				}
+			}
+			switch flag {
+			case QueueHead:
+				q.EnqueueHead(p)
+			case QueueTail:
+				q.EnqueueTail(p)
+			default:
+				return nil, x.fail(c, ev, cc, "bad EnQueue flag %d", flag)
+			}
+			c.operands[op1].Page = nil
+			c.cr = false
+
+		case OpRequest:
+			n, err := x.intOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, x.fail(c, ev, cc, "Request of %d frames", n)
+			}
+			c.Stats.Requests++
+			granted := x.kernel.FM.Request(c, int(n))
+			if !granted {
+				c.Stats.RequestDenied++
+			}
+			c.cr = granted
+
+		case OpRelease:
+			o := &c.operands[op1]
+			switch o.Kind {
+			case KindPage:
+				if o.Page == nil {
+					return nil, x.fail(c, ev, cc, "Release of empty page register %#02x", op1)
+				}
+				p := o.Page
+				o.Page = nil
+				if q := p.Queue(); q != nil {
+					q.Remove(p)
+				}
+				x.kernel.FM.ReleaseFrame(c, p)
+				c.Stats.Releases++
+				c.cr = true
+			case KindInt:
+				n := o.IntValue()
+				released := x.kernel.FM.ReleaseFromFree(c, int(n))
+				c.Stats.Releases += int64(released)
+				c.cr = int64(released) == n
+			default:
+				return nil, x.fail(c, ev, cc, "Release operand %#02x is %v", op1, o.Kind)
+			}
+
+		case OpFlush:
+			reg := &c.operands[op1]
+			if reg.Kind != KindPage {
+				return nil, x.fail(c, ev, cc, "Flush operand %#02x is %v, want page", op1, reg.Kind)
+			}
+			if reg.Page == nil {
+				return nil, x.fail(c, ev, cc, "Flush of empty page register %#02x", op1)
+			}
+			if reg.Page.Queue() != nil {
+				return nil, x.fail(c, ev, cc, "Flush of page still on queue %s", reg.Page.Queue().Name)
+			}
+			// Asynchronous exchange (§4.3.1 I/O Handling): the dirty
+			// page goes to the global frame manager for laundering and
+			// a clean free frame comes back in its place, so the
+			// executor never waits for disk I/O.
+			np := x.kernel.FM.FlushExchange(c, reg.Page)
+			reg.Page = np
+			c.Stats.Flushes++
+			c.cr = np != nil
+
+		case OpSet:
+			p, err := x.pageOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			var bit *bool
+			switch op2 {
+			case SetBitModify:
+				bit = &p.Modified
+			case SetBitReference:
+				bit = &p.Referenced
+			default:
+				return nil, x.fail(c, ev, cc, "bad Set bit selector %d", op2)
+			}
+			switch flag {
+			case SetOpSet:
+				*bit = true
+			case SetOpClear:
+				*bit = false
+			default:
+				return nil, x.fail(c, ev, cc, "bad Set operation %d", flag)
+			}
+			c.cr = false
+
+		case OpRef:
+			p, err := x.pageOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			c.cr = p.Referenced
+
+		case OpMod:
+			p, err := x.pageOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			c.cr = p.Modified
+
+		case OpFind:
+			reg := &c.operands[op1]
+			if reg.Kind != KindPage {
+				return nil, x.fail(c, ev, cc, "Find destination %#02x is %v, want page", op1, reg.Kind)
+			}
+			if err := x.checkOverwrite(c, ev, cc, reg); err != nil {
+				return nil, err
+			}
+			addr, err := x.intOp(c, ev, cc, op2)
+			if err != nil {
+				return nil, err
+			}
+			ps := int64(x.kernel.VM.PageSize())
+			reg.Page = c.object.Resident(addr / ps * ps)
+			c.cr = reg.Page != nil
+
+		case OpActivate:
+			if depth+1 > x.MaxActivateDepth {
+				return nil, x.fail(c, ev, cc, "Activate nesting exceeds %d", x.MaxActivateDepth)
+			}
+			if _, err := x.exec(c, int(op1), depth+1, steps); err != nil {
+				return nil, err
+			}
+			c.cr = false
+
+		case OpFIFO, OpLRU, OpMRU:
+			q, err := x.queueOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			victim := x.selectVictim(cmd.Op(), q)
+			if victim == nil {
+				c.cr = false
+				break
+			}
+			q.Remove(victim)
+			if victim.Modified {
+				victim = x.kernel.FM.FlushExchange(c, victim)
+			} else if err := x.kernel.FM.retire(c, victim); err != nil {
+				return nil, x.fail(c, ev, cc, "%v: %v", cmd.Op(), err)
+			}
+			if victim == nil {
+				c.cr = false
+				break
+			}
+			c.Free.EnqueueTail(victim)
+			c.cr = true
+
+		case OpMigrate:
+			if !c.extensions {
+				return nil, x.fail(c, ev, cc, "Migrate requires EnableExtensions")
+			}
+			p, err := x.pageOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			id, err := x.intOp(c, ev, cc, op2)
+			if err != nil {
+				return nil, err
+			}
+			if err := x.kernel.FM.Migrate(c, int(id), p); err != nil {
+				c.cr = false
+				break
+			}
+			c.operands[op1].Page = nil
+			c.cr = true
+
+		case OpAge:
+			if !c.extensions {
+				return nil, x.fail(c, ev, cc, "Age requires EnableExtensions")
+			}
+			q, err := x.queueOp(c, ev, cc, op1)
+			if err != nil {
+				return nil, err
+			}
+			// Clock-style aging sweep: clear reference bits so the next
+			// pass distinguishes recently used pages.
+			q.Each(func(p *mem.Page) bool { p.Referenced = false; return true })
+			c.cr = false
+
+		default:
+			return nil, x.fail(c, ev, cc, "illegal opcode %#02x", uint8(cmd.Op()))
+		}
+		cc++
+	}
+}
+
+// checkOverwrite rejects writes to a page register that still holds a
+// detached frame: overwriting the only reference to a non-resident,
+// unqueued frame would orphan it forever (a frame leak the security model
+// cannot allow). Policies must EnQueue, Flush or Release a frame before
+// reusing its register. Overwriting a reference to a resident or queued
+// page is harmless and permitted.
+func (x *Executor) checkOverwrite(c *Container, ev, cc int, reg *Operand) error {
+	p := reg.Page
+	if p == nil || p.Queue() != nil || x.kernel.isResident(p) {
+		return nil
+	}
+	return x.fail(c, ev, cc, "overwriting register %q would orphan frame %d (EnQueue, Flush or Release it first)", reg.Name, p.Frame)
+}
+
+// selectVictim applies the canned replacement policies. FIFO takes the
+// oldest enqueued page (queue head); LRU the least recently used; MRU the
+// most recently used. Wired pages are never selected.
+//
+// On AccessOrder queues (kept in exact recency order by the VM layer) LRU
+// and MRU are O(1): head and tail respectively. Otherwise they fall back to
+// a LastAccess scan.
+func (x *Executor) selectVictim(op Opcode, q *mem.Queue) *mem.Page {
+	eligible := func(p *mem.Page) bool { return !p.Wired }
+	firstFromHead := func() *mem.Page {
+		var v *mem.Page
+		q.Each(func(p *mem.Page) bool {
+			if eligible(p) {
+				v = p
+				return false
+			}
+			return true
+		})
+		return v
+	}
+	firstFromTail := func() *mem.Page {
+		var v *mem.Page
+		q.EachReverse(func(p *mem.Page) bool {
+			if eligible(p) {
+				v = p
+				return false
+			}
+			return true
+		})
+		return v
+	}
+	switch op {
+	case OpFIFO:
+		return firstFromHead()
+	case OpLRU:
+		if q.AccessOrder {
+			return firstFromHead()
+		}
+		var v *mem.Page
+		var best int64
+		q.Each(func(p *mem.Page) bool {
+			if eligible(p) && (v == nil || int64(p.LastAccess) < best) {
+				v, best = p, int64(p.LastAccess)
+			}
+			return true
+		})
+		return v
+	case OpMRU:
+		if q.AccessOrder {
+			return firstFromTail()
+		}
+		var v *mem.Page
+		var best int64
+		q.Each(func(p *mem.Page) bool {
+			if eligible(p) && (v == nil || int64(p.LastAccess) > best) {
+				v, best = p, int64(p.LastAccess)
+			}
+			return true
+		})
+		return v
+	}
+	return nil
+}

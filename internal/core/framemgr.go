@@ -1,0 +1,426 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hipec/internal/mem"
+	"hipec/internal/pageout"
+	"hipec/internal/simtime"
+)
+
+// ErrMinFrame is returned when HiPEC activation cannot grant the requested
+// minimum frame count ("If the minFrame request cannot be satisfied when
+// HiPEC is initially invoked, an error code is returned. The specific
+// application can either run as a non-specific application or terminate and
+// retry later", §4.3.1).
+var ErrMinFrame = errors.New("hipec: minFrame request cannot be satisfied")
+
+// FMStats counts global frame manager activity.
+type FMStats struct {
+	Grants          int64 // Request commands granted
+	Denials         int64 // Request commands denied
+	FramesGranted   int64
+	FramesReturned  int64
+	NormalReclaims  int64 // frames recovered via ReclaimFrame events (FAFR)
+	ForcedReclaims  int64 // frames recovered by forced reclamation
+	FlushExchanges  int64
+	LaunderPending  int64 // frames waiting for their flush write to finish
+	ImplicitFlushes int64 // dirty pages laundered because a policy freed them uncleaned
+}
+
+// FrameManager is the HiPEC global frame manager (§4.3.1). It is "the
+// pageout daemon acting as global frame manager": it allocates free page
+// frames to specific applications, reclaims them under the partition_burst
+// watermark, and performs page flushing on their behalf.
+type FrameManager struct {
+	kernel *Kernel
+	Daemon *pageout.Daemon
+
+	// PartitionBurst caps the total frames granted to all specific
+	// applications; the paper sets it to 50% of the free frames at
+	// startup.
+	PartitionBurst int
+
+	specificTotal int
+	containers    []*Container // FAFR order: first allocated, first reclaimed
+
+	// ReclaimPolicy selects how BalanceSpecific picks victims. FAFR is
+	// the paper's policy; the alternatives implement §6 future work #4.
+	ReclaimPolicy ReclaimPolicy
+	rrNext        int // round-robin cursor
+
+	Stats FMStats
+}
+
+// ReclaimPolicy names a victim-selection strategy for container-level
+// reclamation.
+type ReclaimPolicy uint8
+
+const (
+	// ReclaimFAFR is the paper's First Allocated, First Reclaimed.
+	ReclaimFAFR ReclaimPolicy = iota
+	// ReclaimRoundRobin rotates the starting container between passes.
+	ReclaimRoundRobin
+	// ReclaimProportional asks the largest-overage container first.
+	ReclaimProportional
+)
+
+func newFrameManager(k *Kernel, d *pageout.Daemon, burstFrac float64) *FrameManager {
+	if burstFrac <= 0 || burstFrac > 1 {
+		burstFrac = 0.5
+	}
+	return &FrameManager{
+		kernel:         k,
+		Daemon:         d,
+		PartitionBurst: int(float64(d.FreeCount()) * burstFrac),
+	}
+}
+
+// SpecificTotal reports the frames currently granted to all containers.
+func (fm *FrameManager) SpecificTotal() int { return fm.specificTotal }
+
+// Containers returns the live container list in FAFR order.
+func (fm *FrameManager) Containers() []*Container { return fm.containers }
+
+// attach grants a new container its minFrame frames and links it at the end
+// of the container list (FAFR order).
+func (fm *FrameManager) attach(c *Container) error {
+	need := c.MinFrame
+	if need <= 0 {
+		return fmt.Errorf("hipec: container %d declares minFrame %d", c.ID, need)
+	}
+	frames := fm.Daemon.TakeFree(need)
+	if len(frames) < need {
+		// Try recovering frames from earlier specific applications
+		// before giving up.
+		fm.reclaim(need-len(frames), c)
+		frames = append(frames, fm.Daemon.TakeFree(need-len(frames))...)
+	}
+	if len(frames) < need {
+		for _, p := range frames {
+			fm.Daemon.ReturnFrame(p)
+		}
+		return fmt.Errorf("%w: want %d frames, got %d", ErrMinFrame, need, len(frames))
+	}
+	for _, p := range frames {
+		p.Object, p.Offset = 0, 0
+		c.Free.EnqueueTail(p)
+	}
+	c.allocated = need
+	fm.specificTotal += need
+	fm.Stats.FramesGranted += int64(need)
+	fm.containers = append(fm.containers, c)
+	return nil
+}
+
+// detach removes a container from the manager's list.
+func (fm *FrameManager) detach(c *Container) {
+	for i, cc := range fm.containers {
+		if cc == c {
+			fm.containers = append(fm.containers[:i], fm.containers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Request implements the Request command: grant n more frames to c, or
+// reject ("the global frame manager grants or rejects the request depending
+// on the number of the remaining free page frames and the status of the
+// requester", §4.3.1). Grants are all-or-nothing; a rejected request leaves
+// state unchanged and the executor's CR tells the policy to cope.
+func (fm *FrameManager) Request(c *Container, n int) bool {
+	if n == 0 {
+		return true
+	}
+	if fm.specificTotal+n > fm.PartitionBurst {
+		// Over the watermark: try to deallocate from other specific
+		// applications first, then re-check.
+		fm.reclaim(fm.specificTotal+n-fm.PartitionBurst, c)
+		if fm.specificTotal+n > fm.PartitionBurst {
+			fm.Stats.Denials++
+			return false
+		}
+	}
+	frames := fm.Daemon.TakeFree(n)
+	if len(frames) < n {
+		for _, p := range frames {
+			fm.Daemon.ReturnFrame(p)
+		}
+		fm.Stats.Denials++
+		return false
+	}
+	for _, p := range frames {
+		p.Object, p.Offset = 0, 0
+		c.Free.EnqueueTail(p)
+	}
+	c.allocated += n
+	fm.specificTotal += n
+	fm.Stats.Grants++
+	fm.Stats.FramesGranted += int64(n)
+	return true
+}
+
+// retire takes a page out of residency (detaching it from its object and
+// laundering dirty contents) without changing frame ownership. After retire
+// the frame is a clean, anonymous frame suitable for a private free list.
+func (fm *FrameManager) retire(c *Container, p *mem.Page) error {
+	if p.Wired {
+		return fmt.Errorf("hipec: cannot retire wired frame %d", p.Frame)
+	}
+	if p.Object != 0 {
+		obj := fm.kernel.VM.Object(p.Object)
+		if obj != nil && obj.Resident(p.Offset) == p {
+			if p.Modified {
+				// The policy freed a dirty page without Flush; the
+				// kernel launders it rather than lose data.
+				fm.kernel.VM.PageOut(p, nil)
+				fm.Stats.ImplicitFlushes++
+			}
+			fm.kernel.VM.Detach(p)
+		}
+		p.Object, p.Offset = 0, 0
+	}
+	return nil
+}
+
+// ReleaseFrame returns one frame from c to the machine pool. The page must
+// be off all queues; it may still be resident (it will be retired).
+func (fm *FrameManager) ReleaseFrame(c *Container, p *mem.Page) {
+	if err := fm.retire(c, p); err != nil {
+		// Wired pages cannot be released; put the grant back.
+		return
+	}
+	fm.Daemon.ReturnFrame(p)
+	c.allocated--
+	fm.specificTotal--
+	fm.Stats.FramesReturned++
+}
+
+// ReleaseFromFree returns up to n frames from c's private free list to the
+// machine pool, reporting how many were released.
+func (fm *FrameManager) ReleaseFromFree(c *Container, n int) int {
+	released := 0
+	for released < n {
+		p := c.Free.DequeueHead()
+		if p == nil {
+			break
+		}
+		fm.Daemon.ReturnFrame(p)
+		c.allocated--
+		fm.specificTotal--
+		fm.Stats.FramesReturned++
+		released++
+	}
+	return released
+}
+
+// noteReleased records frames freed on the manager's behalf by the VM layer
+// (object teardown via Container.Release).
+func (fm *FrameManager) noteReleased(c *Container, n int) {
+	fm.specificTotal -= n
+	if fm.specificTotal < 0 {
+		fm.specificTotal = 0
+	}
+	fm.Stats.FramesReturned += int64(n)
+}
+
+// FlushExchange implements the Flush command's I/O handling (§4.3.1): the
+// executor "releases the flushed page to a VM object of the global frame
+// manager and receives a new free page", so it never waits for disk. The
+// flushed frame rejoins the machine pool when its write completes. If no
+// replacement frame is available the write happens synchronously and the
+// same frame is handed back clean. Clean pages are simply retired and
+// returned as-is.
+func (fm *FrameManager) FlushExchange(c *Container, p *mem.Page) *mem.Page {
+	fm.Stats.FlushExchanges++
+	if !p.Modified {
+		if err := fm.retire(c, p); err != nil {
+			return nil
+		}
+		return p
+	}
+	replacement := fm.Daemon.TakeFree(1)
+	if len(replacement) == 0 {
+		// Fallback: synchronous flush, reuse the same frame.
+		fm.kernel.VM.PageOutSync(p)
+		fm.kernel.VM.Detach(p)
+		p.Object, p.Offset = 0, 0
+		return p
+	}
+	np := replacement[0]
+	np.Object, np.Offset = 0, 0
+	// Asynchronous laundering: store write is immediate (contents safe),
+	// the disk write completes later, and only then does the frame rejoin
+	// the pool.
+	obj := fm.kernel.VM.Object(p.Object)
+	fm.Stats.LaunderPending++
+	if obj != nil && obj.Resident(p.Offset) == p {
+		fm.kernel.VM.Detach(p)
+	}
+	fm.kernel.VM.PageOut(p, func(simtime.Time) {
+		p.Object, p.Offset = 0, 0
+		fm.Daemon.ReturnFrame(p)
+		fm.Stats.LaunderPending--
+	})
+	p.Object, p.Offset = 0, 0 // identity cleared; completion callback re-clears harmlessly
+	return np
+}
+
+// reclaim recovers at least want frames for the machine pool from specific
+// applications other than skip, first by normal reclamation (running each
+// victim's ReclaimFrame event, FAFR order) and then, if still short, by
+// forced reclamation (§4.3.1 Deallocation). It returns the number of frames
+// recovered.
+func (fm *FrameManager) reclaim(want int, skip *Container) int {
+	if want <= 0 {
+		return 0
+	}
+	recovered := fm.reclaimNormal(want, skip)
+	if recovered < want {
+		recovered += fm.reclaimForced(want-recovered, skip)
+	}
+	return recovered
+}
+
+// victimOrder returns candidate containers per the configured policy.
+func (fm *FrameManager) victimOrder() []*Container {
+	out := make([]*Container, len(fm.containers))
+	copy(out, fm.containers)
+	switch fm.ReclaimPolicy {
+	case ReclaimRoundRobin:
+		if len(out) > 1 {
+			k := fm.rrNext % len(out)
+			fm.rrNext++
+			out = append(out[k:], out[:k]...)
+		}
+	case ReclaimProportional:
+		sort.SliceStable(out, func(i, j int) bool {
+			return out[i].allocated-out[i].MinFrame > out[j].allocated-out[j].MinFrame
+		})
+	}
+	return out
+}
+
+func (fm *FrameManager) reclaimNormal(want int, skip *Container) int {
+	recovered := 0
+	for _, cand := range fm.victimOrder() {
+		if recovered >= want {
+			break
+		}
+		if cand == skip || cand.state != StateActive || cand.allocated <= cand.MinFrame {
+			// "The global frame manager reclaims page frames from
+			// specific applications with more pages than their
+			// minimal request only."
+			continue
+		}
+		// Keep invoking the victim's ReclaimFrame event "until the
+		// request is satisfied" or it stops yielding frames or hits its
+		// guaranteed minimum.
+		for recovered < want && cand.state == StateActive && cand.allocated > cand.MinFrame {
+			before := fm.specificTotal
+			if _, err := fm.kernel.Executor.Run(cand, EventReclaimFrame); err != nil {
+				break // the run terminated the container; move on
+			}
+			got := before - fm.specificTotal
+			if got <= 0 {
+				break
+			}
+			recovered += got
+			fm.Stats.NormalReclaims += int64(got)
+		}
+	}
+	return recovered
+}
+
+// reclaimForced steals the oldest-allocated frames ("all the allocated page
+// frames of all specific applications are linked in the sequence of the
+// time of allocation") from containers above their minimum.
+func (fm *FrameManager) reclaimForced(want int, skip *Container) int {
+	type cand struct {
+		c *Container
+		p *mem.Page
+	}
+	var cands []cand
+	for _, c := range fm.containers {
+		if c == skip || c.state != StateActive {
+			continue
+		}
+		budget := c.allocated - c.MinFrame
+		if budget <= 0 {
+			continue
+		}
+		for _, q := range c.queues() {
+			q.Each(func(p *mem.Page) bool {
+				if !p.Wired {
+					cands = append(cands, cand{c, p})
+				}
+				return true
+			})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].p.AllocSeq < cands[j].p.AllocSeq })
+	taken := 0
+	for _, cd := range cands {
+		if taken >= want {
+			break
+		}
+		if cd.c.allocated-cd.c.MinFrame <= 0 {
+			continue // never strip a container below its guarantee
+		}
+		if cd.p.Queue() == nil {
+			continue // already moved by an earlier step
+		}
+		cd.p.Queue().Remove(cd.p)
+		if err := fm.retire(cd.c, cd.p); err != nil {
+			continue
+		}
+		fm.Daemon.ReturnFrame(cd.p)
+		cd.c.allocated--
+		fm.specificTotal--
+		taken++
+		fm.Stats.ForcedReclaims++
+	}
+	return taken
+}
+
+// BalanceSpecific enforces the partition_burst watermark: when the total
+// granted to specific applications exceeds it, frames are deallocated from
+// containers holding more than minFrame.
+func (fm *FrameManager) BalanceSpecific() {
+	over := fm.specificTotal - fm.PartitionBurst
+	if over > 0 {
+		fm.reclaim(over, nil)
+	}
+}
+
+// Migrate moves a frame from container src to the container with the given
+// ID (§6 future work #1: "migrating physical frames between the relevant
+// jobs"). The page is retired first; it arrives on dst's private free list.
+func (fm *FrameManager) Migrate(src *Container, dstID int, p *mem.Page) error {
+	var dst *Container
+	for _, c := range fm.containers {
+		if c.ID == dstID {
+			dst = c
+			break
+		}
+	}
+	if dst == nil || dst.state != StateActive {
+		return fmt.Errorf("hipec: migrate target container %d not active", dstID)
+	}
+	if dst == src {
+		return errors.New("hipec: migrate to self")
+	}
+	if q := p.Queue(); q != nil {
+		q.Remove(p)
+	}
+	if err := fm.retire(src, p); err != nil {
+		return err
+	}
+	dst.Free.EnqueueTail(p)
+	src.allocated--
+	dst.allocated++
+	dst.Stats.Migrations++
+	return nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hipec/internal/mem"
+)
+
+// kernelConservation verifies that every physical frame is accounted for
+// exactly once across the machine free pool, the daemon's queues, every
+// container's queues and registers, and resident-but-unqueued (wired or
+// in-laundering) pages. It is the global safety property the HiPEC design
+// must preserve no matter what policies do.
+func kernelConservation(t *testing.T, k *Kernel) {
+	t.Helper()
+	queues := []*mem.Queue{k.Daemon.Active, k.Daemon.Inactive}
+	loose := map[*mem.Page]bool{}
+	for _, c := range k.containers {
+		queues = append(queues, c.queues()...)
+		for _, p := range c.pageRegisters() {
+			if p.Queue() == nil {
+				loose[p] = true
+			}
+		}
+	}
+	// Resident pages that are on no queue (wired pages, pages mid-fault).
+	for i := 0; i < k.VM.Frames.Frames(); i++ {
+		p := k.VM.Frames.Page(i)
+		if p.Queue() == nil && !loose[p] && k.isResident(p) {
+			loose[p] = true
+		}
+	}
+	if err := k.VM.Frames.Conservation(queues, loose); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomProgram builds a random, statically-plausible event program from a
+// vocabulary of commands. Most are well-formed; runtime failures (empty
+// dequeues, empty registers) are expected and must terminate cleanly.
+func randomProgram(rng *rand.Rand, length int) Program {
+	cmds := make([]Command, 0, length+1)
+	queueSlots := []uint8{SlotFreeQueue, SlotActiveQueue, SlotInactiveQueue}
+	q := func() uint8 { return queueSlots[rng.Intn(len(queueSlots))] }
+	for i := 0; i < length; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			cmds = append(cmds, Encode(OpComp, SlotFreeCount, SlotOne, uint8(rng.Intn(6))))
+		case 1:
+			cmds = append(cmds, Encode(OpEmptyQ, q(), 0, 0))
+		case 2:
+			cmds = append(cmds, Encode(OpDeQueue, SlotPageReg, q(), QueueHead))
+		case 3:
+			cmds = append(cmds, Encode(OpEnQueue, SlotPageReg, q(), QueueTail))
+		case 4:
+			cmds = append(cmds, Encode(OpRef, SlotPageReg, 0, 0))
+		case 5:
+			cmds = append(cmds, Encode(OpSet, SlotPageReg, SetBitReference, SetOpClear))
+		case 6:
+			cmds = append(cmds, Encode(OpFlush, SlotPageReg, 0, 0))
+		case 7:
+			cmds = append(cmds, Encode(OpRequest, SlotOne, 0, 0))
+		case 8:
+			cmds = append(cmds, Encode(OpRelease, SlotOne, 0, 0))
+		case 9:
+			cmds = append(cmds, Encode(uint8ToOp(rng), q(), 0, 0)) // FIFO/LRU/MRU
+		}
+	}
+	cmds = append(cmds, Encode(OpReturn, SlotPageReg, 0, 0))
+	return NewProgram(cmds...)
+}
+
+func uint8ToOp(rng *rand.Rand) Opcode {
+	return []Opcode{OpFIFO, OpLRU, OpMRU}[rng.Intn(3)]
+}
+
+// TestPropertyRandomPoliciesNeverLeakFrames is the kernel-robustness fuzz:
+// random policies drive faults until they either work or get terminated;
+// in every outcome the machine's frames remain fully accounted for and the
+// frame manager's books balance.
+func TestPropertyRandomPoliciesNeverLeakFrames(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := testKernel(256)
+		sp := k.NewSpace()
+		spec := &Spec{
+			Name: "fuzz",
+			Events: []Program{
+				randomProgram(rng, 3+rng.Intn(10)),
+				randomProgram(rng, 1+rng.Intn(5)),
+			},
+			MinFrame: 4 + rng.Intn(12),
+		}
+		e, c, err := k.AllocateHiPEC(sp, 64*4096, spec)
+		if err != nil {
+			// Static checker rejected it: nothing was granted.
+			return k.FM.SpecificTotal() == 0
+		}
+		// Drive random accesses; faults may kill the container, which is
+		// fine — subsequent faults take the default path.
+		for i := 0; i < 40; i++ {
+			addr := e.Start + int64(rng.Intn(64))*4096
+			if rng.Intn(2) == 0 {
+				sp.Write(addr) //nolint:errcheck // errors are expected
+			} else {
+				sp.Touch(addr) //nolint:errcheck
+			}
+		}
+		// Let the manager's asynchronous laundering finish.
+		k.Clock.Advance(5 * time.Second)
+		if k.FM.Stats.LaunderPending != 0 {
+			return false
+		}
+		kernelConservation(t, k)
+		// Manager accounting: sum of grants equals its ledger.
+		total := 0
+		for _, cc := range k.FM.Containers() {
+			total += cc.Allocated()
+		}
+		if c.state == StateActive && c.allocated < c.MinFrame {
+			return false
+		}
+		return total == k.FM.SpecificTotal()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRandomPoliciesAfterDestroy extends the fuzz across container
+// teardown: every frame must return to the machine pool.
+func TestPropertyRandomPoliciesAfterDestroy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := testKernel(128)
+		sp := k.NewSpace()
+		spec := &Spec{
+			Name:     "fuzz-destroy",
+			Events:   []Program{randomProgram(rng, 6), randomProgram(rng, 3)},
+			MinFrame: 8,
+		}
+		e, c, err := k.AllocateHiPEC(sp, 32*4096, spec)
+		if err != nil {
+			return k.Daemon.FreeCount() == 128
+		}
+		for i := 0; i < 20; i++ {
+			sp.Touch(e.Start + int64(rng.Intn(32))*4096) //nolint:errcheck
+		}
+		k.DestroyContainer(c)
+		k.Clock.Advance(5 * time.Second)
+		return k.Daemon.FreeCount() == 128 && k.FM.SpecificTotal() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

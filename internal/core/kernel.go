@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"hipec/internal/disk"
+	"hipec/internal/mem"
+	"hipec/internal/pageout"
+	"hipec/internal/simtime"
+	"hipec/internal/vm"
+)
+
+// Config assembles a simulated kernel. Zero-valued fields take calibrated
+// defaults.
+type Config struct {
+	Frames   int // physical memory size in frames
+	PageSize int // default 4096
+	KeepData bool
+
+	VMCosts   vm.Costs
+	ExecCosts ExecCosts
+	Disk      disk.Params
+	Targets   pageout.Targets
+
+	// BurstFraction sets partition_burst as a fraction of the free frames
+	// at startup (the paper uses 50%).
+	BurstFraction float64
+	// StartChecker launches the security-checker watchdog immediately.
+	StartChecker bool
+	// HiPECDisabled builds a vanilla Mach kernel: the per-fault region
+	// check is not charged and HiPEC activation calls fail. Used as the
+	// unmodified-kernel baseline in the experiments.
+	HiPECDisabled bool
+}
+
+// KernelStats aggregates top-level counters.
+type KernelStats struct {
+	ContainersCreated int64
+	ActivationErrors  int64
+}
+
+// Kernel is the simulated OSF/1-MK-with-HiPEC kernel: the VM substrate, the
+// pageout daemon (doubling as the global frame manager engine), the policy
+// executor and the security checker.
+type Kernel struct {
+	Clock    *simtime.Clock
+	VM       *vm.System
+	Daemon   *pageout.Daemon
+	FM       *FrameManager
+	Executor *Executor
+	Checker  *Checker
+
+	hipecDisabled bool
+	nextContainer int
+	containers    []*Container // every container ever created
+	Stats         KernelStats
+}
+
+// New builds a kernel.
+func New(cfg Config) *Kernel {
+	clock := simtime.NewClock()
+	costs := cfg.VMCosts
+	if costs == (vm.Costs{}) {
+		costs = vm.DefaultCosts()
+	}
+	if cfg.HiPECDisabled {
+		costs.RegionCheck = 0
+	}
+	sys := vm.NewSystem(clock, vm.Config{
+		Frames:   cfg.Frames,
+		PageSize: cfg.PageSize,
+		KeepData: cfg.KeepData,
+		Costs:    costs,
+		Disk:     cfg.Disk,
+	})
+	daemon := pageout.New(sys, cfg.Targets)
+	sys.SetDefaultPolicy(daemon)
+	k := &Kernel{
+		Clock:         clock,
+		VM:            sys,
+		Daemon:        daemon,
+		hipecDisabled: cfg.HiPECDisabled,
+	}
+	ec := cfg.ExecCosts
+	if ec == (ExecCosts{}) {
+		ec = DefaultExecCosts()
+	}
+	k.Executor = newExecutor(k, ec)
+	k.FM = newFrameManager(k, daemon, cfg.BurstFraction)
+	k.Checker = newChecker(k)
+	if cfg.StartChecker && !cfg.HiPECDisabled {
+		k.Checker.Start()
+	}
+	return k
+}
+
+// NewSpace creates a task address space.
+func (k *Kernel) NewSpace() *vm.AddressSpace { return k.VM.NewSpace() }
+
+// AllocateHiPEC is vm_allocate_hipec(): allocate a fresh zero-fill region of
+// size bytes under control of the supplied policy. The kernel allocates and
+// initializes the container, obtains minFrame frames from the global frame
+// manager, and statically validates the policy commands (§4.3).
+func (k *Kernel) AllocateHiPEC(sp *vm.AddressSpace, size int64, spec *Spec) (*vm.MapEntry, *Container, error) {
+	obj := k.VM.NewObject(size, true)
+	c, err := k.activate(obj, spec)
+	if err != nil {
+		k.VM.DestroyObject(obj)
+		return nil, nil, err
+	}
+	e, err := sp.Map(obj, 0, size)
+	if err != nil {
+		k.DestroyContainer(c)
+		return nil, nil, err
+	}
+	return e, c, nil
+}
+
+// MapHiPEC is vm_map_hipec(): map an existing (typically Populate-d) object
+// under control of the supplied policy.
+func (k *Kernel) MapHiPEC(sp *vm.AddressSpace, obj *vm.Object, objOffset, length int64, spec *Spec) (*vm.MapEntry, *Container, error) {
+	c, err := k.activate(obj, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := sp.Map(obj, objOffset, length)
+	if err != nil {
+		k.DestroyContainer(c)
+		return nil, nil, err
+	}
+	return e, c, nil
+}
+
+// activate builds, validates and funds a container for obj.
+func (k *Kernel) activate(obj *vm.Object, spec *Spec) (*Container, error) {
+	if k.hipecDisabled {
+		return nil, fmt.Errorf("hipec: kernel built without HiPEC support")
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("hipec: nil policy spec")
+	}
+	if obj.Policy != nil {
+		return nil, fmt.Errorf("hipec: object %d already has a container", obj.ID)
+	}
+	k.nextContainer++
+	c, err := newContainer(k, k.nextContainer, obj, spec)
+	if err != nil {
+		return nil, err
+	}
+	if errs := k.Checker.ValidateSpec(c); len(errs) > 0 {
+		k.Stats.ActivationErrors++
+		return nil, fmt.Errorf("hipec: policy %q rejected by security checker: %v (and %d more)",
+			spec.Name, errs[0], len(errs)-1)
+	}
+	if err := k.FM.attach(c); err != nil {
+		k.Stats.ActivationErrors++
+		return nil, err
+	}
+	obj.Policy = c
+	k.containers = append(k.containers, c)
+	k.Stats.ContainersCreated++
+	return c, nil
+}
+
+// terminate kills a specific application's policy: the container stops
+// handling events, its free frames return to the machine pool, and its
+// resident pages revert to default (pageout daemon) management. Idempotent.
+func (k *Kernel) terminate(c *Container, reason string) {
+	if c.state != StateActive {
+		return
+	}
+	c.state = StateTerminated
+	c.termReason = reason
+	c.timedOut = true // abort any in-flight execution at its next step
+	k.Checker.Stats.Terminations++
+	k.releaseContainer(c, true)
+}
+
+// DestroyContainer tears down a container whose region is being
+// deallocated: every frame (resident or free) returns to the global frame
+// manager (§4.3.1 Deallocation).
+func (k *Kernel) DestroyContainer(c *Container) {
+	if c.state == StateDestroyed {
+		return
+	}
+	c.state = StateDestroyed
+	// DestroyObject runs with the container still installed as the
+	// object's policy so that Release hooks clear queues, registers and
+	// grant accounting for each resident page.
+	k.VM.DestroyObject(c.object)
+	k.releaseContainer(c, false)
+}
+
+// releaseContainer empties the container's private lists. When
+// handResidents is true, resident pages are handed to the pageout daemon's
+// active queue (management reverts to the default policy); otherwise
+// residency has already been torn down.
+func (k *Kernel) releaseContainer(c *Container, handResidents bool) {
+	// Page registers first: a register may hold a detached frame.
+	for i := range c.operands {
+		o := &c.operands[i]
+		if o.Kind != KindPage || o.Page == nil {
+			continue
+		}
+		p := o.Page
+		o.Page = nil
+		if p.Queue() == nil && !k.isResident(p) {
+			k.Daemon.ReturnFrame(p)
+		}
+	}
+	for p := c.Free.DequeueHead(); p != nil; p = c.Free.DequeueHead() {
+		k.Daemon.ReturnFrame(p)
+	}
+	for _, q := range c.queues() {
+		for p := q.DequeueHead(); p != nil; p = q.DequeueHead() {
+			if handResidents && k.isResident(p) {
+				k.Daemon.Active.EnqueueTail(p)
+			} else if !k.isResident(p) {
+				k.Daemon.ReturnFrame(p)
+			}
+			// Resident pages with handResidents=false were already
+			// freed by DestroyObject -> Release; nothing to do.
+		}
+	}
+	k.FM.noteReleased(c, c.allocated)
+	c.allocated = 0
+	if c.object.Policy == c {
+		c.object.Policy = nil
+	}
+	k.FM.detach(c)
+}
+
+func (k *Kernel) isResident(p *mem.Page) bool {
+	if p.Object == 0 {
+		return false
+	}
+	obj := k.VM.Object(p.Object)
+	return obj != nil && obj.Resident(p.Offset) == p
+}
+
+// Containers returns every container ever created (including terminated and
+// destroyed ones) for inspection.
+func (k *Kernel) Containers() []*Container { return k.containers }

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Regression for a frame leak found by the conservation fuzz
+// (TestPropertyRandomPoliciesAfterDestroy, seed 6821146589318828694):
+// a policy that DeQueues into a register already holding a detached frame
+// used to orphan the old frame permanently. The executor must terminate
+// such a policy instead, and teardown must recover every frame.
+func TestRegressionRegisterOverwriteOrphansFrame(t *testing.T) {
+	k := testKernel(128)
+	sp := k.NewSpace()
+	spec := simpleSpec(8)
+	spec.Events[EventPageFault] = NewProgram(
+		Encode(OpDeQueue, SlotPageReg, SlotFreeQueue, QueueHead),
+		Encode(OpDeQueue, SlotPageReg, SlotFreeQueue, QueueHead), // would orphan the first frame
+		Encode(OpReturn, SlotPageReg, 0, 0),
+	)
+	e, c, err := k.AllocateHiPEC(sp, 32*4096, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Touch(e.Start); err == nil {
+		t.Fatal("orphaning policy succeeded")
+	}
+	if !strings.Contains(c.TerminationReason(), "orphan") {
+		t.Fatalf("reason = %q", c.TerminationReason())
+	}
+	k.DestroyContainer(c)
+	k.Clock.Advance(time.Second)
+	if got := k.Daemon.FreeCount(); got != 128 {
+		t.Fatalf("frames leaked: free = %d, want 128", got)
+	}
+	if k.FM.SpecificTotal() != 0 {
+		t.Fatalf("SpecificTotal = %d", k.FM.SpecificTotal())
+	}
+}
+
+// Overwriting a register that merely references a queued/resident page must
+// remain legal (Find results, for example).
+func TestRegisterOverwriteOfResidentReferenceAllowed(t *testing.T) {
+	k, c := newExecFixture(t)
+	addr := uint8(SlotUser)
+	c.operands[addr] = Operand{Kind: KindInt, Name: "addr", Int: 0}
+	_, err := runProg(t, k, c,
+		Encode(OpFind, SlotPageReg, addr, 0),                     // register <- resident page
+		Encode(OpFind, SlotPageReg, addr, 0),                     // overwrite: fine, page is resident
+		Encode(OpDeQueue, SlotPageReg, SlotFreeQueue, QueueHead), // overwrite resident ref: fine
+		Encode(OpEnQueue, SlotPageReg, SlotFreeQueue, QueueHead),
+		Encode(OpReturn, SlotScratch, 0, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateActive {
+		t.Fatal(c.TerminationReason())
+	}
+}

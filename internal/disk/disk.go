@@ -1,0 +1,207 @@
+// Package disk models the paging device backing the simulated kernel.
+//
+// The model follows the structure of Ruemmler & Wilkes, "An Introduction to
+// Disk Drive Modeling" (IEEE Computer, 1994), simplified to the three
+// components that dominate a 1994-era paging disk: average seek, half-
+// rotation latency, and per-byte transfer time. The defaults are calibrated
+// so that one 4 KB page transfer costs ~7.66 ms, the figure implied by the
+// paper's Table 3 (82485.5 ms − 4016.5 ms over 10240 page-ins).
+//
+// Reads are synchronous from the faulting thread's point of view (the clock
+// advances by the service time); writes go through an asynchronous flush
+// queue drained by scheduled completion events, mirroring how the HiPEC
+// global frame manager performs page flushing on behalf of policy executors
+// (§4.3.1, "I/O Handling").
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"hipec/internal/simtime"
+)
+
+// Params describes the drive's performance characteristics.
+type Params struct {
+	AvgSeek    time.Duration // average seek time
+	HalfRotate time.Duration // half-rotation latency
+	PerByte    time.Duration // transfer time per byte
+	TrackSkew  time.Duration // extra cost when crossing track boundaries on sequential runs
+	SectorsSeq int           // consecutive sectors served without a fresh seek
+	QueueDepth int           // max outstanding async writes before Flush blocks (0 = unlimited)
+}
+
+// DefaultParams returns parameters calibrated to the paper's testbed:
+// a page (4096 B) read costs AvgSeek + HalfRotate + 4096*PerByte ≈ 7.66 ms.
+func DefaultParams() Params {
+	return Params{
+		AvgSeek:    4 * time.Millisecond,
+		HalfRotate: 2 * time.Millisecond,
+		PerByte:    405 * time.Nanosecond, // ≈ 1.66 ms / 4 KB page
+		TrackSkew:  500 * time.Microsecond,
+		SectorsSeq: 16,
+		QueueDepth: 0,
+	}
+}
+
+// Stats counts disk activity.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	BytesRead  int64
+	BytesWrite int64
+	ReadTime   time.Duration // total virtual time spent in synchronous reads
+	WriteTime  time.Duration // total virtual service time of async writes
+	SeqHits    int64         // requests served without a fresh seek
+}
+
+// Disk is the simulated paging device. It is not safe for concurrent use;
+// the simulated kernel serializes on one clock.
+type Disk struct {
+	clock    *simtime.Clock
+	params   Params
+	stats    Stats
+	lastAddr int64 // last serviced block address, for sequential detection
+	inflight int   // outstanding async writes
+}
+
+// New creates a disk attached to clock.
+func New(clock *simtime.Clock, params Params) *Disk {
+	if clock == nil {
+		panic("disk: nil clock")
+	}
+	if params.PerByte <= 0 {
+		panic("disk: PerByte must be positive")
+	}
+	return &Disk{clock: clock, params: params, lastAddr: -1}
+}
+
+// Params returns the drive parameters.
+func (d *Disk) Params() Params { return d.params }
+
+// Stats returns a snapshot of the counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ServiceTime computes the service time for a transfer of size bytes at
+// block address addr (addresses are in units of pages/blocks; consecutive
+// addresses model sequential layout).
+func (d *Disk) ServiceTime(addr int64, size int) time.Duration {
+	t := time.Duration(size) * d.params.PerByte
+	if d.lastAddr >= 0 && addr == d.lastAddr+1 {
+		// Sequential: no seek, occasionally a track skew.
+		d.stats.SeqHits++
+		t += d.params.TrackSkew
+	} else {
+		t += d.params.AvgSeek + d.params.HalfRotate
+	}
+	return t
+}
+
+// Read performs a synchronous read of size bytes at block addr, advancing
+// the virtual clock by the service time. It returns the service time.
+func (d *Disk) Read(addr int64, size int) time.Duration {
+	if size <= 0 {
+		panic(fmt.Sprintf("disk: read of %d bytes", size))
+	}
+	t := d.ServiceTime(addr, size)
+	d.lastAddr = addr
+	d.stats.Reads++
+	d.stats.BytesRead += int64(size)
+	d.stats.ReadTime += t
+	d.clock.Sleep(t)
+	return t
+}
+
+// Write enqueues an asynchronous write of size bytes at block addr. The
+// done callback (may be nil) fires on the event queue when the write
+// completes. Write returns the scheduled completion delay.
+func (d *Disk) Write(addr int64, size int, done func(now simtime.Time)) time.Duration {
+	if size <= 0 {
+		panic(fmt.Sprintf("disk: write of %d bytes", size))
+	}
+	t := d.ServiceTime(addr, size)
+	d.lastAddr = addr
+	d.stats.Writes++
+	d.stats.BytesWrite += int64(size)
+	d.stats.WriteTime += t
+	d.inflight++
+	d.clock.After(t, func(now simtime.Time) {
+		d.inflight--
+		if done != nil {
+			done(now)
+		}
+	})
+	return t
+}
+
+// Inflight reports the number of outstanding asynchronous writes.
+func (d *Disk) Inflight() int { return d.inflight }
+
+// PageReadTime is a convenience: the cost of a cold (seek + rotate +
+// transfer) read of pageSize bytes, independent of queue state.
+func (d *Disk) PageReadTime(pageSize int) time.Duration {
+	return d.params.AvgSeek + d.params.HalfRotate + time.Duration(pageSize)*d.params.PerByte
+}
+
+// Store is the backing store: page-granular content addressed by
+// (object, offset). It models the paging file that VM objects page to and
+// from. Content is optional — experiments that only count faults can run
+// with data disabled to avoid the memory traffic.
+type Store struct {
+	pageSize int
+	keepData bool
+	pages    map[StoreKey][]byte
+}
+
+// StoreKey addresses one page of backing store.
+type StoreKey struct {
+	Object uint64
+	Offset int64 // page-aligned byte offset within the object
+}
+
+// NewStore creates a backing store for pages of pageSize bytes. If keepData
+// is false, page contents are not retained (reads return nil) but presence
+// is still tracked.
+func NewStore(pageSize int, keepData bool) *Store {
+	if pageSize <= 0 {
+		panic("disk: non-positive page size")
+	}
+	return &Store{pageSize: pageSize, keepData: keepData, pages: make(map[StoreKey][]byte)}
+}
+
+// PageSize returns the store's page size.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// WritePage stores data (length <= pageSize) for key. A nil data argument
+// records presence without content.
+func (s *Store) WritePage(key StoreKey, data []byte) {
+	if key.Offset%int64(s.pageSize) != 0 {
+		panic(fmt.Sprintf("disk: unaligned store offset %d", key.Offset))
+	}
+	if len(data) > s.pageSize {
+		panic(fmt.Sprintf("disk: page data %d bytes exceeds page size %d", len(data), s.pageSize))
+	}
+	if !s.keepData || data == nil {
+		s.pages[key] = nil
+		return
+	}
+	buf := make([]byte, s.pageSize)
+	copy(buf, data)
+	s.pages[key] = buf
+}
+
+// ReadPage fetches the page for key. ok reports whether the page exists in
+// the store (an absent page models a zero-fill page).
+func (s *Store) ReadPage(key StoreKey) (data []byte, ok bool) {
+	d, ok := s.pages[key]
+	return d, ok
+}
+
+// Contains reports whether the store holds a page for key.
+func (s *Store) Contains(key StoreKey) bool {
+	_, ok := s.pages[key]
+	return ok
+}
+
+// Len reports the number of pages present.
+func (s *Store) Len() int { return len(s.pages) }

@@ -1,0 +1,215 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hipec/internal/simtime"
+)
+
+func newTestDisk() (*simtime.Clock, *Disk) {
+	c := simtime.NewClock()
+	return c, New(c, DefaultParams())
+}
+
+func TestDefaultPageReadNear7_66ms(t *testing.T) {
+	_, d := newTestDisk()
+	got := d.PageReadTime(4096)
+	want := 7660 * time.Microsecond
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 200*time.Microsecond {
+		t.Fatalf("PageReadTime(4096) = %v, want within 200µs of %v", got, want)
+	}
+}
+
+func TestReadAdvancesClock(t *testing.T) {
+	c, d := newTestDisk()
+	before := c.Now()
+	st := d.Read(100, 4096)
+	if c.Now() != before.Add(st) {
+		t.Fatalf("clock advanced %v, service time %v", c.Now().Sub(before), st)
+	}
+	if s := d.Stats(); s.Reads != 1 || s.BytesRead != 4096 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSequentialReadsAvoidSeek(t *testing.T) {
+	_, d := newTestDisk()
+	cold := d.Read(10, 4096)
+	seq := d.Read(11, 4096)
+	if seq >= cold {
+		t.Fatalf("sequential read %v not faster than cold read %v", seq, cold)
+	}
+	random := d.Read(500, 4096)
+	if random <= seq {
+		t.Fatalf("random read %v not slower than sequential %v", random, seq)
+	}
+	if d.Stats().SeqHits != 1 {
+		t.Fatalf("SeqHits = %d, want 1", d.Stats().SeqHits)
+	}
+}
+
+func TestWriteIsAsync(t *testing.T) {
+	c, d := newTestDisk()
+	done := false
+	before := c.Now()
+	delay := d.Write(42, 4096, func(simtime.Time) { done = true })
+	if c.Now() != before {
+		t.Fatal("Write advanced the clock synchronously")
+	}
+	if d.Inflight() != 1 {
+		t.Fatalf("Inflight = %d, want 1", d.Inflight())
+	}
+	c.Advance(delay)
+	if !done {
+		t.Fatal("completion callback did not fire")
+	}
+	if d.Inflight() != 0 {
+		t.Fatalf("Inflight = %d after completion, want 0", d.Inflight())
+	}
+}
+
+func TestWriteNilCallback(t *testing.T) {
+	c, d := newTestDisk()
+	d.Write(1, 4096, nil)
+	c.Advance(time.Second) // must not panic
+	if d.Inflight() != 0 {
+		t.Fatal("write never completed")
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	_, d := newTestDisk()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Read of 0 bytes did not panic")
+		}
+	}()
+	d.Read(0, 0)
+}
+
+func TestNilClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil, ...) did not panic")
+		}
+	}()
+	New(nil, DefaultParams())
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore(4096, true)
+	key := StoreKey{Object: 7, Offset: 8192}
+	data := []byte("hello backing store")
+	s.WritePage(key, data)
+	got, ok := s.ReadPage(key)
+	if !ok {
+		t.Fatal("page missing after write")
+	}
+	if string(got[:len(data)]) != string(data) {
+		t.Fatalf("data = %q, want prefix %q", got[:len(data)], data)
+	}
+	if len(got) != 4096 {
+		t.Fatalf("page padded to %d bytes, want 4096", len(got))
+	}
+	if !s.Contains(key) || s.Len() != 1 {
+		t.Fatal("Contains/Len mismatch")
+	}
+}
+
+func TestStoreWithoutData(t *testing.T) {
+	s := NewStore(4096, false)
+	key := StoreKey{Object: 1, Offset: 0}
+	s.WritePage(key, []byte("discarded"))
+	got, ok := s.ReadPage(key)
+	if !ok {
+		t.Fatal("presence not tracked")
+	}
+	if got != nil {
+		t.Fatalf("data retained with keepData=false: %q", got)
+	}
+}
+
+func TestStoreMissingPage(t *testing.T) {
+	s := NewStore(4096, true)
+	if _, ok := s.ReadPage(StoreKey{Object: 9, Offset: 0}); ok {
+		t.Fatal("absent page reported present")
+	}
+}
+
+func TestStoreUnalignedOffsetPanics(t *testing.T) {
+	s := NewStore(4096, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned WritePage did not panic")
+		}
+	}()
+	s.WritePage(StoreKey{Object: 1, Offset: 100}, nil)
+}
+
+func TestStoreOversizePagePanics(t *testing.T) {
+	s := NewStore(64, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize WritePage did not panic")
+		}
+	}()
+	s.WritePage(StoreKey{Object: 1, Offset: 0}, make([]byte, 65))
+}
+
+// Property: service time is linear in size for cold accesses.
+func TestPropertyServiceTimeMonotonicInSize(t *testing.T) {
+	f := func(a, b uint16) bool {
+		_, d := newTestDisk()
+		sa, sb := int(a)+1, int(b)+1
+		// Use distinct, non-adjacent addresses so both accesses are cold.
+		ta := d.ServiceTime(1000, sa)
+		tb := d.ServiceTime(5000, sb)
+		if sa <= sb {
+			return ta <= tb
+		}
+		return ta >= tb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: store round-trips arbitrary page-aligned writes.
+func TestPropertyStoreRoundTrip(t *testing.T) {
+	f := func(obj uint64, pageIdx uint8, payload []byte) bool {
+		s := NewStore(4096, true)
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		key := StoreKey{Object: obj, Offset: int64(pageIdx) * 4096}
+		s.WritePage(key, payload)
+		got, ok := s.ReadPage(key)
+		if !ok {
+			return false
+		}
+		for i, b := range payload {
+			if got[i] != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTimeAccumulates(t *testing.T) {
+	_, d := newTestDisk()
+	t1 := d.Read(1, 4096)
+	t2 := d.Read(100, 4096)
+	if d.Stats().ReadTime != t1+t2 {
+		t.Fatalf("ReadTime = %v, want %v", d.Stats().ReadTime, t1+t2)
+	}
+}

@@ -1,0 +1,304 @@
+// Package emm implements Mach's external memory management interface — the
+// substrate HiPEC extends ("HiPEC has been implemented on OSF/1 MK 5.0.2
+// ... that extends the external memory management (EMM) interface of Mach
+// kernel", §4). A memory object's contents can be supplied by a user-level
+// pager instead of the kernel's default store: the kernel sends
+// memory_object_data_request on page-in and memory_object_data_return on
+// eviction.
+//
+// Three pagers are provided:
+//
+//   - StorePager: the default-pager equivalent (disk-backed), used to show
+//     the EMM path is behaviourally identical to the in-kernel path.
+//   - RemotePager: network remote-memory paging with an RTT+bandwidth
+//     model — the 1990s "remote memory is faster than disk" configuration.
+//   - CompressingPager: compressed in-memory backing store (a Mach-era
+//     research pager), with compression CPU costs charged to the clock.
+//
+// Every pager charges an IPC round trip per request, because EMM traffic
+// crosses the kernel/user boundary — exactly the overhead class HiPEC's
+// in-kernel executor avoids for replacement decisions.
+package emm
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"time"
+
+	"hipec/internal/disk"
+	"hipec/internal/machipc"
+	"hipec/internal/simtime"
+	"hipec/internal/vm"
+)
+
+// Stats counts pager activity.
+type Stats struct {
+	Requests  int64 // data_request messages (page-ins served)
+	Returns   int64 // data_return messages (evictions received)
+	ZeroFills int64 // requests for never-written pages
+	Bytes     int64 // payload bytes moved in either direction
+}
+
+// common carries the pieces every pager shares.
+type common struct {
+	name  string
+	ipc   *machipc.IPC
+	pages map[disk.StoreKey][]byte
+	Stats Stats
+}
+
+func newCommon(name string, ipc *machipc.IPC) common {
+	return common{name: name, ipc: ipc, pages: make(map[disk.StoreKey][]byte)}
+}
+
+// PagerName implements vm.Pager.
+func (c *common) PagerName() string { return c.name }
+
+// PagerTerminate implements vm.Pager: drop the object's pages.
+func (c *common) PagerTerminate(obj uint64) {
+	for k := range c.pages {
+		if k.Object == obj {
+			delete(c.pages, k)
+		}
+	}
+}
+
+func (c *common) chargeIPC() {
+	if c.ipc != nil {
+		c.ipc.Clock.Sleep(c.ipc.Costs.NullIPC)
+		c.ipc.Stats.RPCs++
+		c.ipc.Stats.Messages += 2
+	}
+}
+
+// --- StorePager -------------------------------------------------------------
+
+// StorePager is a user-level default pager: pages live on a simulated disk
+// reached through the pager task. Functionally equivalent to the kernel's
+// internal store path, plus the EMM IPC cost.
+type StorePager struct {
+	common
+	disk     *disk.Disk
+	pageSize int
+	nextBlk  int64
+	blocks   map[disk.StoreKey]int64
+}
+
+// NewStorePager builds a disk-backed pager on the given clock and costs.
+func NewStorePager(name string, clock *simtime.Clock, ipc *machipc.IPC, params disk.Params, pageSize int) *StorePager {
+	return &StorePager{
+		common:   newCommon(name, ipc),
+		disk:     disk.New(clock, params),
+		pageSize: pageSize,
+		blocks:   make(map[disk.StoreKey]int64),
+	}
+}
+
+// Populate marks pages [0, size) of obj as present (zero content unless
+// data supplied), as if the file already existed.
+func (p *StorePager) Populate(obj uint64, size int64, data []byte) {
+	ps := int64(p.pageSize)
+	for off := int64(0); off < size; off += ps {
+		key := disk.StoreKey{Object: obj, Offset: off}
+		var chunk []byte
+		if data != nil && off < int64(len(data)) {
+			end := off + ps
+			if end > int64(len(data)) {
+				end = int64(len(data))
+			}
+			chunk = append([]byte(nil), data[off:end]...)
+		}
+		p.pages[key] = chunk
+		p.blocks[key] = p.allocBlock()
+	}
+}
+
+func (p *StorePager) allocBlock() int64 {
+	p.nextBlk++
+	// Scatter like a real paging file.
+	return int64((uint64(p.nextBlk) * 0x9E3779B97F4A7C15) >> 20)
+}
+
+// DataRequest implements vm.Pager.
+func (p *StorePager) DataRequest(obj uint64, off int64, dst []byte) (bool, error) {
+	p.chargeIPC()
+	key := disk.StoreKey{Object: obj, Offset: off}
+	data, ok := p.pages[key]
+	if !ok {
+		p.Stats.ZeroFills++
+		return false, nil
+	}
+	p.disk.Read(p.blocks[key], p.pageSize)
+	if dst != nil && data != nil {
+		copy(dst, data)
+	}
+	p.Stats.Requests++
+	p.Stats.Bytes += int64(p.pageSize)
+	return true, nil
+}
+
+// DataReturn implements vm.Pager.
+func (p *StorePager) DataReturn(obj uint64, off int64, src []byte) error {
+	p.chargeIPC()
+	key := disk.StoreKey{Object: obj, Offset: off}
+	if _, ok := p.blocks[key]; !ok {
+		p.blocks[key] = p.allocBlock()
+	}
+	var copyOf []byte
+	if src != nil {
+		copyOf = append([]byte(nil), src...)
+	}
+	p.pages[key] = copyOf
+	p.disk.Write(p.blocks[key], p.pageSize, nil)
+	p.Stats.Returns++
+	p.Stats.Bytes += int64(p.pageSize)
+	return nil
+}
+
+var _ vm.Pager = (*StorePager)(nil)
+
+// --- RemotePager ------------------------------------------------------------
+
+// RemotePager pages to the memory of a remote machine over a network with
+// a configurable round-trip time and bandwidth. With 1994-era numbers
+// (ATM/FDDI RTT ≈ 1 ms, ≈ 10 MB/s) remote memory beats the ≈7.7 ms disk.
+type RemotePager struct {
+	common
+	RTT       time.Duration
+	PerByte   time.Duration
+	pageSize  int
+	clock     *simtime.Clock
+	available int64 // remaining remote capacity in pages (0 = unlimited)
+}
+
+// NewRemotePager builds a remote-memory pager.
+func NewRemotePager(name string, clock *simtime.Clock, ipc *machipc.IPC, rtt time.Duration, perByte time.Duration, pageSize int) *RemotePager {
+	return &RemotePager{
+		common:   newCommon(name, ipc),
+		RTT:      rtt,
+		PerByte:  perByte,
+		pageSize: pageSize,
+		clock:    clock,
+	}
+}
+
+func (p *RemotePager) transfer() {
+	p.clock.Sleep(p.RTT + time.Duration(p.pageSize)*p.PerByte)
+}
+
+// DataRequest implements vm.Pager.
+func (p *RemotePager) DataRequest(obj uint64, off int64, dst []byte) (bool, error) {
+	p.chargeIPC()
+	key := disk.StoreKey{Object: obj, Offset: off}
+	data, ok := p.pages[key]
+	if !ok {
+		p.Stats.ZeroFills++
+		return false, nil
+	}
+	p.transfer()
+	if dst != nil && data != nil {
+		copy(dst, data)
+	}
+	p.Stats.Requests++
+	p.Stats.Bytes += int64(p.pageSize)
+	return true, nil
+}
+
+// DataReturn implements vm.Pager.
+func (p *RemotePager) DataReturn(obj uint64, off int64, src []byte) error {
+	p.chargeIPC()
+	p.transfer()
+	var copyOf []byte
+	if src != nil {
+		copyOf = append([]byte(nil), src...)
+	}
+	p.pages[disk.StoreKey{Object: obj, Offset: off}] = copyOf
+	p.Stats.Returns++
+	p.Stats.Bytes += int64(p.pageSize)
+	return nil
+}
+
+var _ vm.Pager = (*RemotePager)(nil)
+
+// --- CompressingPager --------------------------------------------------------
+
+// CompressingPager keeps evicted pages compressed in (simulated) local
+// memory: page-ins cost a decompression, page-outs a compression, both
+// charged as CPU time proportional to the page size. When real page data
+// is available it actually deflates it and reports true compressed sizes.
+type CompressingPager struct {
+	common
+	pageSize       int
+	clock          *simtime.Clock
+	CompressCPU    time.Duration // per page
+	DecompressCPU  time.Duration // per page
+	CompressedSize int64         // total bytes held compressed
+}
+
+// NewCompressingPager builds the compressed-memory pager. Costs default to
+// i486-era zlib throughput (≈1 MB/s compress, ≈4 MB/s decompress).
+func NewCompressingPager(name string, clock *simtime.Clock, ipc *machipc.IPC, pageSize int) *CompressingPager {
+	return &CompressingPager{
+		common:        newCommon(name, ipc),
+		pageSize:      pageSize,
+		clock:         clock,
+		CompressCPU:   4 * time.Millisecond,
+		DecompressCPU: 1 * time.Millisecond,
+	}
+}
+
+// DataRequest implements vm.Pager.
+func (p *CompressingPager) DataRequest(obj uint64, off int64, dst []byte) (bool, error) {
+	p.chargeIPC()
+	key := disk.StoreKey{Object: obj, Offset: off}
+	blob, ok := p.pages[key]
+	if !ok {
+		p.Stats.ZeroFills++
+		return false, nil
+	}
+	p.clock.Sleep(p.DecompressCPU)
+	if dst != nil && blob != nil {
+		r := flate.NewReader(bytes.NewReader(blob))
+		if _, err := io.ReadFull(r, dst); err != nil && err != io.ErrUnexpectedEOF {
+			return false, fmt.Errorf("emm: decompress: %w", err)
+		}
+		r.Close()
+	}
+	p.Stats.Requests++
+	p.Stats.Bytes += int64(p.pageSize)
+	return true, nil
+}
+
+// DataReturn implements vm.Pager.
+func (p *CompressingPager) DataReturn(obj uint64, off int64, src []byte) error {
+	p.chargeIPC()
+	p.clock.Sleep(p.CompressCPU)
+	key := disk.StoreKey{Object: obj, Offset: off}
+	if old, ok := p.pages[key]; ok {
+		p.CompressedSize -= int64(len(old))
+	}
+	var blob []byte
+	if src != nil {
+		var buf bytes.Buffer
+		w, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(src); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		blob = buf.Bytes()
+	}
+	p.pages[key] = blob
+	p.CompressedSize += int64(len(blob))
+	p.Stats.Returns++
+	p.Stats.Bytes += int64(p.pageSize)
+	return nil
+}
+
+var _ vm.Pager = (*CompressingPager)(nil)

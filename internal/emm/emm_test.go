@@ -1,0 +1,188 @@
+package emm
+
+import (
+	"testing"
+	"time"
+
+	"hipec/internal/core"
+	"hipec/internal/disk"
+	"hipec/internal/machipc"
+	"hipec/internal/policies"
+	"hipec/internal/vm"
+)
+
+// attach creates a kernel, binds an externally-paged object under a HiPEC
+// FIFO policy and returns the pieces.
+func attach(t *testing.T, mk func(k *core.Kernel, ipc *machipc.IPC) vm.Pager, pages int64) (*core.Kernel, *vm.AddressSpace, *vm.MapEntry, vm.Pager) {
+	t.Helper()
+	k := core.New(core.Config{Frames: 512, KeepData: true})
+	ipc := machipc.New(k.Clock, machipc.Costs{})
+	pager := mk(k, ipc)
+	obj := k.VM.NewObject(pages*4096, true)
+	obj.ExternalPager = pager
+	sp := k.NewSpace()
+	e, _, err := k.MapHiPEC(sp, obj, 0, obj.Size, policies.FIFO(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, sp, e, pager
+}
+
+func TestStorePagerRoundTrip(t *testing.T) {
+	var sp *StorePager
+	k, task, e, _ := attach(t, func(k *core.Kernel, ipc *machipc.IPC) vm.Pager {
+		sp = NewStorePager("store", k.Clock, ipc, disk.DefaultParams(), 4096)
+		return sp
+	}, 32)
+	// First touches zero-fill (pager has no data yet).
+	p, err := task.Write(e.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Data[7] = 0x42
+	if sp.Stats.ZeroFills != 1 {
+		t.Fatalf("ZeroFills = %d", sp.Stats.ZeroFills)
+	}
+	// Evict it by sweeping past the pool; dirty data goes to the pager.
+	for i := int64(1); i < 32; i++ {
+		if _, err := task.Touch(e.Start + i*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Object.Resident(0) != nil {
+		t.Fatal("page 0 still resident")
+	}
+	if sp.Stats.Returns == 0 {
+		t.Fatal("no data_return messages")
+	}
+	// Refault: contents come back from the pager.
+	p2, err := task.Touch(e.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Data[7] != 0x42 {
+		t.Fatal("data lost through the external pager")
+	}
+	if sp.Stats.Requests == 0 {
+		t.Fatal("no data_request messages")
+	}
+	_ = k
+}
+
+func TestStorePagerPopulate(t *testing.T) {
+	var spg *StorePager
+	_, task, e, _ := attach(t, func(k *core.Kernel, ipc *machipc.IPC) vm.Pager {
+		spg = NewStorePager("store", k.Clock, ipc, disk.DefaultParams(), 4096)
+		content := make([]byte, 2*4096)
+		content[4096] = 0x99
+		spg.Populate(1, 2*4096, content) // object IDs start at 1
+		return spg
+	}, 2)
+	p, err := task.Touch(e.Start + 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Data[0] != 0x99 {
+		t.Fatal("populated content not served")
+	}
+	if spg.Stats.Requests != 1 {
+		t.Fatalf("Requests = %d", spg.Stats.Requests)
+	}
+}
+
+func TestRemotePagerFasterThanDisk(t *testing.T) {
+	// Page-in latency: remote memory (1 ms RTT + transfer) must beat the
+	// ~7.7 ms disk; both include the EMM IPC charge.
+	measure := func(mk func(k *core.Kernel, ipc *machipc.IPC) vm.Pager) time.Duration {
+		k, task, e, _ := attach(t, mk, 16)
+		// Prime every page as dirty and force it out to the pager.
+		for i := int64(0); i < 16; i++ {
+			task.Write(e.Start + i*4096)
+		}
+		k.Clock.Advance(time.Second)
+		// Refault page 0 and time it.
+		if e.Object.Resident(0) != nil {
+			t.Skip("page 0 unexpectedly resident")
+		}
+		start := k.Clock.Now()
+		if _, err := task.Touch(e.Start); err != nil {
+			t.Fatal(err)
+		}
+		return time.Duration(k.Clock.Now().Sub(start))
+	}
+	diskTime := measure(func(k *core.Kernel, ipc *machipc.IPC) vm.Pager {
+		return NewStorePager("disk", k.Clock, ipc, disk.DefaultParams(), 4096)
+	})
+	remoteTime := measure(func(k *core.Kernel, ipc *machipc.IPC) vm.Pager {
+		return NewRemotePager("net", k.Clock, ipc, time.Millisecond, 100*time.Nanosecond, 4096)
+	})
+	if remoteTime >= diskTime {
+		t.Fatalf("remote paging (%v) not faster than disk paging (%v)", remoteTime, diskTime)
+	}
+}
+
+func TestCompressingPagerRoundTrip(t *testing.T) {
+	var cp *CompressingPager
+	_, task, e, _ := attach(t, func(k *core.Kernel, ipc *machipc.IPC) vm.Pager {
+		cp = NewCompressingPager("zram", k.Clock, ipc, 4096)
+		return cp
+	}, 32)
+	// Write a compressible pattern.
+	p, _ := task.Write(e.Start)
+	for i := range p.Data {
+		p.Data[i] = byte(i % 4)
+	}
+	for i := int64(1); i < 32; i++ {
+		task.Touch(e.Start + i*4096)
+	}
+	if cp.Stats.Returns == 0 {
+		t.Fatal("nothing compressed")
+	}
+	if cp.CompressedSize <= 0 || cp.CompressedSize >= 4096 {
+		t.Fatalf("CompressedSize = %d, want (0,4096) for a repetitive page", cp.CompressedSize)
+	}
+	p2, err := task.Touch(e.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p2.Data {
+		if p2.Data[i] != byte(i%4) {
+			t.Fatalf("byte %d corrupted after compress/decompress", i)
+		}
+	}
+}
+
+func TestPagerTerminateDropsPages(t *testing.T) {
+	var spg *StorePager
+	k, task, e, _ := attach(t, func(k *core.Kernel, ipc *machipc.IPC) vm.Pager {
+		spg = NewStorePager("store", k.Clock, ipc, disk.DefaultParams(), 4096)
+		return spg
+	}, 16)
+	for i := int64(0); i < 16; i++ {
+		task.Write(e.Start + i*4096)
+	}
+	k.Clock.Advance(time.Second)
+	if len(spg.pages) == 0 {
+		t.Fatal("no pages at the pager")
+	}
+	k.VM.DestroyObject(e.Object)
+	if len(spg.pages) != 0 {
+		t.Fatalf("pager still holds %d pages after terminate", len(spg.pages))
+	}
+}
+
+func TestEMMChargesIPC(t *testing.T) {
+	var gotIPC *machipc.IPC
+	k, task, e, _ := attach(t, func(k *core.Kernel, ipc *machipc.IPC) vm.Pager {
+		gotIPC = ipc
+		return NewRemotePager("net", k.Clock, ipc, time.Millisecond, 100*time.Nanosecond, 4096)
+	}, 16)
+	for i := int64(0); i < 16; i++ {
+		task.Write(e.Start + i*4096)
+	}
+	k.Clock.Advance(time.Second)
+	task.Touch(e.Start) // refault through the pager
+	if gotIPC.Stats.RPCs == 0 {
+		t.Fatal("EMM traffic did not charge IPC")
+	}
+}

@@ -1,0 +1,167 @@
+package hpl
+
+// AST node definitions for HPL. The tree is deliberately small: the target
+// machine has one condition register and 8-bit operand slots, so expressions
+// stay simple.
+
+type program struct {
+	settings []setting
+	decls    []decl
+	events   []*eventDecl
+}
+
+// setting is a top-level "name = int" assignment (minframe, free_target,
+// inactive_target, reserved_target).
+type setting struct {
+	tok   token
+	name  string
+	value int64
+}
+
+type declKind uint8
+
+const (
+	declVar declKind = iota
+	declConst
+	declQueue
+	declPage
+)
+
+type decl struct {
+	tok  token
+	kind declKind
+	name string
+	init int64
+}
+
+type eventDecl struct {
+	tok  token
+	name string
+	body []stmt
+}
+
+// --- statements ----------------------------------------------------------
+
+type stmt interface{ stmtNode() }
+
+// assignStmt is "target = expr" where expr is an int or page expression.
+type assignStmt struct {
+	tok    token
+	target string
+	value  expr
+}
+
+// callStmt is a built-in procedure call: enqueue_tail(q, p), flush(p), ...
+type callStmt struct {
+	tok  token
+	name string
+	args []expr
+}
+
+// activateStmt invokes another event.
+type activateStmt struct {
+	tok   token
+	event string
+}
+
+type ifStmt struct {
+	tok  token
+	cond cond
+	then []stmt
+	els  []stmt
+}
+
+type whileStmt struct {
+	tok  token
+	cond cond
+	body []stmt
+}
+
+type returnStmt struct {
+	tok   token
+	value expr // nil for bare return
+}
+
+type breakStmt struct{ tok token }
+type continueStmt struct{ tok token }
+
+func (*assignStmt) stmtNode()   {}
+func (*callStmt) stmtNode()     {}
+func (*activateStmt) stmtNode() {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+
+// --- expressions ---------------------------------------------------------
+
+type expr interface{ exprNode() }
+
+// intLit is an integer literal.
+type intLit struct {
+	tok token
+	val int64
+}
+
+// varRef names a variable (int, page or queue, resolved at codegen).
+type varRef struct {
+	tok  token
+	name string
+}
+
+// binExpr is an integer binary operation: + - * / %.
+type binExpr struct {
+	tok  token
+	op   string
+	l, r expr
+}
+
+// callExpr is a value-returning builtin: dequeue_head(q), find(addr).
+type callExpr struct {
+	tok  token
+	name string
+	args []expr
+}
+
+func (*intLit) exprNode()   {}
+func (*varRef) exprNode()   {}
+func (*binExpr) exprNode()  {}
+func (*callExpr) exprNode() {}
+
+// --- conditions ----------------------------------------------------------
+
+// cond is a boolean expression evaluated for control flow.
+type cond interface{ condNode() }
+
+// relCond compares two integer expressions: == != < <= > >=.
+type relCond struct {
+	tok  token
+	op   string
+	l, r expr
+}
+
+// boolCall is a boolean builtin: empty(q), inq(q,p), referenced(p),
+// modified(p), request(n).
+type boolCall struct {
+	tok  token
+	name string
+	args []expr
+}
+
+// varCond tests a boolean/int variable for truthiness.
+type varCond struct {
+	tok  token
+	name string
+}
+
+type andCond struct{ l, r cond }
+type orCond struct{ l, r cond }
+type notCond struct{ c cond }
+
+func (*relCond) condNode()  {}
+func (*boolCall) condNode() {}
+func (*varCond) condNode()  {}
+func (*andCond) condNode()  {}
+func (*orCond) condNode()   {}
+func (*notCond) condNode()  {}

@@ -1,0 +1,115 @@
+package hpl
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hipec/internal/core"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	spec := mustSpec(t, "fig4", figure4)
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	events, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(spec.Events) {
+		t.Fatalf("events = %d, want %d", len(events), len(spec.Events))
+	}
+	for i := range events {
+		if len(events[i]) != len(spec.Events[i]) {
+			t.Fatalf("event %d length mismatch", i)
+		}
+		for j := range events[i] {
+			if events[i][j] != spec.Events[i][j] {
+				t.Fatalf("event %d word %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBinary(bytes.NewReader([]byte("not a policy file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	spec := mustSpec(t, "fig4", figure4)
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range []int{4, 8, 12, len(full) - 2} {
+		if _, err := DecodeBinary(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncated at %d accepted", n)
+		}
+	}
+}
+
+func TestBinaryAbsentEvents(t *testing.T) {
+	spec := &core.Spec{Events: []core.Program{
+		core.NewProgram(core.Encode(core.OpReturn, 0, 0, 0)),
+		nil, // absent
+		core.NewProgram(core.Encode(core.OpReturn, 0, 0, 0)),
+	}}
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	events, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[1] != nil {
+		t.Fatal("absent event materialized")
+	}
+	if len(events[0]) != 2 || len(events[2]) != 2 {
+		t.Fatal("present events corrupted")
+	}
+}
+
+// Property: arbitrary command words survive the round trip.
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	f := func(words []uint32) bool {
+		if len(words) > maxBinaryWords-1 {
+			words = words[:maxBinaryWords-1]
+		}
+		prog := core.NewProgram()
+		for _, w := range words {
+			prog = append(prog, core.Command(w))
+		}
+		spec := &core.Spec{Events: []core.Program{prog, prog}}
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, spec); err != nil {
+			return false
+		}
+		events, err := DecodeBinary(&buf)
+		if err != nil || len(events) != 2 {
+			return false
+		}
+		for _, ev := range events {
+			if len(ev) != len(prog) {
+				return false
+			}
+			for i := range ev {
+				if ev[i] != prog[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

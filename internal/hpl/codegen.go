@@ -1,0 +1,755 @@
+package hpl
+
+import (
+	"fmt"
+	"strings"
+
+	"hipec/internal/core"
+)
+
+// Translate compiles HPL source into a core.Spec ready for
+// vm_allocate_hipec / vm_map_hipec. name labels the policy.
+func Translate(name, src string) (*core.Spec, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	cg := newCodegen(name)
+	return cg.compile(prog)
+}
+
+// MustTranslate is Translate for known-good embedded policies.
+func MustTranslate(name, src string) *core.Spec {
+	s, err := Translate(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type symbol struct {
+	name     string
+	slot     uint8
+	kind     core.Kind
+	readOnly bool
+}
+
+type codegen struct {
+	spec      *core.Spec
+	syms      map[string]*symbol
+	nextSlot  int
+	constPool map[int64]uint8
+	eventNums map[string]int
+
+	// per-event state
+	code      []core.Command
+	patches   []patch
+	labelPos  map[int]int
+	nextLabel int
+	tempHi    []uint8 // allocated temp slots (reused across statements)
+	tempNext  int     // temps in use by the current statement
+	loops     []loopLabels
+}
+
+type patch struct {
+	cc    int
+	label int
+	tok   token
+}
+
+type loopLabels struct{ brk, cont int }
+
+func newCodegen(name string) *codegen {
+	cg := &codegen{
+		spec:      &core.Spec{Name: name},
+		syms:      make(map[string]*symbol),
+		nextSlot:  int(core.SlotUser),
+		constPool: make(map[int64]uint8),
+		eventNums: make(map[string]int),
+	}
+	builtin := func(name string, slot uint8, kind core.Kind, ro bool) {
+		cg.syms[name] = &symbol{name: name, slot: slot, kind: kind, readOnly: ro}
+	}
+	builtin("_free_queue", core.SlotFreeQueue, core.KindQueue, true)
+	builtin("_free_count", core.SlotFreeCount, core.KindInt, true)
+	builtin("_active_queue", core.SlotActiveQueue, core.KindQueue, true)
+	builtin("_active_count", core.SlotActiveCount, core.KindInt, true)
+	builtin("_inactive_queue", core.SlotInactiveQueue, core.KindQueue, true)
+	builtin("_inactive_count", core.SlotInactiveCount, core.KindInt, true)
+	builtin("_allocated", core.SlotAllocated, core.KindInt, true)
+	builtin("_min_frame", core.SlotMinFrame, core.KindInt, true)
+	builtin("inactive_target", core.SlotInactiveTgt, core.KindInt, false)
+	builtin("free_target", core.SlotFreeTgt, core.KindInt, false)
+	builtin("page", core.SlotPageReg, core.KindPage, false)
+	builtin("reserved_target", core.SlotReservedTgt, core.KindInt, false)
+	builtin("reserve_target", core.SlotReservedTgt, core.KindInt, false) // Figure 4 spelling
+	builtin("_fault_addr", core.SlotFaultAddr, core.KindInt, true)
+	builtin("_fault_offset", core.SlotFaultOffset, core.KindInt, true)
+	builtin("_scratch", core.SlotScratch, core.KindInt, false)
+	return cg
+}
+
+func (cg *codegen) allocSlot(tok token) (uint8, error) {
+	if cg.nextSlot > 255 {
+		return 0, errAt(tok, "operand array exhausted (more than 256 slots)")
+	}
+	s := uint8(cg.nextSlot)
+	cg.nextSlot++
+	return s, nil
+}
+
+func (cg *codegen) compile(prog *program) (*core.Spec, error) {
+	// Settings.
+	for _, s := range prog.settings {
+		switch s.name {
+		case "minframe", "min_frame":
+			cg.spec.MinFrame = int(s.value)
+		case "extensions":
+			cg.spec.EnableExtensions = s.value != 0
+		case "access_order":
+			cg.spec.AccessOrderQueues = s.value != 0
+		case "free_target", "inactive_target", "reserved_target", "reserve_target":
+			sym := cg.syms[s.name]
+			cg.spec.Operands = append(cg.spec.Operands, core.OperandDecl{
+				Slot: sym.slot, Kind: core.KindInt, Name: sym.name, Init: s.value,
+			})
+		default:
+			return nil, errAt(s.tok, "unknown setting %q (want minframe, extensions, access_order, free_target, inactive_target or reserved_target)", s.name)
+		}
+	}
+	// Declarations.
+	for _, d := range prog.decls {
+		if _, exists := cg.syms[d.name]; exists {
+			return nil, errAt(d.tok, "%q redeclared (or shadows a builtin)", d.name)
+		}
+		slot, err := cg.allocSlot(d.tok)
+		if err != nil {
+			return nil, err
+		}
+		var kind core.Kind
+		ro := false
+		switch d.kind {
+		case declVar:
+			kind = core.KindInt
+		case declConst:
+			kind = core.KindInt
+			ro = true
+		case declQueue:
+			kind = core.KindQueue
+			ro = true
+		case declPage:
+			kind = core.KindPage
+		}
+		cg.syms[d.name] = &symbol{name: d.name, slot: slot, kind: kind, readOnly: ro}
+		cg.spec.Operands = append(cg.spec.Operands, core.OperandDecl{
+			Slot: slot, Kind: kind, Name: d.name, Init: d.init, Const: ro && kind == core.KindInt,
+		})
+	}
+	// Event numbering: PageFault=0, ReclaimFrame=1, then declaration order.
+	var userEvents []*eventDecl
+	byName := map[string]*eventDecl{}
+	for _, ev := range prog.events {
+		if byName[ev.name] != nil {
+			return nil, errAt(ev.tok, "event %q redefined", ev.name)
+		}
+		byName[ev.name] = ev
+		switch ev.name {
+		case "PageFault":
+			cg.eventNums[ev.name] = core.EventPageFault
+		case "ReclaimFrame":
+			cg.eventNums[ev.name] = core.EventReclaimFrame
+		default:
+			userEvents = append(userEvents, ev)
+		}
+	}
+	if byName["PageFault"] == nil || byName["ReclaimFrame"] == nil {
+		return nil, &Error{Line: 1, Col: 1, Msg: "policy must define both PageFault and ReclaimFrame events"}
+	}
+	for i, ev := range userEvents {
+		cg.eventNums[ev.name] = core.EventUser + i
+	}
+	n := core.EventUser + len(userEvents)
+	cg.spec.Events = make([]core.Program, n)
+	cg.spec.EventNames = make([]string, n)
+	for name, num := range cg.eventNums {
+		cg.spec.EventNames[num] = name
+	}
+	for _, ev := range prog.events {
+		p, err := cg.compileEvent(ev)
+		if err != nil {
+			return nil, err
+		}
+		cg.spec.Events[cg.eventNums[ev.name]] = p
+	}
+	return cg.spec, nil
+}
+
+// --- emission helpers ----------------------------------------------------
+
+func (cg *codegen) emit(cmd core.Command) int {
+	cg.code = append(cg.code, cmd)
+	return len(cg.code) - 1
+}
+
+func (cg *codegen) newLabel() int {
+	cg.nextLabel++
+	return cg.nextLabel
+}
+
+func (cg *codegen) bind(label int) {
+	cg.labelPos[label] = len(cg.code)
+}
+
+func (cg *codegen) jump(tok token, mode uint8, label int) {
+	cc := cg.emit(core.Encode(core.OpJump, mode, 0, 0))
+	cg.patches = append(cg.patches, patch{cc: cc, label: label, tok: tok})
+}
+
+func (cg *codegen) compileEvent(ev *eventDecl) (core.Program, error) {
+	cg.code = []core.Command{core.Magic}
+	cg.patches = nil
+	cg.labelPos = map[int]int{}
+	cg.loops = nil
+	if err := cg.compileStmts(ev.body); err != nil {
+		return nil, err
+	}
+	// Implicit bare return if the body can fall off the end.
+	cg.emit(core.Encode(core.OpReturn, core.SlotScratch, 0, 0))
+	if len(cg.code) > 256 {
+		return nil, errAt(ev.tok, "event %q compiles to %d commands; 8-bit command counters allow at most 256", ev.name, len(cg.code))
+	}
+	for _, p := range cg.patches {
+		pos, ok := cg.labelPos[p.label]
+		if !ok {
+			return nil, errAt(p.tok, "internal error: unbound label")
+		}
+		if pos >= len(cg.code) {
+			// A label bound at the very end points at the implicit
+			// return we just emitted... which is len-1; pos==len means
+			// label bound after the final emit — impossible since we
+			// appended the return afterwards. Guard anyway.
+			pos = len(cg.code) - 1
+		}
+		old := cg.code[p.cc]
+		cg.code[p.cc] = core.Encode(core.OpJump, old.A(), 0, uint8(pos))
+	}
+	return core.Program(cg.code), nil
+}
+
+func (cg *codegen) compileStmts(body []stmt) error {
+	for _, s := range body {
+		cg.tempNext = 0 // temporaries are statement-scoped
+		if err := cg.compileStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) compileStmt(s stmt) error {
+	switch n := s.(type) {
+	case *returnStmt:
+		return cg.compileReturn(n)
+	case *assignStmt:
+		return cg.compileAssign(n)
+	case *callStmt:
+		return cg.compileCall(n)
+	case *activateStmt:
+		num, ok := cg.eventNums[n.event]
+		if !ok {
+			return errAt(n.tok, "activate of undefined event %q", n.event)
+		}
+		cg.emit(core.Encode(core.OpActivate, uint8(num), 0, 0))
+		return nil
+	case *ifStmt:
+		thenL, elseL, endL := cg.newLabel(), cg.newLabel(), cg.newLabel()
+		if err := cg.compileCond(n.cond, thenL, elseL); err != nil {
+			return err
+		}
+		cg.bind(thenL)
+		if err := cg.compileStmts(n.then); err != nil {
+			return err
+		}
+		if len(n.els) > 0 {
+			cg.jump(n.tok, core.JumpAlways, endL)
+			cg.bind(elseL)
+			if err := cg.compileStmts(n.els); err != nil {
+				return err
+			}
+			cg.bind(endL)
+		} else {
+			cg.bind(elseL)
+			cg.bind(endL)
+		}
+		return nil
+	case *whileStmt:
+		topL, bodyL, endL := cg.newLabel(), cg.newLabel(), cg.newLabel()
+		cg.bind(topL)
+		if err := cg.compileCond(n.cond, bodyL, endL); err != nil {
+			return err
+		}
+		cg.bind(bodyL)
+		cg.loops = append(cg.loops, loopLabels{brk: endL, cont: topL})
+		if err := cg.compileStmts(n.body); err != nil {
+			return err
+		}
+		cg.loops = cg.loops[:len(cg.loops)-1]
+		cg.jump(n.tok, core.JumpAlways, topL)
+		cg.bind(endL)
+		return nil
+	case *breakStmt:
+		if len(cg.loops) == 0 {
+			return errAt(n.tok, "break outside a loop")
+		}
+		cg.jump(n.tok, core.JumpAlways, cg.loops[len(cg.loops)-1].brk)
+		return nil
+	case *continueStmt:
+		if len(cg.loops) == 0 {
+			return errAt(n.tok, "continue outside a loop")
+		}
+		cg.jump(n.tok, core.JumpAlways, cg.loops[len(cg.loops)-1].cont)
+		return nil
+	default:
+		return fmt.Errorf("hpl: unknown statement %T", s)
+	}
+}
+
+func (cg *codegen) compileReturn(n *returnStmt) error {
+	if n.value == nil {
+		cg.emit(core.Encode(core.OpReturn, core.SlotScratch, 0, 0))
+		return nil
+	}
+	switch e := n.value.(type) {
+	case *varRef:
+		sym, err := cg.lookup(e.tok, e.name)
+		if err != nil {
+			return err
+		}
+		cg.emit(core.Encode(core.OpReturn, sym.slot, 0, 0))
+		return nil
+	case *callExpr:
+		if _, ok := pageBuiltins[e.name]; ok {
+			slot, err := cg.compilePageCallInto(e, core.SlotPageReg)
+			if err != nil {
+				return err
+			}
+			cg.emit(core.Encode(core.OpReturn, slot, 0, 0))
+			return nil
+		}
+		return errAt(e.tok, "cannot return call %q", e.name)
+	default:
+		slot, err := cg.compileInt(n.value)
+		if err != nil {
+			return err
+		}
+		cg.emit(core.Encode(core.OpReturn, slot, 0, 0))
+		return nil
+	}
+}
+
+func (cg *codegen) lookup(tok token, name string) (*symbol, error) {
+	sym, ok := cg.syms[name]
+	if !ok {
+		return nil, errAt(tok, "undefined name %q", name)
+	}
+	return sym, nil
+}
+
+func (cg *codegen) compileAssign(n *assignStmt) error {
+	sym, err := cg.lookup(n.tok, n.target)
+	if err != nil {
+		return err
+	}
+	if sym.readOnly {
+		return errAt(n.tok, "%q is read-only", n.target)
+	}
+	switch sym.kind {
+	case core.KindPage:
+		call, ok := n.value.(*callExpr)
+		if !ok {
+			if _, isVar := n.value.(*varRef); isVar {
+				return errAt(n.tok, "page registers cannot be copied; dequeue into the target register directly")
+			}
+			return errAt(n.tok, "page %q must be assigned from dequeue_head, dequeue_tail or find", n.target)
+		}
+		_, err := cg.compilePageCallInto(call, sym.slot)
+		return err
+	case core.KindInt:
+		src, err := cg.compileInt(n.value)
+		if err != nil {
+			return err
+		}
+		if src != sym.slot {
+			cg.emit(core.Encode(core.OpArith, sym.slot, src, core.ArithMov))
+		}
+		return nil
+	default:
+		return errAt(n.tok, "cannot assign to %v %q", sym.kind, n.target)
+	}
+}
+
+// compilePageCallInto emits a page-valued builtin writing into dest.
+func (cg *codegen) compilePageCallInto(e *callExpr, dest uint8) (uint8, error) {
+	switch e.name {
+	case "dequeue_head", "dequeue_tail", "de_queue_head", "de_queue_tail":
+		q, err := cg.queueArg(e, 0, 1)
+		if err != nil {
+			return 0, err
+		}
+		flag := core.QueueHead
+		if strings.HasSuffix(e.name, "tail") {
+			flag = core.QueueTail
+		}
+		cg.emit(core.Encode(core.OpDeQueue, dest, q, flag))
+		return dest, nil
+	case "find":
+		if len(e.args) != 1 {
+			return 0, errAt(e.tok, "find takes 1 argument")
+		}
+		addr, err := cg.compileInt(e.args[0])
+		if err != nil {
+			return 0, err
+		}
+		cg.emit(core.Encode(core.OpFind, dest, addr, 0))
+		return dest, nil
+	default:
+		return 0, errAt(e.tok, "%q is not a page-valued builtin", e.name)
+	}
+}
+
+func (cg *codegen) queueArg(e *callExpr, idx, arity int) (uint8, error) {
+	if len(e.args) != arity {
+		return 0, errAt(e.tok, "%s takes %d argument(s), got %d", e.name, arity, len(e.args))
+	}
+	v, ok := e.args[idx].(*varRef)
+	if !ok {
+		return 0, errAt(e.tok, "argument %d of %s must be a queue", idx+1, e.name)
+	}
+	sym, err := cg.lookup(v.tok, v.name)
+	if err != nil {
+		return 0, err
+	}
+	if sym.kind != core.KindQueue {
+		return 0, errAt(v.tok, "%q is %v, want queue", v.name, sym.kind)
+	}
+	return sym.slot, nil
+}
+
+func (cg *codegen) pageArg(e *callExpr, idx int) (uint8, error) {
+	v, ok := e.args[idx].(*varRef)
+	if !ok {
+		return 0, errAt(e.tok, "argument %d of %s must be a page register", idx+1, e.name)
+	}
+	sym, err := cg.lookup(v.tok, v.name)
+	if err != nil {
+		return 0, err
+	}
+	if sym.kind != core.KindPage {
+		return 0, errAt(v.tok, "%q is %v, want page", v.name, sym.kind)
+	}
+	return sym.slot, nil
+}
+
+func (cg *codegen) compileCall(n *callStmt) error {
+	e := &callExpr{tok: n.tok, name: n.name, args: n.args}
+	switch n.name {
+	case "enqueue_head", "enqueue_tail", "en_queue_head", "en_queue_tail":
+		if len(n.args) != 2 {
+			return errAt(n.tok, "%s takes (queue, page)", n.name)
+		}
+		q, err := cg.queueArg(e, 0, 2)
+		if err != nil {
+			return err
+		}
+		p, err := cg.pageArg(e, 1)
+		if err != nil {
+			return err
+		}
+		flag := core.QueueHead
+		if strings.HasSuffix(n.name, "tail") {
+			flag = core.QueueTail
+		}
+		cg.emit(core.Encode(core.OpEnQueue, p, q, flag))
+		return nil
+	case "flush":
+		if len(n.args) != 1 {
+			return errAt(n.tok, "flush takes (page)")
+		}
+		p, err := cg.pageArg(e, 0)
+		if err != nil {
+			return err
+		}
+		cg.emit(core.Encode(core.OpFlush, p, 0, 0))
+		return nil
+	case "set_ref", "reset_ref", "clear_ref", "set_mod", "reset_mod", "clear_mod":
+		if len(n.args) != 1 {
+			return errAt(n.tok, "%s takes (page)", n.name)
+		}
+		p, err := cg.pageArg(e, 0)
+		if err != nil {
+			return err
+		}
+		bit := core.SetBitReference
+		if n.name == "set_mod" || n.name == "reset_mod" || n.name == "clear_mod" {
+			bit = core.SetBitModify
+		}
+		op := core.SetOpSet
+		if n.name != "set_ref" && n.name != "set_mod" {
+			op = core.SetOpClear
+		}
+		cg.emit(core.Encode(core.OpSet, p, bit, op))
+		return nil
+	case "release":
+		if len(n.args) != 1 {
+			return errAt(n.tok, "release takes (page) or (count)")
+		}
+		if v, ok := n.args[0].(*varRef); ok {
+			sym, err := cg.lookup(v.tok, v.name)
+			if err != nil {
+				return err
+			}
+			if sym.kind == core.KindPage {
+				cg.emit(core.Encode(core.OpRelease, sym.slot, 0, 0))
+				return nil
+			}
+		}
+		slot, err := cg.compileInt(n.args[0])
+		if err != nil {
+			return err
+		}
+		cg.emit(core.Encode(core.OpRelease, slot, 0, 0))
+		return nil
+	case "request":
+		if len(n.args) != 1 {
+			return errAt(n.tok, "request takes (count)")
+		}
+		slot, err := cg.compileInt(n.args[0])
+		if err != nil {
+			return err
+		}
+		cg.emit(core.Encode(core.OpRequest, slot, 0, 0))
+		return nil
+	case "fifo", "lru", "mru", "age":
+		q, err := cg.queueArg(e, 0, 1)
+		if err != nil {
+			return err
+		}
+		op := map[string]core.Opcode{"fifo": core.OpFIFO, "lru": core.OpLRU, "mru": core.OpMRU, "age": core.OpAge}[n.name]
+		cg.emit(core.Encode(op, q, 0, 0))
+		return nil
+	case "migrate":
+		if len(n.args) != 2 {
+			return errAt(n.tok, "migrate takes (page, container)")
+		}
+		p, err := cg.pageArg(e, 0)
+		if err != nil {
+			return err
+		}
+		dst, err := cg.compileInt(n.args[1])
+		if err != nil {
+			return err
+		}
+		cg.emit(core.Encode(core.OpMigrate, p, dst, 0))
+		return nil
+	default:
+		return errAt(n.tok, "unknown builtin %q", n.name)
+	}
+}
+
+// --- conditions ----------------------------------------------------------
+
+var compFlags = map[string]uint8{
+	"==": core.CompEQ, ">": core.CompGT, "<": core.CompLT,
+	"!=": core.CompNE, ">=": core.CompGE, "<=": core.CompLE,
+}
+
+func (cg *codegen) compileCond(c cond, trueL, falseL int) error {
+	switch n := c.(type) {
+	case *relCond:
+		l, err := cg.compileInt(n.l)
+		if err != nil {
+			return err
+		}
+		r, err := cg.compileInt(n.r)
+		if err != nil {
+			return err
+		}
+		cg.emit(core.Encode(core.OpComp, l, r, compFlags[n.op]))
+		cg.jump(n.tok, core.JumpIfFalse, falseL)
+		cg.jump(n.tok, core.JumpAlways, trueL)
+		return nil
+	case *boolCall:
+		if err := cg.emitBoolCall(n); err != nil {
+			return err
+		}
+		cg.jump(n.tok, core.JumpIfFalse, falseL)
+		cg.jump(n.tok, core.JumpAlways, trueL)
+		return nil
+	case *varCond:
+		sym, err := cg.lookup(n.tok, n.name)
+		if err != nil {
+			return err
+		}
+		if sym.kind != core.KindInt && sym.kind != core.KindBool {
+			return errAt(n.tok, "%q is %v, cannot be a condition", n.name, sym.kind)
+		}
+		cg.emit(core.Encode(core.OpComp, sym.slot, core.SlotZero, core.CompNE))
+		cg.jump(n.tok, core.JumpIfFalse, falseL)
+		cg.jump(n.tok, core.JumpAlways, trueL)
+		return nil
+	case *andCond:
+		mid := cg.newLabel()
+		if err := cg.compileCond(n.l, mid, falseL); err != nil {
+			return err
+		}
+		cg.bind(mid)
+		return cg.compileCond(n.r, trueL, falseL)
+	case *orCond:
+		mid := cg.newLabel()
+		if err := cg.compileCond(n.l, trueL, mid); err != nil {
+			return err
+		}
+		cg.bind(mid)
+		return cg.compileCond(n.r, trueL, falseL)
+	case *notCond:
+		return cg.compileCond(n.c, falseL, trueL)
+	default:
+		return fmt.Errorf("hpl: unknown condition %T", c)
+	}
+}
+
+func (cg *codegen) emitBoolCall(n *boolCall) error {
+	e := &callExpr{tok: n.tok, name: n.name, args: n.args}
+	switch n.name {
+	case "empty":
+		q, err := cg.queueArg(e, 0, 1)
+		if err != nil {
+			return err
+		}
+		cg.emit(core.Encode(core.OpEmptyQ, q, 0, 0))
+	case "inq":
+		if len(n.args) != 2 {
+			return errAt(n.tok, "inq takes (queue, page)")
+		}
+		q, err := cg.queueArg(e, 0, 2)
+		if err != nil {
+			return err
+		}
+		p, err := cg.pageArg(e, 1)
+		if err != nil {
+			return err
+		}
+		cg.emit(core.Encode(core.OpInQ, q, p, 0))
+	case "referenced", "modified":
+		if len(n.args) != 1 {
+			return errAt(n.tok, "%s takes (page)", n.name)
+		}
+		p, err := cg.pageArg(e, 0)
+		if err != nil {
+			return err
+		}
+		op := core.OpRef
+		if n.name == "modified" {
+			op = core.OpMod
+		}
+		cg.emit(core.Encode(op, p, 0, 0))
+	case "request":
+		if len(n.args) != 1 {
+			return errAt(n.tok, "request takes (count)")
+		}
+		slot, err := cg.compileInt(n.args[0])
+		if err != nil {
+			return err
+		}
+		cg.emit(core.Encode(core.OpRequest, slot, 0, 0))
+	default:
+		return errAt(n.tok, "unknown boolean builtin %q", n.name)
+	}
+	return nil
+}
+
+// --- integer expressions --------------------------------------------------
+
+func (cg *codegen) constSlot(tok token, v int64) (uint8, error) {
+	if v == 0 {
+		return core.SlotZero, nil
+	}
+	if v == 1 {
+		return core.SlotOne, nil
+	}
+	if s, ok := cg.constPool[v]; ok {
+		return s, nil
+	}
+	slot, err := cg.allocSlot(tok)
+	if err != nil {
+		return 0, err
+	}
+	cg.constPool[v] = slot
+	cg.spec.Operands = append(cg.spec.Operands, core.OperandDecl{
+		Slot: slot, Kind: core.KindInt, Name: fmt.Sprintf("const$%d", v), Init: v, Const: true,
+	})
+	return slot, nil
+}
+
+func (cg *codegen) tempSlot(tok token) (uint8, error) {
+	if cg.tempNext < len(cg.tempHi) {
+		s := cg.tempHi[cg.tempNext]
+		cg.tempNext++
+		return s, nil
+	}
+	slot, err := cg.allocSlot(tok)
+	if err != nil {
+		return 0, err
+	}
+	cg.tempHi = append(cg.tempHi, slot)
+	cg.tempNext++
+	cg.spec.Operands = append(cg.spec.Operands, core.OperandDecl{
+		Slot: slot, Kind: core.KindInt, Name: fmt.Sprintf("tmp$%d", len(cg.tempHi)-1),
+	})
+	return slot, nil
+}
+
+var arithFlags = map[string]uint8{
+	"+": core.ArithAdd, "-": core.ArithSub, "*": core.ArithMul,
+	"/": core.ArithDiv, "%": core.ArithMod,
+}
+
+// compileInt evaluates an integer expression, returning the slot holding
+// its value (which may be a variable, constant-pool or temp slot).
+func (cg *codegen) compileInt(e expr) (uint8, error) {
+	switch n := e.(type) {
+	case *intLit:
+		return cg.constSlot(n.tok, n.val)
+	case *varRef:
+		sym, err := cg.lookup(n.tok, n.name)
+		if err != nil {
+			return 0, err
+		}
+		if sym.kind != core.KindInt {
+			return 0, errAt(n.tok, "%q is %v, want int", n.name, sym.kind)
+		}
+		return sym.slot, nil
+	case *binExpr:
+		l, err := cg.compileInt(n.l)
+		if err != nil {
+			return 0, err
+		}
+		r, err := cg.compileInt(n.r)
+		if err != nil {
+			return 0, err
+		}
+		t, err := cg.tempSlot(n.tok)
+		if err != nil {
+			return 0, err
+		}
+		if t != l {
+			cg.emit(core.Encode(core.OpArith, t, l, core.ArithMov))
+		}
+		cg.emit(core.Encode(core.OpArith, t, r, arithFlags[n.op]))
+		return t, nil
+	case *callExpr:
+		return 0, errAt(n.tok, "%q does not produce an integer", n.name)
+	default:
+		return 0, fmt.Errorf("hpl: unknown expression %T", e)
+	}
+}

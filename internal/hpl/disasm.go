@@ -1,0 +1,137 @@
+package hpl
+
+import (
+	"fmt"
+	"strings"
+
+	"hipec/internal/core"
+)
+
+// Disassemble renders one event program as an annotated listing in the
+// style of the paper's Table 2: command counter, hex bytes, mnemonic.
+func Disassemble(prog core.Program) string {
+	var b strings.Builder
+	for cc, cmd := range prog {
+		if cc == 0 {
+			fmt.Fprintf(&b, "%3d  %08x  HiPEC Magic No\n", cc, uint32(cmd))
+			continue
+		}
+		fmt.Fprintf(&b, "%3d  %02x %02x %02x %02x  %s\n",
+			cc, uint8(cmd.Op()), cmd.A(), cmd.B(), cmd.C(), describe(cmd))
+	}
+	return b.String()
+}
+
+// DisassembleSpec renders every event of a spec.
+func DisassembleSpec(spec *core.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %q (minframe=%d)\n", spec.Name, spec.MinFrame)
+	for i, prog := range spec.Events {
+		if prog == nil {
+			continue
+		}
+		name := fmt.Sprintf("event%d", i)
+		if i < len(spec.EventNames) && spec.EventNames[i] != "" {
+			name = spec.EventNames[i]
+		}
+		fmt.Fprintf(&b, "\n# The %s Event\n", name)
+		b.WriteString(Disassemble(prog))
+	}
+	if len(spec.Operands) > 0 {
+		fmt.Fprintf(&b, "\n# Operands\n")
+		for _, d := range spec.Operands {
+			c := ""
+			if d.Const {
+				c = " const"
+			}
+			fmt.Fprintf(&b, "%#02x  %-6v%s  %s = %d\n", d.Slot, d.Kind, c, d.Name, d.Init)
+		}
+	}
+	return b.String()
+}
+
+var compNames = map[uint8]string{
+	core.CompEQ: "==", core.CompGT: ">", core.CompLT: "<",
+	core.CompNE: "!=", core.CompGE: ">=", core.CompLE: "<=",
+}
+
+var arithNames = map[uint8]string{
+	core.ArithAdd: "+=", core.ArithSub: "-=", core.ArithMul: "*=",
+	core.ArithDiv: "/=", core.ArithMod: "%=", core.ArithMov: "=",
+	core.ArithInc: "++", core.ArithDec: "--",
+}
+
+func describe(cmd core.Command) string {
+	a, b, c := cmd.A(), cmd.B(), cmd.C()
+	op := func(slot uint8) string { return slotName(slot) }
+	switch cmd.Op() {
+	case core.OpReturn:
+		return fmt.Sprintf("Return %s", op(a))
+	case core.OpArith:
+		if c == core.ArithInc || c == core.ArithDec {
+			return fmt.Sprintf("Arith %s%s", op(a), arithNames[c])
+		}
+		return fmt.Sprintf("Arith %s %s %s", op(a), arithNames[c], op(b))
+	case core.OpComp:
+		return fmt.Sprintf("Comp %s %s %s", op(a), compNames[c], op(b))
+	case core.OpLogic:
+		return fmt.Sprintf("Logic %s op%d %s", op(a), c, op(b))
+	case core.OpEmptyQ:
+		return fmt.Sprintf("EmptyQ %s", op(a))
+	case core.OpInQ:
+		return fmt.Sprintf("InQ %s in %s", op(b), op(a))
+	case core.OpJump:
+		mode := map[uint8]string{core.JumpIfFalse: "if-false", core.JumpAlways: "always", core.JumpIfTrue: "if-true"}[a]
+		return fmt.Sprintf("Jump %s -> %d", mode, c)
+	case core.OpDeQueue:
+		end := map[uint8]string{core.QueueHead: "head", core.QueueTail: "tail"}[c]
+		return fmt.Sprintf("DeQueue %s <- %s(%s)", op(a), op(b), end)
+	case core.OpEnQueue:
+		end := map[uint8]string{core.QueueHead: "head", core.QueueTail: "tail"}[c]
+		return fmt.Sprintf("EnQueue %s -> %s(%s)", op(a), op(b), end)
+	case core.OpRequest:
+		return fmt.Sprintf("Request %s", op(a))
+	case core.OpRelease:
+		return fmt.Sprintf("Release %s", op(a))
+	case core.OpFlush:
+		return fmt.Sprintf("Flush %s", op(a))
+	case core.OpSet:
+		bit := map[uint8]string{core.SetBitModify: "mod", core.SetBitReference: "ref"}[b]
+		what := map[uint8]string{core.SetOpSet: "set", core.SetOpClear: "clear"}[c]
+		return fmt.Sprintf("Set %s %s.%s", what, op(a), bit)
+	case core.OpRef:
+		return fmt.Sprintf("Ref %s", op(a))
+	case core.OpMod:
+		return fmt.Sprintf("Mod %s", op(a))
+	case core.OpFind:
+		return fmt.Sprintf("Find %s at %s", op(a), op(b))
+	case core.OpActivate:
+		return fmt.Sprintf("Activate event %d", a)
+	case core.OpFIFO, core.OpLRU, core.OpMRU:
+		return fmt.Sprintf("%s %s", cmd.Op(), op(a))
+	case core.OpMigrate:
+		return fmt.Sprintf("Migrate %s -> container %s", op(a), op(b))
+	case core.OpAge:
+		return fmt.Sprintf("Age %s", op(a))
+	default:
+		return cmd.String()
+	}
+}
+
+var wellKnown = map[uint8]string{
+	core.SlotScratch: "_scratch", core.SlotFreeQueue: "_free_queue",
+	core.SlotFreeCount: "_free_count", core.SlotActiveQueue: "_active_queue",
+	core.SlotActiveCount: "_active_count", core.SlotInactiveQueue: "_inactive_queue",
+	core.SlotInactiveCount: "_inactive_count", core.SlotAllocated: "_allocated",
+	core.SlotMinFrame: "_min_frame", core.SlotInactiveTgt: "inactive_target",
+	core.SlotFreeTgt: "free_target", core.SlotPageReg: "page",
+	core.SlotReservedTgt: "reserved_target", core.SlotFaultAddr: "_fault_addr",
+	core.SlotFaultOffset: "_fault_offset", core.SlotZero: "0", core.SlotOne: "1",
+}
+
+func slotName(slot uint8) string {
+	if n, ok := wellKnown[slot]; ok {
+		return n
+	}
+	return fmt.Sprintf("op[%#02x]", slot)
+}

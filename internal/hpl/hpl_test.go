@@ -1,0 +1,455 @@
+package hpl
+
+import (
+	"strings"
+	"testing"
+
+	"hipec/internal/core"
+)
+
+// figure4 is the paper's Figure 4 pseudo-code program (FIFO with second
+// chance), with the empty-queue guards spelled out and the paper's own
+// builtin spellings (de_queue_head, en_queue_tail, reserve_target).
+const figure4 = `
+minframe = 16
+free_target = 4
+inactive_target = 6
+reserved_target = 1
+
+event PageFault() {
+    if (_free_count > reserve_target) {
+        page = de_queue_head(_free_queue)
+    } else {
+        activate Lack_free_frame()
+        page = de_queue_head(_free_queue)
+    }
+    return page
+}
+
+event Lack_free_frame() {
+    /* FIFO with 2nd Chance */
+    while (_inactive_count < inactive_target && !empty(_active_queue)) {
+        page = de_queue_head(_active_queue)
+        reset_ref(page)
+        en_queue_tail(_inactive_queue, page)
+    }
+    while (_free_count < free_target && !empty(_inactive_queue)) {
+        page = de_queue_head(_inactive_queue)
+        if (referenced(page)) {
+            reset_ref(page)
+            en_queue_tail(_active_queue, page)
+        } else {
+            if (modified(page)) {
+                flush(page)
+            }
+            en_queue_head(_free_queue, page)
+        }
+    }
+}
+
+event ReclaimFrame() {
+    if (!empty(_free_queue)) {
+        release(1)
+    }
+    return
+}
+`
+
+func mustSpec(t *testing.T, name, src string) *core.Spec {
+	t.Helper()
+	spec, err := Translate(name, src)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	return spec
+}
+
+func TestFigure4Translates(t *testing.T) {
+	spec := mustSpec(t, "fig4", figure4)
+	if spec.MinFrame != 16 {
+		t.Fatalf("MinFrame = %d", spec.MinFrame)
+	}
+	if len(spec.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(spec.Events))
+	}
+	if spec.Events[core.EventPageFault] == nil || spec.Events[core.EventReclaimFrame] == nil {
+		t.Fatal("mandatory events missing")
+	}
+	if spec.EventNames[2] != "Lack_free_frame" {
+		t.Fatalf("user event name = %q", spec.EventNames[2])
+	}
+	for _, prog := range spec.Events {
+		if prog[0] != core.Magic {
+			t.Fatal("program missing magic word")
+		}
+	}
+}
+
+func TestFigure4RunsOnKernel(t *testing.T) {
+	spec := mustSpec(t, "fig4", figure4)
+	k := core.New(core.Config{Frames: 256})
+	sp := k.NewSpace()
+	e, c, err := k.AllocateHiPEC(sp, 64*4096, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		for i := int64(0); i < 64; i++ {
+			if _, err := sp.Write(e.Start + i*4096); err != nil {
+				t.Fatalf("round %d page %d: %v", round, i, err)
+			}
+		}
+	}
+	if c.State() != core.StateActive {
+		t.Fatalf("container %v: %s", c.State(), c.TerminationReason())
+	}
+	if got := e.Object.ResidentCount(); got > 16 {
+		t.Fatalf("resident %d > private pool 16", got)
+	}
+	if c.Stats.Flushes == 0 {
+		t.Fatal("dirty sweep produced no flushes")
+	}
+}
+
+func TestMRUPolicyTranslatesAndIsCorrect(t *testing.T) {
+	src := `
+minframe = 8
+event PageFault() {
+    if (empty(_free_queue)) {
+        mru(_active_queue)
+    }
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() {
+    if (!empty(_free_queue)) { release(1) }
+    return
+}
+`
+	spec := mustSpec(t, "mru", src)
+	k := core.New(core.Config{Frames: 256})
+	sp := k.NewSpace()
+	e, c, err := k.AllocateHiPEC(sp, 16*4096, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch pages 0..15 sequentially. With an 8-frame MRU pool the
+	// resident set converges to the first 7 pages plus the newest.
+	for i := int64(0); i < 16; i++ {
+		if _, err := sp.Touch(e.Start + i*4096); err != nil {
+			t.Fatal(err)
+		}
+		k.Clock.Advance(1000) // distinct timestamps
+	}
+	if c.State() != core.StateActive {
+		t.Fatal(c.TerminationReason())
+	}
+	for i := int64(0); i < 7; i++ {
+		if e.Object.Resident(i*4096) == nil {
+			t.Fatalf("MRU evicted old page %d; want old pages retained", i)
+		}
+	}
+	if e.Object.Resident(15*4096) == nil {
+		t.Fatal("newest page not resident")
+	}
+}
+
+func TestIntExpressionsAndVars(t *testing.T) {
+	src := `
+minframe = 4
+var x = 5
+const k = 3
+event PageFault() {
+    x = x * 2 + k - 1   // 12
+    if (x == 12) {
+        page = dequeue_head(_free_queue)
+        return page
+    }
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() { return }
+`
+	spec := mustSpec(t, "expr", src)
+	k := core.New(core.Config{Frames: 64})
+	sp := k.NewSpace()
+	e, c, err := k.AllocateHiPEC(sp, 4*4096, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Touch(e.Start); err != nil {
+		t.Fatal(err)
+	}
+	// Find x and verify the arithmetic executed.
+	found := false
+	for _, d := range spec.Operands {
+		if d.Name == "x" {
+			if got := c.Operand(d.Slot).Int; got != 12 {
+				t.Fatalf("x = %d, want 12", got)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("x not in operand decls")
+	}
+}
+
+func TestBooleanOperators(t *testing.T) {
+	src := `
+minframe = 4
+var hits = 0
+event PageFault() {
+    if ((_free_count > 0 && !empty(_free_queue)) || _allocated < 0) {
+        hits = hits + 1
+    }
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() { return }
+`
+	spec := mustSpec(t, "bools", src)
+	k := core.New(core.Config{Frames: 64})
+	sp := k.NewSpace()
+	e, c, err := k.AllocateHiPEC(sp, 4*4096, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Touch(e.Start)
+	sp.Touch(e.Start + 4096)
+	var hitsSlot uint8
+	for _, d := range spec.Operands {
+		if d.Name == "hits" {
+			hitsSlot = d.Slot
+		}
+	}
+	if got := c.Operand(hitsSlot).Int; got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+}
+
+func TestWhileWithBreakContinue(t *testing.T) {
+	src := `
+minframe = 4
+var i = 0
+var total = 0
+event PageFault() {
+    i = 0
+    total = 0
+    while (i < 10) {
+        i = i + 1
+        if (i == 3) { continue }
+        if (i > 5) { break }
+        total = total + i
+    }
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() { return }
+`
+	spec := mustSpec(t, "loops", src)
+	k := core.New(core.Config{Frames: 64})
+	sp := k.NewSpace()
+	e, c, err := k.AllocateHiPEC(sp, 4096, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Touch(e.Start); err != nil {
+		t.Fatal(err)
+	}
+	var totalSlot uint8
+	for _, d := range spec.Operands {
+		if d.Name == "total" {
+			totalSlot = d.Slot
+		}
+	}
+	// 1+2+4+5 = 12 (3 skipped by continue, 6.. stopped by break)
+	if got := c.Operand(totalSlot).Int; got != 12 {
+		t.Fatalf("total = %d, want 12", got)
+	}
+}
+
+func TestUserQueuesAndRegisters(t *testing.T) {
+	src := `
+minframe = 4
+queue cold
+page victim
+event PageFault() {
+    if (empty(_free_queue)) {
+        victim = dequeue_head(cold)
+        enqueue_tail(_free_queue, victim)
+        page = dequeue_head(_free_queue)
+        return page
+    }
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() { return }
+`
+	spec := mustSpec(t, "userq", src)
+	k := core.New(core.Config{Frames: 64})
+	sp := k.NewSpace()
+	if _, _, err := k.AllocateHiPEC(sp, 4*4096, spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslatorErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing events", `event PageFault() { return }`, "ReclaimFrame"},
+		{"no events", `var x = 1`, "no events"},
+		{"undefined var", `event PageFault() { y = 1 return } event ReclaimFrame() { return }`, "undefined name"},
+		{"undefined activate", `event PageFault() { activate Nope() return } event ReclaimFrame() { return }`, "undefined event"},
+		{"assign to queue", `event PageFault() { _free_queue = 1 return } event ReclaimFrame() { return }`, "read-only"},
+		{"assign to readonly", `event PageFault() { _free_count = 1 return } event ReclaimFrame() { return }`, "read-only"},
+		{"page copy", `page p event PageFault() { p = page return } event ReclaimFrame() { return }`, "cannot be copied"},
+		{"bad builtin", `event PageFault() { frobnicate(1) return } event ReclaimFrame() { return }`, "unknown builtin"},
+		{"redeclare builtin", `var page event PageFault() { return } event ReclaimFrame() { return }`, ""},
+		{"queue arg type", `event PageFault() { fifo(page) return } event ReclaimFrame() { return }`, "want queue"},
+		{"unterminated block", `event PageFault() { return `, "unterminated"},
+		{"bad setting", `bogus = 3 event PageFault() { return } event ReclaimFrame() { return }`, "unknown setting"},
+		{"duplicate event", `event PageFault() { return } event PageFault() { return } event ReclaimFrame() { return }`, "redefined"},
+		{"break outside loop", `event PageFault() { break return } event ReclaimFrame() { return }`, "outside a loop"},
+		{"const needs init", `const k event PageFault() { return } event ReclaimFrame() { return }`, "initializer"},
+		{"unterminated comment", `/* oops event PageFault() { return }`, "unterminated block comment"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Translate(tc.name, tc.src)
+			if err == nil {
+				t.Fatalf("%s: accepted", tc.name)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Every translator output must pass the kernel's static security checker —
+// the translator may never emit code the checker rejects.
+func TestTranslatorOutputPassesChecker(t *testing.T) {
+	sources := []string{figure4,
+		`minframe = 4
+		 event PageFault() { page = dequeue_head(_free_queue) return page }
+		 event ReclaimFrame() { release(1) return }`,
+		`minframe = 4
+		 var n = 0
+		 event PageFault() {
+		   n = n + 1
+		   if (n % 2 == 0) { lru(_active_queue) } else { fifo(_active_queue) }
+		   page = dequeue_head(_free_queue)
+		   return page
+		 }
+		 event ReclaimFrame() { if (request(2)) { release(2) } return }`,
+	}
+	for i, src := range sources {
+		spec, err := Translate("gen", src)
+		if err != nil {
+			t.Fatalf("source %d: %v", i, err)
+		}
+		k := core.New(core.Config{Frames: 128})
+		sp := k.NewSpace()
+		if _, _, err := k.AllocateHiPEC(sp, 4*4096, spec); err != nil {
+			t.Fatalf("source %d rejected by checker: %v", i, err)
+		}
+	}
+}
+
+func TestDisassembler(t *testing.T) {
+	spec := mustSpec(t, "fig4", figure4)
+	out := DisassembleSpec(spec)
+	for _, want := range []string{"PageFault", "Lack_free_frame", "DeQueue", "Comp", "Jump", "Flush", "HiPEC Magic"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	// Single-program form.
+	one := Disassemble(spec.Events[core.EventPageFault])
+	if !strings.Contains(one, "Return page") {
+		t.Fatalf("PageFault disassembly missing return:\n%s", one)
+	}
+}
+
+func TestConstPoolDeduplication(t *testing.T) {
+	src := `
+minframe = 4
+var a = 0
+event PageFault() {
+    a = 7
+    a = a + 7
+    a = a + 7
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() { return }
+`
+	spec := mustSpec(t, "consts", src)
+	count := 0
+	for _, d := range spec.Operands {
+		if d.Const && d.Init == 7 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("constant 7 pooled %d times, want 1", count)
+	}
+}
+
+func TestNegativeLiterals(t *testing.T) {
+	src := `
+minframe = 4
+var a = -5
+event PageFault() {
+    a = a + -3
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() { return }
+`
+	spec := mustSpec(t, "neg", src)
+	k := core.New(core.Config{Frames: 64})
+	sp := k.NewSpace()
+	e, c, err := k.AllocateHiPEC(sp, 4096, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Touch(e.Start)
+	for _, d := range spec.Operands {
+		if d.Name == "a" {
+			if got := c.Operand(d.Slot).Int; got != -8 {
+				t.Fatalf("a = %d, want -8", got)
+			}
+		}
+	}
+}
+
+func TestFaultAddrVisibleToPolicy(t *testing.T) {
+	src := `
+minframe = 4
+var lastaddr = 0
+event PageFault() {
+    lastaddr = _fault_offset
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() { return }
+`
+	spec := mustSpec(t, "addr", src)
+	k := core.New(core.Config{Frames: 64})
+	sp := k.NewSpace()
+	e, c, err := k.AllocateHiPEC(sp, 8*4096, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Touch(e.Start + 3*4096)
+	for _, d := range spec.Operands {
+		if d.Name == "lastaddr" {
+			if got := c.Operand(d.Slot).Int; got != 3*4096 {
+				t.Fatalf("lastaddr = %d, want %d", got, 3*4096)
+			}
+		}
+	}
+}

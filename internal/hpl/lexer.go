@@ -1,0 +1,236 @@
+// Package hpl implements the HiPEC pseudo-code translator of §4.3.4: a
+// small C-like policy language ("HPL") that compiles to HiPEC command
+// streams (core.Spec). The paper's Figure 4 program is valid HPL.
+//
+// Language summary:
+//
+//	minframe = 16                 // settings (minframe, free_target, ...)
+//	var counter = 0               // int variable
+//	const chunk = 8               // int constant
+//	queue scans                   // extra private queue
+//	page victim                   // extra page register
+//
+//	event PageFault() {
+//	    if (_free_count > reserved_target) {
+//	        page = dequeue_head(_free_queue)
+//	    } else {
+//	        activate Lack_free_frame()
+//	        page = dequeue_head(_free_queue)
+//	    }
+//	    return page
+//	}
+//	event ReclaimFrame() { ... }
+//	event Lack_free_frame() { ... }
+//
+// Built-in variables map to the container's well-known operand slots
+// (_free_queue, _free_count, _active_queue, _active_count,
+// _inactive_queue, _inactive_count, _allocated, _min_frame, page,
+// inactive_target, free_target, reserved_target, _fault_addr,
+// _fault_offset).
+//
+// Built-in statements: enqueue_head(q,p), enqueue_tail(q,p), flush(p),
+// set_ref(p), reset_ref(p), set_mod(p), reset_mod(p), release(p|n),
+// fifo(q), lru(q), mru(q), age(q), migrate(p, id), activate Event().
+// Built-in expressions: dequeue_head(q), dequeue_tail(q), find(addr)
+// (page-valued); empty(q), inq(q,p), referenced(p), modified(p),
+// request(n) (boolean, usable in conditions).
+package hpl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokPunct // single/double character punctuation
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"event": true, "if": true, "else": true, "while": true, "return": true,
+	"var": true, "const": true, "queue": true, "page": true,
+	"activate": true, "break": true, "continue": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // for tokInt
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// Error is a translation error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("hpl:%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errAt(t token, format string, args ...any) *Error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer scans HPL source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.pos]
+	l.pos++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		b := l.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			l.advance()
+		case b == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case b == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 <= len(l.src) {
+				if l.pos+1 < len(l.src) && l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				if l.pos >= len(l.src) {
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &Error{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+var twoCharPunct = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	b := l.peekByte()
+	switch {
+	case isIdentStart(b):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: startLine, col: startCol}, nil
+	case b >= '0' && b <= '9':
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentPart(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, &Error{Line: startLine, Col: startCol, Msg: fmt.Sprintf("bad integer literal %q", text)}
+		}
+		return token{kind: tokInt, text: text, val: v, line: startLine, col: startCol}, nil
+	default:
+		if l.pos+1 < len(l.src) {
+			two := l.src[l.pos : l.pos+2]
+			if twoCharPunct[two] {
+				l.advance()
+				l.advance()
+				return token{kind: tokPunct, text: two, line: startLine, col: startCol}, nil
+			}
+		}
+		if strings.ContainsRune("(){}=<>!+-*/%,;", rune(b)) {
+			l.advance()
+			return token{kind: tokPunct, text: string(b), line: startLine, col: startCol}, nil
+		}
+		r := rune(b)
+		if !unicode.IsPrint(r) {
+			return token{}, &Error{Line: startLine, Col: startCol, Msg: fmt.Sprintf("invalid byte %#02x", b)}
+		}
+		return token{}, &Error{Line: startLine, Col: startCol, Msg: fmt.Sprintf("unexpected character %q", r)}
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentPart(b byte) bool {
+	return isIdentStart(b) || (b >= '0' && b <= '9')
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

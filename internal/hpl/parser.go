@@ -1,0 +1,546 @@
+package hpl
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token slice. Semicolons are
+// optional statement terminators (consumed wherever present).
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.cur()
+	if t.kind == kind && t.text == text {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if t.kind != kind || t.text != text {
+		return t, errAt(t, "expected %q, found %s", text, t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, errAt(t, "expected identifier, found %s", t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) skipSemis() {
+	for p.accept(tokPunct, ";") {
+	}
+}
+
+// parse parses a whole program.
+func parse(src string) (*program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &program{}
+	for {
+		p.skipSemis()
+		t := p.cur()
+		switch {
+		case t.kind == tokEOF:
+			if len(prog.events) == 0 {
+				return nil, errAt(t, "program declares no events")
+			}
+			return prog, nil
+		case t.kind == tokKeyword && t.text == "event":
+			ev, err := p.parseEvent()
+			if err != nil {
+				return nil, err
+			}
+			prog.events = append(prog.events, ev)
+		case t.kind == tokKeyword && (t.text == "var" || t.text == "const" || t.text == "queue" || t.text == "page"):
+			d, err := p.parseDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.decls = append(prog.decls, d)
+		case t.kind == tokIdent && p.peek().kind == tokPunct && p.peek().text == "=":
+			// Top-level setting: name = INT
+			name := p.advance()
+			p.advance() // '='
+			v := p.cur()
+			if v.kind != tokInt {
+				return nil, errAt(v, "setting %s must be an integer literal", name.text)
+			}
+			p.advance()
+			prog.settings = append(prog.settings, setting{tok: name, name: name.text, value: v.val})
+		default:
+			return nil, errAt(t, "expected declaration or event, found %s", t)
+		}
+	}
+}
+
+func (p *parser) parseDecl() (decl, error) {
+	kw := p.advance()
+	var kind declKind
+	switch kw.text {
+	case "var":
+		kind = declVar
+	case "const":
+		kind = declConst
+	case "queue":
+		kind = declQueue
+	case "page":
+		kind = declPage
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return decl{}, err
+	}
+	d := decl{tok: kw, kind: kind, name: name.text}
+	if kind == declVar || kind == declConst {
+		if p.accept(tokPunct, "=") {
+			v := p.cur()
+			neg := false
+			if v.kind == tokPunct && v.text == "-" {
+				neg = true
+				p.advance()
+				v = p.cur()
+			}
+			if v.kind != tokInt {
+				return decl{}, errAt(v, "initializer for %s must be an integer literal", d.name)
+			}
+			p.advance()
+			d.init = v.val
+			if neg {
+				d.init = -d.init
+			}
+		} else if kind == declConst {
+			return decl{}, errAt(name, "const %s needs an initializer", d.name)
+		}
+	}
+	p.skipSemis()
+	return d, nil
+}
+
+func (p *parser) parseEvent() (*eventDecl, error) {
+	kw := p.advance() // "event"
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &eventDecl{tok: kw, name: name.text, body: body}, nil
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for {
+		p.skipSemis()
+		if p.accept(tokPunct, "}") {
+			return out, nil
+		}
+		if p.cur().kind == tokEOF {
+			return nil, errAt(p.cur(), "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+// parseStmtOrBlock accepts either a braced block or a single statement,
+// returning the statement list.
+func (p *parser) parseStmtOrBlock() ([]stmt, error) {
+	if p.cur().kind == tokPunct && p.cur().text == "{" {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []stmt{s}, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && t.text == "if":
+		return p.parseIf()
+	case t.kind == tokKeyword && t.text == "while":
+		return p.parseWhile()
+	case t.kind == tokKeyword && t.text == "return":
+		p.advance()
+		// return | return expr | return(expr)
+		nt := p.cur()
+		if nt.kind == tokEOF || (nt.kind == tokPunct && (nt.text == "}" || nt.text == ";")) {
+			return &returnStmt{tok: t}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSemis()
+		return &returnStmt{tok: t, value: e}, nil
+	case t.kind == tokKeyword && t.text == "activate":
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tokPunct, "(") {
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+		p.skipSemis()
+		return &activateStmt{tok: t, event: name.text}, nil
+	case t.kind == tokKeyword && t.text == "break":
+		p.advance()
+		p.skipSemis()
+		return &breakStmt{tok: t}, nil
+	case t.kind == tokKeyword && t.text == "continue":
+		p.advance()
+		p.skipSemis()
+		return &continueStmt{tok: t}, nil
+	case t.kind == tokKeyword && t.text == "page":
+		// "page" used as the built-in page register in an assignment.
+		if p.peek().kind == tokPunct && p.peek().text == "=" {
+			p.advance()
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSemis()
+			return &assignStmt{tok: t, target: "page", value: e}, nil
+		}
+		return nil, errAt(t, "page declarations must appear before events")
+	case t.kind == tokIdent:
+		name := p.advance()
+		nt := p.cur()
+		if nt.kind == tokPunct && nt.text == "=" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSemis()
+			return &assignStmt{tok: name, target: name.text, value: e}, nil
+		}
+		if nt.kind == tokPunct && nt.text == "(" {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSemis()
+			return &callStmt{tok: name, name: name.text, args: args}, nil
+		}
+		return nil, errAt(nt, "expected %q or %q after %q", "=", "(", name.text)
+	default:
+		return nil, errAt(t, "unexpected %s", t)
+	}
+}
+
+func (p *parser) parseIf() (stmt, error) {
+	kw := p.advance()
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	c, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	node := &ifStmt{tok: kw, cond: c, then: then}
+	p.skipSemis()
+	if p.cur().kind == tokKeyword && p.cur().text == "else" {
+		p.advance()
+		els, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		node.els = els
+	}
+	return node, nil
+}
+
+func (p *parser) parseWhile() (stmt, error) {
+	kw := p.advance()
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	c, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &whileStmt{tok: kw, cond: c, body: body}, nil
+}
+
+func (p *parser) parseArgs() ([]expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []expr
+	if p.accept(tokPunct, ")") {
+		return args, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.accept(tokPunct, ")") {
+			return args, nil
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// --- conditions ----------------------------------------------------------
+
+func (p *parser) parseCond() (cond, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (cond, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, "||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &orCond{l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (cond, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, "&&") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &andCond{l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (cond, error) {
+	if p.accept(tokPunct, "!") {
+		c, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &notCond{c: c}, nil
+	}
+	return p.parsePrimaryCond()
+}
+
+// boolBuiltins are boolean-valued builtin functions.
+var boolBuiltins = map[string]int{ // name -> arity
+	"empty": 1, "inq": 2, "referenced": 1, "modified": 1, "request": 1,
+}
+
+func (p *parser) parsePrimaryCond() (cond, error) {
+	t := p.cur()
+	// Parenthesized sub-condition: "(a < b && ...)". A '(' could also
+	// start a parenthesized integer expression in a relation; try the
+	// condition interpretation first by backtracking on failure.
+	if t.kind == tokPunct && t.text == "(" {
+		save := p.pos
+		p.advance()
+		c, err := p.parseCond()
+		if err == nil {
+			if _, err2 := p.expect(tokPunct, ")"); err2 == nil {
+				return c, nil
+			}
+		}
+		p.pos = save
+	}
+	// Boolean builtin?
+	if t.kind == tokIdent {
+		if _, ok := boolBuiltins[t.text]; ok && p.peek().kind == tokPunct && p.peek().text == "(" {
+			name := p.advance()
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &boolCall{tok: name, name: name.text, args: args}, nil
+		}
+	}
+	// Relation or bare variable truth test.
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	op := p.cur()
+	if op.kind == tokPunct {
+		switch op.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.advance()
+			r, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &relCond{tok: op, op: op.text, l: l, r: r}, nil
+		}
+	}
+	if v, ok := l.(*varRef); ok {
+		return &varCond{tok: v.tok, name: v.name}, nil
+	}
+	return nil, errAt(op, "expected comparison operator, found %s", op)
+}
+
+// --- integer/page expressions --------------------------------------------
+
+// pageBuiltins are page-valued builtin functions. The de_queue_* spellings
+// are the paper's (Figure 4).
+var pageBuiltins = map[string]int{
+	"dequeue_head": 1, "dequeue_tail": 1, "find": 1,
+	"de_queue_head": 1, "de_queue_tail": 1,
+}
+
+func (p *parser) parseExpr() (expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && (t.text == "+" || t.text == "-") {
+			p.advance()
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{tok: t, op: t.text, l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseTerm() (expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.advance()
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{tok: t, op: t.text, l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseFactor() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		return &intLit{tok: t, val: t.val}, nil
+	case t.kind == tokPunct && t.text == "-":
+		p.advance()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := inner.(*intLit); ok {
+			return &intLit{tok: t, val: -lit.val}, nil
+		}
+		return &binExpr{tok: t, op: "-", l: &intLit{tok: t, val: 0}, r: inner}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokKeyword && t.text == "page":
+		// the built-in page register used as a value
+		p.advance()
+		return &varRef{tok: t, name: "page"}, nil
+	case t.kind == tokIdent:
+		name := p.advance()
+		if p.cur().kind == tokPunct && p.cur().text == "(" {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &callExpr{tok: name, name: name.text, args: args}, nil
+		}
+		return &varRef{tok: name, name: name.text}, nil
+	default:
+		return nil, errAt(t, "expected expression, found %s", t)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ = fmt.Sprintf // keep fmt for errAt users in this file

@@ -1,0 +1,408 @@
+// Package mem models physical memory for the simulated kernel: page frames
+// with reference/modify bits, intrusive page queues (the currency of every
+// replacement policy in this repository), and the frame table that owns all
+// frames.
+//
+// These types correspond to Mach's vm_page structures and page queues
+// (active, inactive, free); the HiPEC container's private frame lists
+// (paper §3, §4.1) are built from the same Queue type.
+package mem
+
+import (
+	"fmt"
+
+	"hipec/internal/simtime"
+)
+
+// Page is one physical page frame and its machine-maintained state. A Page
+// belongs to at most one Queue at a time (intrusive links); replacement
+// policies move pages between queues.
+type Page struct {
+	Frame  int    // physical frame number, fixed for the page's lifetime
+	Object uint64 // owning VM object ID (0 = unowned/free)
+	Offset int64  // page-aligned byte offset within the owning object
+
+	Referenced bool // hardware reference bit (emulated)
+	Modified   bool // hardware modify/dirty bit (emulated)
+	Wired      bool // wired pages are never candidates for replacement
+
+	// LastAccess is the virtual time of the most recent access; it backs
+	// the complex LRU/MRU commands. Real Mach approximates this with
+	// reference-bit sampling; the simulation has the exact value.
+	LastAccess simtime.Time
+
+	// AllocSeq is a monotonically increasing stamp set when the frame is
+	// handed to an owner; the global frame manager's forced reclamation
+	// walks frames in AllocSeq order (First Allocated, First Reclaimed).
+	AllocSeq uint64
+
+	// Data optionally holds page contents (nil when the kernel runs with
+	// contents disabled for fault-count-only experiments).
+	Data []byte
+
+	queue      *Queue
+	prev, next *Page
+}
+
+// Queue returns the queue currently holding the page, or nil.
+func (p *Page) Queue() *Queue { return p.queue }
+
+// InQueue reports whether the page is currently on q.
+func (p *Page) InQueue(q *Queue) bool { return p.queue == q }
+
+// String implements fmt.Stringer for debugging.
+func (p *Page) String() string {
+	q := "none"
+	if p.queue != nil {
+		q = p.queue.Name
+	}
+	return fmt.Sprintf("page{frame=%d obj=%d off=%d ref=%t mod=%t q=%s}",
+		p.Frame, p.Object, p.Offset, p.Referenced, p.Modified, q)
+}
+
+// Queue is an intrusive doubly-linked list of pages. The zero value is not
+// usable; construct with NewQueue. A page may be on at most one queue;
+// enqueueing a page that is already on some queue panics — callers must
+// dequeue or Remove first. This strictness catches policy bugs (a frame on
+// two lists is exactly the corruption the paper's security checker exists
+// to prevent).
+type Queue struct {
+	Name string
+	// AccessOrder asks the VM layer to move a page to the tail of this
+	// queue on every resident access, keeping the queue in exact
+	// recency order (head = least recently used). This makes the canned
+	// LRU/MRU commands O(1) instead of O(n) scans.
+	AccessOrder bool
+
+	head, tail *Page
+	count      int
+}
+
+// NewQueue creates an empty named queue.
+func NewQueue(name string) *Queue { return &Queue{Name: name} }
+
+// Len reports the number of pages on the queue.
+func (q *Queue) Len() int { return q.count }
+
+// Empty reports whether the queue has no pages.
+func (q *Queue) Empty() bool { return q.count == 0 }
+
+// Head returns the first page without removing it, or nil.
+func (q *Queue) Head() *Page { return q.head }
+
+// Tail returns the last page without removing it, or nil.
+func (q *Queue) Tail() *Page { return q.tail }
+
+func (q *Queue) checkFree(p *Page) {
+	if p == nil {
+		panic("mem: nil page")
+	}
+	if p.queue != nil {
+		panic(fmt.Sprintf("mem: %v already on queue %q", p, p.queue.Name))
+	}
+}
+
+// EnqueueHead inserts p at the front of the queue.
+func (q *Queue) EnqueueHead(p *Page) {
+	q.checkFree(p)
+	p.queue = q
+	p.next = q.head
+	p.prev = nil
+	if q.head != nil {
+		q.head.prev = p
+	} else {
+		q.tail = p
+	}
+	q.head = p
+	q.count++
+}
+
+// EnqueueTail inserts p at the back of the queue.
+func (q *Queue) EnqueueTail(p *Page) {
+	q.checkFree(p)
+	p.queue = q
+	p.prev = q.tail
+	p.next = nil
+	if q.tail != nil {
+		q.tail.next = p
+	} else {
+		q.head = p
+	}
+	q.tail = p
+	q.count++
+}
+
+// DequeueHead removes and returns the first page, or nil if empty.
+func (q *Queue) DequeueHead() *Page {
+	p := q.head
+	if p == nil {
+		return nil
+	}
+	q.unlink(p)
+	return p
+}
+
+// DequeueTail removes and returns the last page, or nil if empty.
+func (q *Queue) DequeueTail() *Page {
+	p := q.tail
+	if p == nil {
+		return nil
+	}
+	q.unlink(p)
+	return p
+}
+
+// Remove unlinks p from this queue. It panics if p is not on q.
+func (q *Queue) Remove(p *Page) {
+	if p == nil || p.queue != q {
+		panic(fmt.Sprintf("mem: Remove of page not on queue %q", q.Name))
+	}
+	q.unlink(p)
+}
+
+func (q *Queue) unlink(p *Page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		q.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		q.tail = p.prev
+	}
+	p.prev, p.next, p.queue = nil, nil, nil
+	q.count--
+}
+
+// Each calls fn for every page from head to tail; fn returning false stops
+// the walk. fn must not mutate the queue.
+func (q *Queue) Each(fn func(*Page) bool) {
+	for p := q.head; p != nil; p = p.next {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// EachReverse calls fn from tail to head; fn returning false stops the
+// walk. fn must not mutate the queue.
+func (q *Queue) EachReverse(fn func(*Page) bool) {
+	for p := q.tail; p != nil; p = p.prev {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// MoveToTail relocates p (which must be on q) to the tail, preserving the
+// recency invariant of AccessOrder queues.
+func (q *Queue) MoveToTail(p *Page) {
+	if p.queue != q {
+		panic(fmt.Sprintf("mem: MoveToTail of page not on queue %q", q.Name))
+	}
+	if q.tail == p {
+		return
+	}
+	q.unlink(p)
+	q.EnqueueTail(p)
+}
+
+// FindMin returns the page minimizing key, or nil if the queue is empty.
+// Used by the canned LRU command (minimum LastAccess).
+func (q *Queue) FindMin(key func(*Page) int64) *Page {
+	var best *Page
+	var bestKey int64
+	for p := q.head; p != nil; p = p.next {
+		k := key(p)
+		if best == nil || k < bestKey {
+			best, bestKey = p, k
+		}
+	}
+	return best
+}
+
+// FindMax returns the page maximizing key, or nil if the queue is empty.
+// Used by the canned MRU command (maximum LastAccess).
+func (q *Queue) FindMax(key func(*Page) int64) *Page {
+	var best *Page
+	var bestKey int64
+	for p := q.head; p != nil; p = p.next {
+		k := key(p)
+		if best == nil || k > bestKey {
+			best, bestKey = p, k
+		}
+	}
+	return best
+}
+
+// Validate walks the queue checking structural invariants; it returns an
+// error describing the first violation. Intended for tests and the security
+// checker's consistency sweep.
+func (q *Queue) Validate() error {
+	n := 0
+	var prev *Page
+	for p := q.head; p != nil; p = p.next {
+		if p.queue != q {
+			return fmt.Errorf("mem: %v linked into %q but queue pointer is wrong", p, q.Name)
+		}
+		if p.prev != prev {
+			return fmt.Errorf("mem: broken prev link at %v in %q", p, q.Name)
+		}
+		prev = p
+		n++
+		if n > q.count {
+			return fmt.Errorf("mem: cycle or overcount in %q", q.Name)
+		}
+	}
+	if n != q.count {
+		return fmt.Errorf("mem: %q count=%d but %d pages linked", q.Name, q.count, n)
+	}
+	if q.tail != prev {
+		return fmt.Errorf("mem: %q tail pointer wrong", q.Name)
+	}
+	return nil
+}
+
+// FrameTable owns every physical page frame in the machine. Frames start on
+// the table's free queue; the pageout daemon / global frame manager draws
+// from and returns to it.
+type FrameTable struct {
+	pageSize int
+	pages    []Page
+	free     *Queue
+	keepData bool
+	allocSeq uint64
+}
+
+// NewFrameTable creates a table of frames frames of pageSize bytes each.
+// If keepData is set, each allocated frame carries a pageSize byte buffer.
+func NewFrameTable(frames, pageSize int, keepData bool) *FrameTable {
+	if frames <= 0 || pageSize <= 0 {
+		panic(fmt.Sprintf("mem: invalid frame table %d x %d", frames, pageSize))
+	}
+	ft := &FrameTable{
+		pageSize: pageSize,
+		pages:    make([]Page, frames),
+		free:     NewQueue("frame_table_free"),
+		keepData: keepData,
+	}
+	for i := range ft.pages {
+		ft.pages[i].Frame = i
+		ft.free.EnqueueTail(&ft.pages[i])
+	}
+	return ft
+}
+
+// Frames reports the total number of frames.
+func (ft *FrameTable) Frames() int { return len(ft.pages) }
+
+// PageSize reports the frame size in bytes.
+func (ft *FrameTable) PageSize() int { return ft.pageSize }
+
+// FreeCount reports the number of frames on the table's free queue.
+func (ft *FrameTable) FreeCount() int { return ft.free.Len() }
+
+// Page returns the page descriptor for frame number n.
+func (ft *FrameTable) Page(n int) *Page {
+	return &ft.pages[n]
+}
+
+// Alloc removes one frame from the free queue, stamps its allocation
+// sequence, and returns it. It returns nil if no frames are free.
+func (ft *FrameTable) Alloc() *Page {
+	p := ft.free.DequeueHead()
+	if p == nil {
+		return nil
+	}
+	ft.allocSeq++
+	p.AllocSeq = ft.allocSeq
+	p.Referenced = false
+	p.Modified = false
+	p.Wired = false
+	if ft.keepData && p.Data == nil {
+		p.Data = make([]byte, ft.pageSize)
+	}
+	return p
+}
+
+// Free returns a frame to the free queue, clearing its identity. The page
+// must not be on any queue.
+func (ft *FrameTable) Free(p *Page) {
+	if p == nil {
+		panic("mem: Free(nil)")
+	}
+	if p.queue != nil {
+		panic(fmt.Sprintf("mem: Free of %v still on queue %q", p, p.queue.Name))
+	}
+	p.Object = 0
+	p.Offset = 0
+	p.Referenced = false
+	p.Modified = false
+	p.Wired = false
+	if p.Data != nil {
+		for i := range p.Data {
+			p.Data[i] = 0
+		}
+	}
+	ft.free.EnqueueTail(p)
+}
+
+// AllocN allocates up to n frames, returning as many as are free.
+func (ft *FrameTable) AllocN(n int) []*Page {
+	out := make([]*Page, 0, n)
+	for i := 0; i < n; i++ {
+		p := ft.Alloc()
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Conservation checks that every frame is accounted for exactly once across
+// the supplied queues plus the table's own free queue plus the set of
+// loose pages (pages legitimately off-queue, e.g. wired or in transit).
+// It returns an error naming the first unaccounted or doubly-accounted
+// frame. Tests and the security checker use this as the global invariant.
+func (ft *FrameTable) Conservation(queues []*Queue, loose map[*Page]bool) error {
+	seen := make(map[*Page]string, len(ft.pages))
+	mark := func(p *Page, where string) error {
+		if prev, dup := seen[p]; dup {
+			return fmt.Errorf("mem: frame %d in both %s and %s", p.Frame, prev, where)
+		}
+		seen[p] = where
+		return nil
+	}
+	collect := func(q *Queue) error {
+		var err error
+		q.Each(func(p *Page) bool {
+			err = mark(p, q.Name)
+			return err == nil
+		})
+		return err
+	}
+	if err := collect(ft.free); err != nil {
+		return err
+	}
+	for _, q := range queues {
+		if err := collect(q); err != nil {
+			return err
+		}
+	}
+	for p := range loose {
+		if err := mark(p, "loose"); err != nil {
+			return err
+		}
+	}
+	for i := range ft.pages {
+		if _, ok := seen[&ft.pages[i]]; !ok {
+			return fmt.Errorf("mem: frame %d unaccounted for", i)
+		}
+	}
+	if len(seen) != len(ft.pages) {
+		return fmt.Errorf("mem: %d frames accounted, table has %d", len(seen), len(ft.pages))
+	}
+	return nil
+}

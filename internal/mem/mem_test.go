@@ -1,0 +1,390 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hipec/internal/simtime"
+)
+
+func TestQueueFIFOOrder(t *testing.T) {
+	q := NewQueue("q")
+	pages := make([]Page, 5)
+	for i := range pages {
+		pages[i].Frame = i
+		q.EnqueueTail(&pages[i])
+	}
+	if q.Len() != 5 || q.Empty() {
+		t.Fatalf("Len=%d Empty=%t", q.Len(), q.Empty())
+	}
+	for i := 0; i < 5; i++ {
+		p := q.DequeueHead()
+		if p == nil || p.Frame != i {
+			t.Fatalf("dequeue %d got %v", i, p)
+		}
+		if p.Queue() != nil {
+			t.Fatal("dequeued page still has queue pointer")
+		}
+	}
+	if q.DequeueHead() != nil {
+		t.Fatal("dequeue from empty queue returned page")
+	}
+}
+
+func TestQueueLIFOViaHead(t *testing.T) {
+	q := NewQueue("q")
+	pages := make([]Page, 3)
+	for i := range pages {
+		pages[i].Frame = i
+		q.EnqueueHead(&pages[i])
+	}
+	for i := 2; i >= 0; i-- {
+		if p := q.DequeueHead(); p.Frame != i {
+			t.Fatalf("want %d got %d", i, p.Frame)
+		}
+	}
+}
+
+func TestDequeueTail(t *testing.T) {
+	q := NewQueue("q")
+	pages := make([]Page, 3)
+	for i := range pages {
+		pages[i].Frame = i
+		q.EnqueueTail(&pages[i])
+	}
+	if p := q.DequeueTail(); p.Frame != 2 {
+		t.Fatalf("tail = %d, want 2", p.Frame)
+	}
+	if p := q.DequeueTail(); p.Frame != 1 {
+		t.Fatalf("tail = %d, want 1", p.Frame)
+	}
+	if p := q.DequeueTail(); p.Frame != 0 {
+		t.Fatalf("tail = %d, want 0", p.Frame)
+	}
+	if q.DequeueTail() != nil {
+		t.Fatal("empty DequeueTail returned page")
+	}
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	q := NewQueue("q")
+	pages := make([]Page, 3)
+	for i := range pages {
+		pages[i].Frame = i
+		q.EnqueueTail(&pages[i])
+	}
+	q.Remove(&pages[1])
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.DequeueHead().Frame != 0 || q.DequeueHead().Frame != 2 {
+		t.Fatal("wrong order after Remove")
+	}
+}
+
+func TestRemoveHeadAndTail(t *testing.T) {
+	q := NewQueue("q")
+	pages := make([]Page, 3)
+	for i := range pages {
+		pages[i].Frame = i
+		q.EnqueueTail(&pages[i])
+	}
+	q.Remove(&pages[0])
+	q.Remove(&pages[2])
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 1 || q.Head() != &pages[1] || q.Tail() != &pages[1] {
+		t.Fatal("head/tail wrong after removing ends")
+	}
+}
+
+func TestDoubleEnqueuePanics(t *testing.T) {
+	q1, q2 := NewQueue("a"), NewQueue("b")
+	var p Page
+	q1.EnqueueTail(&p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double enqueue did not panic")
+		}
+	}()
+	q2.EnqueueTail(&p)
+}
+
+func TestRemoveFromWrongQueuePanics(t *testing.T) {
+	q1, q2 := NewQueue("a"), NewQueue("b")
+	var p Page
+	q1.EnqueueTail(&p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove from wrong queue did not panic")
+		}
+	}()
+	q2.Remove(&p)
+}
+
+func TestInQueue(t *testing.T) {
+	q1, q2 := NewQueue("a"), NewQueue("b")
+	var p Page
+	q1.EnqueueTail(&p)
+	if !p.InQueue(q1) || p.InQueue(q2) {
+		t.Fatal("InQueue mismatch")
+	}
+}
+
+func TestEachStopsEarly(t *testing.T) {
+	q := NewQueue("q")
+	pages := make([]Page, 5)
+	for i := range pages {
+		q.EnqueueTail(&pages[i])
+	}
+	n := 0
+	q.Each(func(*Page) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("visited %d, want 3", n)
+	}
+}
+
+func TestFindMinMax(t *testing.T) {
+	q := NewQueue("q")
+	pages := make([]Page, 4)
+	access := []int64{30, 10, 40, 20}
+	for i := range pages {
+		pages[i].Frame = i
+		pages[i].LastAccess = simtime.Time(access[i])
+		q.EnqueueTail(&pages[i])
+	}
+	min := q.FindMin(func(p *Page) int64 { return int64(p.LastAccess) })
+	max := q.FindMax(func(p *Page) int64 { return int64(p.LastAccess) })
+	if min.Frame != 1 {
+		t.Fatalf("min frame = %d, want 1", min.Frame)
+	}
+	if max.Frame != 2 {
+		t.Fatalf("max frame = %d, want 2", max.Frame)
+	}
+	empty := NewQueue("e")
+	if empty.FindMin(func(p *Page) int64 { return 0 }) != nil {
+		t.Fatal("FindMin on empty queue not nil")
+	}
+}
+
+func TestFrameTableAllocFree(t *testing.T) {
+	ft := NewFrameTable(8, 4096, false)
+	if ft.Frames() != 8 || ft.FreeCount() != 8 || ft.PageSize() != 4096 {
+		t.Fatalf("table shape wrong: %d/%d/%d", ft.Frames(), ft.FreeCount(), ft.PageSize())
+	}
+	p := ft.Alloc()
+	if p == nil || ft.FreeCount() != 7 {
+		t.Fatal("Alloc failed")
+	}
+	if p.AllocSeq == 0 {
+		t.Fatal("AllocSeq not stamped")
+	}
+	p.Object = 42
+	p.Modified = true
+	ft.Free(p)
+	if ft.FreeCount() != 8 {
+		t.Fatal("Free did not return frame")
+	}
+	if p.Object != 0 || p.Modified {
+		t.Fatal("Free did not clear identity")
+	}
+}
+
+func TestFrameTableExhaustion(t *testing.T) {
+	ft := NewFrameTable(2, 4096, false)
+	a, b := ft.Alloc(), ft.Alloc()
+	if a == nil || b == nil {
+		t.Fatal("allocations failed")
+	}
+	if ft.Alloc() != nil {
+		t.Fatal("over-allocation succeeded")
+	}
+	if a.AllocSeq >= b.AllocSeq {
+		t.Fatal("AllocSeq not increasing")
+	}
+}
+
+func TestFrameTableDataBuffers(t *testing.T) {
+	ft := NewFrameTable(1, 64, true)
+	p := ft.Alloc()
+	if len(p.Data) != 64 {
+		t.Fatalf("Data len = %d, want 64", len(p.Data))
+	}
+	p.Data[0] = 0xFF
+	ft.Free(p)
+	p2 := ft.Alloc()
+	if p2.Data[0] != 0 {
+		t.Fatal("Free did not zero data")
+	}
+}
+
+func TestAllocN(t *testing.T) {
+	ft := NewFrameTable(5, 4096, false)
+	got := ft.AllocN(3)
+	if len(got) != 3 || ft.FreeCount() != 2 {
+		t.Fatalf("AllocN(3) gave %d, free %d", len(got), ft.FreeCount())
+	}
+	got = ft.AllocN(10)
+	if len(got) != 2 || ft.FreeCount() != 0 {
+		t.Fatalf("AllocN(10) gave %d, free %d", len(got), ft.FreeCount())
+	}
+}
+
+func TestFreeWhileQueuedPanics(t *testing.T) {
+	ft := NewFrameTable(1, 4096, false)
+	p := ft.Alloc()
+	q := NewQueue("q")
+	q.EnqueueTail(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free of queued page did not panic")
+		}
+	}()
+	ft.Free(p)
+}
+
+func TestConservationDetectsLoss(t *testing.T) {
+	ft := NewFrameTable(4, 4096, false)
+	q := NewQueue("owned")
+	p := ft.Alloc()
+	q.EnqueueTail(p)
+	// One frame allocated but reported in neither queues nor loose: error.
+	p2 := ft.Alloc()
+	if err := ft.Conservation([]*Queue{q}, nil); err == nil {
+		t.Fatal("Conservation missed a lost frame")
+	}
+	if err := ft.Conservation([]*Queue{q}, map[*Page]bool{p2: true}); err != nil {
+		t.Fatalf("Conservation false positive: %v", err)
+	}
+}
+
+func TestConservationDetectsDuplicate(t *testing.T) {
+	ft := NewFrameTable(2, 4096, false)
+	q := NewQueue("owned")
+	p := ft.Alloc()
+	q.EnqueueTail(p)
+	if err := ft.Conservation([]*Queue{q}, map[*Page]bool{p: true}); err == nil {
+		t.Fatal("Conservation missed a duplicate accounting")
+	}
+}
+
+// Property: arbitrary sequences of queue operations preserve page
+// conservation and structural validity.
+func TestPropertyQueueOps(t *testing.T) {
+	f := func(seed int64, opsCount uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const frames = 16
+		ft := NewFrameTable(frames, 4096, false)
+		qs := []*Queue{NewQueue("a"), NewQueue("b"), NewQueue("c")}
+		loose := map[*Page]bool{}
+		for op := 0; op < int(opsCount)+20; op++ {
+			switch rng.Intn(6) {
+			case 0: // alloc to random queue
+				if p := ft.Alloc(); p != nil {
+					qs[rng.Intn(len(qs))].EnqueueTail(p)
+				}
+			case 1: // move head between queues
+				src := qs[rng.Intn(len(qs))]
+				if p := src.DequeueHead(); p != nil {
+					qs[rng.Intn(len(qs))].EnqueueHead(p)
+				}
+			case 2: // move tail between queues
+				src := qs[rng.Intn(len(qs))]
+				if p := src.DequeueTail(); p != nil {
+					qs[rng.Intn(len(qs))].EnqueueTail(p)
+				}
+			case 3: // free a head
+				src := qs[rng.Intn(len(qs))]
+				if p := src.DequeueHead(); p != nil {
+					ft.Free(p)
+				}
+			case 4: // detach into loose set
+				src := qs[rng.Intn(len(qs))]
+				if p := src.DequeueHead(); p != nil {
+					loose[p] = true
+				}
+			case 5: // reattach a loose page
+				for p := range loose {
+					delete(loose, p)
+					qs[rng.Intn(len(qs))].EnqueueTail(p)
+					break
+				}
+			}
+		}
+		for _, q := range qs {
+			if q.Validate() != nil {
+				return false
+			}
+		}
+		return ft.Conservation(qs, loose) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEachReverse(t *testing.T) {
+	q := NewQueue("q")
+	pages := make([]Page, 4)
+	for i := range pages {
+		pages[i].Frame = i
+		q.EnqueueTail(&pages[i])
+	}
+	var got []int
+	q.EachReverse(func(p *Page) bool { got = append(got, p.Frame); return true })
+	for i, v := range got {
+		if v != 3-i {
+			t.Fatalf("reverse order = %v", got)
+		}
+	}
+	n := 0
+	q.EachReverse(func(*Page) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestMoveToTail(t *testing.T) {
+	q := NewQueue("q")
+	pages := make([]Page, 3)
+	for i := range pages {
+		pages[i].Frame = i
+		q.EnqueueTail(&pages[i])
+	}
+	q.MoveToTail(&pages[0])
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Tail() != &pages[0] || q.Head() != &pages[1] {
+		t.Fatal("MoveToTail order wrong")
+	}
+	// Moving the tail is a no-op.
+	q.MoveToTail(&pages[0])
+	if q.Tail() != &pages[0] || q.Len() != 3 {
+		t.Fatal("MoveToTail of tail broke the queue")
+	}
+}
+
+func TestMoveToTailWrongQueuePanics(t *testing.T) {
+	q1, q2 := NewQueue("a"), NewQueue("b")
+	var p Page
+	q1.EnqueueTail(&p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MoveToTail across queues did not panic")
+		}
+	}()
+	q2.MoveToTail(&p)
+}
+
+func TestFrameTablePageAccessor(t *testing.T) {
+	ft := NewFrameTable(4, 4096, false)
+	if ft.Page(2).Frame != 2 {
+		t.Fatal("Page accessor wrong")
+	}
+}

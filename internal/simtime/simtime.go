@@ -1,0 +1,206 @@
+// Package simtime provides the deterministic virtual time base used by the
+// simulated kernel: a monotonic clock measured in nanoseconds plus a
+// discrete-event queue of scheduled callbacks (pageout-daemon wakeups,
+// security-checker wakeups, disk completions).
+//
+// All kernel activity is serialized on one Clock, which makes every
+// experiment in this repository bit-for-bit reproducible: elapsed times
+// reported by the harness are virtual nanoseconds accumulated from the
+// calibrated cost constants, not wall-clock measurements.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute virtual time in nanoseconds since kernel boot.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts freely to
+// and from time.Duration (which is also nanoseconds).
+type Duration = time.Duration
+
+// String formats the time as a duration since boot.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Event is a scheduled callback. Events fire in timestamp order; events with
+// equal timestamps fire in scheduling order (FIFO), which keeps the
+// simulation deterministic.
+type Event struct {
+	when     Time
+	seq      uint64
+	fn       func(now Time)
+	index    int // heap index, -1 once removed
+	canceled bool
+}
+
+// When reports the virtual time at which the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// eventHeap implements heap.Interface ordered by (when, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a virtual clock with an attached discrete-event queue.
+// The zero value is not usable; call NewClock.
+type Clock struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// dispatching guards against RunUntil re-entrancy from callbacks.
+	dispatching bool
+}
+
+// NewClock returns a clock positioned at time zero with an empty queue.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d, firing any events that become due.
+// Advancing by a negative duration panics: the clock is monotonic.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative advance %v", d))
+	}
+	c.RunUntil(c.now.Add(d))
+}
+
+// Sleep is an alias for Advance; it reads better at call sites that model a
+// blocking delay (e.g. a synchronous disk read).
+func (c *Clock) Sleep(d Duration) { c.Advance(d) }
+
+// After schedules fn to run d from now and returns the event handle, which
+// may be used to Cancel it. fn runs with the clock set to its fire time.
+func (c *Clock) After(d Duration, fn func(now Time)) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", d))
+	}
+	return c.At(c.now.Add(d), fn)
+}
+
+// At schedules fn at absolute time t (>= Now) and returns the event handle.
+func (c *Clock) At(t Time, fn func(now Time)) *Event {
+	if t < c.now {
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", t, c.now))
+	}
+	if fn == nil {
+		panic("simtime: nil event callback")
+	}
+	e := &Event{when: t, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, e)
+	return e
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op. It reports whether the event was
+// pending.
+func (c *Clock) Cancel(e *Event) bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	heap.Remove(&c.events, e.index)
+	return true
+}
+
+// Pending reports the number of scheduled (not yet fired) events.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// RunUntil fires all events scheduled at or before t, in order, then sets
+// the clock to t. Callbacks may schedule further events; those are honored
+// if they fall within the window. A nested call from within an event
+// callback (e.g. a callback that charges simulated CPU time) only moves the
+// clock forward; newly due events fire when control returns to the outer
+// dispatch loop or on the next top-level advance.
+func (c *Clock) RunUntil(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("simtime: RunUntil %v before now %v", t, c.now))
+	}
+	if c.dispatching {
+		c.now = t
+		return
+	}
+	c.dispatching = true
+	defer func() { c.dispatching = false }()
+	for len(c.events) > 0 && c.events[0].when <= t {
+		e := heap.Pop(&c.events).(*Event)
+		// A nested advance inside a callback may already have moved the
+		// clock past this event's timestamp; never step backwards.
+		if e.when > c.now {
+			c.now = e.when
+		}
+		e.fn(c.now)
+	}
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// RunNext fires the single earliest pending event (advancing the clock to
+// its timestamp) and reports whether one existed. Useful for draining a
+// simulation to quiescence.
+func (c *Clock) RunNext() bool {
+	if c.dispatching {
+		panic("simtime: RunNext called re-entrantly from an event callback")
+	}
+	if len(c.events) == 0 {
+		return false
+	}
+	c.dispatching = true
+	e := heap.Pop(&c.events).(*Event)
+	if e.when > c.now {
+		c.now = e.when
+	}
+	e.fn(c.now)
+	c.dispatching = false
+	return true
+}
+
+// Drain runs events until the queue is empty or limit events have fired.
+// It returns the number of events fired. A limit of 0 means no limit.
+func (c *Clock) Drain(limit int) int {
+	fired := 0
+	for c.RunNext() {
+		fired++
+		if limit > 0 && fired >= limit {
+			break
+		}
+	}
+	return fired
+}

@@ -1,0 +1,291 @@
+package simtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestAdvanceMovesClock(t *testing.T) {
+	c := NewClock()
+	c.Advance(5 * time.Millisecond)
+	if got := c.Now(); got != Time(5*time.Millisecond) {
+		t.Fatalf("Now() = %v, want 5ms", got)
+	}
+	c.Advance(0)
+	if got := c.Now(); got != Time(5*time.Millisecond) {
+		t.Fatalf("Now() after zero advance = %v, want 5ms", got)
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestAfterFiresAtDeadline(t *testing.T) {
+	c := NewClock()
+	var firedAt Time = -1
+	c.After(10*time.Microsecond, func(now Time) { firedAt = now })
+	c.Advance(9 * time.Microsecond)
+	if firedAt != -1 {
+		t.Fatalf("event fired early at %v", firedAt)
+	}
+	c.Advance(1 * time.Microsecond)
+	if firedAt != Time(10*time.Microsecond) {
+		t.Fatalf("event fired at %v, want 10µs", firedAt)
+	}
+}
+
+func TestEventsFireInTimestampOrder(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.After(30, func(Time) { order = append(order, 3) })
+	c.After(10, func(Time) { order = append(order, 1) })
+	c.After(20, func(Time) { order = append(order, 2) })
+	c.Advance(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.After(5, func(Time) { order = append(order, i) })
+	}
+	c.Advance(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-timestamp order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := NewClock()
+	fired := false
+	e := c.After(10, func(Time) { fired = true })
+	if !c.Cancel(e) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if c.Cancel(e) {
+		t.Fatal("second Cancel returned true")
+	}
+	c.Advance(20)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelNilIsNoop(t *testing.T) {
+	c := NewClock()
+	if c.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestCallbackMaySchedule(t *testing.T) {
+	c := NewClock()
+	var fires []Time
+	var reschedule func(now Time)
+	reschedule = func(now Time) {
+		fires = append(fires, now)
+		if len(fires) < 5 {
+			c.After(10, reschedule)
+		}
+	}
+	c.After(10, reschedule)
+	c.Advance(100)
+	if len(fires) != 5 {
+		t.Fatalf("got %d fires, want 5", len(fires))
+	}
+	for i, ft := range fires {
+		if want := Time(10 * (i + 1)); ft != want {
+			t.Fatalf("fire %d at %v, want %v", i, ft, want)
+		}
+	}
+}
+
+func TestCallbackSchedulingBeyondWindowDeferred(t *testing.T) {
+	c := NewClock()
+	fired := false
+	c.After(10, func(Time) {
+		c.After(100, func(Time) { fired = true })
+	})
+	c.Advance(50)
+	if fired {
+		t.Fatal("event beyond window fired early")
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", c.Pending())
+	}
+	c.Advance(60)
+	if !fired {
+		t.Fatal("deferred event never fired")
+	}
+}
+
+func TestRunNext(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.After(20, func(Time) { order = append(order, 2) })
+	c.After(10, func(Time) { order = append(order, 1) })
+	if !c.RunNext() {
+		t.Fatal("RunNext returned false with pending events")
+	}
+	if c.Now() != 10 {
+		t.Fatalf("Now() = %v after RunNext, want 10", c.Now())
+	}
+	if !c.RunNext() || c.RunNext() {
+		t.Fatal("RunNext drain mismatch")
+	}
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDrainLimit(t *testing.T) {
+	c := NewClock()
+	count := 0
+	for i := 0; i < 10; i++ {
+		c.After(Duration(i+1), func(Time) { count++ })
+	}
+	if fired := c.Drain(3); fired != 3 {
+		t.Fatalf("Drain(3) = %d, want 3", fired)
+	}
+	if fired := c.Drain(0); fired != 7 {
+		t.Fatalf("Drain(0) = %d, want 7", fired)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestClockTimeVisibleInsideCallback(t *testing.T) {
+	c := NewClock()
+	c.After(42, func(now Time) {
+		if c.Now() != 42 || now != 42 {
+			t.Errorf("inside callback Now()=%v now=%v, want 42", c.Now(), now)
+		}
+	})
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", c.Now())
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	c.At(50, func(Time) {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	c := NewClock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After with nil callback did not panic")
+		}
+	}()
+	c.After(1, nil)
+}
+
+// Property: for any set of random delays, events fire exactly once each, in
+// nondecreasing timestamp order, and the clock ends at the max horizon.
+func TestPropertyRandomSchedulesFireInOrder(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewClock()
+		count := int(n%64) + 1
+		delays := make([]int64, count)
+		var fires []Time
+		for i := 0; i < count; i++ {
+			delays[i] = rng.Int63n(1000)
+			c.After(Duration(delays[i]), func(now Time) { fires = append(fires, now) })
+		}
+		c.Advance(1000)
+		if len(fires) != count {
+			return false
+		}
+		if !sort.SliceIsSorted(fires, func(i, j int) bool { return fires[i] < fires[j] }) {
+			return false
+		}
+		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		for i, d := range delays {
+			if fires[i] != Time(d) {
+				return false
+			}
+		}
+		return c.Now() == Time(1000)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling a random subset of events prevents exactly those from
+// firing.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewClock()
+		count := int(n%32) + 2
+		fired := make([]bool, count)
+		evs := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			i := i
+			evs[i] = c.After(Duration(rng.Int63n(100)), func(Time) { fired[i] = true })
+		}
+		cancel := make([]bool, count)
+		for i := range cancel {
+			cancel[i] = rng.Intn(2) == 0
+			if cancel[i] {
+				c.Cancel(evs[i])
+			}
+		}
+		c.Advance(200)
+		for i := range fired {
+			if fired[i] == cancel[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(100)
+	if a.Add(50) != Time(150) {
+		t.Fatal("Add")
+	}
+	if a.Sub(Time(40)) != Duration(60) {
+		t.Fatal("Sub")
+	}
+	if Time(time.Second).String() != "1s" {
+		t.Fatalf("String() = %q", Time(time.Second).String())
+	}
+}

@@ -1,0 +1,326 @@
+// Package trace records, serializes, replays and analyzes page-reference
+// traces. It gives the repository an apples-to-apples way to compare HiPEC
+// policies against each other and against Belady's optimal replacement
+// (OPT/MIN), which no online policy can beat — the natural yardstick for
+// "did the application-specific policy get close to the best possible?".
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hipec/internal/vm"
+	"hipec/internal/workload"
+)
+
+// Record is one page reference.
+type Record struct {
+	Page  int64
+	Write bool
+}
+
+// Trace is a page-reference string over a region of Pages pages.
+type Trace struct {
+	Pages   int64
+	Records []Record
+}
+
+// FromGenerator captures n references from a workload generator.
+func FromGenerator(gen workload.Generator, n int) *Trace {
+	t := &Trace{Pages: gen.Pages(), Records: make([]Record, 0, n)}
+	for i := 0; i < n; i++ {
+		a := gen.Next()
+		t.Records = append(t.Records, Record{Page: a.Page, Write: a.Write})
+	}
+	return t
+}
+
+// Join builds the §5.3 nested-loop join reference string: Loops sequential
+// sweeps over the outer table's pages.
+func Join(cfg workload.JoinConfig) *Trace {
+	pages := cfg.OuterPages()
+	loops := cfg.Loops()
+	t := &Trace{Pages: pages, Records: make([]Record, 0, int(pages)*loops)}
+	for l := 0; l < loops; l++ {
+		for p := int64(0); p < pages; p++ {
+			t.Records = append(t.Records, Record{Page: p})
+		}
+	}
+	return t
+}
+
+// Len reports the number of references.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// WriteTo serializes the trace in a simple line format:
+//
+//	pages <N>
+//	r <page> | w <page>
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := 0
+	k, err := fmt.Fprintf(bw, "pages %d\n", t.Pages)
+	n += k
+	if err != nil {
+		return int64(n), err
+	}
+	for _, r := range t.Records {
+		op := "r"
+		if r.Write {
+			op = "w"
+		}
+		k, err := fmt.Fprintf(bw, "%s %d\n", op, r.Page)
+		n += k
+		if err != nil {
+			return int64(n), err
+		}
+	}
+	return int64(n), bw.Flush()
+}
+
+// Read parses a serialized trace.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	t := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want two fields, got %q", line, text)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		switch fields[0] {
+		case "pages":
+			t.Pages = v
+		case "r":
+			t.Records = append(t.Records, Record{Page: v})
+		case "w":
+			t.Records = append(t.Records, Record{Page: v, Write: true})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t.Pages == 0 {
+		return nil, fmt.Errorf("trace: missing pages header")
+	}
+	for i, r := range t.Records {
+		if r.Page < 0 || r.Page >= t.Pages {
+			return nil, fmt.Errorf("trace: record %d references page %d outside [0,%d)", i, r.Page, t.Pages)
+		}
+	}
+	return t, nil
+}
+
+// Replay drives the trace against a mapped region, returning the fault
+// count it induced.
+func Replay(sp *vm.AddressSpace, e *vm.MapEntry, t *Trace) (int64, error) {
+	ps := int64(4096)
+	f0 := sp.Stats.Faults
+	for i, r := range t.Records {
+		addr := e.Start + r.Page*ps
+		var err error
+		if r.Write {
+			_, err = sp.Write(addr)
+		} else {
+			_, err = sp.Touch(addr)
+		}
+		if err != nil {
+			return sp.Stats.Faults - f0, fmt.Errorf("trace: replay record %d: %w", i, err)
+		}
+	}
+	return sp.Stats.Faults - f0, nil
+}
+
+// OPT computes the fault count of Belady's optimal (MIN) replacement with
+// the given number of frames: on a miss with a full cache, evict the
+// resident page whose next use is farthest in the future. O(n log n).
+func OPT(t *Trace, frames int) int64 {
+	if frames <= 0 {
+		return int64(len(t.Records))
+	}
+	n := len(t.Records)
+	// nextUse[i] = index of the next reference to the same page, or n.
+	nextUse := make([]int, n)
+	last := make(map[int64]int, t.Pages)
+	for i := n - 1; i >= 0; i-- {
+		p := t.Records[i].Page
+		if j, ok := last[p]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = n
+		}
+		last[p] = i
+	}
+	// Max-heap of (nextUse, page) for resident pages; lazy deletion.
+	type entry struct {
+		next int
+		page int64
+	}
+	heap := make([]entry, 0, frames+1)
+	push := func(e entry) {
+		heap = append(heap, e)
+		i := len(heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if heap[parent].next >= heap[i].next {
+				break
+			}
+			heap[parent], heap[i] = heap[i], heap[parent]
+			i = parent
+		}
+	}
+	pop := func() entry {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(heap) && heap[l].next > heap[big].next {
+				big = l
+			}
+			if r < len(heap) && heap[r].next > heap[big].next {
+				big = r
+			}
+			if big == i {
+				break
+			}
+			heap[i], heap[big] = heap[big], heap[i]
+			i = big
+		}
+		return top
+	}
+
+	resident := make(map[int64]int, frames) // page -> its current nextUse
+	var faults int64
+	for i, r := range t.Records {
+		if nu, ok := resident[r.Page]; ok {
+			_ = nu
+			resident[r.Page] = nextUse[i]
+			push(entry{next: nextUse[i], page: r.Page})
+			continue
+		}
+		faults++
+		if len(resident) >= frames {
+			// Evict the resident page with the farthest next use,
+			// skipping stale heap entries.
+			for {
+				e := pop()
+				if cur, ok := resident[e.page]; ok && cur == e.next {
+					delete(resident, e.page)
+					break
+				}
+			}
+		}
+		resident[r.Page] = nextUse[i]
+		push(entry{next: nextUse[i], page: r.Page})
+	}
+	return faults
+}
+
+// LRU computes the fault count of exact LRU with the given frames using a
+// standard recency list simulation. O(n) with map + intrusive order index.
+func LRU(t *Trace, frames int) int64 {
+	if frames <= 0 {
+		return int64(len(t.Records))
+	}
+	type node struct {
+		page       int64
+		prev, next *node
+	}
+	var head, tail *node // head = MRU, tail = LRU
+	nodes := make(map[int64]*node, frames)
+	unlink := func(nd *node) {
+		if nd.prev != nil {
+			nd.prev.next = nd.next
+		} else {
+			head = nd.next
+		}
+		if nd.next != nil {
+			nd.next.prev = nd.prev
+		} else {
+			tail = nd.prev
+		}
+		nd.prev, nd.next = nil, nil
+	}
+	pushFront := func(nd *node) {
+		nd.next = head
+		if head != nil {
+			head.prev = nd
+		}
+		head = nd
+		if tail == nil {
+			tail = nd
+		}
+	}
+	var faults int64
+	for _, r := range t.Records {
+		if nd, ok := nodes[r.Page]; ok {
+			unlink(nd)
+			pushFront(nd)
+			continue
+		}
+		faults++
+		if len(nodes) >= frames {
+			victim := tail
+			unlink(victim)
+			delete(nodes, victim.page)
+		}
+		nd := &node{page: r.Page}
+		nodes[r.Page] = nd
+		pushFront(nd)
+	}
+	return faults
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	References  int
+	UniquePages int64
+	Writes      int
+	// ReuseP50/P90 are median and 90th-percentile reuse distances
+	// (references between consecutive uses of the same page; -1 if no
+	// page is reused).
+	ReuseP50, ReuseP90 int
+}
+
+// Analyze computes summary statistics.
+func Analyze(t *Trace) Stats {
+	s := Stats{References: len(t.Records), ReuseP50: -1, ReuseP90: -1}
+	lastSeen := make(map[int64]int)
+	var reuse []int
+	for i, r := range t.Records {
+		if r.Write {
+			s.Writes++
+		}
+		if j, ok := lastSeen[r.Page]; ok {
+			reuse = append(reuse, i-j)
+		}
+		lastSeen[r.Page] = i
+	}
+	s.UniquePages = int64(len(lastSeen))
+	if len(reuse) > 0 {
+		sort.Ints(reuse)
+		s.ReuseP50 = reuse[len(reuse)/2]
+		s.ReuseP90 = reuse[len(reuse)*9/10]
+	}
+	return s
+}

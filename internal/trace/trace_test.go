@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hipec/internal/core"
+	"hipec/internal/policies"
+	"hipec/internal/workload"
+)
+
+func seqTrace(pages int64, sweeps int) *Trace {
+	t := &Trace{Pages: pages}
+	for s := 0; s < sweeps; s++ {
+		for p := int64(0); p < pages; p++ {
+			t.Records = append(t.Records, Record{Page: p})
+		}
+	}
+	return t
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tr := FromGenerator(workload.NewRandom(64, 0.3, 7), 500)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pages != tr.Pages || len(got.Records) != len(tr.Records) {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.Pages, len(got.Records), tr.Pages, len(tr.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                     // no header
+		"r 5\n",                // no pages
+		"pages 4\nx 1\n",       // bad op
+		"pages 4\nr 9\n",       // out of range
+		"pages 4\nr\n",         // missing field
+		"pages 4\nr notanum\n", // bad number
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestReadSkipsComments(t *testing.T) {
+	tr, err := Read(strings.NewReader("# header\npages 4\n\nr 1\nw 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2 || !tr.Records[1].Write {
+		t.Fatalf("records = %+v", tr.Records)
+	}
+}
+
+func TestOPTOnSequentialCycle(t *testing.T) {
+	// 10 pages, 3 sweeps, 5 frames. OPT (keep a prefix) faults:
+	// 10 cold + 2*(10-5+1)... known closed form for cyclic: per extra
+	// sweep N-F+1 misses is LRU-opt... compute a trusted small case by
+	// brute reasoning: verify bounds instead of exact constants, plus
+	// OPT <= LRU always, and OPT == cold faults when it fits.
+	tr := seqTrace(10, 3)
+	opt := OPT(tr, 5)
+	lru := LRU(tr, 5)
+	if opt < 10 {
+		t.Fatalf("OPT %d below cold faults", opt)
+	}
+	if lru != 30 {
+		t.Fatalf("LRU on cyclic scan should fault every reference: %d", lru)
+	}
+	if opt >= lru {
+		t.Fatalf("OPT %d not better than LRU %d", opt, lru)
+	}
+	// Fits in memory: only cold faults.
+	if got := OPT(tr, 10); got != 10 {
+		t.Fatalf("OPT with full residency = %d, want 10", got)
+	}
+	if got := LRU(tr, 10); got != 10 {
+		t.Fatalf("LRU with full residency = %d, want 10", got)
+	}
+}
+
+func TestOPTNeverWorseThanLRUProperty(t *testing.T) {
+	f := func(seed int64, framesRaw uint8) bool {
+		frames := int(framesRaw%16) + 1
+		tr := FromGenerator(workload.NewRandom(32, 0, seed), 400)
+		return OPT(tr, frames) <= LRU(tr, frames)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOPTMonotoneInFrames(t *testing.T) {
+	tr := FromGenerator(workload.NewZipf(64, 1.3, 5), 2000)
+	prev := int64(1 << 62)
+	for _, frames := range []int{1, 2, 4, 8, 16, 32, 64} {
+		got := OPT(tr, frames)
+		if got > prev {
+			t.Fatalf("OPT not monotone: %d frames -> %d faults (prev %d)", frames, got, prev)
+		}
+		prev = got
+	}
+}
+
+// The join trace analytics: MRU's closed-form fault count must be close to
+// OPT's (MRU is near-optimal for cyclic scans; both keep a resident
+// prefix).
+func TestJoinMRUNearOPT(t *testing.T) {
+	cfg := workload.JoinConfig{
+		InnerBytes: 4 << 10, OuterBytes: 60 << 20 / 1024,
+		TupleSize: 64, PageSize: 4096, MemBytes: 40 << 20 / 1024,
+	}
+	tr := Join(cfg)
+	frames := int(cfg.MemBytes / 4096)
+	opt := OPT(tr, frames)
+	pfm := cfg.MRUPageFaults()
+	// The paper's PF_m idealizes a fixed resident prefix of all F frames
+	// with no rotation frame — slightly below even Belady's optimum
+	// (whose cyclic-scan hit ratio is (F-1)/(N-1)). So PF_m lower-bounds
+	// OPT, and OPT stays within one extra fault per sweep of it.
+	if opt < pfm {
+		t.Fatalf("OPT %d below the PF_m idealization %d — OPT implementation bug", opt, pfm)
+	}
+	if opt > pfm+int64(cfg.Loops()) {
+		t.Fatalf("OPT %d too far above PF_m %d", opt, pfm)
+	}
+	// And LRU catastrophically worse.
+	if lru := LRU(tr, frames); lru != cfg.LRUPageFaults() {
+		t.Fatalf("trace LRU %d != analytic %d", lru, cfg.LRUPageFaults())
+	}
+}
+
+// Replaying a trace through the kernel with the LRU policy must produce
+// exactly the fault count the standalone LRU simulator predicts.
+func TestReplayMatchesSimulator(t *testing.T) {
+	tr := FromGenerator(workload.NewRandom(64, 0.2, 11), 1500)
+	const pool = 16
+	k := core.New(core.Config{Frames: 512})
+	sp := k.NewSpace()
+	e, c, err := k.AllocateHiPEC(sp, tr.Pages*4096, policies.LRU(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults, err := Replay(sp, e, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LRU(tr, pool)
+	if faults != want {
+		t.Fatalf("kernel LRU faults %d, simulator says %d", faults, want)
+	}
+	if c.State() != core.StateActive {
+		t.Fatal(c.TerminationReason())
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	tr := &Trace{Pages: 8, Records: []Record{
+		{Page: 0}, {Page: 1, Write: true}, {Page: 0}, {Page: 2}, {Page: 0},
+	}}
+	s := Analyze(tr)
+	if s.References != 5 || s.UniquePages != 3 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ReuseP50 != 2 {
+		t.Fatalf("ReuseP50 = %d", s.ReuseP50)
+	}
+	empty := Analyze(&Trace{Pages: 4})
+	if empty.ReuseP50 != -1 {
+		t.Fatal("empty trace reuse should be -1")
+	}
+}
+
+func TestZeroFrameEdge(t *testing.T) {
+	tr := seqTrace(4, 2)
+	if OPT(tr, 0) != int64(len(tr.Records)) || LRU(tr, 0) != int64(len(tr.Records)) {
+		t.Fatal("zero frames must fault on every reference")
+	}
+}

@@ -1,0 +1,548 @@
+// Package vm implements the Mach-3.0-like virtual memory substrate that
+// HiPEC plugs into: address spaces made of map entries, VM objects with
+// resident-page tables, and the page-fault state machine.
+//
+// The design mirrors the structures named in the paper: a VM object
+// "represents a segment of virtual memory region that can be a memory-mapped
+// data file or a segment of address space with the same protection
+// attributes" (§4.1), the region (map entry) is the unit of specific
+// control (§3), and page replacement is delegated to a Policy — either the
+// default pageout daemon (package pageout) or a HiPEC container
+// (package core).
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"hipec/internal/disk"
+	"hipec/internal/mem"
+	"hipec/internal/simtime"
+)
+
+// Costs are the calibrated CPU costs charged to the virtual clock by the VM
+// layer. Defaults reproduce the paper's testbed (see DESIGN.md §4).
+type Costs struct {
+	// FaultService is the base cost of the kernel fault path exclusive of
+	// disk I/O and policy execution. Calibrated from Table 3:
+	// 4016.5 ms / 10240 faults ≈ 392 µs.
+	FaultService time.Duration
+	// MemAccess is the cost charged for a resident (non-faulting) access.
+	MemAccess time.Duration
+	// RegionCheck is the extra cost added to every fault when the kernel
+	// is built with HiPEC support (the "checking statements ... to decide
+	// whether the faulted virtual address is located in the regions
+	// controlled by the specific applications", §5.2).
+	RegionCheck time.Duration
+}
+
+// DefaultCosts returns the calibration documented in EXPERIMENTS.md.
+func DefaultCosts() Costs {
+	return Costs{
+		FaultService: 392 * time.Microsecond,
+		MemAccess:    0,
+		RegionCheck:  200 * time.Nanosecond,
+	}
+}
+
+// Stats counts VM activity for one System.
+type Stats struct {
+	Accesses  int64
+	Hits      int64
+	Faults    int64
+	PageIns   int64 // faults served from backing store (disk read)
+	ZeroFills int64 // faults served by zero-fill
+	PageOuts  int64 // dirty pages written to backing store
+	Evictions int64 // resident pages detached by a policy
+}
+
+// Fault describes one page fault being serviced; it is handed to the
+// responsible Policy.
+type Fault struct {
+	Space  *AddressSpace
+	Entry  *MapEntry
+	Object *Object
+	Offset int64 // page-aligned offset within Object
+	Addr   int64 // faulting virtual address
+	Write  bool
+}
+
+// Policy decides page replacement for the regions it controls.
+//
+// PageFor must return a frame not attached to any object and not on any
+// queue; the fault handler installs it. Installed is called after the page
+// is resident so the policy can track it (e.g. place it on an active
+// queue). Release is called when the VM layer detaches a resident page on
+// object destruction; the policy must drop its references (dequeue) and
+// must NOT free the frame — the caller does.
+type Policy interface {
+	Name() string
+	PageFor(f *Fault) (*mem.Page, error)
+	Installed(f *Fault, p *mem.Page)
+	Release(p *mem.Page)
+}
+
+// ErrNoMemory is returned when a policy cannot produce a frame.
+var ErrNoMemory = errors.New("vm: out of page frames")
+
+// ErrBadAddress is returned for accesses outside any mapped region.
+var ErrBadAddress = errors.New("vm: address not mapped")
+
+// Pager is the external-memory-management interface (Mach EMM): a memory
+// object may be backed by a user-level pager instead of the kernel's
+// default store. DataRequest supplies page contents on page-in (returning
+// false for "zero fill"); DataReturn receives evicted contents on
+// page-out. Implementations charge their own costs (IPC, network, disk) to
+// the clock. See package emm.
+type Pager interface {
+	PagerName() string
+	DataRequest(obj uint64, off int64, dst []byte) (present bool, err error)
+	DataReturn(obj uint64, off int64, src []byte) error
+	PagerTerminate(obj uint64)
+}
+
+// Object is a Mach VM object: a pager-backed or zero-fill segment of data.
+type Object struct {
+	ID       uint64
+	Size     int64
+	ZeroFill bool  // anonymous memory: first touch zero-fills, no page-in
+	DiskBase int64 // block address of the object's first page on disk
+
+	resident map[int64]*mem.Page
+	sys      *System
+	// Policy optionally overrides the system default for every region
+	// mapping this object (HiPEC mounts a container here, mirroring the
+	// paper's container-under-VM-object design).
+	Policy Policy
+	// ExternalPager, when set, replaces the kernel's default store/disk
+	// backing for this object (the Mach external pager of §2/§4).
+	ExternalPager Pager
+}
+
+// Resident returns the resident page at offset, or nil.
+func (o *Object) Resident(off int64) *mem.Page { return o.resident[off] }
+
+// ResidentCount reports the number of resident pages.
+func (o *Object) ResidentCount() int { return len(o.resident) }
+
+// EachResident calls fn for every resident (offset, page) pair in
+// unspecified order; fn returning false stops the walk.
+func (o *Object) EachResident(fn func(off int64, p *mem.Page) bool) {
+	for off, p := range o.resident {
+		if !fn(off, p) {
+			return
+		}
+	}
+}
+
+// MapEntry is one contiguous mapped region of an address space.
+type MapEntry struct {
+	Start, End int64 // [Start, End) virtual byte range
+	Object     *Object
+	ObjOffset  int64 // offset into Object corresponding to Start
+	Wired      bool  // pages faulted through this entry are wired
+}
+
+// Contains reports whether addr falls inside the entry.
+func (e *MapEntry) Contains(addr int64) bool { return addr >= e.Start && addr < e.End }
+
+// Size returns the byte length of the region.
+func (e *MapEntry) Size() int64 { return e.End - e.Start }
+
+// AddressSpace is a task's virtual address space (Mach vm_map).
+type AddressSpace struct {
+	ID      int
+	sys     *System
+	entries []*MapEntry // sorted by Start, non-overlapping
+	nextVA  int64       // simple bump allocator for vm_allocate
+	Stats   Stats
+}
+
+// System owns physical memory, the paging device, all objects and spaces.
+type System struct {
+	Clock  *simtime.Clock
+	Frames *mem.FrameTable
+	Disk   *disk.Disk
+	Store  *disk.Store
+	Costs  Costs
+	Stats  Stats
+
+	defaultPolicy Policy
+	objects       map[uint64]*Object
+	nextObjID     uint64
+	nextSpaceID   int
+	nextDiskBase  int64
+}
+
+// Config configures a System.
+type Config struct {
+	Frames   int  // number of physical page frames
+	PageSize int  // bytes per page
+	KeepData bool // allocate and track page contents
+	Costs    Costs
+	Disk     disk.Params
+}
+
+// NewSystem builds the VM substrate on the given clock.
+func NewSystem(clock *simtime.Clock, cfg Config) *System {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.Frames <= 0 {
+		panic("vm: config needs a positive frame count")
+	}
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	if cfg.Disk == (disk.Params{}) {
+		cfg.Disk = disk.DefaultParams()
+	}
+	return &System{
+		Clock:   clock,
+		Frames:  mem.NewFrameTable(cfg.Frames, cfg.PageSize, cfg.KeepData),
+		Disk:    disk.New(clock, cfg.Disk),
+		Store:   disk.NewStore(cfg.PageSize, cfg.KeepData),
+		Costs:   cfg.Costs,
+		objects: make(map[uint64]*Object),
+	}
+}
+
+// PageSize returns the system page size.
+func (s *System) PageSize() int { return s.Frames.PageSize() }
+
+// SetDefaultPolicy installs the replacement policy used for regions without
+// a specific one (the Mach pageout daemon in this reproduction). It must be
+// called before the first fault on a default region.
+func (s *System) SetDefaultPolicy(p Policy) { s.defaultPolicy = p }
+
+// DefaultPolicy returns the installed default policy.
+func (s *System) DefaultPolicy() Policy { return s.defaultPolicy }
+
+// NewObject creates a VM object of size bytes (rounded up to whole pages).
+// zeroFill objects page in as zeroes; otherwise the object is backed by the
+// paging store at a fresh disk extent.
+func (s *System) NewObject(size int64, zeroFill bool) *Object {
+	if size <= 0 {
+		panic(fmt.Sprintf("vm: object size %d", size))
+	}
+	ps := int64(s.PageSize())
+	size = (size + ps - 1) / ps * ps
+	s.nextObjID++
+	o := &Object{
+		ID:       s.nextObjID,
+		Size:     size,
+		ZeroFill: zeroFill,
+		DiskBase: s.nextDiskBase,
+		resident: make(map[int64]*mem.Page),
+		sys:      s,
+	}
+	s.nextDiskBase += size / ps
+	s.objects[o.ID] = o
+	return o
+}
+
+// Object looks up an object by ID.
+func (s *System) Object(id uint64) *Object { return s.objects[id] }
+
+// NewSpace creates an empty address space.
+func (s *System) NewSpace() *AddressSpace {
+	s.nextSpaceID++
+	return &AddressSpace{ID: s.nextSpaceID, sys: s, nextVA: int64(s.PageSize())}
+}
+
+// Map maps object o at the lowest free address of the space and returns the
+// entry. This corresponds to vm_map() (file mapping) when o is store-backed
+// and vm_allocate() when o is zero-fill.
+func (sp *AddressSpace) Map(o *Object, objOffset, length int64) (*MapEntry, error) {
+	ps := int64(sp.sys.PageSize())
+	if objOffset%ps != 0 || length <= 0 {
+		return nil, fmt.Errorf("vm: bad mapping off=%d len=%d", objOffset, length)
+	}
+	length = (length + ps - 1) / ps * ps
+	if objOffset+length > o.Size {
+		return nil, fmt.Errorf("vm: mapping [%d,%d) exceeds object size %d", objOffset, objOffset+length, o.Size)
+	}
+	start := sp.nextVA
+	sp.nextVA += length + ps // one-page guard gap between regions
+	e := &MapEntry{Start: start, End: start + length, Object: o, ObjOffset: objOffset}
+	sp.entries = append(sp.entries, e)
+	sort.Slice(sp.entries, func(i, j int) bool { return sp.entries[i].Start < sp.entries[j].Start })
+	return e, nil
+}
+
+// Allocate is vm_allocate(): create and map fresh zero-fill memory.
+func (sp *AddressSpace) Allocate(length int64) (*MapEntry, error) {
+	o := sp.sys.NewObject(length, true)
+	return sp.Map(o, 0, length)
+}
+
+// Unmap removes a map entry from the space (vm_deallocate of the range).
+// The backing object and its resident pages are untouched; callers that
+// want the memory back destroy the object (or its container) separately.
+func (sp *AddressSpace) Unmap(e *MapEntry) error {
+	for i, cand := range sp.entries {
+		if cand == e {
+			sp.entries = append(sp.entries[:i], sp.entries[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("vm: entry [%#x,%#x) not mapped in this space", e.Start, e.End)
+}
+
+// Lookup finds the entry containing addr.
+func (sp *AddressSpace) Lookup(addr int64) (*MapEntry, bool) {
+	i := sort.Search(len(sp.entries), func(i int) bool { return sp.entries[i].End > addr })
+	if i < len(sp.entries) && sp.entries[i].Contains(addr) {
+		return sp.entries[i], true
+	}
+	return nil, false
+}
+
+// Entries returns the space's map entries (do not mutate).
+func (sp *AddressSpace) Entries() []*MapEntry { return sp.entries }
+
+// Touch performs a read access at addr. Write performs a write access.
+// Both return the page (resident afterwards) or an error.
+func (sp *AddressSpace) Touch(addr int64) (*mem.Page, error) { return sp.access(addr, false) }
+
+// Write performs a write access at addr.
+func (sp *AddressSpace) Write(addr int64) (*mem.Page, error) { return sp.access(addr, true) }
+
+// access is the core of the fault state machine.
+func (sp *AddressSpace) access(addr int64, write bool) (*mem.Page, error) {
+	s := sp.sys
+	sp.Stats.Accesses++
+	s.Stats.Accesses++
+	e, ok := sp.Lookup(addr)
+	if !ok {
+		return nil, fmt.Errorf("%w: %#x", ErrBadAddress, addr)
+	}
+	ps := int64(s.PageSize())
+	off := e.ObjOffset + (addr-e.Start)/ps*ps
+	if p := e.Object.resident[off]; p != nil {
+		// Resident: hardware sets reference (and modify) bits.
+		p.Referenced = true
+		if write {
+			p.Modified = true
+		}
+		p.LastAccess = s.Clock.Now()
+		if q := p.Queue(); q != nil && q.AccessOrder {
+			q.MoveToTail(p)
+		}
+		if s.Costs.MemAccess > 0 {
+			s.Clock.Sleep(s.Costs.MemAccess)
+		}
+		sp.Stats.Hits++
+		s.Stats.Hits++
+		return p, nil
+	}
+	return sp.fault(e, off, addr, write)
+}
+
+func (sp *AddressSpace) fault(e *MapEntry, off, addr int64, write bool) (*mem.Page, error) {
+	s := sp.sys
+	sp.Stats.Faults++
+	s.Stats.Faults++
+	s.Clock.Sleep(s.Costs.FaultService)
+	if s.Costs.RegionCheck > 0 {
+		// HiPEC-enabled kernels check whether the fault lies in a
+		// specific region (§5.2); charged on every fault.
+		s.Clock.Sleep(s.Costs.RegionCheck)
+	}
+	policy := e.Object.Policy
+	if policy == nil {
+		policy = s.defaultPolicy
+	}
+	if policy == nil {
+		return nil, errors.New("vm: no replacement policy installed")
+	}
+	f := &Fault{Space: sp, Entry: e, Object: e.Object, Offset: off, Addr: addr, Write: write}
+	p, err := policy.PageFor(f)
+	if err != nil {
+		return nil, fmt.Errorf("vm: fault at %#x: %w", addr, err)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("vm: fault at %#x: policy %q returned no page", addr, policy.Name())
+	}
+	if p.Queue() != nil {
+		panic(fmt.Sprintf("vm: policy %q returned %v still on a queue", policy.Name(), p))
+	}
+	// Install the frame.
+	p.Object = e.Object.ID
+	p.Offset = off
+	p.Referenced = true
+	p.Modified = write
+	p.Wired = e.Wired
+	p.LastAccess = s.Clock.Now()
+	if pg := e.Object.ExternalPager; pg != nil {
+		// Memory-object data comes from the external pager (EMM).
+		present, perr := pg.DataRequest(e.Object.ID, off, p.Data)
+		if perr != nil {
+			p.Object, p.Offset = 0, 0
+			s.Frames.Free(p)
+			return nil, fmt.Errorf("vm: external pager %q: %w", pg.PagerName(), perr)
+		}
+		if present {
+			sp.Stats.PageIns++
+			s.Stats.PageIns++
+		} else {
+			sp.Stats.ZeroFills++
+			s.Stats.ZeroFills++
+		}
+	} else {
+		// A page present in the backing store must be read back even for
+		// zero-fill objects: it was either populated (mapped file) or
+		// paged out earlier (anonymous memory gone to swap). Zero-fill
+		// only applies to never-written pages.
+		key := disk.StoreKey{Object: e.Object.ID, Offset: off}
+		if s.Store.Contains(key) {
+			// Page-in from backing store: synchronous disk read.
+			s.Disk.Read(s.diskAddr(e.Object, off), s.PageSize())
+			if data, _ := s.Store.ReadPage(key); data != nil && p.Data != nil {
+				copy(p.Data, data)
+			}
+			sp.Stats.PageIns++
+			s.Stats.PageIns++
+		} else {
+			sp.Stats.ZeroFills++
+			s.Stats.ZeroFills++
+		}
+	}
+	e.Object.resident[off] = p
+	policy.Installed(f, p)
+	return p, nil
+}
+
+// Detach removes a resident page from its object without freeing the frame;
+// the caller (a replacement policy evicting the page) takes ownership. If
+// the page is dirty the caller is responsible for writing it back (PageOut).
+func (s *System) Detach(p *mem.Page) {
+	o := s.objects[p.Object]
+	if o == nil || o.resident[p.Offset] != p {
+		panic(fmt.Sprintf("vm: Detach of non-resident %v", p))
+	}
+	delete(o.resident, p.Offset)
+	s.Stats.Evictions++
+}
+
+// diskAddr maps an object page to its backing-store block. Blocks are
+// deliberately scattered (a multiplicative hash of the logical block):
+// the Mach default pager allocates paging-file blocks on demand, so
+// successive virtual pages do NOT sit on consecutive disk blocks and every
+// page-in pays a full seek — which is what calibrates the paper's
+// ~7.66 ms/page figure (Table 3).
+func (s *System) diskAddr(o *Object, off int64) int64 {
+	base := int64(0)
+	if o != nil {
+		base = o.DiskBase
+	}
+	block := uint64(base + off/int64(s.PageSize()))
+	return int64((block * 0x9E3779B97F4A7C15) >> 20)
+}
+
+// PageOut writes the page's contents to the backing store asynchronously
+// and clears its Modified bit. done may be nil. Pages of externally-paged
+// objects are returned to their pager (memory_object_data_return) instead.
+func (s *System) PageOut(p *mem.Page, done func(simtime.Time)) {
+	o := s.objects[p.Object]
+	if o != nil && o.ExternalPager != nil {
+		o.ExternalPager.DataReturn(o.ID, p.Offset, p.Data) //nolint:errcheck // pager errors lose the write, as on Mach
+		p.Modified = false
+		s.Stats.PageOuts++
+		if done != nil {
+			s.Clock.After(0, done)
+		}
+		return
+	}
+	key := disk.StoreKey{Object: p.Object, Offset: p.Offset}
+	s.Store.WritePage(key, p.Data)
+	s.Disk.Write(s.diskAddr(o, p.Offset), s.PageSize(), done)
+	p.Modified = false
+	s.Stats.PageOuts++
+}
+
+// PageOutSync writes the page synchronously (clock advances by the service
+// time). Used by policies that must wait for the write.
+func (s *System) PageOutSync(p *mem.Page) {
+	o := s.objects[p.Object]
+	if o != nil && o.ExternalPager != nil {
+		o.ExternalPager.DataReturn(o.ID, p.Offset, p.Data) //nolint:errcheck
+		p.Modified = false
+		s.Stats.PageOuts++
+		return
+	}
+	key := disk.StoreKey{Object: p.Object, Offset: p.Offset}
+	s.Store.WritePage(key, p.Data)
+	// Model as a read-shaped synchronous access (same service time).
+	s.Disk.Read(s.diskAddr(o, p.Offset), s.PageSize())
+	p.Modified = false
+	s.Stats.PageOuts++
+}
+
+// Populate writes initial content pages for an object into the backing
+// store so that subsequent faults page in from disk (a "memory-mapped data
+// file"). With nil data only presence is recorded.
+func (s *System) Populate(o *Object, data []byte) {
+	ps := int64(s.PageSize())
+	for off := int64(0); off < o.Size; off += ps {
+		var chunk []byte
+		if data != nil {
+			lo := off
+			if lo >= int64(len(data)) {
+				chunk = nil
+			} else {
+				hi := lo + ps
+				if hi > int64(len(data)) {
+					hi = int64(len(data))
+				}
+				chunk = data[lo:hi]
+			}
+		}
+		s.Store.WritePage(disk.StoreKey{Object: o.ID, Offset: off}, chunk)
+	}
+}
+
+// WireRange faults in and wires every page of the entry, making the range
+// ineligible for replacement (vm_wire). It returns the number of pages
+// wired.
+func (sp *AddressSpace) WireRange(e *MapEntry) (int, error) {
+	e.Wired = true
+	ps := int64(sp.sys.PageSize())
+	n := 0
+	for addr := e.Start; addr < e.End; addr += ps {
+		p, err := sp.Touch(addr)
+		if err != nil {
+			return n, err
+		}
+		p.Wired = true
+		n++
+	}
+	return n, nil
+}
+
+// DestroyObject detaches and frees every resident page of o (notifying the
+// responsible policy via Release) and removes the object. Map entries
+// referring to it become invalid; destroying an object that is still
+// mapped by live workloads is a caller bug.
+func (s *System) DestroyObject(o *Object) {
+	policy := o.Policy
+	if policy == nil {
+		policy = s.defaultPolicy
+	}
+	for off, p := range o.resident {
+		delete(o.resident, off)
+		if policy != nil {
+			policy.Release(p)
+		}
+		if p.Queue() != nil {
+			p.Queue().Remove(p)
+		}
+		s.Frames.Free(p)
+	}
+	if o.ExternalPager != nil {
+		o.ExternalPager.PagerTerminate(o.ID)
+	}
+	delete(s.objects, o.ID)
+}

@@ -1,0 +1,397 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"hipec/internal/mem"
+	"hipec/internal/simtime"
+)
+
+// stubPolicy hands out frames straight from the frame table and keeps an
+// active list, enough to exercise the fault path without package pageout
+// (which would be an import cycle in tests).
+type stubPolicy struct {
+	sys    *System
+	active *mem.Queue
+	fails  bool
+}
+
+func newStub(sys *System) *stubPolicy {
+	return &stubPolicy{sys: sys, active: mem.NewQueue("stub_active")}
+}
+
+func (s *stubPolicy) Name() string { return "stub" }
+func (s *stubPolicy) PageFor(f *Fault) (*mem.Page, error) {
+	if s.fails {
+		return nil, ErrNoMemory
+	}
+	p := s.sys.Frames.Alloc()
+	if p == nil {
+		// evict oldest
+		victim := s.active.DequeueHead()
+		if victim == nil {
+			return nil, ErrNoMemory
+		}
+		if victim.Modified {
+			s.sys.PageOut(victim, nil)
+		}
+		s.sys.Detach(victim)
+		s.sys.Frames.Free(victim)
+		p = s.sys.Frames.Alloc()
+	}
+	return p, nil
+}
+func (s *stubPolicy) Installed(f *Fault, p *mem.Page) {
+	if !p.Wired {
+		s.active.EnqueueTail(p)
+	}
+}
+func (s *stubPolicy) Release(p *mem.Page) {
+	if p.Queue() == s.active {
+		s.active.Remove(p)
+	}
+}
+
+func newTestSystem(t *testing.T, frames int) (*simtime.Clock, *System, *stubPolicy) {
+	t.Helper()
+	clock := simtime.NewClock()
+	sys := NewSystem(clock, Config{Frames: frames, PageSize: 4096, KeepData: true})
+	pol := newStub(sys)
+	sys.SetDefaultPolicy(pol)
+	return clock, sys, pol
+}
+
+func TestZeroFillFaultAndHit(t *testing.T) {
+	clock, sys, _ := newTestSystem(t, 16)
+	sp := sys.NewSpace()
+	e, err := sp.Allocate(8 * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := clock.Now()
+	p, err := sp.Touch(e.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now().Sub(before) < sys.Costs.FaultService {
+		t.Fatal("fault did not charge service time")
+	}
+	if !p.Referenced || p.Modified {
+		t.Fatalf("bits after read fault: ref=%t mod=%t", p.Referenced, p.Modified)
+	}
+	if sp.Stats.Faults != 1 || sp.Stats.ZeroFills != 1 || sp.Stats.PageIns != 0 {
+		t.Fatalf("stats = %+v", sp.Stats)
+	}
+	// Second access: hit, no fault.
+	p2, err := sp.Touch(e.Start + 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Fatal("same-page access returned different page")
+	}
+	if sp.Stats.Faults != 1 || sp.Stats.Hits != 1 {
+		t.Fatalf("stats after hit = %+v", sp.Stats)
+	}
+}
+
+func TestWriteSetsModified(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 16)
+	sp := sys.NewSpace()
+	e, _ := sp.Allocate(4096)
+	p, err := sp.Write(e.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Modified {
+		t.Fatal("write fault did not set Modified")
+	}
+}
+
+func TestUnmappedAddressFails(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 16)
+	sp := sys.NewSpace()
+	if _, err := sp.Touch(0xdeadbeef); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("err = %v, want ErrBadAddress", err)
+	}
+}
+
+func TestMappedFileFaultsPageIn(t *testing.T) {
+	clock, sys, _ := newTestSystem(t, 16)
+	obj := sys.NewObject(2*4096, false)
+	content := make([]byte, 2*4096)
+	content[0] = 0xAB
+	content[4096] = 0xCD
+	sys.Populate(obj, content)
+	sp := sys.NewSpace()
+	e, err := sp.Map(obj, 0, obj.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := clock.Now()
+	p, err := sp.Touch(e.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Stats.PageIns != 1 {
+		t.Fatalf("PageIns = %d, want 1", sp.Stats.PageIns)
+	}
+	if p.Data[0] != 0xAB {
+		t.Fatalf("page data = %#x, want 0xAB", p.Data[0])
+	}
+	ioTime := clock.Now().Sub(before)
+	if ioTime < sys.Disk.PageReadTime(4096) {
+		t.Fatalf("page-in charged %v, expected at least disk read time", ioTime)
+	}
+	p2, _ := sp.Touch(e.Start + 4096)
+	if p2.Data[0] != 0xCD {
+		t.Fatal("second page content wrong")
+	}
+}
+
+func TestReplacementUnderPressure(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 4)
+	sp := sys.NewSpace()
+	e, _ := sp.Allocate(16 * 4096)
+	for addr := e.Start; addr < e.End; addr += 4096 {
+		if _, err := sp.Touch(addr); err != nil {
+			t.Fatalf("touch %#x: %v", addr, err)
+		}
+	}
+	if sp.Stats.Faults != 16 {
+		t.Fatalf("Faults = %d, want 16", sp.Stats.Faults)
+	}
+	if got := e.Object.ResidentCount(); got > 4 {
+		t.Fatalf("resident = %d with only 4 frames", got)
+	}
+	if sys.Stats.Evictions < 12 {
+		t.Fatalf("Evictions = %d, want >= 12", sys.Stats.Evictions)
+	}
+}
+
+func TestEvictedDirtyPageRestoredFromStore(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 2)
+	sp := sys.NewSpace()
+	e, _ := sp.Allocate(8 * 4096)
+	// Dirty page 0.
+	p, _ := sp.Write(e.Start)
+	p.Data[10] = 0x77
+	// Evict it by touching the rest.
+	for addr := e.Start + 4096; addr < e.End; addr += 4096 {
+		if _, err := sp.Touch(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Object.Resident(0) != nil {
+		t.Fatal("page 0 still resident; cannot test restore")
+	}
+	p2, err := sp.Touch(e.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Data[10] != 0x77 {
+		t.Fatal("dirty data lost across eviction")
+	}
+	if sp.Stats.PageIns == 0 {
+		t.Fatal("restore did not count as page-in")
+	}
+}
+
+func TestPolicyFailurePropagates(t *testing.T) {
+	_, sys, pol := newTestSystem(t, 4)
+	pol.fails = true
+	sp := sys.NewSpace()
+	e, _ := sp.Allocate(4096)
+	if _, err := sp.Touch(e.Start); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("err = %v, want ErrNoMemory", err)
+	}
+}
+
+func TestWireRange(t *testing.T) {
+	_, sys, pol := newTestSystem(t, 8)
+	sp := sys.NewSpace()
+	e, _ := sp.Allocate(3 * 4096)
+	n, err := sp.WireRange(e)
+	if err != nil || n != 3 {
+		t.Fatalf("WireRange = %d, %v", n, err)
+	}
+	if pol.active.Len() != 0 {
+		t.Fatal("wired pages were placed on the active queue")
+	}
+	e.Object.EachResident(func(off int64, p *mem.Page) bool {
+		if !p.Wired {
+			t.Errorf("page at %d not wired", off)
+		}
+		return true
+	})
+}
+
+func TestObjectRoundsToPageSize(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 8)
+	o := sys.NewObject(100, true)
+	if o.Size != 4096 {
+		t.Fatalf("Size = %d, want 4096", o.Size)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 8)
+	sp := sys.NewSpace()
+	o := sys.NewObject(4096, true)
+	if _, err := sp.Map(o, 100, 4096); err == nil {
+		t.Fatal("unaligned map offset accepted")
+	}
+	if _, err := sp.Map(o, 0, 2*4096); err == nil {
+		t.Fatal("map beyond object size accepted")
+	}
+	if _, err := sp.Map(o, 0, -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestMultipleRegionsIndependent(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 32)
+	sp := sys.NewSpace()
+	a, _ := sp.Allocate(2 * 4096)
+	b, _ := sp.Allocate(2 * 4096)
+	if a.End > b.Start {
+		t.Fatal("regions overlap")
+	}
+	pa, _ := sp.Touch(a.Start)
+	pb, _ := sp.Touch(b.Start)
+	if pa == pb || pa.Object == pb.Object {
+		t.Fatal("regions share pages/objects")
+	}
+	if ea, ok := sp.Lookup(a.Start + 4097); !ok || ea != a {
+		t.Fatal("Lookup failed inside region a")
+	}
+	if _, ok := sp.Lookup(a.End); ok {
+		t.Fatal("Lookup succeeded in guard gap")
+	}
+}
+
+func TestDestroyObjectFreesFrames(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 8)
+	sp := sys.NewSpace()
+	e, _ := sp.Allocate(4 * 4096)
+	for addr := e.Start; addr < e.End; addr += 4096 {
+		sp.Touch(addr)
+	}
+	freeBefore := sys.Frames.FreeCount()
+	sys.DestroyObject(e.Object)
+	if got := sys.Frames.FreeCount(); got != freeBefore+4 {
+		t.Fatalf("free = %d, want %d", got, freeBefore+4)
+	}
+	if sys.Object(e.Object.ID) != nil {
+		t.Fatal("object still registered")
+	}
+}
+
+func TestAccessCountsPerSpaceAndGlobal(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 8)
+	sp1 := sys.NewSpace()
+	sp2 := sys.NewSpace()
+	e1, _ := sp1.Allocate(4096)
+	e2, _ := sp2.Allocate(4096)
+	sp1.Touch(e1.Start)
+	sp1.Touch(e1.Start)
+	sp2.Touch(e2.Start)
+	if sp1.Stats.Accesses != 2 || sp2.Stats.Accesses != 1 {
+		t.Fatalf("per-space accesses: %d, %d", sp1.Stats.Accesses, sp2.Stats.Accesses)
+	}
+	if sys.Stats.Accesses != 3 || sys.Stats.Faults != 2 || sys.Stats.Hits != 1 {
+		t.Fatalf("global stats = %+v", sys.Stats)
+	}
+}
+
+func TestDetachNonResidentPanics(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 8)
+	p := sys.Frames.Alloc()
+	p.Object = 999
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Detach of non-resident page did not panic")
+		}
+	}()
+	sys.Detach(p)
+}
+
+func TestPageOutSyncWritesThrough(t *testing.T) {
+	clock, sys, _ := newTestSystem(t, 4)
+	sp := sys.NewSpace()
+	e, _ := sp.Allocate(4096)
+	p, _ := sp.Write(e.Start)
+	p.Data[3] = 0x3C
+	before := clock.Now()
+	sys.PageOutSync(p)
+	if clock.Now() == before {
+		t.Fatal("sync page-out did not advance the clock")
+	}
+	if p.Modified {
+		t.Fatal("Modified bit not cleared")
+	}
+	// Evict and refault: data must come back.
+	sys.Detach(p)
+	pol := sys.DefaultPolicy().(*stubPolicy)
+	pol.active.Remove(p)
+	sys.Frames.Free(p)
+	p2, err := sp.Touch(e.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Data[3] != 0x3C {
+		t.Fatal("synchronously flushed data lost")
+	}
+}
+
+func TestEntriesAndSize(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 8)
+	sp := sys.NewSpace()
+	a, _ := sp.Allocate(2 * 4096)
+	b, _ := sp.Allocate(4096)
+	if len(sp.Entries()) != 2 {
+		t.Fatalf("Entries = %d", len(sp.Entries()))
+	}
+	if a.Size() != 2*4096 || b.Size() != 4096 {
+		t.Fatal("Size wrong")
+	}
+	if sys.DefaultPolicy() == nil {
+		t.Fatal("DefaultPolicy accessor nil")
+	}
+}
+
+func TestDiskAddrScatter(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 8)
+	o := sys.NewObject(16*4096, false)
+	sys.Populate(o, nil)
+	sp := sys.NewSpace()
+	e, _ := sp.Map(o, 0, o.Size)
+	// Sequential page-ins of consecutive pages must NOT hit the disk's
+	// sequential fast path (swap blocks are scattered).
+	sp.Touch(e.Start)
+	sp.Touch(e.Start + 4096)
+	if sys.Disk.Stats().SeqHits != 0 {
+		t.Fatal("page-in addresses were sequential; swap should scatter")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 8)
+	sp := sys.NewSpace()
+	a, _ := sp.Allocate(4096)
+	b, _ := sp.Allocate(4096)
+	sp.Touch(a.Start)
+	if err := sp.Unmap(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Touch(a.Start); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("unmapped access err = %v", err)
+	}
+	if _, err := sp.Touch(b.Start); err != nil {
+		t.Fatalf("unrelated entry broken: %v", err)
+	}
+	if err := sp.Unmap(a); err == nil {
+		t.Fatal("double unmap accepted")
+	}
+}

@@ -1,0 +1,220 @@
+// Package workload provides the memory access patterns driving the
+// experiments: the nested-loop join of §5.3 (with its closed-form page
+// fault model), plus sequential, cyclic, uniform-random, Zipf and
+// hot/cold generators used by the ablation benchmarks.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"hipec/internal/vm"
+)
+
+// JoinConfig describes the §5.3 nested-loop join: a pinned 4 KB inner table
+// joined against an outer table scanned once per inner tuple.
+type JoinConfig struct {
+	InnerBytes int64 // inner table size (paper: 4 KB, pinned in memory)
+	OuterBytes int64 // outer table size (paper: 20–60 MB)
+	TupleSize  int   // bytes per tuple (paper: 64)
+	PageSize   int   // physical page size (paper: 4096)
+	MemBytes   int64 // memory allocated to the outer table (paper: 40 MB)
+}
+
+// DefaultJoin returns the paper's parameters with the given outer size.
+func DefaultJoin(outerBytes int64) JoinConfig {
+	return JoinConfig{
+		InnerBytes: 4 << 10,
+		OuterBytes: outerBytes,
+		TupleSize:  64,
+		PageSize:   4096,
+		MemBytes:   40 << 20,
+	}
+}
+
+// Loops is the number of outer-table scans: one per inner tuple ("the outer
+// table is scanned as many times as the number of tuples in the inner
+// table"). With the paper's parameters this is 64.
+func (c JoinConfig) Loops() int { return int(c.InnerBytes) / c.TupleSize }
+
+// OuterPages is the outer table's page count.
+func (c JoinConfig) OuterPages() int64 { return c.OuterBytes / int64(c.PageSize) }
+
+// LRUPageFaults is the paper's analytic model for the LRU policy:
+//
+//	PF_l = OutLSize * Loop / PageSize
+//
+// valid when the outer table exceeds available memory (cyclic faulting on
+// every scan); when it fits, only the cold faults remain.
+func (c JoinConfig) LRUPageFaults() int64 {
+	if c.OuterBytes <= c.MemBytes {
+		return c.OuterPages() // cold faults only
+	}
+	return c.OuterBytes * int64(c.Loops()) / int64(c.PageSize)
+}
+
+// MRUPageFaults is the paper's analytic model for the MRU policy:
+//
+//	PF_m = ((OutLSize − MSize) * (Loop − 1) + OutLSize) / PageSize
+func (c JoinConfig) MRUPageFaults() int64 {
+	if c.OuterBytes <= c.MemBytes {
+		return c.OuterPages()
+	}
+	return ((c.OuterBytes-c.MemBytes)*int64(c.Loops()-1) + c.OuterBytes) / int64(c.PageSize)
+}
+
+// AnalyticGain is the paper's predicted elapsed-time gain:
+//
+//	Gain = (PF_l − PF_m) * PFHandleTime
+func (c JoinConfig) AnalyticGain(pfHandle time.Duration) time.Duration {
+	return time.Duration(c.LRUPageFaults()-c.MRUPageFaults()) * pfHandle
+}
+
+// JoinResult reports one join run.
+type JoinResult struct {
+	Elapsed time.Duration
+	Faults  int64
+	Hits    int64
+	PageIns int64
+}
+
+// RunJoin drives the join access pattern against the outer region: Loops()
+// sequential scans of every outer page. The inner table is assumed pinned
+// (its accesses never fault and are not simulated). Elapsed virtual time is
+// measured by the caller around this call; fault deltas are returned.
+func RunJoin(sp *vm.AddressSpace, outer *vm.MapEntry, cfg JoinConfig) (JoinResult, error) {
+	ps := int64(cfg.PageSize)
+	f0, h0, p0 := sp.Stats.Faults, sp.Stats.Hits, sp.Stats.PageIns
+	loops := cfg.Loops()
+	for l := 0; l < loops; l++ {
+		for addr := outer.Start; addr < outer.End; addr += ps {
+			if _, err := sp.Touch(addr); err != nil {
+				return JoinResult{}, fmt.Errorf("join scan %d at %#x: %w", l, addr, err)
+			}
+		}
+	}
+	return JoinResult{
+		Faults:  sp.Stats.Faults - f0,
+		Hits:    sp.Stats.Hits - h0,
+		PageIns: sp.Stats.PageIns - p0,
+	}, nil
+}
+
+// --- generic access generators ---------------------------------------------
+
+// Access is one generated memory reference.
+type Access struct {
+	Page  int64
+	Write bool
+}
+
+// Generator produces an access sequence over a region of Pages() pages.
+type Generator interface {
+	Name() string
+	Pages() int64
+	Next() Access
+}
+
+// Sequential sweeps pages 0..n-1 repeatedly.
+type Sequential struct {
+	N   int64
+	pos int64
+}
+
+func (s *Sequential) Name() string { return "sequential" }
+func (s *Sequential) Pages() int64 { return s.N }
+func (s *Sequential) Next() Access {
+	a := Access{Page: s.pos}
+	s.pos = (s.pos + 1) % s.N
+	return a
+}
+
+// Random references pages uniformly at random.
+type Random struct {
+	N         int64
+	WriteFrac float64
+	rng       *rand.Rand
+}
+
+// NewRandom builds a deterministic uniform generator.
+func NewRandom(n int64, writeFrac float64, seed int64) *Random {
+	return &Random{N: n, WriteFrac: writeFrac, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *Random) Name() string { return "random" }
+func (r *Random) Pages() int64 { return r.N }
+func (r *Random) Next() Access {
+	return Access{
+		Page:  r.rng.Int63n(r.N),
+		Write: r.rng.Float64() < r.WriteFrac,
+	}
+}
+
+// Zipf references pages with a Zipfian popularity skew (database-like).
+type Zipf struct {
+	N   int64
+	z   *rand.Zipf
+	rng *rand.Rand
+}
+
+// NewZipf builds a Zipf(s) generator over n pages; s > 1.
+func NewZipf(n int64, s float64, seed int64) *Zipf {
+	if s <= 1 {
+		s = 1.0001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{N: n, rng: rng, z: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+func (z *Zipf) Name() string { return "zipf" }
+func (z *Zipf) Pages() int64 { return z.N }
+func (z *Zipf) Next() Access { return Access{Page: int64(z.z.Uint64())} }
+
+// HotCold references a small hot set with high probability.
+type HotCold struct {
+	N        int64
+	HotPages int64
+	HotProb  float64
+	rng      *rand.Rand
+}
+
+// NewHotCold builds a hot/cold generator (hotFrac of pages take hotProb of
+// accesses).
+func NewHotCold(n int64, hotFrac, hotProb float64, seed int64) *HotCold {
+	hot := int64(math.Max(1, hotFrac*float64(n)))
+	return &HotCold{N: n, HotPages: hot, HotProb: hotProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (h *HotCold) Name() string { return "hotcold" }
+func (h *HotCold) Pages() int64 { return h.N }
+func (h *HotCold) Next() Access {
+	if h.rng.Float64() < h.HotProb {
+		return Access{Page: h.rng.Int63n(h.HotPages)}
+	}
+	return Access{Page: h.HotPages + h.rng.Int63n(h.N-h.HotPages)}
+}
+
+// Drive applies n accesses from gen to the entry's region, returning the
+// number of faults incurred.
+func Drive(sp *vm.AddressSpace, e *vm.MapEntry, gen Generator, n int) (faults int64, err error) {
+	ps := int64(4096)
+	if sz := e.Size() / gen.Pages(); sz > 0 {
+		ps = sz
+	}
+	f0 := sp.Stats.Faults
+	for i := 0; i < n; i++ {
+		a := gen.Next()
+		addr := e.Start + a.Page*ps
+		if a.Write {
+			_, err = sp.Write(addr)
+		} else {
+			_, err = sp.Touch(addr)
+		}
+		if err != nil {
+			return sp.Stats.Faults - f0, fmt.Errorf("workload %s access %d: %w", gen.Name(), i, err)
+		}
+	}
+	return sp.Stats.Faults - f0, nil
+}
