@@ -7,6 +7,12 @@
 //	experiments -run table3     # one experiment: table3, table4, figure5, figure6
 //	experiments -run figure6 -scale 64   # scaled-down quick look
 //	experiments -quick          # everything, scaled for a fast smoke run
+//	experiments -j 4            # fan sweep cells out over 4 workers
+//	experiments -bench-json BENCH_0001.json   # write host perf numbers
+//
+// Sweeps fan out over a worker pool (every cell simulates its own kernel
+// on its own virtual clock), so -j only changes wall-clock time: the
+// printed tables and figures are byte-identical at any parallelism.
 package main
 
 import (
@@ -20,13 +26,30 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "which experiment: all, table3, table4, figure5, figure6, ablation")
-		scale = flag.Int64("scale", 1, "divide figure6 sizes by this factor for quick runs")
-		quick = flag.Bool("quick", false, "scale everything down for a fast smoke run")
-		users = flag.Int("users", 15, "maximum simulated users for figure5")
-		jobs  = flag.Int("jobs", 6, "jobs per user for figure5")
+		run       = flag.String("run", "all", "which experiment: all, table3, table4, figure5, figure6, ablation")
+		scale     = flag.Int64("scale", 1, "divide figure6 sizes by this factor for quick runs")
+		quick     = flag.Bool("quick", false, "scale everything down for a fast smoke run")
+		users     = flag.Int("users", 15, "maximum simulated users for figure5")
+		jobs      = flag.Int("jobs", 6, "jobs per user for figure5")
+		workers   = flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS); output is identical at any -j")
+		benchJSON = flag.String("bench-json", "", "measure host performance (sweep cells/sec, executor ns/command, allocs) and write the JSON report to this file")
 	)
 	flag.Parse()
+	bench.SetParallelism(*workers)
+
+	if *benchJSON != "" {
+		r, err := bench.MeasurePerf()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, []byte(r.JSON()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(r.JSON())
+		return
+	}
 
 	start := time.Now()
 	ok := true

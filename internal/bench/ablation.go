@@ -44,99 +44,118 @@ func RunMechanismAblation(scale int64) ([]MechanismResult, error) {
 	pool := int(jc.MemBytes / int64(jc.PageSize))
 	frames := pool*2 + 128
 
-	var out []MechanismResult
-
-	// --- HiPEC: in-kernel interpreted policy -----------------------------
-	{
-		k := core.New(core.Config{Frames: frames, StartChecker: true})
-		sp := k.NewSpace()
-		obj := k.VM.NewObject(jc.OuterBytes, false)
-		k.VM.Populate(obj, nil)
-		e, c, err := k.MapHiPEC(sp, obj, 0, obj.Size, policies.MRU(pool))
-		if err != nil {
-			return nil, err
-		}
-		start := k.Clock.Now()
-		res, err := workload.RunJoin(sp, e, jc)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, MechanismResult{
-			Mechanism:    "HiPEC (in-kernel interpreter)",
-			Elapsed:      time.Duration(k.Clock.Now().Sub(start)),
-			Faults:       res.Faults,
-			Replacements: res.Faults - jc.OuterPages(),
-		})
-		_ = c
+	// The three mechanisms simulate disjoint kernels; run them as pool
+	// cells, each writing its own result slot.
+	mechanisms := [3]func(workload.JoinConfig, int, int) (MechanismResult, error){
+		runHiPECMechanism,
+		runExtPagerMechanism,
+		runUpcallMechanism,
 	}
-
-	// --- External pager: MRU decision behind a null IPC ------------------
-	{
-		clock := simtime.NewClock()
-		sys := vm.NewSystem(clock, vm.Config{Frames: frames})
-		ipc := machipc.New(clock, machipc.Costs{})
-		// The pager's resident queue is recency-ordered: MRU is the tail.
-		mru := func(q *mem.Queue) *mem.Page { return q.Tail() }
-		pol, err := machipc.NewExtPager("mru", ipc, sys, pool, mru)
+	out := make([]MechanismResult, len(mechanisms))
+	err := runCells(len(mechanisms), func(i int) error {
+		r, err := mechanisms[i](jc, pool, frames)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sys.SetDefaultPolicy(pol)
-		sp := sys.NewSpace()
-		obj := sys.NewObject(jc.OuterBytes, false)
-		sys.Populate(obj, nil)
-		e, err := sp.Map(obj, 0, obj.Size)
-		if err != nil {
-			return nil, err
-		}
-		start := clock.Now()
-		res, err := workload.RunJoin(sp, e, jc)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, MechanismResult{
-			Mechanism:    "external pager (IPC per replacement)",
-			Elapsed:      time.Duration(clock.Now().Sub(start)),
-			Faults:       res.Faults,
-			Replacements: pol.Replacements,
-			IPCs:         ipc.Stats.RPCs,
-		})
-	}
-
-	// --- Upcall-based control: two boundary crossings per replacement ----
-	{
-		clock := simtime.NewClock()
-		sys := vm.NewSystem(clock, vm.Config{Frames: frames})
-		ipc := machipc.New(clock, machipc.Costs{})
-		pol := &upcallPolicy{sys: sys, ipc: ipc, resident: mem.NewQueue("upcall")}
-		pol.resident.AccessOrder = true
-		for i := 0; i < pool; i++ {
-			if f := sys.Frames.Alloc(); f != nil {
-				pol.pool = append(pol.pool, f)
-			}
-		}
-		sys.SetDefaultPolicy(pol)
-		sp := sys.NewSpace()
-		obj := sys.NewObject(jc.OuterBytes, false)
-		sys.Populate(obj, nil)
-		e, err := sp.Map(obj, 0, obj.Size)
-		if err != nil {
-			return nil, err
-		}
-		start := clock.Now()
-		res, err := workload.RunJoin(sp, e, jc)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, MechanismResult{
-			Mechanism:    "upcall (stack switch per replacement)",
-			Elapsed:      time.Duration(clock.Now().Sub(start)),
-			Faults:       res.Faults,
-			Replacements: pol.replacements,
-			IPCs:         ipc.Stats.Upcalls,
-		})
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// runHiPECMechanism: in-kernel interpreted policy — no boundary crossing.
+func runHiPECMechanism(jc workload.JoinConfig, pool, frames int) (MechanismResult, error) {
+	k := core.New(core.Config{Frames: frames, StartChecker: true})
+	sp := k.NewSpace()
+	obj := k.VM.NewObject(jc.OuterBytes, false)
+	k.VM.Populate(obj, nil)
+	e, _, err := k.MapHiPEC(sp, obj, 0, obj.Size, policies.MRU(pool))
+	if err != nil {
+		return MechanismResult{}, err
+	}
+	start := k.Clock.Now()
+	res, err := workload.RunJoin(sp, e, jc)
+	if err != nil {
+		return MechanismResult{}, err
+	}
+	return MechanismResult{
+		Mechanism:    "HiPEC (in-kernel interpreter)",
+		Elapsed:      time.Duration(k.Clock.Now().Sub(start)),
+		Faults:       res.Faults,
+		Replacements: res.Faults - jc.OuterPages(),
+	}, nil
+}
+
+// runExtPagerMechanism: the MRU decision behind a null IPC per replacement
+// (the PREMO approach discussed in §2).
+func runExtPagerMechanism(jc workload.JoinConfig, pool, frames int) (MechanismResult, error) {
+	clock := simtime.NewClock()
+	sys := vm.NewSystem(clock, vm.Config{Frames: frames})
+	ipc := machipc.New(clock, machipc.Costs{})
+	// The pager's resident queue is recency-ordered: MRU is the tail.
+	mru := func(q *mem.Queue) *mem.Page { return q.Tail() }
+	pol, err := machipc.NewExtPager("mru", ipc, sys, pool, mru)
+	if err != nil {
+		return MechanismResult{}, err
+	}
+	sys.SetDefaultPolicy(pol)
+	sp := sys.NewSpace()
+	obj := sys.NewObject(jc.OuterBytes, false)
+	sys.Populate(obj, nil)
+	e, err := sp.Map(obj, 0, obj.Size)
+	if err != nil {
+		return MechanismResult{}, err
+	}
+	start := clock.Now()
+	res, err := workload.RunJoin(sp, e, jc)
+	if err != nil {
+		return MechanismResult{}, err
+	}
+	return MechanismResult{
+		Mechanism:    "external pager (IPC per replacement)",
+		Elapsed:      time.Duration(clock.Now().Sub(start)),
+		Faults:       res.Faults,
+		Replacements: pol.Replacements,
+		IPCs:         ipc.Stats.RPCs,
+	}, nil
+}
+
+// runUpcallMechanism: upcall-based control — two boundary crossings per
+// replacement.
+func runUpcallMechanism(jc workload.JoinConfig, pool, frames int) (MechanismResult, error) {
+	clock := simtime.NewClock()
+	sys := vm.NewSystem(clock, vm.Config{Frames: frames})
+	ipc := machipc.New(clock, machipc.Costs{})
+	pol := &upcallPolicy{sys: sys, ipc: ipc, resident: mem.NewQueue("upcall")}
+	pol.resident.AccessOrder = true
+	for i := 0; i < pool; i++ {
+		if f := sys.Frames.Alloc(); f != nil {
+			pol.pool = append(pol.pool, f)
+		}
+	}
+	sys.SetDefaultPolicy(pol)
+	sp := sys.NewSpace()
+	obj := sys.NewObject(jc.OuterBytes, false)
+	sys.Populate(obj, nil)
+	e, err := sp.Map(obj, 0, obj.Size)
+	if err != nil {
+		return MechanismResult{}, err
+	}
+	start := clock.Now()
+	res, err := workload.RunJoin(sp, e, jc)
+	if err != nil {
+		return MechanismResult{}, err
+	}
+	return MechanismResult{
+		Mechanism:    "upcall (stack switch per replacement)",
+		Elapsed:      time.Duration(clock.Now().Sub(start)),
+		Faults:       res.Faults,
+		Replacements: pol.replacements,
+		IPCs:         ipc.Stats.Upcalls,
+	}, nil
 }
 
 // upcallPolicy invokes the "user-level" MRU chooser via an upcall (Krueger

@@ -98,17 +98,26 @@ func RunTable3(cfg Table3Config) (Table3Result, error) {
 
 	var r Table3Result
 	r.Faults = pages
-	var err error
-	if r.MachNoIO, err = run(false, false); err != nil {
-		return r, err
+	// The four kernel variants are independent simulations; run them as
+	// pool cells, each writing its own field of the result.
+	slots := [4]struct {
+		hipec, withIO bool
+		dst           *time.Duration
+	}{
+		{false, false, &r.MachNoIO},
+		{true, false, &r.HiPECNoIO},
+		{false, true, &r.MachIO},
+		{true, true, &r.HiPECIO},
 	}
-	if r.HiPECNoIO, err = run(true, false); err != nil {
-		return r, err
-	}
-	if r.MachIO, err = run(false, true); err != nil {
-		return r, err
-	}
-	if r.HiPECIO, err = run(true, true); err != nil {
+	err := runCells(len(slots), func(i int) error {
+		d, err := run(slots[i].hipec, slots[i].withIO)
+		if err != nil {
+			return err
+		}
+		*slots[i].dst = d
+		return nil
+	})
+	if err != nil {
 		return r, err
 	}
 	r.OverheadNoIO = 100 * (r.HiPECNoIO - r.MachNoIO).Seconds() / r.MachNoIO.Seconds()
@@ -235,34 +244,40 @@ func DefaultFigure5() Figure5Config {
 }
 
 // RunFigure5 sweeps the three AIM mixes over the user counts on both
-// kernels.
+// kernels. Each (mix, users) point is an independent cell — two private
+// kernels, two private clocks — so the sweep fans out over the worker
+// pool; results land by index, making the output identical at any
+// parallelism.
 func RunFigure5(cfg Figure5Config) ([]Figure5Series, error) {
-	build := func(hipec bool) func() *core.Kernel {
-		return func() *core.Kernel {
+	mixes := aim.Mixes()
+	out := make([]Figure5Series, len(mixes))
+	for mi, mix := range mixes {
+		out[mi] = Figure5Series{Mix: mix.Name, Points: make([]Figure5Point, len(cfg.UserCounts))}
+	}
+	nu := len(cfg.UserCounts)
+	err := runCells(len(mixes)*nu, func(i int) error {
+		mi, ui := i/nu, i%nu
+		mix, n := mixes[mi], cfg.UserCounts[ui]
+		build := func(hipec bool) *core.Kernel {
 			return core.New(core.Config{
 				Frames:        cfg.Frames,
 				HiPECDisabled: !hipec,
 				StartChecker:  hipec,
 			})
 		}
-	}
-	var out []Figure5Series
-	for _, mix := range aim.Mixes() {
-		series := Figure5Series{Mix: mix.Name}
-		for _, n := range cfg.UserCounts {
-			v, err := aim.Run(build(false)(), mix, n, cfg.JobsPerUser)
-			if err != nil {
-				return nil, err
-			}
-			h, err := aim.Run(build(true)(), mix, n, cfg.JobsPerUser)
-			if err != nil {
-				return nil, err
-			}
-			series.Points = append(series.Points, Figure5Point{
-				Users: n, Vanilla: v.Throughput, HiPEC: h.Throughput,
-			})
+		v, err := aim.Run(build(false), mix, n, cfg.JobsPerUser)
+		if err != nil {
+			return err
 		}
-		out = append(out, series)
+		h, err := aim.Run(build(true), mix, n, cfg.JobsPerUser)
+		if err != nil {
+			return err
+		}
+		out[mi].Points[ui] = Figure5Point{Users: n, Vanilla: v.Throughput, HiPEC: h.Throughput}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -336,13 +351,21 @@ func DefaultFigure6() Figure6Config {
 }
 
 // RunFigure6 runs the §5.3 nested-loop join for each outer size under the
-// default-kernel LRU policy and the HiPEC MRU policy.
+// default-kernel LRU policy and the HiPEC MRU policy. Each (outer size,
+// policy) run is one pool cell; the two cells of a point write disjoint
+// fields of the same Figure6Point.
 func RunFigure6(cfg Figure6Config) ([]Figure6Point, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
-	var out []Figure6Point
-	for _, outer := range cfg.OuterBytes {
+	out := make([]Figure6Point, len(cfg.OuterBytes))
+	for oi, outer := range cfg.OuterBytes {
+		out[oi].OuterBytes = outer
+	}
+	pols := [2]string{"lru", "mru"}
+	err := runCells(2*len(cfg.OuterBytes), func(i int) error {
+		oi, pol := i/2, pols[i%2]
+		outer := cfg.OuterBytes[oi]
 		jc := workload.JoinConfig{
 			InnerBytes: 4 << 10,
 			OuterBytes: outer / cfg.Scale,
@@ -351,44 +374,43 @@ func RunFigure6(cfg Figure6Config) ([]Figure6Point, error) {
 			MemBytes:   cfg.MemBytes / cfg.Scale,
 		}
 		pool := int(jc.MemBytes / int64(jc.PageSize))
-		pt := Figure6Point{
-			OuterBytes:  outer,
-			AnalyticLRU: jc.LRUPageFaults(),
-			AnalyticMRU: jc.MRUPageFaults(),
-		}
+		pt := &out[oi]
 		frames := int(int64(cfg.Frames) / cfg.Scale)
 		if minFrames := pool + pool/8 + 64; frames < minFrames {
 			frames = minFrames
 		}
-		for _, pol := range []string{"lru", "mru"} {
-			k := core.New(core.Config{Frames: frames})
-			sp := k.NewSpace()
-			spec, err := policies.ByName(pol, pool)
-			if err != nil {
-				return nil, err
-			}
-			obj := k.VM.NewObject(jc.OuterBytes, false)
-			k.VM.Populate(obj, nil) // outer table lives on disk
-			e, c, err := k.MapHiPEC(sp, obj, 0, obj.Size, spec)
-			if err != nil {
-				return nil, err
-			}
-			start := k.Clock.Now()
-			res, err := workload.RunJoin(sp, e, jc)
-			if err != nil {
-				return nil, err
-			}
-			elapsed := time.Duration(k.Clock.Now().Sub(start))
-			if c.State() != core.StateActive {
-				return nil, fmt.Errorf("bench: %s policy died: %s", pol, c.TerminationReason())
-			}
-			if pol == "lru" {
-				pt.LRUElapsed, pt.LRUFaults = elapsed, res.Faults
-			} else {
-				pt.MRUElapsed, pt.MRUFaults = elapsed, res.Faults
-			}
+		k := core.New(core.Config{Frames: frames})
+		sp := k.NewSpace()
+		spec, err := policies.ByName(pol, pool)
+		if err != nil {
+			return err
 		}
-		out = append(out, pt)
+		obj := k.VM.NewObject(jc.OuterBytes, false)
+		k.VM.Populate(obj, nil) // outer table lives on disk
+		e, c, err := k.MapHiPEC(sp, obj, 0, obj.Size, spec)
+		if err != nil {
+			return err
+		}
+		start := k.Clock.Now()
+		res, err := workload.RunJoin(sp, e, jc)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Duration(k.Clock.Now().Sub(start))
+		if c.State() != core.StateActive {
+			return fmt.Errorf("bench: %s policy died: %s", pol, c.TerminationReason())
+		}
+		if pol == "lru" {
+			pt.LRUElapsed, pt.LRUFaults = elapsed, res.Faults
+			pt.AnalyticLRU = jc.LRUPageFaults()
+		} else {
+			pt.MRUElapsed, pt.MRUFaults = elapsed, res.Faults
+			pt.AnalyticMRU = jc.MRUPageFaults()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

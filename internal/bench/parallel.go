@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment sweeps are embarrassingly parallel: every cell (one mix ×
+// user-count point of Figure 5, one outer-size × policy run of Figure 6,
+// one kernel-variant of Table 3, one mechanism of the ablation) builds its
+// own core.Kernel with its own simtime.Clock and shares nothing with its
+// neighbours. runCells fans the cells out over a bounded worker pool while
+// keeping the results — and any errors — in deterministic cell order, so
+// the rendered tables and figures are byte-identical at any parallelism.
+
+// parallelism is the configured worker count; 0 means GOMAXPROCS.
+var parallelism atomic.Int64
+
+// SetParallelism sets the number of workers used by the experiment sweeps.
+// n <= 0 restores the default (GOMAXPROCS). Safe to call concurrently with
+// running sweeps; in-flight runCells calls keep the worker count they
+// started with.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism reports the worker count sweeps will use.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runCells invokes cell(0..n-1), fanning out over Parallelism() workers.
+// Each cell must be self-contained: private kernel, private clock, writes
+// only to its own result slot. Cell errors are collected per index and
+// joined in index order, so failure output is as deterministic as success
+// output. With one worker (or one cell) it degenerates to a plain serial
+// loop on the calling goroutine.
+func runCells(n int, cell func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := range errs {
+			errs[i] = cell(i)
+		}
+		return errors.Join(errs...)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

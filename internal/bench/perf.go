@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"hipec/internal/core"
+	"hipec/internal/policies"
+)
+
+// PerfReport is the machine-readable output of MeasurePerf (the
+// experiments -bench-json mode): wall-clock throughput of the parallel
+// sweep harness plus the interpreted-command hot path, on this host.
+// Unlike everything else in this package the numbers are real time, not
+// virtual time, so they vary by machine; the report records the host
+// shape alongside.
+type PerfReport struct {
+	GOMAXPROCS  int `json:"gomaxprocs"`
+	Parallelism int `json:"parallelism"`
+
+	// Sweep harness: a reduced Figure 5 grid (3 mixes x 4 user counts).
+	SweepCells       int     `json:"sweep_cells"`
+	SweepWallSeconds float64 `json:"sweep_wall_seconds"`
+	SweepCellsPerSec float64 `json:"sweep_cells_per_sec"`
+	SweepSerialWallS float64 `json:"sweep_serial_wall_seconds"`
+	SweepSpeedup     float64 `json:"sweep_speedup_vs_serial"`
+
+	// Executor hot path: the simple-fault activation with calibrated
+	// costs charged, i.e. the path every simulated page fault takes.
+	ExecutorRuns         int     `json:"executor_runs"`
+	ExecutorNsPerRun     float64 `json:"executor_ns_per_run"`
+	ExecutorNsPerCommand float64 `json:"executor_ns_per_command"`
+	ExecutorAllocsPerRun float64 `json:"executor_allocs_per_run"`
+}
+
+// JSON renders the report with stable field order and indentation.
+func (r PerfReport) JSON() string {
+	b, _ := json.MarshalIndent(r, "", "  ")
+	return string(b) + "\n"
+}
+
+func perfSweepConfig() Figure5Config {
+	return Figure5Config{Frames: 2048, UserCounts: []int{1, 2, 4, 8}, JobsPerUser: 2}
+}
+
+// MeasurePerf times the reduced Figure 5 sweep at the configured
+// parallelism and again at one worker, then the executor fault path.
+func MeasurePerf() (PerfReport, error) {
+	r := PerfReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: Parallelism(),
+		SweepCells:  3 * len(perfSweepConfig().UserCounts),
+	}
+
+	start := time.Now()
+	if _, err := RunFigure5(perfSweepConfig()); err != nil {
+		return r, err
+	}
+	r.SweepWallSeconds = time.Since(start).Seconds()
+	r.SweepCellsPerSec = float64(r.SweepCells) / r.SweepWallSeconds
+
+	saved := Parallelism()
+	SetParallelism(1)
+	start = time.Now()
+	_, err := RunFigure5(perfSweepConfig())
+	SetParallelism(saved)
+	if err != nil {
+		return r, err
+	}
+	r.SweepSerialWallS = time.Since(start).Seconds()
+	if r.SweepWallSeconds > 0 {
+		r.SweepSpeedup = r.SweepSerialWallS / r.SweepWallSeconds
+	}
+
+	if err := measureExecutor(&r); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// measureExecutor drives the simple-fault PageFault program in a tight
+// loop with the calibrated virtual costs charged and reports real ns per
+// activation, ns per interpreted command, and heap allocations per run.
+func measureExecutor(r *PerfReport) error {
+	k := core.New(core.Config{Frames: 4096})
+	sp := k.NewSpace()
+	e, c, err := k.AllocateHiPEC(sp, 64*4096, policies.FIFO(64))
+	if err != nil {
+		return err
+	}
+	if _, err := sp.Touch(e.Start); err != nil {
+		return err
+	}
+	const iters = 500000
+	reg := c.Operand(core.SlotPageReg)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	cmds0 := k.Executor.TotalCommands
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		res, err := k.Executor.Run(c, core.EventPageFault)
+		if err != nil {
+			return err
+		}
+		c.Free.EnqueueHead(res.Page)
+		reg.Page = nil
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	r.ExecutorRuns = iters
+	r.ExecutorNsPerRun = float64(wall.Nanoseconds()) / iters
+	r.ExecutorNsPerCommand = float64(wall.Nanoseconds()) / float64(k.Executor.TotalCommands-cmds0)
+	r.ExecutorAllocsPerRun = float64(after.Mallocs-before.Mallocs) / iters
+	return nil
+}

@@ -169,6 +169,31 @@ func (c Command) String() string {
 // numbering.
 type Program []Command
 
+// decodedCmd is the unpacked form of one Command word. Programs are decoded
+// once at container-load time so the executor's fetch step is a plain slice
+// index instead of three shifts and masks per command.
+type decodedCmd struct {
+	op      Opcode
+	a, b, c uint8
+}
+
+// encoded re-packs the command word (trace and disassembly paths only).
+func (d decodedCmd) encoded() Command { return Encode(d.op, d.a, d.b, d.c) }
+
+// decodeProgram unpacks every word of a program, preserving indices so
+// command counters and jump targets carry over unchanged (entry 0 is the
+// magic word, decoded like any other word but never executed).
+func decodeProgram(p Program) []decodedCmd {
+	if p == nil {
+		return nil
+	}
+	out := make([]decodedCmd, len(p))
+	for i, cmd := range p {
+		out[i] = decodedCmd{op: cmd.Op(), a: cmd.A(), b: cmd.B(), c: cmd.C()}
+	}
+	return out
+}
+
 // NewProgram builds a program from commands, prepending the magic word.
 func NewProgram(cmds ...Command) Program {
 	p := make(Program, 0, len(cmds)+1)

@@ -146,6 +146,9 @@ type Container struct {
 
 	operands [256]Operand
 	events   []Program
+	// decoded mirrors events with each program unpacked once at load time
+	// (the executor's fetch/decode fast path; see command.go).
+	decoded [][]decodedCmd
 
 	// Private frame lists (the partitioned pool of §3).
 	Free     *mem.Queue
@@ -201,6 +204,10 @@ func newContainer(k *Kernel, id int, obj *vm.Object, spec *Spec) (*Container, er
 		events:     spec.Events,
 		MinFrame:   spec.MinFrame,
 		extensions: spec.EnableExtensions,
+	}
+	c.decoded = make([][]decodedCmd, len(spec.Events))
+	for i, p := range spec.Events {
+		c.decoded[i] = decodeProgram(p)
 	}
 	c.Free = mem.NewQueue(fmt.Sprintf("hipec%d_free", id))
 	c.Active = mem.NewQueue(fmt.Sprintf("hipec%d_active", id))
@@ -292,6 +299,7 @@ func (c *Container) IntOperand(name string) (int64, error) {
 // a Spec so the security checker sees them.
 func (c *Container) AppendEventForTest(p Program) int {
 	c.events = append(c.events, p)
+	c.decoded = append(c.decoded, decodeProgram(p))
 	return len(c.events) - 1
 }
 

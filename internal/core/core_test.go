@@ -545,7 +545,7 @@ func TestFlushExchangeKeepsPoolSizeConstant(t *testing.T) {
 		Encode(OpEnQueue, SlotPageReg, SlotFreeQueue, QueueTail),
 		Encode(OpReturn, SlotScratch, 0, 0),
 	)
-	c.events = append(c.events, prog)
+	c.AppendEventForTest(prog)
 	before := c.Allocated()
 	if _, err := k.Executor.Run(c, len(c.events)-1); err != nil {
 		t.Fatal(err)
@@ -588,7 +588,7 @@ func TestMigrateExtension(t *testing.T) {
 		Encode(OpMigrate, SlotPageReg, target, 0),
 		Encode(OpReturn, SlotScratch, 0, 0),
 	)
-	ca.events = append(ca.events, prog)
+	ca.AppendEventForTest(prog)
 	if _, err := k.Executor.Run(ca, len(ca.events)-1); err != nil {
 		t.Fatal(err)
 	}
@@ -647,7 +647,7 @@ func TestArithAndLogicCommands(t *testing.T) {
 	}
 	run := func(cmds ...Command) *Operand {
 		prog := NewProgram(append(cmds, Encode(OpReturn, va, 0, 0))...)
-		c.events = append(c.events, prog)
+		c.AppendEventForTest(prog)
 		res, err := k.Executor.Run(c, len(c.events)-1)
 		if err != nil {
 			t.Fatal(err)
@@ -675,7 +675,7 @@ func TestArithAndLogicCommands(t *testing.T) {
 	// Division by zero terminates.
 	zero := uint8(SlotZero)
 	prog := NewProgram(Encode(OpArith, va, zero, ArithDiv), Encode(OpReturn, va, 0, 0))
-	c.events = append(c.events, prog)
+	c.AppendEventForTest(prog)
 	if _, err := k.Executor.Run(c, len(c.events)-1); err == nil {
 		t.Fatal("division by zero succeeded")
 	}
@@ -721,7 +721,7 @@ func TestLRUAndMRUVictimSelection(t *testing.T) {
 
 	runCanned := func(op Opcode) {
 		prog := NewProgram(Encode(op, SlotActiveQueue, 0, 0), Encode(OpReturn, SlotScratch, 0, 0))
-		c.events = append(c.events, prog)
+		c.AppendEventForTest(prog)
 		if _, err := k.Executor.Run(c, len(c.events)-1); err != nil {
 			t.Fatal(err)
 		}
@@ -755,7 +755,7 @@ func TestFindCommand(t *testing.T) {
 		Encode(OpFind, SlotPageReg, addr, 0),
 		Encode(OpReturn, SlotPageReg, 0, 0),
 	)
-	c.events = append(c.events, prog)
+	c.AppendEventForTest(prog)
 	res, err := k.Executor.Run(c, len(c.events)-1)
 	if err != nil {
 		t.Fatal(err)

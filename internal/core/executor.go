@@ -23,6 +23,11 @@ func DefaultExecCosts() ExecCosts {
 	return ExecCosts{PerCommand: 50 * time.Nanosecond, Activation: 7 * time.Microsecond}
 }
 
+// DefaultFlushQuantum is the default cap on virtual time accrued locally by
+// the executor between clock flushes (100 commands at the calibrated 50 ns).
+// See Executor.FlushQuantum.
+const DefaultFlushQuantum = 5 * time.Microsecond
+
 // Executor is the application-specific policy executor (§4.3.2). It runs in
 // "kernel mode": it fetches commands from the (conceptually wired-down,
 // read-only) policy buffer, decodes them and performs the operations,
@@ -44,6 +49,18 @@ type Executor struct {
 	// ... can be viewed as procedure calls").
 	MaxActivateDepth int
 
+	// FlushQuantum caps the virtual time the executor accrues locally
+	// before charging it to the kernel clock in one batch. Charging the
+	// clock per command walks the event heap on every command; batching
+	// amortizes that while flushCharge's event-boundary stepping keeps
+	// every scheduled callback (security-checker wakeups, disk
+	// completions) firing at exactly the clock it would see under
+	// per-command charging. A value <= Costs.PerCommand restores the
+	// serial per-command charge.
+	FlushQuantum time.Duration
+	// pending is the accrued, not-yet-charged command time.
+	pending time.Duration
+
 	// Stats
 	TotalActivations int64
 	TotalCommands    int64
@@ -55,6 +72,7 @@ func newExecutor(k *Kernel, costs ExecCosts) *Executor {
 		Costs:            costs,
 		MaxSteps:         1 << 20,
 		MaxActivateDepth: 8,
+		FlushQuantum:     DefaultFlushQuantum,
 	}
 }
 
@@ -75,6 +93,17 @@ func (x *Executor) Run(c *Container, ev int) (*Operand, error) {
 	}
 	steps := 0
 	res, err := x.exec(c, ev, 0, &steps)
+	// steps counted every interpreted command (including nested Activate
+	// frames, which share the counter); fold it into the stats once per
+	// activation instead of incrementing them on the per-command path.
+	c.Stats.Commands += int64(steps)
+	x.TotalCommands += int64(steps)
+	// Charge any batched command time before the activation ends so
+	// callers measuring elapsed virtual time see the full cost (the
+	// success path has already flushed at its Return boundary).
+	if x.pending > 0 {
+		x.flushCharge(c)
+	}
 	c.executing = false
 	if err != nil {
 		x.kernel.terminate(c, err.Error())
@@ -83,13 +112,82 @@ func (x *Executor) Run(c *Container, ev int) (*Operand, error) {
 	return res, nil
 }
 
+// flushCharge charges the accrued per-command time to the kernel clock. It
+// advances to each intervening event boundary in turn, so scheduled
+// callbacks (security-checker wakeups, disk completions, daemon balances)
+// fire with exactly the clock they would observe under serial per-command
+// charging. If a callback kills the container mid-batch, the clock is
+// rounded up to the end of the command whose charge crossed the wakeup —
+// the same simulated instant the serial path aborts at — and the rest of
+// the batch is discarded (those commands never run in the serial world).
+func (x *Executor) flushCharge(c *Container) {
+	clock := x.kernel.Clock
+	for x.pending > 0 {
+		next, ok := clock.PeekNext()
+		if !ok {
+			clock.Sleep(x.pending)
+			x.pending = 0
+			return
+		}
+		d := next.Sub(clock.Now())
+		if d <= 0 || d > x.pending {
+			// No event inside the remaining window — or an overdue event,
+			// which means the clock is inside a nested dispatch (the
+			// executor was entered from an event callback) where advances
+			// fire nothing anyway: charge the rest in one step.
+			clock.Sleep(x.pending)
+			x.pending = 0
+			return
+		}
+		clock.Sleep(d) // fires the event(s) due at the boundary
+		x.pending -= d
+		if c.timedOut || c.state != StateActive {
+			if per := x.Costs.PerCommand; per > 0 {
+				if rem := x.pending % per; rem > 0 {
+					clock.Sleep(rem)
+				}
+			}
+			x.pending = 0
+			return
+		}
+	}
+}
+
+// syncClock flushes batched command time before a kernel-visible operation
+// (frame-manager calls, VM calls, Return) so those paths observe — and
+// schedule I/O completions against — the exact clock the serial charge
+// would produce. It surfaces a security-checker kill raised during the
+// flush. With nothing pending it is a no-op: the loop-top check has
+// already seen every event fired so far.
+func (x *Executor) syncClock(c *Container, ev, cc int) error {
+	if x.pending == 0 {
+		return nil
+	}
+	x.flushCharge(c)
+	if c.timedOut || c.state != StateActive {
+		return x.fail(c, ev, cc, "terminated by security checker (timeout)")
+	}
+	return nil
+}
+
 func (x *Executor) fail(c *Container, ev, cc int, format string, args ...any) error {
 	return &execError{Container: c, Event: ev, CC: cc, Reason: fmt.Sprintf(format, args...)}
 }
 
 // operand accessors with runtime type checking --------------------------
 
+// intOp reads an integer operand. The common case (plain stored int) is
+// kept small enough to inline at the Arith/Comp call sites; live operands
+// and type errors take the outlined slow path.
 func (x *Executor) intOp(c *Container, ev, cc int, slot uint8) (int64, error) {
+	o := &c.operands[slot]
+	if o.Kind != KindInt || o.live != nil {
+		return x.intOpSlow(c, ev, cc, slot)
+	}
+	return o.Int, nil
+}
+
+func (x *Executor) intOpSlow(c *Container, ev, cc int, slot uint8) (int64, error) {
 	o := &c.operands[slot]
 	if o.Kind != KindInt {
 		return 0, x.fail(c, ev, cc, "operand %#02x (%s) is %v, want int", slot, o.Name, o.Kind)
@@ -130,10 +228,12 @@ func (x *Executor) pageOp(c *Container, ev, cc int, slot uint8) (*mem.Page, erro
 // exec interprets one event program. depth counts Activate nesting; steps
 // is shared across the whole activation.
 func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, error) {
-	if ev < 0 || ev >= len(c.events) || c.events[ev] == nil {
+	if ev < 0 || ev >= len(c.decoded) || c.decoded[ev] == nil {
 		return nil, x.fail(c, ev, 0, "undefined event %d", ev)
 	}
-	prog := c.events[ev]
+	prog := c.decoded[ev]
+	per := x.Costs.PerCommand
+	quantum := x.FlushQuantum
 	cc := 1 // CC 0 is the magic word
 	for {
 		if cc < 1 || cc >= len(prog) {
@@ -143,27 +243,31 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 		if *steps > x.MaxSteps {
 			return nil, x.fail(c, ev, cc, "exceeded %d commands (runaway policy)", x.MaxSteps)
 		}
-		c.Stats.Commands++
-		x.TotalCommands++
-		if x.Costs.PerCommand > 0 {
-			// Charging per-command time is also what lets the
-			// asynchronous security checker observe a long-running
-			// execution: advancing the clock fires its wakeups.
-			x.kernel.Clock.Sleep(x.Costs.PerCommand)
+		if per > 0 {
+			// Charging command time is also what lets the asynchronous
+			// security checker observe a long-running execution: the
+			// accrued charge is flushed to the clock — firing its
+			// wakeups — every quantum and at kernel-visible boundaries.
+			x.pending += per
+			if x.pending >= quantum {
+				x.flushCharge(c)
+			}
 		}
 		if c.timedOut || c.state != StateActive {
 			return nil, x.fail(c, ev, cc, "terminated by security checker (timeout)")
 		}
-		cmd := prog[cc]
-		c.cc = cc
+		dc := prog[cc]
 		if x.Trace != nil {
-			fmt.Fprintf(x.Trace, "hipec%d %s CC=%-3d CR=%-5t %v\n",
-				c.ID, c.eventName(ev), cc, c.cr, cmd)
+			c.cc = cc
+			x.traceCmd(c, ev, cc, dc)
 		}
-		op1, op2, flag := cmd.A(), cmd.B(), cmd.C()
+		op1, op2, flag := dc.a, dc.b, dc.c
 
-		switch cmd.Op() {
+		switch dc.op {
 		case OpReturn:
+			if err := x.syncClock(c, ev, cc); err != nil {
+				return nil, err
+			}
 			return &c.operands[op1], nil
 
 		case OpArith:
@@ -214,13 +318,23 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			c.cr = false
 
 		case OpComp:
-			a, err := x.intOp(c, ev, cc, op1)
-			if err != nil {
+			// Hand-inlined operand reads: Comp is the workhorse of policy
+			// scan loops and intOp is just over the compiler's inline
+			// budget. The error path falls back to intOp for diagnostics.
+			ao, bo := &c.operands[op1], &c.operands[op2]
+			if ao.Kind != KindInt || bo.Kind != KindInt {
+				if _, err := x.intOp(c, ev, cc, op1); err != nil {
+					return nil, err
+				}
+				_, err := x.intOp(c, ev, cc, op2)
 				return nil, err
 			}
-			b, err := x.intOp(c, ev, cc, op2)
-			if err != nil {
-				return nil, err
+			a, b := ao.Int, bo.Int
+			if ao.live != nil {
+				a = ao.live()
+			}
+			if bo.live != nil {
+				b = bo.live()
 			}
 			switch flag {
 			case CompEQ:
@@ -346,7 +460,11 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			if q == c.Free {
 				// Moving a page to the private free list implies it
 				// leaves residency; the kernel performs the detach
-				// (applications cannot corrupt VM state, §3).
+				// (applications cannot corrupt VM state, §3). Laundering
+				// may schedule disk I/O: sync the clock first.
+				if err := x.syncClock(c, ev, cc); err != nil {
+					return nil, err
+				}
 				if err := x.kernel.FM.retire(c, p); err != nil {
 					return nil, x.fail(c, ev, cc, "EnQueue to free list: %v", err)
 				}
@@ -370,6 +488,9 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			if n < 0 {
 				return nil, x.fail(c, ev, cc, "Request of %d frames", n)
 			}
+			if err := x.syncClock(c, ev, cc); err != nil {
+				return nil, err
+			}
 			c.Stats.Requests++
 			granted := x.kernel.FM.Request(c, int(n))
 			if !granted {
@@ -378,6 +499,9 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			c.cr = granted
 
 		case OpRelease:
+			if err := x.syncClock(c, ev, cc); err != nil {
+				return nil, err
+			}
 			o := &c.operands[op1]
 			switch o.Kind {
 			case KindPage:
@@ -415,7 +539,11 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			// Asynchronous exchange (§4.3.1 I/O Handling): the dirty
 			// page goes to the global frame manager for laundering and
 			// a clean free frame comes back in its place, so the
-			// executor never waits for disk I/O.
+			// executor never waits for disk I/O. The disk completion is
+			// scheduled off the clock: sync it first.
+			if err := x.syncClock(c, ev, cc); err != nil {
+				return nil, err
+			}
 			np := x.kernel.FM.FlushExchange(c, reg.Page)
 			reg.Page = np
 			c.Stats.Flushes++
@@ -489,7 +617,10 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			if err != nil {
 				return nil, err
 			}
-			victim := x.selectVictim(cmd.Op(), q)
+			if err := x.syncClock(c, ev, cc); err != nil {
+				return nil, err
+			}
+			victim := x.selectVictim(dc.op, q)
 			if victim == nil {
 				c.cr = false
 				break
@@ -498,7 +629,7 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			if victim.Modified {
 				victim = x.kernel.FM.FlushExchange(c, victim)
 			} else if err := x.kernel.FM.retire(c, victim); err != nil {
-				return nil, x.fail(c, ev, cc, "%v: %v", cmd.Op(), err)
+				return nil, x.fail(c, ev, cc, "%v: %v", dc.op, err)
 			}
 			if victim == nil {
 				c.cr = false
@@ -517,6 +648,9 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			}
 			id, err := x.intOp(c, ev, cc, op2)
 			if err != nil {
+				return nil, err
+			}
+			if err := x.syncClock(c, ev, cc); err != nil {
 				return nil, err
 			}
 			if err := x.kernel.FM.Migrate(c, int(id), p); err != nil {
@@ -540,10 +674,18 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			c.cr = false
 
 		default:
-			return nil, x.fail(c, ev, cc, "illegal opcode %#02x", uint8(cmd.Op()))
+			return nil, x.fail(c, ev, cc, "illegal opcode %#02x", uint8(dc.op))
 		}
 		cc++
 	}
+}
+
+// traceCmd emits the per-command trace line. It lives outside exec so the
+// fmt.Fprintf argument list (which forces its operands to escape) is only
+// materialized when tracing is enabled, keeping the hot loop allocation-free.
+func (x *Executor) traceCmd(c *Container, ev, cc int, dc decodedCmd) {
+	fmt.Fprintf(x.Trace, "hipec%d %s CC=%-3d CR=%-5t %v\n",
+		c.ID, c.eventName(ev), cc, c.cr, dc.encoded())
 }
 
 // checkOverwrite rejects writes to a page register that still holds a

@@ -50,6 +50,9 @@ type FrameManager struct {
 	// the paper's policy; the alternatives implement §6 future work #4.
 	ReclaimPolicy ReclaimPolicy
 	rrNext        int // round-robin cursor
+	// victimScratch backs victimOrder's candidate slice between reclaims;
+	// nil while a reclaim iteration holds it (see victimOrder).
+	victimScratch []*Container
 
 	Stats FMStats
 }
@@ -284,16 +287,24 @@ func (fm *FrameManager) reclaim(want int, skip *Container) int {
 	return recovered
 }
 
-// victimOrder returns candidate containers per the configured policy.
+// victimOrder returns candidate containers per the configured policy. The
+// returned slice aliases the manager's scratch buffer — reclaim runs on
+// every frame request under memory pressure, and allocating a fresh sorted
+// slice per reclaim showed up as steady garbage in sweep profiles. Callers
+// hand the slice back via releaseVictims. victimOrder claims the scratch
+// (nils the field) so a nested reclaim — a ReclaimFrame policy whose own
+// Request triggers another reclaim — allocates privately instead of
+// clobbering the iteration in progress.
 func (fm *FrameManager) victimOrder() []*Container {
-	out := make([]*Container, len(fm.containers))
-	copy(out, fm.containers)
+	scratch := fm.victimScratch
+	fm.victimScratch = nil
+	out := append(scratch[:0], fm.containers...)
 	switch fm.ReclaimPolicy {
 	case ReclaimRoundRobin:
 		if len(out) > 1 {
 			k := fm.rrNext % len(out)
 			fm.rrNext++
-			out = append(out[k:], out[:k]...)
+			rotateLeft(out, k)
 		}
 	case ReclaimProportional:
 		sort.SliceStable(out, func(i, j int) bool {
@@ -303,9 +314,35 @@ func (fm *FrameManager) victimOrder() []*Container {
 	return out
 }
 
+// releaseVictims returns a victimOrder slice to the scratch buffer. The
+// elements are cleared so the scratch does not keep dead containers
+// reachable between reclaims.
+func (fm *FrameManager) releaseVictims(s []*Container) {
+	clear(s)
+	fm.victimScratch = s[:0]
+}
+
+// rotateLeft rotates s left by k in place (three-reversal), so the
+// round-robin order starts at index k without allocating. The old code's
+// append(out[k:], out[:k]...) only worked because out was freshly
+// allocated at full capacity; on a reused scratch it would alias.
+func rotateLeft[T any](s []T, k int) {
+	reverse(s[:k])
+	reverse(s[k:])
+	reverse(s)
+}
+
+func reverse[T any](s []T) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
 func (fm *FrameManager) reclaimNormal(want int, skip *Container) int {
 	recovered := 0
-	for _, cand := range fm.victimOrder() {
+	victims := fm.victimOrder()
+	defer fm.releaseVictims(victims)
+	for _, cand := range victims {
 		if recovered >= want {
 			break
 		}

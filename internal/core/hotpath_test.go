@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// --- batched clock charging: correctness --------------------------------
+
+// chargeFixture builds a kernel whose PageFault program spins in a pure
+// Comp/Jump loop for `spins` iterations before dequeuing a page, so a
+// single fault executes a long run of non-kernel-touching commands — the
+// case where batched charging and serial per-command charging could
+// diverge if the flush logic were wrong.
+func chargeFixture(t testing.TB, spins int64, quantum time.Duration) (*Kernel, *Container, int64) {
+	t.Helper()
+	k := testKernel(128)
+	k.Executor.FlushQuantum = quantum
+	sp := k.NewSpace()
+	spec := simpleSpec(8)
+	ctr := uint8(SlotUser)
+	limit := uint8(SlotUser + 1)
+	spec.Operands = []OperandDecl{
+		{Slot: ctr, Kind: KindInt, Name: "ctr"},
+		{Slot: limit, Kind: KindInt, Name: "limit", Init: spins, Const: true},
+	}
+	spec.Events[EventPageFault] = NewProgram(
+		Encode(OpArith, ctr, 0, ArithInc),                        // CC1
+		Encode(OpComp, ctr, limit, CompLT),                       // CC2
+		Encode(OpJump, JumpIfTrue, 0, 1),                         // CC3: spin
+		Encode(OpDeQueue, SlotPageReg, SlotFreeQueue, QueueHead), // CC4
+		Encode(OpReturn, SlotPageReg, 0, 0),                      // CC5
+	)
+	e, c, err := k.AllocateHiPEC(sp, 8*4096, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Touch(e.Start); err != nil {
+		t.Fatal(err)
+	}
+	return k, c, int64(k.Clock.Now())
+}
+
+// TestBatchedChargeMatchesSerialElapsed: the total virtual time of an
+// activation must be identical whether command time is charged per command
+// (quantum <= PerCommand) or batched at the default quantum.
+func TestBatchedChargeMatchesSerialElapsed(t *testing.T) {
+	_, _, serial := chargeFixture(t, 5000, time.Nanosecond)
+	_, _, batched := chargeFixture(t, 5000, DefaultFlushQuantum)
+	if serial != batched {
+		t.Fatalf("elapsed diverged: serial=%dns batched=%dns", serial, batched)
+	}
+	_, _, huge := chargeFixture(t, 5000, time.Second)
+	if huge != serial {
+		t.Fatalf("elapsed diverged at 1s quantum: serial=%dns got=%dns", serial, huge)
+	}
+}
+
+// runawayKillTime drives a watchdog kill of an infinitely looping policy
+// and reports the simulated time at which the container died.
+func runawayKillTime(t *testing.T, quantum time.Duration) (int64, string) {
+	t.Helper()
+	k := testKernel(64)
+	k.Executor.FlushQuantum = quantum
+	k.Executor.MaxSteps = 1 << 30 // let the checker do the killing
+	k.Checker.TimeOut = 10 * time.Millisecond
+	k.Checker.WakeUp = 20 * time.Millisecond
+	k.Checker.Start()
+	sp := k.NewSpace()
+	spec := simpleSpec(4)
+	spec.Events[EventPageFault] = NewProgram(
+		Encode(OpComp, SlotZero, SlotOne, CompLT), // CC1: always true
+		Encode(OpJump, JumpIfTrue, 0, 1),          // CC2: loop forever
+		Encode(OpDeQueue, SlotPageReg, SlotFreeQueue, QueueHead),
+		Encode(OpReturn, SlotPageReg, 0, 0),
+	)
+	e, c, err := k.AllocateHiPEC(sp, 4*4096, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Touch(e.Start); err == nil {
+		t.Fatal("runaway policy survived")
+	}
+	if c.State() != StateTerminated {
+		t.Fatalf("state = %v", c.State())
+	}
+	return int64(k.Clock.Now()), c.TerminationReason()
+}
+
+// TestCheckerKillTimeUnchangedByBatching: the security checker must kill a
+// runaway policy at the same simulated instant under batched charging as
+// under the serial per-command charge, for any flush quantum. flushCharge
+// guarantees this by stepping to each event boundary and rounding the
+// abort up to the command boundary the serial path would have died at.
+func TestCheckerKillTimeUnchangedByBatching(t *testing.T) {
+	serialAt, serialWhy := runawayKillTime(t, time.Nanosecond) // per-command
+	for _, q := range []time.Duration{DefaultFlushQuantum, 123 * time.Nanosecond, time.Millisecond} {
+		at, why := runawayKillTime(t, q)
+		if at != serialAt {
+			t.Errorf("quantum %v: killed at %dns, serial killed at %dns", q, at, serialAt)
+		}
+		if why != serialWhy {
+			t.Errorf("quantum %v: reason %q, serial %q", q, why, serialWhy)
+		}
+	}
+}
+
+// TestPredecodeCoversAppendedEvents: programs registered after activation
+// (the bench/test backdoor) must be predecoded too.
+func TestPredecodeCoversAppendedEvents(t *testing.T) {
+	k, c := newExecFixture(t)
+	ev := c.AppendEventForTest(NewProgram(
+		Encode(OpArith, SlotScratch, SlotOne, ArithAdd),
+		Encode(OpReturn, SlotScratch, 0, 0),
+	))
+	res, err := k.Executor.Run(c, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntValue() != 1 {
+		t.Fatalf("appended event computed %d, want 1", res.IntValue())
+	}
+}
+
+// --- hot-path benchmarks -------------------------------------------------
+
+// BenchmarkExecutorSimpleFault measures the full simple-fault activation
+// (EmptyQ, Jump-not-taken via CR, DeQueue, Return) with the calibrated
+// virtual costs charged — the paper's Table 4 fast path as the experiments
+// actually run it.
+func BenchmarkExecutorSimpleFault(b *testing.B) {
+	k := testKernel(1024)
+	sp := k.NewSpace()
+	e, c, err := k.AllocateHiPEC(sp, 64*4096, simpleSpec(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sp.Touch(e.Start); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := k.Executor.Run(c, EventPageFault)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Free.EnqueueHead(res.Page)
+		c.operands[SlotPageReg].Page = nil
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(k.Executor.TotalCommands), "ns/command")
+}
+
+// BenchmarkExecutorCommandLoop measures sustained interpreted-command
+// throughput with costs charged: a 1024-iteration pure Arith/Comp/Jump
+// loop per activation, the case where batched clock charging replaces one
+// event-heap walk per command with one per quantum.
+func BenchmarkExecutorCommandLoop(b *testing.B) {
+	k := testKernel(128)
+	sp := k.NewSpace()
+	spec := simpleSpec(8)
+	ctr := uint8(SlotUser)
+	limit := uint8(SlotUser + 1)
+	spec.Operands = []OperandDecl{
+		{Slot: ctr, Kind: KindInt, Name: "ctr"},
+		{Slot: limit, Kind: KindInt, Name: "limit", Init: 1024, Const: true},
+	}
+	_, c, err := k.AllocateHiPEC(sp, 8*4096, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Loop program: reset counter, spin to limit, return.
+	zero := uint8(SlotUser + 2)
+	c.operands[zero] = Operand{Kind: KindInt, Name: "z"}
+	loop := c.AppendEventForTest(NewProgram(
+		Encode(OpArith, ctr, zero, ArithMov), // CC1: ctr = 0
+		Encode(OpArith, ctr, 0, ArithInc),    // CC2
+		Encode(OpComp, ctr, limit, CompLT),   // CC3
+		Encode(OpJump, JumpIfTrue, 0, 2),     // CC4: spin
+		Encode(OpReturn, SlotScratch, 0, 0),  // CC5
+	))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Executor.Run(c, loop); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(k.Executor.TotalCommands), "ns/command")
+}

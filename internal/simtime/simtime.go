@@ -142,6 +142,17 @@ func (c *Clock) Cancel(e *Event) bool {
 // Pending reports the number of scheduled (not yet fired) events.
 func (c *Clock) Pending() int { return len(c.events) }
 
+// PeekNext reports the timestamp of the earliest pending event without
+// firing it. Callers that batch virtual-time charges (the policy executor)
+// use it to advance exactly to event boundaries so scheduled callbacks
+// observe the same clock they would under fine-grained charging.
+func (c *Clock) PeekNext() (Time, bool) {
+	if len(c.events) == 0 {
+		return 0, false
+	}
+	return c.events[0].when, true
+}
+
 // RunUntil fires all events scheduled at or before t, in order, then sets
 // the clock to t. Callbacks may schedule further events; those are honored
 // if they fall within the window. A nested call from within an event
