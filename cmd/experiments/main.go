@@ -9,6 +9,9 @@
 //	experiments -quick          # everything, scaled for a fast smoke run
 //	experiments -j 4            # fan sweep cells out over 4 workers
 //	experiments -bench-json BENCH_0001.json   # write host perf numbers
+//	experiments -event-log run.kevlog         # capture the smoke workload's
+//	                                          # kernel event stream (see
+//	                                          # cmd/replaydiff)
 //
 // Sweeps fan out over a worker pool (every cell simulates its own kernel
 // on its own virtual clock), so -j only changes wall-clock time: the
@@ -33,9 +36,28 @@ func main() {
 		jobs      = flag.Int("jobs", 6, "jobs per user for figure5")
 		workers   = flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS); output is identical at any -j")
 		benchJSON = flag.String("bench-json", "", "measure host performance (sweep cells/sec, executor ns/command, allocs) and write the JSON report to this file")
+		eventLog  = flag.String("event-log", "", "run the deterministic smoke workload and write its kernel event log to this file (diff two runs with cmd/replaydiff)")
 	)
 	flag.Parse()
 	bench.SetParallelism(*workers)
+
+	if *eventLog != "" {
+		f, err := os.Create(*eventLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "event-log: %v\n", err)
+			os.Exit(1)
+		}
+		n, err := bench.CaptureEventLog(f, *quick)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "event-log: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("captured %d kernel events to %s\n", n, *eventLog)
+		return
+	}
 
 	if *benchJSON != "" {
 		r, err := bench.MeasurePerf()

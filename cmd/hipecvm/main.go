@@ -150,14 +150,14 @@ func run(policy, hplFile string, baseline bool, wl string, pages int64, pool, ac
 	}
 	elapsed := time.Duration(k.Clock.Now().Sub(start))
 
-	fmt.Printf("\naccesses:        %d\n", sp.Stats.Accesses)
-	fmt.Printf("faults:          %d (%.2f%%)\n", faults, 100*float64(faults)/float64(sp.Stats.Accesses))
-	fmt.Printf("page-ins:        %d\n", sp.Stats.PageIns)
-	fmt.Printf("page-outs:       %d\n", k.VM.Stats.PageOuts)
+	fmt.Printf("\naccesses:        %d\n", sp.Stats().Accesses)
+	fmt.Printf("faults:          %d (%.2f%%)\n", faults, 100*float64(faults)/float64(sp.Stats().Accesses))
+	fmt.Printf("page-ins:        %d\n", sp.Stats().PageIns)
+	fmt.Printf("page-outs:       %d\n", k.VM.Stats().PageOuts)
 	fmt.Printf("virtual elapsed: %v\n", elapsed)
 	if container != nil {
-		fmt.Printf("policy commands: %d (%.1f per fault)\n", container.Stats.Commands,
-			float64(container.Stats.Commands)/float64(max64(1, container.Stats.Activations)))
+		fmt.Printf("policy commands: %d (%.1f per fault)\n", container.Stats().Commands,
+			float64(container.Stats().Commands)/float64(max64(1, container.Stats().Activations)))
 		if container.State() != core.StateActive {
 			fmt.Printf("CONTAINER TERMINATED: %s\n", container.TerminationReason())
 		}

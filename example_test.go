@@ -39,7 +39,7 @@ func Example() {
 		}
 	}
 	fmt.Printf("faults=%d resident=%d pool=%d state=%v\n",
-		task.Stats.Faults, region.Object.ResidentCount(), container.Allocated(), container.State())
+		task.Stats().Faults, region.Object.ResidentCount(), container.Allocated(), container.State())
 	// Output: faults=16 resident=8 pool=8 state=active
 }
 

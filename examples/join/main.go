@@ -74,7 +74,7 @@ func main() {
 		elapsed := time.Duration(k.Clock.Now().Sub(start))
 
 		fmt.Printf("%-4s policy: elapsed %8.2f min, faults %8d, page-ins %8d",
-			policy, elapsed.Minutes(), task.Stats.Faults, task.Stats.PageIns)
+			policy, elapsed.Minutes(), task.Stats().Faults, task.Stats().PageIns)
 		if container.State() != hipec.StateActive {
 			fmt.Printf("  [policy died: %s]", container.TerminationReason())
 		}

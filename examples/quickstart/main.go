@@ -63,12 +63,12 @@ func main() {
 			}
 		}
 		fmt.Printf("sweep %d: faults so far %5d, virtual time %v\n",
-			sweep, task.Stats.Faults, k.Clock.Now())
+			sweep, task.Stats().Faults, k.Clock.Now())
 	}
 
 	fmt.Printf("\npolicy executions: %d (%d commands interpreted, %.1f per fault)\n",
-		container.Stats.Activations, container.Stats.Commands,
-		float64(container.Stats.Commands)/float64(container.Stats.Activations))
+		container.Stats().Activations, container.Stats().Commands,
+		float64(container.Stats().Commands)/float64(container.Stats().Activations))
 	fmt.Printf("private pool: %d frames (resident %d + free %d)\n",
 		container.Allocated(), container.Active.Len()+container.Inactive.Len(), container.Free.Len())
 	fmt.Printf("container state: %v\n", container.State())

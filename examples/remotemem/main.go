@@ -78,7 +78,7 @@ func main() {
 		}
 		elapsed := time.Duration(k.Clock.Now().Sub(start))
 		fmt.Printf("%-34s %9.2fs elapsed, %7d page-ins\n",
-			cfg.name+":", elapsed.Seconds(), task.Stats.PageIns)
+			cfg.name+":", elapsed.Seconds(), task.Stats().PageIns)
 		if container.State() != hipec.StateActive {
 			log.Fatalf("policy died: %s", container.TerminationReason())
 		}

@@ -64,7 +64,7 @@ func main() {
 				}
 			}
 		}
-		return time.Duration(k.Clock.Now().Sub(start)), task.Stats.Faults
+		return time.Duration(k.Clock.Now().Sub(start)), task.Stats().Faults
 	}
 
 	spec, err := hipec.Translate("solver-mru", solverPolicy)

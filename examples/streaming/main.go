@@ -37,7 +37,7 @@ func main() {
 		for addr := hot.Start; addr < hot.End; addr += pageSize {
 			interactive.Touch(addr)
 		}
-		warmFaults := interactive.Stats.Faults
+		warmFaults := interactive.Stats().Faults
 
 		// The media file lives on disk.
 		media := k.VM.NewObject(fileMB<<20, false)
@@ -65,14 +65,14 @@ func main() {
 		for addr := hot.Start; addr < hot.End; addr += pageSize {
 			interactive.Touch(addr)
 		}
-		refaults := interactive.Stats.Faults - warmFaults
+		refaults := interactive.Stats().Faults - warmFaults
 
 		mode := "default LRU-like kernel policy"
 		if useHiPEC {
 			mode = fmt.Sprintf("HiPEC sequential-toss (%d-frame pool)", streamPool)
 		}
 		fmt.Printf("%-42s stream faults %6d, working-set re-faults %5d/%d\n",
-			mode+":", streamer.Stats.Faults, refaults, hotPages)
+			mode+":", streamer.Stats().Faults, refaults, hotPages)
 	}
 
 	fmt.Println("\nwith HiPEC the stream recycles its own frames, so the interactive")

@@ -44,6 +44,7 @@ import (
 	"hipec/internal/core"
 	"hipec/internal/emm"
 	"hipec/internal/hpl"
+	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/pageout"
 	"hipec/internal/policies"
@@ -107,6 +108,32 @@ type (
 	PageoutTargets = pageout.Targets
 	// Time is virtual time since kernel boot.
 	Time = simtime.Time
+)
+
+// Kernel event spine (internal/kevent): every subsystem emits typed Event
+// records into one stream; consumers implement Sink. Attach sinks at
+// construction via Config.Sinks or at runtime via Kernel.Events().Attach.
+// The Registry (Kernel.Registry()) aggregates the stream into per-system,
+// per-space and per-container counters — the single source of truth behind
+// Kernel.Report() and every subsystem's Stats() snapshot.
+type (
+	// Event is one fixed-layout kernel event record.
+	Event = kevent.Event
+	// EventType identifies one kind of kernel event.
+	EventType = kevent.Type
+	// Sink consumes kernel events.
+	Sink = kevent.Sink
+	// Registry is the metrics view of the event stream.
+	Registry = kevent.Registry
+	// EventLog is an in-memory event capture sink.
+	EventLog = kevent.Log
+)
+
+var (
+	// NewEventLogWriter builds a streaming event-log sink (see cmd/replaydiff).
+	NewEventLogWriter = kevent.NewLogWriter
+	// ReadEventLog parses a serialized event log.
+	ReadEventLog = kevent.ReadLog
 )
 
 // New builds a simulated kernel. Zero-valued Config fields take calibrated

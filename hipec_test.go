@@ -41,8 +41,8 @@ func TestQuickstartFlow(t *testing.T) {
 	if container.Allocated() != 64 {
 		t.Fatalf("allocated = %d", container.Allocated())
 	}
-	if task.Stats.Faults != 256 {
-		t.Fatalf("faults = %d, want 256", task.Stats.Faults)
+	if task.Stats().Faults != 256 {
+		t.Fatalf("faults = %d, want 256", task.Stats().Faults)
 	}
 	if k.Clock.Now() == 0 {
 		t.Fatal("virtual clock did not advance")

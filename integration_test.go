@@ -35,7 +35,7 @@ func TestPartitionedPoolsPreventInterference(t *testing.T) {
 		for a := hot.Start; a < hot.End; a += pageSize {
 			victim.Touch(a)
 		}
-		warm := victim.Stats.Faults
+		warm := victim.Stats().Faults
 
 		var region *hipec.MapEntry
 		if scannerUsesHiPEC {
@@ -55,7 +55,7 @@ func TestPartitionedPoolsPreventInterference(t *testing.T) {
 		for a := hot.Start; a < hot.End; a += pageSize {
 			victim.Touch(a)
 		}
-		return victim.Stats.Faults - warm
+		return victim.Stats().Faults - warm
 	}
 
 	shared := run(false)
@@ -234,10 +234,10 @@ func TestLongHaulStability(t *testing.T) {
 	if c1.State() != hipec.StateActive {
 		t.Fatal(c1.TerminationReason())
 	}
-	if k.Checker.Stats.SweepErrors != 0 {
-		t.Fatalf("deep sweep found %d violations", k.Checker.Stats.SweepErrors)
+	if k.Checker.Stats().SweepErrors != 0 {
+		t.Fatalf("deep sweep found %d violations", k.Checker.Stats().SweepErrors)
 	}
-	if k.Checker.Stats.Wakeups == 0 {
+	if k.Checker.Stats().Wakeups == 0 {
 		t.Fatal("checker never woke")
 	}
 }
@@ -263,8 +263,8 @@ func TestHundredRegionsOneKernel(t *testing.T) {
 			t.Fatal("nil page")
 		}
 	}
-	if sp.Stats.Faults != 100 {
-		t.Fatalf("faults = %d", sp.Stats.Faults)
+	if sp.Stats().Faults != 100 {
+		t.Fatalf("faults = %d", sp.Stats().Faults)
 	}
 }
 

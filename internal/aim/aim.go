@@ -129,7 +129,7 @@ func Run(k *core.Kernel, mix Mix, users, jobsPerUser int) (Result, error) {
 		}
 	}
 	start := k.Clock.Now()
-	f0 := k.VM.Stats.Faults
+	f0 := k.VM.Stats().Faults
 	remaining := users * jobsPerUser
 	for remaining > 0 {
 		// Next ready user (earliest readyAt; index breaks ties).
@@ -160,7 +160,7 @@ func Run(k *core.Kernel, mix Mix, users, jobsPerUser int) (Result, error) {
 		Jobs:       totalJobs,
 		Elapsed:    elapsed,
 		Throughput: float64(totalJobs) / elapsed.Minutes(),
-		Faults:     k.VM.Stats.Faults - f0,
+		Faults:     k.VM.Stats().Faults - f0,
 	}, nil
 }
 

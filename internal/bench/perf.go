@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hipec/internal/core"
+	"hipec/internal/kevent"
 	"hipec/internal/policies"
 )
 
@@ -32,6 +33,12 @@ type PerfReport struct {
 	ExecutorNsPerRun     float64 `json:"executor_ns_per_run"`
 	ExecutorNsPerCommand float64 `json:"executor_ns_per_command"`
 	ExecutorAllocsPerRun float64 `json:"executor_allocs_per_run"`
+
+	// Event spine overhead: the same loop with no sink attached (the
+	// registry alone) versus with a counting sink attached to the spine.
+	SpineNsPerCommandNoSink   float64 `json:"spine_ns_per_command_no_sink"`
+	SpineNsPerCommandCounting float64 `json:"spine_ns_per_command_counting_sink"`
+	SpineEventsCounted        int64   `json:"spine_events_counted"`
 }
 
 // JSON renders the report with stable field order and indentation.
@@ -76,42 +83,72 @@ func MeasurePerf() (PerfReport, error) {
 	if err := measureExecutor(&r); err != nil {
 		return r, err
 	}
+	if err := measureSpine(&r); err != nil {
+		return r, err
+	}
 	return r, nil
 }
 
-// measureExecutor drives the simple-fault PageFault program in a tight
-// loop with the calibrated virtual costs charged and reports real ns per
-// activation, ns per interpreted command, and heap allocations per run.
-func measureExecutor(r *PerfReport) error {
-	k := core.New(core.Config{Frames: 4096})
+// executorLoop drives the simple-fault PageFault program in a tight loop
+// with the calibrated virtual costs charged, optionally with extra sinks
+// attached to the kernel spine. It reports wall time, commands interpreted,
+// and heap allocations per run.
+func executorLoop(iters int, sinks ...kevent.Sink) (wall time.Duration, cmds int64, allocsPerRun float64, err error) {
+	k := core.New(core.Config{Frames: 4096, Sinks: sinks})
 	sp := k.NewSpace()
 	e, c, err := k.AllocateHiPEC(sp, 64*4096, policies.FIFO(64))
 	if err != nil {
-		return err
+		return 0, 0, 0, err
 	}
 	if _, err := sp.Touch(e.Start); err != nil {
-		return err
+		return 0, 0, 0, err
 	}
-	const iters = 500000
 	reg := c.Operand(core.SlotPageReg)
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	cmds0 := k.Executor.TotalCommands
+	cmds0 := k.Executor.TotalCommands()
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		res, err := k.Executor.Run(c, core.EventPageFault)
 		if err != nil {
-			return err
+			return 0, 0, 0, err
 		}
 		c.Free.EnqueueHead(res.Page)
 		reg.Page = nil
 	}
-	wall := time.Since(start)
+	wall = time.Since(start)
 	runtime.ReadMemStats(&after)
+	cmds = k.Executor.TotalCommands() - cmds0
+	allocsPerRun = float64(after.Mallocs-before.Mallocs) / float64(iters)
+	return wall, cmds, allocsPerRun, nil
+}
+
+// measureExecutor reports the plain hot path (registry only, no sinks).
+func measureExecutor(r *PerfReport) error {
+	const iters = 500000
+	wall, cmds, allocs, err := executorLoop(iters)
+	if err != nil {
+		return err
+	}
 	r.ExecutorRuns = iters
 	r.ExecutorNsPerRun = float64(wall.Nanoseconds()) / iters
-	r.ExecutorNsPerCommand = float64(wall.Nanoseconds()) / float64(k.Executor.TotalCommands-cmds0)
-	r.ExecutorAllocsPerRun = float64(after.Mallocs-before.Mallocs) / iters
+	r.ExecutorNsPerCommand = float64(wall.Nanoseconds()) / float64(cmds)
+	r.ExecutorAllocsPerRun = allocs
+	r.SpineNsPerCommandNoSink = r.ExecutorNsPerCommand
+	return nil
+}
+
+// measureSpine re-runs the loop with a counting sink attached, recording
+// the per-command cost of having a spine consumer.
+func measureSpine(r *PerfReport) error {
+	const iters = 500000
+	var counting kevent.Counting
+	wall, cmds, _, err := executorLoop(iters, &counting)
+	if err != nil {
+		return err
+	}
+	r.SpineNsPerCommandCounting = float64(wall.Nanoseconds()) / float64(cmds)
+	r.SpineEventsCounted = counting.N
 	return nil
 }

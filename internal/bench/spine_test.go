@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"hipec/internal/kevent"
+)
+
+// TestEventSpineCaptureDeterministic: two captures of the same smoke
+// workload must produce byte-identical event logs — the property replaydiff
+// relies on to treat any divergence as a regression.
+func TestEventSpineCaptureDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	na, err := CaptureEventLog(&a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := CaptureEventLog(&b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na == 0 {
+		t.Fatal("capture produced no events")
+	}
+	if na != nb || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("captures diverged: %d vs %d events, equal=%t", na, nb, bytes.Equal(a.Bytes(), b.Bytes()))
+	}
+	// The capture must parse back into the same number of records.
+	events, err := kevent.ReadLog(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(events)) != na {
+		t.Fatalf("log wrote %d events but parses to %d", na, len(events))
+	}
+}
+
+// TestEventSpineSmokeCounters sanity-checks that the smoke workload drives
+// every layer of the spine: vm traffic, HiPEC activations, and container
+// lifecycle all register.
+func TestEventSpineSmokeCounters(t *testing.T) {
+	k, err := RunSpineSmoke(QuickSpineSmoke())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := k.Registry()
+	for _, ty := range []kevent.Type{
+		kevent.EvHit, kevent.EvFault, kevent.EvZeroFill, kevent.EvBadAddress,
+		kevent.EvFMGrant, kevent.EvPolicyActivation, kevent.EvContainerCreated,
+	} {
+		if r.Count(ty) == 0 {
+			t.Errorf("smoke workload emitted no %v events", ty)
+		}
+	}
+	if got := r.Count(kevent.EvBadAddress); got != 5 {
+		t.Errorf("bad addresses = %d, want 5", got)
+	}
+}

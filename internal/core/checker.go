@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"time"
 
+	"hipec/internal/kevent"
 	"hipec/internal/simtime"
 )
 
-// CheckerStats counts security-checker activity.
+// CheckerStats is a snapshot of security-checker activity, derived from the
+// kernel event spine.
 type CheckerStats struct {
 	Wakeups       int64
 	Timeouts      int64 // timed-out executions detected
@@ -43,7 +45,19 @@ type Checker struct {
 
 	started bool
 	stopped bool
-	Stats   CheckerStats
+}
+
+// Stats reports checker counters, derived from the event spine.
+func (ck *Checker) Stats() CheckerStats {
+	sc := ck.kernel.Registry().Global()
+	return CheckerStats{
+		Wakeups:       sc.Counts[kevent.EvCheckerWakeup],
+		Timeouts:      sc.Counts[kevent.EvCheckerTimeout],
+		Terminations:  sc.Counts[kevent.EvCheckerKill],
+		SweepErrors:   sc.Counts[kevent.EvCheckerSweepError],
+		Validations:   sc.Counts[kevent.EvCheckerValidation],
+		ValidationBad: sc.Flags[kevent.EvCheckerValidation],
+	}
 }
 
 func newChecker(k *Kernel) *Checker {
@@ -77,7 +91,7 @@ func (ck *Checker) wake(now simtime.Time) {
 	if ck.stopped {
 		return
 	}
-	ck.Stats.Wakeups++
+	ck.kernel.emit(kevent.Event{Type: kevent.EvCheckerWakeup})
 	detected := false
 	// Copy: terminating mutates the list.
 	containers := append([]*Container(nil), ck.kernel.FM.containers...)
@@ -87,12 +101,12 @@ func (ck *Checker) wake(now simtime.Time) {
 			// kernel terminates the application.
 			c.timedOut = true
 			detected = true
-			ck.Stats.Timeouts++
+			ck.kernel.emit(kevent.Event{Type: kevent.EvCheckerTimeout, Container: int32(c.ID)})
 		}
 		if ck.DeepSweep {
 			for _, q := range c.queues() {
 				if err := q.Validate(); err != nil {
-					ck.Stats.SweepErrors++
+					ck.kernel.emit(kevent.Event{Type: kevent.EvCheckerSweepError, Container: int32(c.ID)})
 					ck.kernel.terminate(c, fmt.Sprintf("checker sweep: %v", err))
 					break
 				}
@@ -118,7 +132,6 @@ func (ck *Checker) wake(now simtime.Time) {
 // magic numbers, legal opcodes, operand types, jump-target ranges, event
 // references, and Return reachability. It returns every violation found.
 func (ck *Checker) ValidateSpec(c *Container) []error {
-	ck.Stats.Validations++
 	var errs []error
 	report := func(ev, cc int, format string, args ...any) {
 		errs = append(errs, fmt.Errorf("event %s CC=%d: %s", c.eventName(ev), cc, fmt.Sprintf(format, args...)))
@@ -269,10 +282,9 @@ func (ck *Checker) ValidateSpec(c *Container) []error {
 	return errs
 }
 
+// noteValidation emits the validation event; the Flag marks a rejection.
 func (ck *Checker) noteValidation(errs []error) {
-	if len(errs) > 0 {
-		ck.Stats.ValidationBad++
-	}
+	ck.kernel.emit(kevent.Event{Type: kevent.EvCheckerValidation, Flag: len(errs) > 0})
 }
 
 // checkFlow performs a reachability analysis: starting from CC 1, following

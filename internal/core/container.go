@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/simtime"
 	"hipec/internal/vm"
@@ -122,7 +123,8 @@ func (s ContainerState) String() string {
 	return fmt.Sprintf("ContainerState(%d)", uint8(s))
 }
 
-// ContainerStats counts per-container policy activity.
+// ContainerStats is a snapshot of per-container policy activity, derived
+// from the container's scoped view of the kernel event spine.
 type ContainerStats struct {
 	Activations   int64 // event executions (outer, not Activate-nested)
 	Commands      int64 // commands fetched/decoded/executed
@@ -172,7 +174,20 @@ type Container struct {
 	termReason string
 
 	extensions bool
-	Stats      ContainerStats
+}
+
+// Stats reports per-container policy counters, derived from the event spine.
+func (c *Container) Stats() ContainerStats {
+	sc := c.kernel.Registry().Container(c.ID)
+	return ContainerStats{
+		Activations:   sc.Counts[kevent.EvPolicyActivation],
+		Commands:      sc.Sums[kevent.EvPolicyActivation],
+		Requests:      sc.Counts[kevent.EvPolicyRequest],
+		RequestDenied: sc.Flags[kevent.EvPolicyRequest],
+		Releases:      sc.Sums[kevent.EvPolicyRelease],
+		Flushes:       sc.Counts[kevent.EvPolicyFlush],
+		Migrations:    sc.Counts[kevent.EvPolicyMigrate],
+	}
 }
 
 // Object returns the VM object this container manages.

@@ -91,12 +91,12 @@ func TestActivateAndFaultBasics(t *testing.T) {
 	if c.Free.Len() != 4 || c.Active.Len() != 4 {
 		t.Fatalf("after 4 faults: free=%d active=%d", c.Free.Len(), c.Active.Len())
 	}
-	if c.Stats.Activations != 4 {
-		t.Fatalf("Activations = %d", c.Stats.Activations)
+	if c.Stats().Activations != 4 {
+		t.Fatalf("Activations = %d", c.Stats().Activations)
 	}
 	// Re-touch: hits, no policy execution.
 	sp.Touch(e.Start)
-	if c.Stats.Activations != 4 {
+	if c.Stats().Activations != 4 {
 		t.Fatal("hit ran the policy")
 	}
 }
@@ -205,13 +205,13 @@ func TestTable2ProgramRunsVerbatim(t *testing.T) {
 	if c.State() != StateActive {
 		t.Fatalf("container state %v: %s", c.State(), c.TerminationReason())
 	}
-	if c.Stats.Flushes == 0 {
+	if c.Stats().Flushes == 0 {
 		t.Fatal("no dirty pages were flushed")
 	}
 	if got := e.Object.ResidentCount(); got > 16 {
 		t.Fatalf("resident %d exceeds private pool 16", got)
 	}
-	if sp.Stats.PageIns == 0 {
+	if sp.Stats().PageIns == 0 {
 		t.Fatal("second sweep did not page anything back in")
 	}
 }
@@ -259,13 +259,13 @@ func TestRequestGrantsAndPartitionBurst(t *testing.T) {
 			t.Fatalf("page %d: %v", i, err)
 		}
 	}
-	if c.Stats.Requests == 0 {
+	if c.Stats().Requests == 0 {
 		t.Fatal("policy never issued Request")
 	}
 	if got := k.FM.SpecificTotal(); got > k.FM.PartitionBurst {
 		t.Fatalf("specific total %d exceeds partition burst %d", got, k.FM.PartitionBurst)
 	}
-	if c.Stats.RequestDenied == 0 {
+	if c.Stats().RequestDenied == 0 {
 		t.Fatal("burst never denied a request (watermark not exercised)")
 	}
 	if c.State() != StateActive {
@@ -311,7 +311,7 @@ func TestNormalReclamationFAFR(t *testing.T) {
 	if c2.Allocated() != 40 {
 		t.Fatalf("balance touched the at-minimum container: %d", c2.Allocated())
 	}
-	if k.FM.Stats.NormalReclaims == 0 {
+	if k.FM.Stats().NormalReclaims == 0 {
 		t.Fatal("normal reclamation not counted")
 	}
 }
@@ -343,13 +343,13 @@ func TestForcedReclamationWhenPolicyWontGive(t *testing.T) {
 	// refuses), so the manager must fall back to forced reclamation,
 	// stripping c1 down to its guaranteed minimum.
 	k.FM.BalanceSpecific()
-	if k.FM.Stats.ForcedReclaims == 0 {
+	if k.FM.Stats().ForcedReclaims == 0 {
 		t.Fatal("forced reclamation never ran")
 	}
 	if c1.Allocated() != c1.MinFrame {
 		t.Fatalf("forced reclaim should stop exactly at minFrame: %d != %d", c1.Allocated(), c1.MinFrame)
 	}
-	if k.FM.Stats.NormalReclaims != 0 {
+	if k.FM.Stats().NormalReclaims != 0 {
 		t.Fatal("normal reclamation should have yielded nothing")
 	}
 }
@@ -412,8 +412,8 @@ func TestValidationRejectsMalformedPrograms(t *testing.T) {
 			}
 		})
 	}
-	if k.Checker.Stats.ValidationBad != int64(len(cases)) {
-		t.Fatalf("ValidationBad = %d, want %d", k.Checker.Stats.ValidationBad, len(cases))
+	if k.Checker.Stats().ValidationBad != int64(len(cases)) {
+		t.Fatalf("ValidationBad = %d, want %d", k.Checker.Stats().ValidationBad, len(cases))
 	}
 }
 
@@ -477,7 +477,7 @@ func TestWatchdogKillsRunawayPolicy(t *testing.T) {
 	if !strings.Contains(c.TerminationReason(), "timeout") {
 		t.Fatalf("reason = %q", c.TerminationReason())
 	}
-	if k.Checker.Stats.Timeouts == 0 {
+	if k.Checker.Stats().Timeouts == 0 {
 		t.Fatal("checker did not count the timeout")
 	}
 }
@@ -492,7 +492,7 @@ func TestWatchdogAdaptiveSleep(t *testing.T) {
 	if ck.WakeUp != ck.MaxWakeUp {
 		t.Fatalf("WakeUp = %v, want max %v (started at %v)", ck.WakeUp, ck.MaxWakeUp, start)
 	}
-	if ck.Stats.Wakeups == 0 {
+	if ck.Stats().Wakeups == 0 {
 		t.Fatal("no wakeups")
 	}
 	// Clamp at minimum is covered by the runaway test halving path.
@@ -553,16 +553,16 @@ func TestFlushExchangeKeepsPoolSizeConstant(t *testing.T) {
 	if c.Allocated() != before {
 		t.Fatalf("allocated changed across flush: %d -> %d", before, c.Allocated())
 	}
-	if c.Stats.Flushes != 1 || k.FM.Stats.FlushExchanges != 1 {
-		t.Fatalf("flush stats: container=%d fm=%d", c.Stats.Flushes, k.FM.Stats.FlushExchanges)
+	if c.Stats().Flushes != 1 || k.FM.Stats().FlushExchanges != 1 {
+		t.Fatalf("flush stats: container=%d fm=%d", c.Stats().Flushes, k.FM.Stats().FlushExchanges)
 	}
 	// The laundered frame rejoins the pool when its write completes.
-	pending := k.FM.Stats.LaunderPending
+	pending := k.FM.Stats().LaunderPending
 	if pending != 1 {
 		t.Fatalf("LaunderPending = %d, want 1", pending)
 	}
 	k.Clock.Advance(time.Second)
-	if k.FM.Stats.LaunderPending != 0 {
+	if k.FM.Stats().LaunderPending != 0 {
 		t.Fatal("laundered frame never returned")
 	}
 }
@@ -598,7 +598,7 @@ func TestMigrateExtension(t *testing.T) {
 	if cb.Free.Len() != 9 {
 		t.Fatalf("migrated frame not on target free list (%d)", cb.Free.Len())
 	}
-	if cb.Stats.Migrations != 1 {
+	if cb.Stats().Migrations != 1 {
 		t.Fatal("migration not counted")
 	}
 }
@@ -783,8 +783,8 @@ func TestMapHiPECOnPopulatedObject(t *testing.T) {
 	if p.Data[0] != 0x5A {
 		t.Fatal("page-in through HiPEC policy lost data")
 	}
-	if sp.Stats.PageIns != 1 {
-		t.Fatalf("PageIns = %d", sp.Stats.PageIns)
+	if sp.Stats().PageIns != 1 {
+		t.Fatalf("PageIns = %d", sp.Stats().PageIns)
 	}
 	if c.State() != StateActive {
 		t.Fatal(c.TerminationReason())

@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"io"
 	"time"
 
+	"hipec/internal/kevent"
 	"hipec/internal/mem"
 )
 
@@ -36,10 +36,12 @@ type Executor struct {
 	kernel *Kernel
 	Costs  ExecCosts
 
-	// Trace, when non-nil, receives one line per executed command —
-	// the policy developer's printf. Use only for debugging; it is on
-	// the hot path.
-	Trace io.Writer
+	// Trace, when non-nil, receives one EvPolicyCommand event per executed
+	// command — the policy developer's printf. Per-command events flow only
+	// to this sink (never to the kernel spine or registry), and only the
+	// nil check sits on the hot path. Kernel.NewTextTrace adapts an
+	// io.Writer into the classic one-line-per-command format.
+	Trace kevent.Sink
 
 	// MaxSteps bounds commands per outer activation as a hard backstop
 	// against runaway policies when command costs are zero (the adaptive
@@ -60,10 +62,18 @@ type Executor struct {
 	FlushQuantum time.Duration
 	// pending is the accrued, not-yet-charged command time.
 	pending time.Duration
+}
 
-	// Stats
-	TotalActivations int64
-	TotalCommands    int64
+// TotalActivations reports event-program activations across all containers,
+// derived from the event spine.
+func (x *Executor) TotalActivations() int64 {
+	return x.kernel.Registry().Count(kevent.EvPolicyActivation)
+}
+
+// TotalCommands reports commands interpreted across all containers, derived
+// from the event spine.
+func (x *Executor) TotalCommands() int64 {
+	return x.kernel.Registry().Sum(kevent.EvPolicyActivation)
 }
 
 func newExecutor(k *Kernel, costs ExecCosts) *Executor {
@@ -86,18 +96,16 @@ func (x *Executor) Run(c *Container, ev int) (*Operand, error) {
 	c.executing = true
 	c.timestamp = x.kernel.Clock.Now()
 	c.timedOut = false
-	c.Stats.Activations++
-	x.TotalActivations++
 	if x.Costs.Activation > 0 {
 		x.kernel.Clock.Sleep(x.Costs.Activation)
 	}
 	steps := 0
 	res, err := x.exec(c, ev, 0, &steps)
 	// steps counted every interpreted command (including nested Activate
-	// frames, which share the counter); fold it into the stats once per
-	// activation instead of incrementing them on the per-command path.
-	c.Stats.Commands += int64(steps)
-	x.TotalCommands += int64(steps)
+	// frames, which share the counter); the whole activation is one event —
+	// emitted once, at completion — so nothing lands on the per-command path
+	// and the spine costs one emission per fault, not per command.
+	x.kernel.emit(kevent.Event{Type: kevent.EvPolicyActivation, Container: int32(c.ID), Arg: int64(steps), Aux: int64(ev)})
 	// Charge any batched command time before the activation ends so
 	// callers measuring elapsed virtual time see the full cost (the
 	// success path has already flushed at its Return boundary).
@@ -491,11 +499,8 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			if err := x.syncClock(c, ev, cc); err != nil {
 				return nil, err
 			}
-			c.Stats.Requests++
 			granted := x.kernel.FM.Request(c, int(n))
-			if !granted {
-				c.Stats.RequestDenied++
-			}
+			x.kernel.emit(kevent.Event{Type: kevent.EvPolicyRequest, Container: int32(c.ID), Arg: n, Flag: !granted})
 			c.cr = granted
 
 		case OpRelease:
@@ -514,12 +519,12 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 					q.Remove(p)
 				}
 				x.kernel.FM.ReleaseFrame(c, p)
-				c.Stats.Releases++
+				x.kernel.emit(kevent.Event{Type: kevent.EvPolicyRelease, Container: int32(c.ID), Arg: 1})
 				c.cr = true
 			case KindInt:
 				n := o.IntValue()
 				released := x.kernel.FM.ReleaseFromFree(c, int(n))
-				c.Stats.Releases += int64(released)
+				x.kernel.emit(kevent.Event{Type: kevent.EvPolicyRelease, Container: int32(c.ID), Arg: int64(released)})
 				c.cr = int64(released) == n
 			default:
 				return nil, x.fail(c, ev, cc, "Release operand %#02x is %v", op1, o.Kind)
@@ -546,7 +551,7 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			}
 			np := x.kernel.FM.FlushExchange(c, reg.Page)
 			reg.Page = np
-			c.Stats.Flushes++
+			x.kernel.emit(kevent.Event{Type: kevent.EvPolicyFlush, Container: int32(c.ID)})
 			c.cr = np != nil
 
 		case OpSet:
@@ -680,12 +685,20 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 	}
 }
 
-// traceCmd emits the per-command trace line. It lives outside exec so the
-// fmt.Fprintf argument list (which forces its operands to escape) is only
-// materialized when tracing is enabled, keeping the hot loop allocation-free.
+// traceCmd delivers the per-command event to the attached Trace sink. It
+// lives outside exec so the Event construction is only materialized when
+// tracing is enabled, keeping the hot loop allocation-free. The event is
+// stamped here because it bypasses the Emitter (and hence the registry).
 func (x *Executor) traceCmd(c *Container, ev, cc int, dc decodedCmd) {
-	fmt.Fprintf(x.Trace, "hipec%d %s CC=%-3d CR=%-5t %v\n",
-		c.ID, c.eventName(ev), cc, c.cr, dc.encoded())
+	x.Trace.Emit(kevent.Event{
+		Time:      x.kernel.Clock.Now(),
+		Type:      kevent.EvPolicyCommand,
+		Container: int32(c.ID),
+		Addr:      int64(dc.encoded()),
+		Arg:       int64(cc),
+		Aux:       int64(ev),
+		Flag:      c.cr,
+	})
 }
 
 // checkOverwrite rejects writes to a page register that still holds a

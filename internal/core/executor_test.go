@@ -241,8 +241,8 @@ func TestFlushFallbackWhenMachineExhausted(t *testing.T) {
 	if c.Allocated() != before {
 		t.Fatal("fallback flush changed the grant")
 	}
-	if k.VM.Stats.PageOuts != 1 {
-		t.Fatalf("PageOuts = %d", k.VM.Stats.PageOuts)
+	if k.VM.Stats().PageOuts != 1 {
+		t.Fatalf("PageOuts = %d", k.VM.Stats().PageOuts)
 	}
 }
 
@@ -265,8 +265,8 @@ func TestImplicitLaunderOnDirtyFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if k.FM.Stats.ImplicitFlushes != 1 {
-		t.Fatalf("ImplicitFlushes = %d", k.FM.Stats.ImplicitFlushes)
+	if k.FM.Stats().ImplicitFlushes != 1 {
+		t.Fatalf("ImplicitFlushes = %d", k.FM.Stats().ImplicitFlushes)
 	}
 	// The data must survive a re-fault.
 	p2, err := sp.Touch(e.Start)
@@ -315,33 +315,33 @@ func TestCheckerStopStopsWakeups(t *testing.T) {
 	k := testKernel(64)
 	k.Checker.Start()
 	k.Clock.Advance(3 * time.Second)
-	n := k.Checker.Stats.Wakeups
+	n := k.Checker.Stats().Wakeups
 	if n == 0 {
 		t.Fatal("no wakeups before stop")
 	}
 	k.Checker.Stop()
 	k.Clock.Advance(time.Minute)
-	if k.Checker.Stats.Wakeups > n+1 {
-		t.Fatalf("checker kept waking after Stop: %d -> %d", n, k.Checker.Stats.Wakeups)
+	if k.Checker.Stats().Wakeups > n+1 {
+		t.Fatalf("checker kept waking after Stop: %d -> %d", n, k.Checker.Stats().Wakeups)
 	}
 }
 
 func TestExecutorTotalsAccumulate(t *testing.T) {
 	k, c := newExecFixture(t)
-	a0, c0 := k.Executor.TotalActivations, k.Executor.TotalCommands
+	a0, c0 := k.Executor.TotalActivations(), k.Executor.TotalCommands()
 	if _, err := runProg(t, k, c, Encode(OpReturn, SlotScratch, 0, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if k.Executor.TotalActivations != a0+1 || k.Executor.TotalCommands != c0+1 {
+	if k.Executor.TotalActivations() != a0+1 || k.Executor.TotalCommands() != c0+1 {
 		t.Fatalf("totals did not advance: %d/%d -> %d/%d",
-			a0, c0, k.Executor.TotalActivations, k.Executor.TotalCommands)
+			a0, c0, k.Executor.TotalActivations(), k.Executor.TotalCommands())
 	}
 }
 
 func TestExecutorTraceOutput(t *testing.T) {
 	k, c := newExecFixture(t)
 	var buf strings.Builder
-	k.Executor.Trace = &buf
+	k.Executor.Trace = k.NewTextTrace(&buf)
 	if _, err := runProg(t, k, c,
 		Encode(OpComp, SlotFreeCount, SlotZero, CompGT),
 		Encode(OpReturn, SlotScratch, 0, 0),

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/pageout"
 	"hipec/internal/simtime"
@@ -17,7 +18,8 @@ import (
 // retry later", §4.3.1).
 var ErrMinFrame = errors.New("hipec: minFrame request cannot be satisfied")
 
-// FMStats counts global frame manager activity.
+// FMStats is a snapshot of global frame manager activity, derived from the
+// kernel event spine.
 type FMStats struct {
 	Grants          int64 // Request commands granted
 	Denials         int64 // Request commands denied
@@ -53,8 +55,28 @@ type FrameManager struct {
 	// victimScratch backs victimOrder's candidate slice between reclaims;
 	// nil while a reclaim iteration holds it (see victimOrder).
 	victimScratch []*Container
+}
 
-	Stats FMStats
+// emit sends an event down the kernel spine.
+func (fm *FrameManager) emit(e kevent.Event) { fm.kernel.emit(e) }
+
+// Stats reports frame manager counters, derived from the event spine.
+// Initial minFrame grants at activation carry the event Flag, so Grants
+// (Request-command grants only) excludes them while FramesGranted counts
+// their frames.
+func (fm *FrameManager) Stats() FMStats {
+	sc := fm.kernel.Registry().Global()
+	return FMStats{
+		Grants:          sc.Counts[kevent.EvFMGrant] - sc.Flags[kevent.EvFMGrant],
+		Denials:         sc.Counts[kevent.EvFMDeny],
+		FramesGranted:   sc.Sums[kevent.EvFMGrant],
+		FramesReturned:  sc.Sums[kevent.EvFMReturn],
+		NormalReclaims:  sc.Sums[kevent.EvFMReclaimNormal],
+		ForcedReclaims:  sc.Counts[kevent.EvFMReclaimForced],
+		FlushExchanges:  sc.Counts[kevent.EvFMFlushExchange],
+		LaunderPending:  sc.Counts[kevent.EvFMLaunderStart] - sc.Counts[kevent.EvFMLaunderDone],
+		ImplicitFlushes: sc.Counts[kevent.EvFMImplicitFlush],
+	}
 }
 
 // ReclaimPolicy names a victim-selection strategy for container-level
@@ -113,7 +135,7 @@ func (fm *FrameManager) attach(c *Container) error {
 	}
 	c.allocated = need
 	fm.specificTotal += need
-	fm.Stats.FramesGranted += int64(need)
+	fm.emit(kevent.Event{Type: kevent.EvFMGrant, Container: int32(c.ID), Arg: int64(need), Flag: true})
 	fm.containers = append(fm.containers, c)
 	return nil
 }
@@ -142,7 +164,7 @@ func (fm *FrameManager) Request(c *Container, n int) bool {
 		// applications first, then re-check.
 		fm.reclaim(fm.specificTotal+n-fm.PartitionBurst, c)
 		if fm.specificTotal+n > fm.PartitionBurst {
-			fm.Stats.Denials++
+			fm.emit(kevent.Event{Type: kevent.EvFMDeny, Container: int32(c.ID), Arg: int64(n)})
 			return false
 		}
 	}
@@ -151,7 +173,7 @@ func (fm *FrameManager) Request(c *Container, n int) bool {
 		for _, p := range frames {
 			fm.Daemon.ReturnFrame(p)
 		}
-		fm.Stats.Denials++
+		fm.emit(kevent.Event{Type: kevent.EvFMDeny, Container: int32(c.ID), Arg: int64(n)})
 		return false
 	}
 	for _, p := range frames {
@@ -160,8 +182,7 @@ func (fm *FrameManager) Request(c *Container, n int) bool {
 	}
 	c.allocated += n
 	fm.specificTotal += n
-	fm.Stats.Grants++
-	fm.Stats.FramesGranted += int64(n)
+	fm.emit(kevent.Event{Type: kevent.EvFMGrant, Container: int32(c.ID), Arg: int64(n)})
 	return true
 }
 
@@ -179,7 +200,7 @@ func (fm *FrameManager) retire(c *Container, p *mem.Page) error {
 				// The policy freed a dirty page without Flush; the
 				// kernel launders it rather than lose data.
 				fm.kernel.VM.PageOut(p, nil)
-				fm.Stats.ImplicitFlushes++
+				fm.emit(kevent.Event{Type: kevent.EvFMImplicitFlush, Container: int32(c.ID), Arg: int64(p.Object), Aux: p.Offset})
 			}
 			fm.kernel.VM.Detach(p)
 		}
@@ -198,7 +219,7 @@ func (fm *FrameManager) ReleaseFrame(c *Container, p *mem.Page) {
 	fm.Daemon.ReturnFrame(p)
 	c.allocated--
 	fm.specificTotal--
-	fm.Stats.FramesReturned++
+	fm.emit(kevent.Event{Type: kevent.EvFMReturn, Container: int32(c.ID), Arg: 1})
 }
 
 // ReleaseFromFree returns up to n frames from c's private free list to the
@@ -213,8 +234,10 @@ func (fm *FrameManager) ReleaseFromFree(c *Container, n int) int {
 		fm.Daemon.ReturnFrame(p)
 		c.allocated--
 		fm.specificTotal--
-		fm.Stats.FramesReturned++
 		released++
+	}
+	if released > 0 {
+		fm.emit(kevent.Event{Type: kevent.EvFMReturn, Container: int32(c.ID), Arg: int64(released)})
 	}
 	return released
 }
@@ -226,7 +249,9 @@ func (fm *FrameManager) noteReleased(c *Container, n int) {
 	if fm.specificTotal < 0 {
 		fm.specificTotal = 0
 	}
-	fm.Stats.FramesReturned += int64(n)
+	if n > 0 {
+		fm.emit(kevent.Event{Type: kevent.EvFMReturn, Container: int32(c.ID), Arg: int64(n)})
+	}
 }
 
 // FlushExchange implements the Flush command's I/O handling (§4.3.1): the
@@ -237,8 +262,8 @@ func (fm *FrameManager) noteReleased(c *Container, n int) {
 // same frame is handed back clean. Clean pages are simply retired and
 // returned as-is.
 func (fm *FrameManager) FlushExchange(c *Container, p *mem.Page) *mem.Page {
-	fm.Stats.FlushExchanges++
 	if !p.Modified {
+		fm.emit(kevent.Event{Type: kevent.EvFMFlushExchange, Container: int32(c.ID)})
 		if err := fm.retire(c, p); err != nil {
 			return nil
 		}
@@ -247,6 +272,7 @@ func (fm *FrameManager) FlushExchange(c *Container, p *mem.Page) *mem.Page {
 	replacement := fm.Daemon.TakeFree(1)
 	if len(replacement) == 0 {
 		// Fallback: synchronous flush, reuse the same frame.
+		fm.emit(kevent.Event{Type: kevent.EvFMFlushExchange, Container: int32(c.ID)})
 		fm.kernel.VM.PageOutSync(p)
 		fm.kernel.VM.Detach(p)
 		p.Object, p.Offset = 0, 0
@@ -256,16 +282,18 @@ func (fm *FrameManager) FlushExchange(c *Container, p *mem.Page) *mem.Page {
 	np.Object, np.Offset = 0, 0
 	// Asynchronous laundering: store write is immediate (contents safe),
 	// the disk write completes later, and only then does the frame rejoin
-	// the pool.
+	// the pool. The Flag marks the asynchronous (exchange) path.
+	cid := int32(c.ID)
 	obj := fm.kernel.VM.Object(p.Object)
-	fm.Stats.LaunderPending++
+	fm.emit(kevent.Event{Type: kevent.EvFMFlushExchange, Container: cid, Flag: true})
+	fm.emit(kevent.Event{Type: kevent.EvFMLaunderStart, Container: cid, Arg: int64(p.Object), Aux: p.Offset})
 	if obj != nil && obj.Resident(p.Offset) == p {
 		fm.kernel.VM.Detach(p)
 	}
 	fm.kernel.VM.PageOut(p, func(simtime.Time) {
 		p.Object, p.Offset = 0, 0
 		fm.Daemon.ReturnFrame(p)
-		fm.Stats.LaunderPending--
+		fm.emit(kevent.Event{Type: kevent.EvFMLaunderDone, Container: cid})
 	})
 	p.Object, p.Offset = 0, 0 // identity cleared; completion callback re-clears harmlessly
 	return np
@@ -365,7 +393,7 @@ func (fm *FrameManager) reclaimNormal(want int, skip *Container) int {
 				break
 			}
 			recovered += got
-			fm.Stats.NormalReclaims += int64(got)
+			fm.emit(kevent.Event{Type: kevent.EvFMReclaimNormal, Container: int32(cand.ID), Arg: int64(got)})
 		}
 	}
 	return recovered
@@ -417,7 +445,7 @@ func (fm *FrameManager) reclaimForced(want int, skip *Container) int {
 		cd.c.allocated--
 		fm.specificTotal--
 		taken++
-		fm.Stats.ForcedReclaims++
+		fm.emit(kevent.Event{Type: kevent.EvFMReclaimForced, Container: int32(cd.c.ID), Arg: int64(cd.p.Object), Aux: cd.p.Offset})
 	}
 	return taken
 }
@@ -458,6 +486,6 @@ func (fm *FrameManager) Migrate(src *Container, dstID int, p *mem.Page) error {
 	dst.Free.EnqueueTail(p)
 	src.allocated--
 	dst.allocated++
-	dst.Stats.Migrations++
+	fm.emit(kevent.Event{Type: kevent.EvPolicyMigrate, Container: int32(dst.ID), Arg: int64(src.ID)})
 	return nil
 }

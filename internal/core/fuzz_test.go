@@ -111,7 +111,7 @@ func TestPropertyRandomPoliciesNeverLeakFrames(t *testing.T) {
 		}
 		// Let the manager's asynchronous laundering finish.
 		k.Clock.Advance(5 * time.Second)
-		if k.FM.Stats.LaunderPending != 0 {
+		if k.FM.Stats().LaunderPending != 0 {
 			return false
 		}
 		kernelConservation(t, k)

@@ -148,7 +148,7 @@ func BenchmarkExecutorSimpleFault(b *testing.B) {
 		c.Free.EnqueueHead(res.Page)
 		c.operands[SlotPageReg].Page = nil
 	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(k.Executor.TotalCommands), "ns/command")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(k.Executor.TotalCommands()), "ns/command")
 }
 
 // BenchmarkExecutorCommandLoop measures sustained interpreted-command
@@ -186,5 +186,5 @@ func BenchmarkExecutorCommandLoop(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(k.Executor.TotalCommands), "ns/command")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(k.Executor.TotalCommands()), "ns/command")
 }

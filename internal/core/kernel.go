@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hipec/internal/disk"
+	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/pageout"
 	"hipec/internal/simtime"
@@ -31,9 +32,16 @@ type Config struct {
 	// check is not charged and HiPEC activation calls fail. Used as the
 	// unmodified-kernel baseline in the experiments.
 	HiPECDisabled bool
+
+	// Sinks are attached to the kernel event spine at construction:
+	// every subsystem event (faults, evictions, disk I/O, frame-manager
+	// grants, checker wakeups, ...) is delivered to each sink in order,
+	// after the metrics registry. See package kevent.
+	Sinks []kevent.Sink
 }
 
-// KernelStats aggregates top-level counters.
+// KernelStats is a snapshot of top-level counters, derived from the kernel
+// event spine.
 type KernelStats struct {
 	ContainersCreated int64
 	ActivationErrors  int64
@@ -53,8 +61,27 @@ type Kernel struct {
 	hipecDisabled bool
 	nextContainer int
 	containers    []*Container // every container ever created
-	Stats         KernelStats
 }
+
+// Events returns the kernel's event spine (shared with the VM substrate);
+// attach kevent.Sink consumers here at runtime.
+func (k *Kernel) Events() *kevent.Emitter { return k.VM.Events }
+
+// Registry returns the spine's metrics registry: the single source of truth
+// for every counter surfaced by Report() and the experiment harness.
+func (k *Kernel) Registry() *kevent.Registry { return k.VM.Events.Registry() }
+
+// Stats reports top-level counters, derived from the event spine.
+func (k *Kernel) Stats() KernelStats {
+	sc := k.Registry().Global()
+	return KernelStats{
+		ContainersCreated: sc.Counts[kevent.EvContainerCreated],
+		ActivationErrors:  sc.Counts[kevent.EvActivationError],
+	}
+}
+
+// emit sends an event down the kernel spine.
+func (k *Kernel) emit(e kevent.Event) { k.VM.Events.Emit(e) }
 
 // New builds a kernel.
 func New(cfg Config) *Kernel {
@@ -73,6 +100,9 @@ func New(cfg Config) *Kernel {
 		Costs:    costs,
 		Disk:     cfg.Disk,
 	})
+	for _, s := range cfg.Sinks {
+		sys.Events.Attach(s)
+	}
 	daemon := pageout.New(sys, cfg.Targets)
 	sys.SetDefaultPolicy(daemon)
 	k := &Kernel{
@@ -148,17 +178,17 @@ func (k *Kernel) activate(obj *vm.Object, spec *Spec) (*Container, error) {
 		return nil, err
 	}
 	if errs := k.Checker.ValidateSpec(c); len(errs) > 0 {
-		k.Stats.ActivationErrors++
+		k.emit(kevent.Event{Type: kevent.EvActivationError, Container: int32(c.ID)})
 		return nil, fmt.Errorf("hipec: policy %q rejected by security checker: %v (and %d more)",
 			spec.Name, errs[0], len(errs)-1)
 	}
 	if err := k.FM.attach(c); err != nil {
-		k.Stats.ActivationErrors++
+		k.emit(kevent.Event{Type: kevent.EvActivationError, Container: int32(c.ID)})
 		return nil, err
 	}
 	obj.Policy = c
 	k.containers = append(k.containers, c)
-	k.Stats.ContainersCreated++
+	k.emit(kevent.Event{Type: kevent.EvContainerCreated, Container: int32(c.ID), Arg: int64(obj.ID)})
 	return c, nil
 }
 
@@ -172,7 +202,7 @@ func (k *Kernel) terminate(c *Container, reason string) {
 	c.state = StateTerminated
 	c.termReason = reason
 	c.timedOut = true // abort any in-flight execution at its next step
-	k.Checker.Stats.Terminations++
+	k.emit(kevent.Event{Type: kevent.EvCheckerKill, Container: int32(c.ID)})
 	k.releaseContainer(c, true)
 }
 

@@ -8,39 +8,46 @@ import (
 // Report renders a human-readable snapshot of kernel state: machine memory,
 // the default daemon's queues, and every container's pools and statistics.
 // It is the simulation's equivalent of `vm_stat` plus a HiPEC status page.
+// Every counter it prints is derived from the kevent registry (via the
+// subsystem Stats() snapshots); no subsystem keeps private counters.
 func (k *Kernel) Report() string {
 	var b strings.Builder
 	ft := k.VM.Frames
+	vs := k.VM.Stats()
+	ds := k.Daemon.Stats()
+	fs := k.FM.Stats()
+	cs := k.Checker.Stats()
 	fmt.Fprintf(&b, "machine: %d frames x %d B (%.1f MB), %d free\n",
 		ft.Frames(), ft.PageSize(),
 		float64(ft.Frames())*float64(ft.PageSize())/(1<<20), ft.FreeCount())
 	fmt.Fprintf(&b, "clock:   %v\n", k.Clock.Now())
 	fmt.Fprintf(&b, "vm:      %d accesses, %d hits, %d faults (%d page-ins, %d zero-fills), %d page-outs, %d evictions\n",
-		k.VM.Stats.Accesses, k.VM.Stats.Hits, k.VM.Stats.Faults,
-		k.VM.Stats.PageIns, k.VM.Stats.ZeroFills, k.VM.Stats.PageOuts, k.VM.Stats.Evictions)
+		vs.Accesses, vs.Hits, vs.Faults,
+		vs.PageIns, vs.ZeroFills, vs.PageOuts, vs.Evictions)
 	fmt.Fprintf(&b, "daemon:  active %d, inactive %d, targets free/inactive/reserved %d/%d/%d, %d balances (%d reclaims, %d reactivations)\n",
 		k.Daemon.Active.Len(), k.Daemon.Inactive.Len(),
 		k.Daemon.Targets.Free, k.Daemon.Targets.Inactive, k.Daemon.Targets.Reserved,
-		k.Daemon.Stats.Balances, k.Daemon.Stats.Reclaims, k.Daemon.Stats.Reactivations)
+		ds.Balances, ds.Reclaims, ds.Reactivations)
 	fmt.Fprintf(&b, "manager: %d/%d frames granted to specific applications (partition_burst), %d normal + %d forced reclaims, %d flush exchanges\n",
 		k.FM.SpecificTotal(), k.FM.PartitionBurst,
-		k.FM.Stats.NormalReclaims, k.FM.Stats.ForcedReclaims, k.FM.Stats.FlushExchanges)
+		fs.NormalReclaims, fs.ForcedReclaims, fs.FlushExchanges)
 	fmt.Fprintf(&b, "checker: %d wakeups (next interval %v), %d timeouts, %d terminations\n",
-		k.Checker.Stats.Wakeups, k.Checker.WakeUp,
-		k.Checker.Stats.Timeouts, k.Checker.Stats.Terminations)
+		cs.Wakeups, k.Checker.WakeUp,
+		cs.Timeouts, cs.Terminations)
 	if len(k.containers) == 0 {
 		fmt.Fprintf(&b, "containers: none\n")
 		return b.String()
 	}
 	fmt.Fprintf(&b, "containers:\n")
 	for _, c := range k.containers {
+		st := c.Stats()
 		fmt.Fprintf(&b, "  #%d %-24s %-10s min %4d, held %4d (free %d / active %d / inactive %d)",
 			c.ID, c.spec.Name, c.state, c.MinFrame, c.allocated,
 			c.Free.Len(), c.Active.Len(), c.Inactive.Len())
 		fmt.Fprintf(&b, "  %d activations, %d commands, %d flushes",
-			c.Stats.Activations, c.Stats.Commands, c.Stats.Flushes)
-		if c.Stats.Requests > 0 {
-			fmt.Fprintf(&b, ", %d/%d requests granted", c.Stats.Requests-c.Stats.RequestDenied, c.Stats.Requests)
+			st.Activations, st.Commands, st.Flushes)
+		if st.Requests > 0 {
+			fmt.Fprintf(&b, ", %d/%d requests granted", st.Requests-st.RequestDenied, st.Requests)
 		}
 		if c.state == StateTerminated {
 			fmt.Fprintf(&b, " [%s]", c.termReason)

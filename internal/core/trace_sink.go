@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"hipec/internal/kevent"
+)
+
+// TextTrace is a kevent.Sink that renders EvPolicyCommand events as the
+// classic one-line-per-command executor trace:
+//
+//	hipec<id> <event> CC=<cc>  CR=<cr>  <command>
+//
+// Attach it to Executor.Trace (the usual spot — per-command events flow only
+// there) or to the kernel spine, where it ignores every other event type.
+// Container and event names are resolved through the owning kernel.
+type TextTrace struct {
+	kernel *Kernel
+	w      io.Writer
+}
+
+// NewTextTrace builds a trace sink writing to w.
+func (k *Kernel) NewTextTrace(w io.Writer) *TextTrace {
+	return &TextTrace{kernel: k, w: w}
+}
+
+// Emit implements kevent.Sink.
+func (t *TextTrace) Emit(e kevent.Event) {
+	if e.Type != kevent.EvPolicyCommand {
+		return
+	}
+	eventName := fmt.Sprintf("event%d", e.Aux)
+	if c := t.kernel.containerByID(int(e.Container)); c != nil {
+		eventName = c.eventName(int(e.Aux))
+	}
+	fmt.Fprintf(t.w, "hipec%d %s CC=%-3d CR=%-5t %v\n",
+		e.Container, eventName, e.Arg, e.Flag, Command(e.Addr))
+}
+
+// containerByID finds a container (live or dead) by ID.
+func (k *Kernel) containerByID(id int) *Container {
+	for _, c := range k.containers {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"hipec/internal/kevent"
 	"hipec/internal/simtime"
 )
 
@@ -44,7 +45,9 @@ func DefaultParams() Params {
 	}
 }
 
-// Stats counts disk activity.
+// Stats is a snapshot of disk activity, derived from the kernel event
+// spine: each Read/Write emits one typed event and every counter below is a
+// view over the registry.
 type Stats struct {
 	Reads      int64
 	Writes     int64
@@ -59,37 +62,58 @@ type Stats struct {
 // the simulated kernel serializes on one clock.
 type Disk struct {
 	clock    *simtime.Clock
+	events   *kevent.Emitter
 	params   Params
-	stats    Stats
 	lastAddr int64 // last serviced block address, for sequential detection
 	inflight int   // outstanding async writes
 }
 
-// New creates a disk attached to clock.
-func New(clock *simtime.Clock, params Params) *Disk {
+// New creates a disk attached to clock, emitting I/O events into events.
+// A nil events builds a private spine (standalone disks, e.g. inside a
+// user-level pager); the VM substrate passes its shared kernel spine.
+func New(clock *simtime.Clock, params Params, events *kevent.Emitter) *Disk {
 	if clock == nil {
 		panic("disk: nil clock")
 	}
 	if params.PerByte <= 0 {
 		panic("disk: PerByte must be positive")
 	}
-	return &Disk{clock: clock, params: params, lastAddr: -1}
+	if events == nil {
+		events = kevent.NewEmitter(clock)
+	}
+	return &Disk{clock: clock, events: events, params: params, lastAddr: -1}
 }
 
 // Params returns the drive parameters.
 func (d *Disk) Params() Params { return d.params }
 
-// Stats returns a snapshot of the counters.
-func (d *Disk) Stats() Stats { return d.stats }
+// Stats returns a snapshot of the counters, derived from the event spine.
+func (d *Disk) Stats() Stats {
+	sc := d.events.Registry().Global()
+	return Stats{
+		Reads:      sc.Counts[kevent.EvDiskRead],
+		Writes:     sc.Counts[kevent.EvDiskWrite],
+		BytesRead:  sc.Sums[kevent.EvDiskRead],
+		BytesWrite: sc.Sums[kevent.EvDiskWrite],
+		ReadTime:   time.Duration(sc.Auxs[kevent.EvDiskRead]),
+		WriteTime:  time.Duration(sc.Auxs[kevent.EvDiskWrite]),
+		SeqHits:    sc.Flags[kevent.EvDiskRead] + sc.Flags[kevent.EvDiskWrite],
+	}
+}
+
+// sequential reports whether addr continues the last serviced transfer.
+func (d *Disk) sequential(addr int64) bool {
+	return d.lastAddr >= 0 && addr == d.lastAddr+1
+}
 
 // ServiceTime computes the service time for a transfer of size bytes at
 // block address addr (addresses are in units of pages/blocks; consecutive
-// addresses model sequential layout).
+// addresses model sequential layout). It is a pure computation; only Read
+// and Write record activity.
 func (d *Disk) ServiceTime(addr int64, size int) time.Duration {
 	t := time.Duration(size) * d.params.PerByte
-	if d.lastAddr >= 0 && addr == d.lastAddr+1 {
+	if d.sequential(addr) {
 		// Sequential: no seek, occasionally a track skew.
-		d.stats.SeqHits++
 		t += d.params.TrackSkew
 	} else {
 		t += d.params.AvgSeek + d.params.HalfRotate
@@ -104,10 +128,8 @@ func (d *Disk) Read(addr int64, size int) time.Duration {
 		panic(fmt.Sprintf("disk: read of %d bytes", size))
 	}
 	t := d.ServiceTime(addr, size)
+	d.events.Emit(kevent.Event{Type: kevent.EvDiskRead, Addr: addr, Arg: int64(size), Aux: int64(t), Flag: d.sequential(addr)})
 	d.lastAddr = addr
-	d.stats.Reads++
-	d.stats.BytesRead += int64(size)
-	d.stats.ReadTime += t
 	d.clock.Sleep(t)
 	return t
 }
@@ -120,10 +142,8 @@ func (d *Disk) Write(addr int64, size int, done func(now simtime.Time)) time.Dur
 		panic(fmt.Sprintf("disk: write of %d bytes", size))
 	}
 	t := d.ServiceTime(addr, size)
+	d.events.Emit(kevent.Event{Type: kevent.EvDiskWrite, Addr: addr, Arg: int64(size), Aux: int64(t), Flag: d.sequential(addr)})
 	d.lastAddr = addr
-	d.stats.Writes++
-	d.stats.BytesWrite += int64(size)
-	d.stats.WriteTime += t
 	d.inflight++
 	d.clock.After(t, func(now simtime.Time) {
 		d.inflight--

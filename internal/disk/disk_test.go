@@ -10,7 +10,7 @@ import (
 
 func newTestDisk() (*simtime.Clock, *Disk) {
 	c := simtime.NewClock()
-	return c, New(c, DefaultParams())
+	return c, New(c, DefaultParams(), nil)
 }
 
 func TestDefaultPageReadNear7_66ms(t *testing.T) {
@@ -99,7 +99,7 @@ func TestNilClockPanics(t *testing.T) {
 			t.Fatal("New(nil, ...) did not panic")
 		}
 	}()
-	New(nil, DefaultParams())
+	New(nil, DefaultParams(), nil)
 }
 
 func TestStoreRoundTrip(t *testing.T) {

@@ -90,7 +90,7 @@ type StorePager struct {
 func NewStorePager(name string, clock *simtime.Clock, ipc *machipc.IPC, params disk.Params, pageSize int) *StorePager {
 	return &StorePager{
 		common:   newCommon(name, ipc),
-		disk:     disk.New(clock, params),
+		disk:     disk.New(clock, params, nil),
 		pageSize: pageSize,
 		blocks:   make(map[disk.StoreKey]int64),
 	}

@@ -106,7 +106,7 @@ func TestFigure4RunsOnKernel(t *testing.T) {
 	if got := e.Object.ResidentCount(); got > 16 {
 		t.Fatalf("resident %d > private pool 16", got)
 	}
-	if c.Stats.Flushes == 0 {
+	if c.Stats().Flushes == 0 {
 		t.Fatal("dirty sweep produced no flushes")
 	}
 }

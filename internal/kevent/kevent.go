@@ -1,0 +1,315 @@
+// Package kevent is the simulated kernel's typed instrumentation spine:
+// every subsystem (vm fault path, pageout daemon, disk, frame manager,
+// policy executor, security checker) emits fixed-layout Event records into
+// one Emitter, and every consumer — the metrics Registry behind
+// Kernel.Report(), the experiment harness, text traces, deterministic
+// event-log capture — is a Sink over that same stream.
+//
+// Naming: package trace holds page-reference traces (workload inputs,
+// Belady OPT); package kevent holds kernel events (instrumentation
+// outputs). See DESIGN.md "Observability".
+//
+// The spine is engineered for the no-consumer case: with no sinks attached,
+// Emit is a time stamp plus a handful of array increments in the Registry —
+// no allocation, no map lookups, no formatting — so the executor's
+// zero-allocation hot path (BENCH_0001) survives instrumentation.
+package kevent
+
+import (
+	"hipec/internal/simtime"
+)
+
+// Type identifies one kind of kernel event.
+type Type uint8
+
+const (
+	// EvNone is the zero Type; it is never emitted.
+	EvNone Type = iota
+
+	// VM fault path (internal/vm). Space scopes the event; Addr is the
+	// faulting virtual address.
+	EvHit        // resident access; Flag = write
+	EvFault      // page fault entered; Flag = write
+	EvPageIn     // fault served from backing store; Arg = object ID, Aux = offset
+	EvZeroFill   // fault served by zero-fill; Arg = object ID, Aux = offset
+	EvPageOut    // dirty page written back; Arg = object ID, Aux = offset, Flag = synchronous
+	EvEviction   // resident page detached by a policy; Arg = object ID, Aux = offset
+	EvBadAddress // access outside any mapped region; Addr = address
+
+	// Default pageout daemon (internal/pageout).
+	EvDaemonBalance    // balance pass started
+	EvDaemonDeactivate // active -> inactive move
+	EvDaemonReactivate // inactive -> active second chance
+	EvDaemonReclaim    // inactive page freed
+	EvDaemonFlush      // dirty page flushed during reclaim
+
+	// Global frame manager (internal/core). Container scopes the event.
+	EvFMGrant         // frames granted; Arg = frame count
+	EvFMDeny          // request denied; Arg = frame count requested
+	EvFMReturn        // frames returned to the machine pool; Arg = frame count
+	EvFMReclaimNormal // frames recovered via ReclaimFrame events; Arg = frame count
+	EvFMReclaimForced // one frame recovered by forced reclamation
+	EvFMFlushExchange // Flush command exchange; Flag = asynchronous
+	EvFMImplicitFlush // dirty page laundered because a policy freed it uncleaned
+	EvFMLaunderStart  // async flush write scheduled
+	EvFMLaunderDone   // async flush write completed, frame rejoined pool
+
+	// Policy executor (internal/core). Container scopes the event.
+	EvPolicyActivation // one event-program activation; Arg = commands interpreted, Aux = event number
+	EvPolicyCommand    // one interpreted command (Trace sink only); Addr = encoded command, Arg = CC, Aux = event number, Flag = CR
+	EvPolicyRequest    // Request command; Arg = frame count, Flag = denied
+	EvPolicyRelease    // Release command; Arg = frames released
+	EvPolicyFlush      // Flush command
+	EvPolicyMigrate    // Migrate extension; Container = destination, Arg = source container ID
+
+	// Container lifecycle (internal/core).
+	EvContainerCreated // activation succeeded; Container = new ID
+	EvActivationError  // vm_allocate_hipec/vm_map_hipec rejected
+
+	// Security checker (internal/core).
+	EvCheckerWakeup     // watchdog wakeup; Arg = next interval ns
+	EvCheckerTimeout    // timed-out execution detected
+	EvCheckerKill       // container terminated
+	EvCheckerSweepError // deep-sweep consistency violation
+	EvCheckerValidation // registration-time spec validation; Flag = rejected
+
+	// Paging device (internal/disk). Addr is the block address.
+	EvDiskRead  // synchronous read; Arg = bytes, Aux = service ns, Flag = sequential
+	EvDiskWrite // asynchronous write queued; Arg = bytes, Aux = service ns, Flag = sequential
+
+	// NumTypes is the number of event types; Registry arrays index by Type.
+	NumTypes
+)
+
+var typeNames = [NumTypes]string{
+	EvNone:              "none",
+	EvHit:               "hit",
+	EvFault:             "fault",
+	EvPageIn:            "pagein",
+	EvZeroFill:          "zerofill",
+	EvPageOut:           "pageout",
+	EvEviction:          "eviction",
+	EvBadAddress:        "badaddr",
+	EvDaemonBalance:     "daemon.balance",
+	EvDaemonDeactivate:  "daemon.deactivate",
+	EvDaemonReactivate:  "daemon.reactivate",
+	EvDaemonReclaim:     "daemon.reclaim",
+	EvDaemonFlush:       "daemon.flush",
+	EvFMGrant:           "fm.grant",
+	EvFMDeny:            "fm.deny",
+	EvFMReturn:          "fm.return",
+	EvFMReclaimNormal:   "fm.reclaim",
+	EvFMReclaimForced:   "fm.reclaim.forced",
+	EvFMFlushExchange:   "fm.flushx",
+	EvFMImplicitFlush:   "fm.flush.implicit",
+	EvFMLaunderStart:    "fm.launder",
+	EvFMLaunderDone:     "fm.launder.done",
+	EvPolicyActivation:  "policy.activation",
+	EvPolicyCommand:     "policy.command",
+	EvPolicyRequest:     "policy.request",
+	EvPolicyRelease:     "policy.release",
+	EvPolicyFlush:       "policy.flush",
+	EvPolicyMigrate:     "policy.migrate",
+	EvContainerCreated:  "container.created",
+	EvActivationError:   "container.error",
+	EvCheckerWakeup:     "checker.wakeup",
+	EvCheckerTimeout:    "checker.timeout",
+	EvCheckerKill:       "checker.kill",
+	EvCheckerSweepError: "checker.sweep",
+	EvCheckerValidation: "checker.validate",
+	EvDiskRead:          "disk.read",
+	EvDiskWrite:         "disk.write",
+}
+
+// String returns the event type's stable wire name (used by the log format).
+func (t Type) String() string {
+	if t < NumTypes {
+		return typeNames[t]
+	}
+	return "invalid"
+}
+
+// TypeByName resolves a wire name back to its Type; ok is false for unknown
+// names.
+func TypeByName(name string) (Type, bool) {
+	for t := Type(0); t < NumTypes; t++ {
+		if typeNames[t] == name {
+			return t, true
+		}
+	}
+	return EvNone, false
+}
+
+// Event is one fixed-layout kernel event record. The payload fields carry
+// type-specific meaning documented on the Type constants; unused fields are
+// zero. Events are passed by value and never retained by the Emitter, so
+// emission does not allocate.
+type Event struct {
+	Time      simtime.Time // virtual time of emission
+	Addr      int64        // primary payload: virtual address, block address, command word
+	Arg       int64        // secondary payload: counts, object IDs
+	Aux       int64        // tertiary payload: offsets, service times
+	Space     int32        // address-space scope (0 = none)
+	Container int32        // container scope (0 = none)
+	Type      Type
+	Flag      bool // type-specific boolean (write, denied, sequential, ...)
+}
+
+// Sink consumes kernel events. Emit is called synchronously from the
+// simulated kernel's single-threaded dispatch, in deterministic order; a
+// Sink must not retain pointers into the kernel and must not call back into
+// it.
+type Sink interface {
+	Emit(e Event)
+}
+
+// ScopeCounters aggregates the events of one scope (the whole system, one
+// address space, or one container), indexed by Type.
+type ScopeCounters struct {
+	Counts [NumTypes]int64 // events seen
+	Sums   [NumTypes]int64 // sum of Arg
+	Auxs   [NumTypes]int64 // sum of Aux
+	Flags  [NumTypes]int64 // events with Flag set
+}
+
+var zeroScope ScopeCounters
+
+// Registry is the metrics view of the event stream: the single source of
+// truth for every counter in Kernel.Report() and the experiment harness. It
+// is itself a Sink, attached implicitly as the Emitter's first consumer.
+// Scoped counters are kept in ID-indexed slices (space and container IDs
+// are small and sequential), so counting is allocation-free in steady state.
+type Registry struct {
+	global     ScopeCounters
+	spaces     []ScopeCounters // indexed by address-space ID
+	containers []ScopeCounters // indexed by container ID
+}
+
+// Emit implements Sink.
+func (r *Registry) Emit(e Event) {
+	r.global.note(e)
+	if e.Space > 0 {
+		r.scope(&r.spaces, int(e.Space)).note(e)
+	}
+	if e.Container > 0 {
+		r.scope(&r.containers, int(e.Container)).note(e)
+	}
+}
+
+func (sc *ScopeCounters) note(e Event) {
+	sc.Counts[e.Type]++
+	sc.Sums[e.Type] += e.Arg
+	sc.Auxs[e.Type] += e.Aux
+	if e.Flag {
+		sc.Flags[e.Type]++
+	}
+}
+
+func (r *Registry) scope(s *[]ScopeCounters, id int) *ScopeCounters {
+	for id >= len(*s) {
+		*s = append(*s, ScopeCounters{})
+	}
+	return &(*s)[id]
+}
+
+// Count reports the system-wide number of events of type t.
+func (r *Registry) Count(t Type) int64 { return r.global.Counts[t] }
+
+// Sum reports the system-wide sum of Arg over events of type t.
+func (r *Registry) Sum(t Type) int64 { return r.global.Sums[t] }
+
+// Aux reports the system-wide sum of Aux over events of type t.
+func (r *Registry) Aux(t Type) int64 { return r.global.Auxs[t] }
+
+// Flagged reports the system-wide number of events of type t with Flag set.
+func (r *Registry) Flagged(t Type) int64 { return r.global.Flags[t] }
+
+// Global returns the system-wide counters (read-only).
+func (r *Registry) Global() *ScopeCounters { return &r.global }
+
+// Space returns the counters scoped to address space id (read-only; a
+// shared zero block for spaces that never emitted).
+func (r *Registry) Space(id int) *ScopeCounters {
+	if id <= 0 || id >= len(r.spaces) {
+		return &zeroScope
+	}
+	return &r.spaces[id]
+}
+
+// Container returns the counters scoped to container id (read-only; a
+// shared zero block for containers that never emitted).
+func (r *Registry) Container(id int) *ScopeCounters {
+	if id <= 0 || id >= len(r.containers) {
+		return &zeroScope
+	}
+	return &r.containers[id]
+}
+
+// Spaces reports the number of address-space scopes tracked (the highest
+// emitting space ID + 1; index 0 is unused).
+func (r *Registry) Spaces() int { return len(r.spaces) }
+
+// Emitter is one kernel's event spine: it stamps each event with the
+// virtual clock, feeds the Registry, and fans out to attached sinks. Each
+// simulated kernel owns exactly one Emitter (parallel experiment sweeps
+// build one kernel per cell, so spines never race).
+type Emitter struct {
+	clock *simtime.Clock
+	reg   Registry
+	sinks []Sink
+}
+
+// NewEmitter builds a spine stamping events from clock.
+func NewEmitter(clock *simtime.Clock) *Emitter {
+	if clock == nil {
+		panic("kevent: nil clock")
+	}
+	return &Emitter{clock: clock}
+}
+
+// Registry returns the emitter's metrics registry.
+func (m *Emitter) Registry() *Registry { return &m.reg }
+
+// Attach adds a sink to the fan-out. Sinks receive events in attachment
+// order, after the Registry.
+func (m *Emitter) Attach(s Sink) {
+	if s == nil {
+		panic("kevent: attach of nil sink")
+	}
+	m.sinks = append(m.sinks, s)
+}
+
+// Detach removes a previously attached sink; unknown sinks are a no-op.
+func (m *Emitter) Detach(s Sink) {
+	for i, cand := range m.sinks {
+		if cand == s {
+			m.sinks = append(m.sinks[:i], m.sinks[i+1:]...)
+			return
+		}
+	}
+}
+
+// Emit stamps e with the current virtual time and delivers it to the
+// registry and every attached sink.
+func (m *Emitter) Emit(e Event) {
+	e.Time = m.clock.Now()
+	m.reg.Emit(e)
+	for _, s := range m.sinks {
+		s.Emit(e)
+	}
+}
+
+// Counting is a minimal benchmark sink: it counts events and does nothing
+// else, measuring the pure cost of having a consumer attached.
+type Counting struct {
+	N int64
+}
+
+// Emit implements Sink.
+func (c *Counting) Emit(Event) { c.N++ }
+
+// Funnel adapts a plain function to the Sink interface.
+type Funnel func(Event)
+
+// Emit implements Sink.
+func (f Funnel) Emit(e Event) { f(e) }

@@ -1,0 +1,140 @@
+package kevent
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hipec/internal/simtime"
+)
+
+func TestEventSpineTypeNames(t *testing.T) {
+	seen := map[string]Type{}
+	for ty := EvNone; ty < NumTypes; ty++ {
+		name := ty.String()
+		if name == "" || name == "invalid" {
+			t.Fatalf("type %d has no wire name", ty)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("types %d and %d share wire name %q", prev, ty, name)
+		}
+		seen[name] = ty
+		back, ok := TypeByName(name)
+		if !ok || back != ty {
+			t.Fatalf("TypeByName(%q) = %d, %t; want %d", name, back, ok, ty)
+		}
+	}
+	if _, ok := TypeByName("no-such-event"); ok {
+		t.Fatal("TypeByName accepted an unknown name")
+	}
+}
+
+func TestEventSpineRegistryScopes(t *testing.T) {
+	clock := simtime.NewClock()
+	m := NewEmitter(clock)
+	m.Emit(Event{Type: EvFault, Space: 1, Flag: true})
+	m.Emit(Event{Type: EvFault, Space: 2})
+	m.Emit(Event{Type: EvPageIn, Space: 1, Arg: 7, Aux: 100})
+	m.Emit(Event{Type: EvFMGrant, Container: 3, Arg: 64})
+
+	r := m.Registry()
+	if got := r.Count(EvFault); got != 2 {
+		t.Fatalf("global fault count = %d, want 2", got)
+	}
+	if got := r.Flagged(EvFault); got != 1 {
+		t.Fatalf("global fault flags = %d, want 1", got)
+	}
+	if got := r.Sum(EvPageIn); got != 7 {
+		t.Fatalf("global pagein sum = %d, want 7", got)
+	}
+	if got := r.Aux(EvPageIn); got != 100 {
+		t.Fatalf("global pagein aux = %d, want 100", got)
+	}
+	if got := r.Space(1).Counts[EvFault]; got != 1 {
+		t.Fatalf("space 1 fault count = %d, want 1", got)
+	}
+	if got := r.Space(2).Counts[EvFault]; got != 1 {
+		t.Fatalf("space 2 fault count = %d, want 1", got)
+	}
+	if got := r.Container(3).Sums[EvFMGrant]; got != 64 {
+		t.Fatalf("container 3 grant sum = %d, want 64", got)
+	}
+	// Unknown scopes share the zero block.
+	if sc := r.Space(99); sc.Counts[EvFault] != 0 {
+		t.Fatal("unknown space reported events")
+	}
+	if sc := r.Container(0); sc.Counts[EvFMGrant] != 0 {
+		t.Fatal("container 0 must be the zero block")
+	}
+}
+
+func TestEventSpineEmitterStampsAndFansOut(t *testing.T) {
+	clock := simtime.NewClock()
+	m := NewEmitter(clock)
+	var log Log
+	var n Counting
+	m.Attach(&log)
+	m.Attach(&n)
+	clock.Sleep(5 * time.Microsecond)
+	m.Emit(Event{Type: EvHit, Space: 1})
+	if n.N != 1 || len(log.Events) != 1 {
+		t.Fatalf("fan-out missed a sink: counting=%d log=%d", n.N, len(log.Events))
+	}
+	if got := log.Events[0].Time; got != simtime.Time(5000) {
+		t.Fatalf("event time = %v, want 5000ns", got)
+	}
+	m.Detach(&n)
+	m.Emit(Event{Type: EvHit, Space: 1})
+	if n.N != 1 {
+		t.Fatal("detached sink still received events")
+	}
+	if len(log.Events) != 2 {
+		t.Fatal("remaining sink missed an event")
+	}
+}
+
+func TestEventSpineLogRoundTrip(t *testing.T) {
+	events := []Event{
+		{Time: 0, Type: EvFault, Space: 1, Addr: 0x4000, Flag: true},
+		{Time: 392200, Type: EvZeroFill, Space: 1, Addr: 0x4000, Arg: 3, Aux: 8192},
+		{Time: 400000, Type: EvFMGrant, Container: 2, Arg: 64, Flag: true},
+		{Time: 500000, Type: EvDiskWrite, Addr: 0x99, Arg: 4096, Aux: 7660000, Flag: false},
+	}
+	var l Log
+	for _, e := range events {
+		l.Emit(e)
+	}
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip returned %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d round-tripped to %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestEventSpineLogRejectsCorruption(t *testing.T) {
+	cases := map[string]string{
+		"bad header":  "# not a log\n0 0 hit 1 0 0 0 0 0\n",
+		"bad seq":     LogHeader + "\n1 0 hit 1 0 0 0 0 0\n",
+		"bad type":    LogHeader + "\n0 0 nosuch 1 0 0 0 0 0\n",
+		"bad fields":  LogHeader + "\n0 0 hit 1 0\n",
+		"bad flag":    LogHeader + "\n0 0 hit 1 0 0 0 0 2\n",
+		"empty input": "",
+	}
+	for name, in := range cases {
+		if _, err := ReadLog(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadLog accepted corrupt input", name)
+		}
+	}
+}

@@ -161,7 +161,7 @@ func TestExtPagerDirtyVictimWritesBack(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if sys.Stats.PageOuts == 0 {
+	if sys.Stats().PageOuts == 0 {
 		t.Fatal("dirty victims were not written back")
 	}
 	// data_write messages were sent in addition to the victim RPCs.

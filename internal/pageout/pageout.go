@@ -13,6 +13,7 @@ package pageout
 import (
 	"time"
 
+	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/simtime"
 	"hipec/internal/vm"
@@ -34,7 +35,8 @@ func DefaultTargets(frames int) Targets {
 	return Targets{Free: free, Inactive: inactive, Reserved: reserved}
 }
 
-// Stats counts daemon activity.
+// Stats is a snapshot of daemon activity, derived from the kernel event
+// spine.
 type Stats struct {
 	Balances      int64 // balance passes
 	Deactivations int64 // active -> inactive moves
@@ -47,10 +49,10 @@ type Stats struct {
 // frames for the HiPEC global frame manager.
 type Daemon struct {
 	sys      *vm.System
+	events   *kevent.Emitter
 	Active   *mem.Queue
 	Inactive *mem.Queue
 	Targets  Targets
-	Stats    Stats
 
 	// BalanceCPUCost is charged to the clock per reclaimed frame,
 	// modelling the daemon's CPU time (small next to fault service).
@@ -58,16 +60,31 @@ type Daemon struct {
 }
 
 // New creates a daemon for sys with the given targets and installs nothing;
-// callers typically pass it to sys.SetDefaultPolicy.
+// callers typically pass it to sys.SetDefaultPolicy. The daemon emits into
+// sys's kernel event spine.
 func New(sys *vm.System, t Targets) *Daemon {
 	if t == (Targets{}) {
 		t = DefaultTargets(sys.Frames.Frames())
 	}
 	return &Daemon{
 		sys:      sys,
+		events:   sys.Events,
 		Active:   mem.NewQueue("global_active"),
 		Inactive: mem.NewQueue("global_inactive"),
 		Targets:  t,
+	}
+}
+
+// Stats reports the daemon's activity counters, derived from the event
+// spine.
+func (d *Daemon) Stats() Stats {
+	sc := d.events.Registry().Global()
+	return Stats{
+		Balances:      sc.Counts[kevent.EvDaemonBalance],
+		Deactivations: sc.Counts[kevent.EvDaemonDeactivate],
+		Reactivations: sc.Counts[kevent.EvDaemonReactivate],
+		Reclaims:      sc.Counts[kevent.EvDaemonReclaim],
+		Flushes:       sc.Counts[kevent.EvDaemonFlush],
 	}
 }
 
@@ -118,7 +135,7 @@ func (d *Daemon) Release(p *mem.Page) {
 // inactive pages, giving referenced ones a second chance on the active
 // queue and flushing dirty ones.
 func (d *Daemon) Balance() {
-	d.Stats.Balances++
+	d.events.Emit(kevent.Event{Type: kevent.EvDaemonBalance})
 	d.refillInactive()
 	for d.FreeCount() < d.Targets.Free && !d.Inactive.Empty() {
 		p := d.Inactive.DequeueHead()
@@ -126,16 +143,16 @@ func (d *Daemon) Balance() {
 			// Second chance.
 			p.Referenced = false
 			d.Active.EnqueueTail(p)
-			d.Stats.Reactivations++
+			d.events.Emit(kevent.Event{Type: kevent.EvDaemonReactivate, Arg: int64(p.Object), Aux: p.Offset})
 			continue
 		}
 		if p.Modified {
 			d.sys.PageOut(p, nil)
-			d.Stats.Flushes++
+			d.events.Emit(kevent.Event{Type: kevent.EvDaemonFlush, Arg: int64(p.Object), Aux: p.Offset})
 		}
 		d.sys.Detach(p)
 		d.sys.Frames.Free(p)
-		d.Stats.Reclaims++
+		d.events.Emit(kevent.Event{Type: kevent.EvDaemonReclaim, Arg: int64(p.Object), Aux: p.Offset})
 		if d.BalanceCPUCost > 0 {
 			d.sys.Clock.Sleep(d.BalanceCPUCost)
 		}
@@ -148,7 +165,7 @@ func (d *Daemon) refillInactive() {
 		p := d.Active.DequeueHead()
 		p.Referenced = false
 		d.Inactive.EnqueueTail(p)
-		d.Stats.Deactivations++
+		d.events.Emit(kevent.Event{Type: kevent.EvDaemonDeactivate, Arg: int64(p.Object), Aux: p.Offset})
 	}
 }
 

@@ -53,8 +53,8 @@ func TestBalanceReclaimsUnreferenced(t *testing.T) {
 	if d.FreeCount() < free+5 {
 		t.Fatalf("free = %d, want >= %d", d.FreeCount(), free+5)
 	}
-	if d.Stats.Deactivations == 0 || d.Stats.Reclaims == 0 {
-		t.Fatalf("stats = %+v", d.Stats)
+	if d.Stats().Deactivations == 0 || d.Stats().Reclaims == 0 {
+		t.Fatalf("stats = %+v", d.Stats())
 	}
 }
 
@@ -77,8 +77,8 @@ func TestSecondChancePreservesReferencedPages(t *testing.T) {
 	// Second chance: the referenced pages survive the reclaim pass (they
 	// may end up on either queue depending on refill order, as in Mach's
 	// vm_pageout_scan), while exactly 8 unreferenced pages are freed.
-	if d.Stats.Reactivations < 2 {
-		t.Fatalf("Reactivations = %d, want >= 2", d.Stats.Reactivations)
+	if d.Stats().Reactivations < 2 {
+		t.Fatalf("Reactivations = %d, want >= 2", d.Stats().Reactivations)
 	}
 	if e.Object.Resident(0) == nil || e.Object.Resident(4096) == nil {
 		t.Fatal("hot pages were evicted")
@@ -99,10 +99,10 @@ func TestDirtyPagesFlushedOnReclaim(t *testing.T) {
 	d.Targets.Free = d.FreeCount() + 10
 	d.Balance() // deactivate
 	d.Balance() // reclaim (all unreferenced after first pass cleared bits? second chance consumed)
-	if d.Stats.Flushes == 0 {
-		t.Fatalf("no dirty pages flushed; stats = %+v", d.Stats)
+	if d.Stats().Flushes == 0 {
+		t.Fatalf("no dirty pages flushed; stats = %+v", d.Stats())
 	}
-	if sys.Stats.PageOuts == 0 {
+	if sys.Stats().PageOuts == 0 {
 		t.Fatal("PageOuts not counted")
 	}
 	clock.Advance(time.Second) // drain async writes
@@ -175,7 +175,7 @@ func TestTakeFreeStealsFromResident(t *testing.T) {
 	if len(got) < freeBefore {
 		t.Fatalf("TakeFree returned %d, want >= %d", len(got), freeBefore)
 	}
-	if sys.Stats.Evictions == 0 {
+	if sys.Stats().Evictions == 0 {
 		t.Fatal("no residents were stolen")
 	}
 	for _, p := range got {
@@ -192,10 +192,10 @@ func TestStartPeriodicBalances(t *testing.T) {
 	}
 	d.Targets.Free = d.FreeCount() + 5
 	d.Targets.Inactive = 8
-	before := d.Stats.Balances
+	before := d.Stats().Balances
 	d.StartPeriodic(100 * time.Millisecond)
 	clock.Advance(350 * time.Millisecond)
-	if d.Stats.Balances <= before {
+	if d.Stats().Balances <= before {
 		t.Fatal("periodic daemon never balanced")
 	}
 	if d.FreeCount() < d.Targets.Free {

@@ -85,8 +85,8 @@ func TestMRUKeepsPrefixOnCyclicScan(t *testing.T) {
 	}
 	// Fault count: 12 cold + (12-6+1 at most) replacement faults on the
 	// second sweep; in particular far fewer than LRU's 24.
-	if c.Stats.Activations >= 24 {
-		t.Fatalf("MRU faulted %d times; no better than LRU", c.Stats.Activations)
+	if c.Stats().Activations >= 24 {
+		t.Fatalf("MRU faulted %d times; no better than LRU", c.Stats().Activations)
 	}
 }
 
@@ -95,8 +95,8 @@ func TestLRUThrashesOnCyclicScan(t *testing.T) {
 	// the §5.3 pathology.
 	pattern := append(seq(12), seq(12)...)
 	_, _, c := runPattern(t, LRU(6), 12, pattern)
-	if c.Stats.Activations != 24 {
-		t.Fatalf("LRU faults = %d, want 24 (every access)", c.Stats.Activations)
+	if c.Stats().Activations != 24 {
+		t.Fatalf("LRU faults = %d, want 24 (every access)", c.Stats().Activations)
 	}
 }
 
@@ -117,7 +117,7 @@ func TestSequentialTossSinglePass(t *testing.T) {
 	if got := e.Object.ResidentCount(); got > 4 {
 		t.Fatalf("resident %d > 4", got)
 	}
-	if c.Stats.Requests != 0 {
+	if c.Stats().Requests != 0 {
 		t.Fatal("streaming policy should never request more frames")
 	}
 }
@@ -166,7 +166,7 @@ func TestClockGivesSecondChance(t *testing.T) {
 	if e.Object.Resident(0) == nil || e.Object.Resident(4096) == nil {
 		t.Fatal("clock evicted re-referenced hot pages")
 	}
-	if c.Stats.Activations >= int64(len(pattern)) {
+	if c.Stats().Activations >= int64(len(pattern)) {
 		t.Fatal("clock faulted on every access")
 	}
 }
@@ -183,7 +183,7 @@ func TestClockWritebackOnDirtyVictims(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c.Stats.Flushes == 0 {
+	if c.Stats().Flushes == 0 {
 		t.Fatal("dirty victims were not flushed")
 	}
 	if c.State() != core.StateActive {

@@ -131,7 +131,7 @@ func Read(r io.Reader) (*Trace, error) {
 // count it induced.
 func Replay(sp *vm.AddressSpace, e *vm.MapEntry, t *Trace) (int64, error) {
 	ps := int64(4096)
-	f0 := sp.Stats.Faults
+	f0 := sp.Stats().Faults
 	for i, r := range t.Records {
 		addr := e.Start + r.Page*ps
 		var err error
@@ -141,10 +141,10 @@ func Replay(sp *vm.AddressSpace, e *vm.MapEntry, t *Trace) (int64, error) {
 			_, err = sp.Touch(addr)
 		}
 		if err != nil {
-			return sp.Stats.Faults - f0, fmt.Errorf("trace: replay record %d: %w", i, err)
+			return sp.Stats().Faults - f0, fmt.Errorf("trace: replay record %d: %w", i, err)
 		}
 	}
-	return sp.Stats.Faults - f0, nil
+	return sp.Stats().Faults - f0, nil
 }
 
 // OPT computes the fault count of Belady's optimal (MIN) replacement with

@@ -1,0 +1,91 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"hipec/internal/kevent"
+)
+
+// TestEventSpineSpaceStatsSumToSystem is the bookkeeping invariant that the
+// event spine exists to enforce: per-space statistics and system statistics
+// are two views derived from the same event stream, so the per-access
+// counters summed over every space must equal the system totals exactly.
+// (PageOuts and Evictions are system-scoped — the pageout path runs on
+// behalf of the machine, not one space — so their per-space values are
+// zero by construction.)
+func TestEventSpineSpaceStatsSumToSystem(t *testing.T) {
+	_, sys, _ := newTestSystem(t, 24) // small: forces evictions and pageouts
+
+	const ps = 4096
+	spaces := make([]*AddressSpace, 3)
+	entries := make([]*MapEntry, 3)
+	for i := range spaces {
+		spaces[i] = sys.NewSpace()
+		e, err := spaces[i].Allocate(16 * ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[i] = e
+	}
+
+	// Mixed workload: reads, writes (dirty pages that must be laundered on
+	// eviction), re-touches after eviction (pageins), and bad addresses.
+	for round := 0; round < 4; round++ {
+		for i, sp := range spaces {
+			for pg := int64(0); pg < 16; pg += int64(i + 1) {
+				addr := entries[i].Start + pg*ps
+				var err error
+				if (round+int(pg))%2 == 0 {
+					_, err = sp.Write(addr)
+				} else {
+					_, err = sp.Touch(addr)
+				}
+				if err != nil {
+					t.Fatalf("space %d addr %#x: %v", i, addr, err)
+				}
+				// Immediate re-touch: still resident, counts as a hit.
+				if _, err := sp.Touch(addr); err != nil {
+					t.Fatalf("space %d re-touch %#x: %v", i, addr, err)
+				}
+			}
+			if _, err := sp.Touch(1 << 40); !errors.Is(err, ErrBadAddress) {
+				t.Fatalf("space %d: bad address returned %v", i, err)
+			}
+		}
+	}
+
+	var sum Stats
+	for _, sp := range spaces {
+		st := sp.Stats()
+		if st.PageOuts != 0 || st.Evictions != 0 {
+			t.Fatalf("space %d reports system-scoped counters: %+v", sp.ID, st)
+		}
+		sum.Accesses += st.Accesses
+		sum.Hits += st.Hits
+		sum.Faults += st.Faults
+		sum.PageIns += st.PageIns
+		sum.ZeroFills += st.ZeroFills
+	}
+
+	total := sys.Stats()
+	if total.Accesses == 0 || total.Faults == 0 || total.Hits == 0 {
+		t.Fatalf("workload produced no traffic: %+v", total)
+	}
+	if total.PageOuts == 0 || total.Evictions == 0 {
+		t.Fatalf("workload never overflowed memory: %+v", total)
+	}
+	if sum.Accesses != total.Accesses ||
+		sum.Hits != total.Hits ||
+		sum.Faults != total.Faults ||
+		sum.PageIns != total.PageIns ||
+		sum.ZeroFills != total.ZeroFills {
+		t.Fatalf("per-space sum %+v != system %+v", sum, total)
+	}
+	if total.Accesses != total.Hits+total.Faults+sys.Events.Registry().Count(kevent.EvBadAddress) {
+		t.Fatalf("accesses %d != hits %d + faults %d + bad addresses", total.Accesses, total.Hits, total.Faults)
+	}
+	if total.Faults != total.PageIns+total.ZeroFills {
+		t.Fatalf("faults %d != pageins %d + zerofills %d", total.Faults, total.PageIns, total.ZeroFills)
+	}
+}

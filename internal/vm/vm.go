@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hipec/internal/disk"
+	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/simtime"
 )
@@ -47,7 +48,11 @@ func DefaultCosts() Costs {
 	}
 }
 
-// Stats counts VM activity for one System.
+// Stats is a snapshot of VM activity, derived from the kernel event spine
+// (package kevent). System.Stats() reports machine-wide totals;
+// AddressSpace.Stats() reports one space's share. There is no separate
+// bookkeeping: every counter is a view over the event registry, so
+// per-space and system totals can never drift apart.
 type Stats struct {
 	Accesses  int64
 	Hits      int64
@@ -56,6 +61,21 @@ type Stats struct {
 	ZeroFills int64 // faults served by zero-fill
 	PageOuts  int64 // dirty pages written to backing store
 	Evictions int64 // resident pages detached by a policy
+}
+
+// statsFromScope derives a Stats snapshot from one registry scope.
+func statsFromScope(sc *kevent.ScopeCounters) Stats {
+	hits := sc.Counts[kevent.EvHit]
+	faults := sc.Counts[kevent.EvFault]
+	return Stats{
+		Accesses:  hits + faults + sc.Counts[kevent.EvBadAddress],
+		Hits:      hits,
+		Faults:    faults,
+		PageIns:   sc.Counts[kevent.EvPageIn],
+		ZeroFills: sc.Counts[kevent.EvZeroFill],
+		PageOuts:  sc.Counts[kevent.EvPageOut],
+		Evictions: sc.Counts[kevent.EvEviction],
+	}
 }
 
 // Fault describes one page fault being serviced; it is handed to the
@@ -157,7 +177,11 @@ type AddressSpace struct {
 	sys     *System
 	entries []*MapEntry // sorted by Start, non-overlapping
 	nextVA  int64       // simple bump allocator for vm_allocate
-	Stats   Stats
+}
+
+// Stats reports the space's VM activity, derived from the event spine.
+func (sp *AddressSpace) Stats() Stats {
+	return statsFromScope(sp.sys.Events.Registry().Space(sp.ID))
 }
 
 // System owns physical memory, the paging device, all objects and spaces.
@@ -167,13 +191,21 @@ type System struct {
 	Disk   *disk.Disk
 	Store  *disk.Store
 	Costs  Costs
-	Stats  Stats
+	// Events is the kernel event spine; every layer of the simulated
+	// kernel (fault path, pageout daemon, disk, HiPEC core) emits through
+	// it, and its Registry is the single source of truth for counters.
+	Events *kevent.Emitter
 
 	defaultPolicy Policy
 	objects       map[uint64]*Object
 	nextObjID     uint64
 	nextSpaceID   int
 	nextDiskBase  int64
+}
+
+// Stats reports machine-wide VM activity, derived from the event spine.
+func (s *System) Stats() Stats {
+	return statsFromScope(s.Events.Registry().Global())
 }
 
 // Config configures a System.
@@ -199,12 +231,14 @@ func NewSystem(clock *simtime.Clock, cfg Config) *System {
 	if cfg.Disk == (disk.Params{}) {
 		cfg.Disk = disk.DefaultParams()
 	}
+	events := kevent.NewEmitter(clock)
 	return &System{
 		Clock:   clock,
 		Frames:  mem.NewFrameTable(cfg.Frames, cfg.PageSize, cfg.KeepData),
-		Disk:    disk.New(clock, cfg.Disk),
+		Disk:    disk.New(clock, cfg.Disk, events),
 		Store:   disk.NewStore(cfg.PageSize, cfg.KeepData),
 		Costs:   cfg.Costs,
+		Events:  events,
 		objects: make(map[uint64]*Object),
 	}
 }
@@ -310,13 +344,15 @@ func (sp *AddressSpace) Touch(addr int64) (*mem.Page, error) { return sp.access(
 // Write performs a write access at addr.
 func (sp *AddressSpace) Write(addr int64) (*mem.Page, error) { return sp.access(addr, true) }
 
-// access is the core of the fault state machine.
+// access is the core of the fault state machine. Each outcome — hit, bad
+// address, fault (plus its page-in or zero-fill resolution) — is a single
+// event emission on the spine; the access count is derived, never
+// separately tracked.
 func (sp *AddressSpace) access(addr int64, write bool) (*mem.Page, error) {
 	s := sp.sys
-	sp.Stats.Accesses++
-	s.Stats.Accesses++
 	e, ok := sp.Lookup(addr)
 	if !ok {
+		s.Events.Emit(kevent.Event{Type: kevent.EvBadAddress, Space: int32(sp.ID), Addr: addr})
 		return nil, fmt.Errorf("%w: %#x", ErrBadAddress, addr)
 	}
 	ps := int64(s.PageSize())
@@ -334,8 +370,7 @@ func (sp *AddressSpace) access(addr int64, write bool) (*mem.Page, error) {
 		if s.Costs.MemAccess > 0 {
 			s.Clock.Sleep(s.Costs.MemAccess)
 		}
-		sp.Stats.Hits++
-		s.Stats.Hits++
+		s.Events.Emit(kevent.Event{Type: kevent.EvHit, Space: int32(sp.ID), Addr: addr, Flag: write})
 		return p, nil
 	}
 	return sp.fault(e, off, addr, write)
@@ -343,8 +378,7 @@ func (sp *AddressSpace) access(addr int64, write bool) (*mem.Page, error) {
 
 func (sp *AddressSpace) fault(e *MapEntry, off, addr int64, write bool) (*mem.Page, error) {
 	s := sp.sys
-	sp.Stats.Faults++
-	s.Stats.Faults++
+	s.Events.Emit(kevent.Event{Type: kevent.EvFault, Space: int32(sp.ID), Addr: addr, Flag: write})
 	s.Clock.Sleep(s.Costs.FaultService)
 	if s.Costs.RegionCheck > 0 {
 		// HiPEC-enabled kernels check whether the fault lies in a
@@ -385,11 +419,9 @@ func (sp *AddressSpace) fault(e *MapEntry, off, addr int64, write bool) (*mem.Pa
 			return nil, fmt.Errorf("vm: external pager %q: %w", pg.PagerName(), perr)
 		}
 		if present {
-			sp.Stats.PageIns++
-			s.Stats.PageIns++
+			s.Events.Emit(kevent.Event{Type: kevent.EvPageIn, Space: int32(sp.ID), Addr: addr, Arg: int64(e.Object.ID), Aux: off})
 		} else {
-			sp.Stats.ZeroFills++
-			s.Stats.ZeroFills++
+			s.Events.Emit(kevent.Event{Type: kevent.EvZeroFill, Space: int32(sp.ID), Addr: addr, Arg: int64(e.Object.ID), Aux: off})
 		}
 	} else {
 		// A page present in the backing store must be read back even for
@@ -403,11 +435,9 @@ func (sp *AddressSpace) fault(e *MapEntry, off, addr int64, write bool) (*mem.Pa
 			if data, _ := s.Store.ReadPage(key); data != nil && p.Data != nil {
 				copy(p.Data, data)
 			}
-			sp.Stats.PageIns++
-			s.Stats.PageIns++
+			s.Events.Emit(kevent.Event{Type: kevent.EvPageIn, Space: int32(sp.ID), Addr: addr, Arg: int64(e.Object.ID), Aux: off})
 		} else {
-			sp.Stats.ZeroFills++
-			s.Stats.ZeroFills++
+			s.Events.Emit(kevent.Event{Type: kevent.EvZeroFill, Space: int32(sp.ID), Addr: addr, Arg: int64(e.Object.ID), Aux: off})
 		}
 	}
 	e.Object.resident[off] = p
@@ -424,7 +454,7 @@ func (s *System) Detach(p *mem.Page) {
 		panic(fmt.Sprintf("vm: Detach of non-resident %v", p))
 	}
 	delete(o.resident, p.Offset)
-	s.Stats.Evictions++
+	s.Events.Emit(kevent.Event{Type: kevent.EvEviction, Arg: int64(p.Object), Aux: p.Offset})
 }
 
 // diskAddr maps an object page to its backing-store block. Blocks are
@@ -447,10 +477,10 @@ func (s *System) diskAddr(o *Object, off int64) int64 {
 // objects are returned to their pager (memory_object_data_return) instead.
 func (s *System) PageOut(p *mem.Page, done func(simtime.Time)) {
 	o := s.objects[p.Object]
+	s.Events.Emit(kevent.Event{Type: kevent.EvPageOut, Arg: int64(p.Object), Aux: p.Offset})
 	if o != nil && o.ExternalPager != nil {
 		o.ExternalPager.DataReturn(o.ID, p.Offset, p.Data) //nolint:errcheck // pager errors lose the write, as on Mach
 		p.Modified = false
-		s.Stats.PageOuts++
 		if done != nil {
 			s.Clock.After(0, done)
 		}
@@ -460,17 +490,16 @@ func (s *System) PageOut(p *mem.Page, done func(simtime.Time)) {
 	s.Store.WritePage(key, p.Data)
 	s.Disk.Write(s.diskAddr(o, p.Offset), s.PageSize(), done)
 	p.Modified = false
-	s.Stats.PageOuts++
 }
 
 // PageOutSync writes the page synchronously (clock advances by the service
 // time). Used by policies that must wait for the write.
 func (s *System) PageOutSync(p *mem.Page) {
 	o := s.objects[p.Object]
+	s.Events.Emit(kevent.Event{Type: kevent.EvPageOut, Arg: int64(p.Object), Aux: p.Offset, Flag: true})
 	if o != nil && o.ExternalPager != nil {
 		o.ExternalPager.DataReturn(o.ID, p.Offset, p.Data) //nolint:errcheck
 		p.Modified = false
-		s.Stats.PageOuts++
 		return
 	}
 	key := disk.StoreKey{Object: p.Object, Offset: p.Offset}
@@ -478,7 +507,6 @@ func (s *System) PageOutSync(p *mem.Page) {
 	// Model as a read-shaped synchronous access (same service time).
 	s.Disk.Read(s.diskAddr(o, p.Offset), s.PageSize())
 	p.Modified = false
-	s.Stats.PageOuts++
 }
 
 // Populate writes initial content pages for an object into the backing

@@ -80,8 +80,8 @@ func TestZeroFillFaultAndHit(t *testing.T) {
 	if !p.Referenced || p.Modified {
 		t.Fatalf("bits after read fault: ref=%t mod=%t", p.Referenced, p.Modified)
 	}
-	if sp.Stats.Faults != 1 || sp.Stats.ZeroFills != 1 || sp.Stats.PageIns != 0 {
-		t.Fatalf("stats = %+v", sp.Stats)
+	if sp.Stats().Faults != 1 || sp.Stats().ZeroFills != 1 || sp.Stats().PageIns != 0 {
+		t.Fatalf("stats = %+v", sp.Stats())
 	}
 	// Second access: hit, no fault.
 	p2, err := sp.Touch(e.Start + 100)
@@ -91,8 +91,8 @@ func TestZeroFillFaultAndHit(t *testing.T) {
 	if p2 != p {
 		t.Fatal("same-page access returned different page")
 	}
-	if sp.Stats.Faults != 1 || sp.Stats.Hits != 1 {
-		t.Fatalf("stats after hit = %+v", sp.Stats)
+	if sp.Stats().Faults != 1 || sp.Stats().Hits != 1 {
+		t.Fatalf("stats after hit = %+v", sp.Stats())
 	}
 }
 
@@ -134,8 +134,8 @@ func TestMappedFileFaultsPageIn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sp.Stats.PageIns != 1 {
-		t.Fatalf("PageIns = %d, want 1", sp.Stats.PageIns)
+	if sp.Stats().PageIns != 1 {
+		t.Fatalf("PageIns = %d, want 1", sp.Stats().PageIns)
 	}
 	if p.Data[0] != 0xAB {
 		t.Fatalf("page data = %#x, want 0xAB", p.Data[0])
@@ -159,14 +159,14 @@ func TestReplacementUnderPressure(t *testing.T) {
 			t.Fatalf("touch %#x: %v", addr, err)
 		}
 	}
-	if sp.Stats.Faults != 16 {
-		t.Fatalf("Faults = %d, want 16", sp.Stats.Faults)
+	if sp.Stats().Faults != 16 {
+		t.Fatalf("Faults = %d, want 16", sp.Stats().Faults)
 	}
 	if got := e.Object.ResidentCount(); got > 4 {
 		t.Fatalf("resident = %d with only 4 frames", got)
 	}
-	if sys.Stats.Evictions < 12 {
-		t.Fatalf("Evictions = %d, want >= 12", sys.Stats.Evictions)
+	if sys.Stats().Evictions < 12 {
+		t.Fatalf("Evictions = %d, want >= 12", sys.Stats().Evictions)
 	}
 }
 
@@ -193,7 +193,7 @@ func TestEvictedDirtyPageRestoredFromStore(t *testing.T) {
 	if p2.Data[10] != 0x77 {
 		t.Fatal("dirty data lost across eviction")
 	}
-	if sp.Stats.PageIns == 0 {
+	if sp.Stats().PageIns == 0 {
 		t.Fatal("restore did not count as page-in")
 	}
 }
@@ -297,11 +297,11 @@ func TestAccessCountsPerSpaceAndGlobal(t *testing.T) {
 	sp1.Touch(e1.Start)
 	sp1.Touch(e1.Start)
 	sp2.Touch(e2.Start)
-	if sp1.Stats.Accesses != 2 || sp2.Stats.Accesses != 1 {
-		t.Fatalf("per-space accesses: %d, %d", sp1.Stats.Accesses, sp2.Stats.Accesses)
+	if sp1.Stats().Accesses != 2 || sp2.Stats().Accesses != 1 {
+		t.Fatalf("per-space accesses: %d, %d", sp1.Stats().Accesses, sp2.Stats().Accesses)
 	}
-	if sys.Stats.Accesses != 3 || sys.Stats.Faults != 2 || sys.Stats.Hits != 1 {
-		t.Fatalf("global stats = %+v", sys.Stats)
+	if sys.Stats().Accesses != 3 || sys.Stats().Faults != 2 || sys.Stats().Hits != 1 {
+		t.Fatalf("global stats = %+v", sys.Stats())
 	}
 }
 

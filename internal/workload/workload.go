@@ -86,7 +86,7 @@ type JoinResult struct {
 // measured by the caller around this call; fault deltas are returned.
 func RunJoin(sp *vm.AddressSpace, outer *vm.MapEntry, cfg JoinConfig) (JoinResult, error) {
 	ps := int64(cfg.PageSize)
-	f0, h0, p0 := sp.Stats.Faults, sp.Stats.Hits, sp.Stats.PageIns
+	f0, h0, p0 := sp.Stats().Faults, sp.Stats().Hits, sp.Stats().PageIns
 	loops := cfg.Loops()
 	for l := 0; l < loops; l++ {
 		for addr := outer.Start; addr < outer.End; addr += ps {
@@ -96,9 +96,9 @@ func RunJoin(sp *vm.AddressSpace, outer *vm.MapEntry, cfg JoinConfig) (JoinResul
 		}
 	}
 	return JoinResult{
-		Faults:  sp.Stats.Faults - f0,
-		Hits:    sp.Stats.Hits - h0,
-		PageIns: sp.Stats.PageIns - p0,
+		Faults:  sp.Stats().Faults - f0,
+		Hits:    sp.Stats().Hits - h0,
+		PageIns: sp.Stats().PageIns - p0,
 	}, nil
 }
 
@@ -203,7 +203,7 @@ func Drive(sp *vm.AddressSpace, e *vm.MapEntry, gen Generator, n int) (faults in
 	if sz := e.Size() / gen.Pages(); sz > 0 {
 		ps = sz
 	}
-	f0 := sp.Stats.Faults
+	f0 := sp.Stats().Faults
 	for i := 0; i < n; i++ {
 		a := gen.Next()
 		addr := e.Start + a.Page*ps
@@ -213,8 +213,8 @@ func Drive(sp *vm.AddressSpace, e *vm.MapEntry, gen Generator, n int) (faults in
 			_, err = sp.Touch(addr)
 		}
 		if err != nil {
-			return sp.Stats.Faults - f0, fmt.Errorf("workload %s access %d: %w", gen.Name(), i, err)
+			return sp.Stats().Faults - f0, fmt.Errorf("workload %s access %d: %w", gen.Name(), i, err)
 		}
 	}
-	return sp.Stats.Faults - f0, nil
+	return sp.Stats().Faults - f0, nil
 }

@@ -147,8 +147,8 @@ func TestDriveAgainstKernel(t *testing.T) {
 	if faults < 8 {
 		t.Fatalf("faults = %d, want at least the pool size", faults)
 	}
-	if sp.Stats.Accesses != 500 {
-		t.Fatalf("accesses = %d", sp.Stats.Accesses)
+	if sp.Stats().Accesses != 500 {
+		t.Fatalf("accesses = %d", sp.Stats().Accesses)
 	}
 }
 
