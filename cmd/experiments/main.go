@@ -12,6 +12,9 @@
 //	experiments -event-log run.kevlog         # capture the smoke workload's
 //	                                          # kernel event stream (see
 //	                                          # cmd/replaydiff)
+//	experiments -chaos seed=3           # seeded fault-injection soak with
+//	                                    # invariant checks; add -event-log
+//	                                    # to capture its event stream
 //
 // Sweeps fan out over a worker pool (every cell simulates its own kernel
 // on its own virtual clock), so -j only changes wall-clock time: the
@@ -22,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"hipec/internal/bench"
@@ -37,9 +42,47 @@ func main() {
 		workers   = flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS); output is identical at any -j")
 		benchJSON = flag.String("bench-json", "", "measure host performance (sweep cells/sec, executor ns/command, allocs) and write the JSON report to this file")
 		eventLog  = flag.String("event-log", "", "run the deterministic smoke workload and write its kernel event log to this file (diff two runs with cmd/replaydiff)")
+		chaos     = flag.String("chaos", "", "run the seeded chaos soak (fault injection + graceful degradation): \"seed=N\" or a bare seed number")
 	)
 	flag.Parse()
 	bench.SetParallelism(*workers)
+
+	if *chaos != "" {
+		seedStr := strings.TrimPrefix(*chaos, "seed=")
+		seed, err := strconv.ParseUint(seedStr, 10, 64)
+		if err != nil || seed == 0 {
+			fmt.Fprintf(os.Stderr, "chaos: bad seed %q (want -chaos seed=N with N > 0)\n", *chaos)
+			os.Exit(1)
+		}
+		if *eventLog != "" {
+			f, err := os.Create(*eventLog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+				os.Exit(1)
+			}
+			n, err := bench.CaptureChaosLog(f, seed, *quick)
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("captured %d kernel events to %s\n", n, *eventLog)
+			return
+		}
+		cfg := bench.DefaultChaos(seed)
+		if *quick {
+			cfg = bench.QuickChaos(seed)
+		}
+		rep, err := bench.RunChaos(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		return
+	}
 
 	if *eventLog != "" {
 		f, err := os.Create(*eventLog)

@@ -135,7 +135,7 @@ func run(policy, hplFile string, baseline bool, wl string, pages int64, pool, ac
 				return err
 			}
 		}
-		entry, container, err = k.MapHiPEC(sp, makeObj(), 0, size, spec)
+		entry, container, err = k.Map(sp, makeObj(), 0, size, core.WithPolicy(spec))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,84 @@
+package hipec_test
+
+import (
+	"errors"
+	"testing"
+
+	"hipec"
+	"hipec/internal/kevent"
+)
+
+// TestTypedActivationError checks that the public API surfaces activation
+// failures as typed *hipec.Error values carrying the ErrPolicyFault sentinel.
+func TestTypedActivationError(t *testing.T) {
+	k := hipec.New(hipec.Config{Frames: 64, HiPECDisabled: true})
+	sp := k.NewSpace()
+	_, _, err := k.Allocate(sp, 16*4096, hipec.WithPolicy(hipec.PolicyFIFO(8)))
+	if err == nil {
+		t.Fatal("Allocate with a policy succeeded on a HiPEC-disabled kernel")
+	}
+	var he *hipec.Error
+	if !errors.As(err, &he) {
+		t.Fatalf("err = %v (%T), want *hipec.Error", err, err)
+	}
+	if !errors.Is(err, hipec.ErrPolicyFault) {
+		t.Fatalf("err = %v, want to wrap ErrPolicyFault", err)
+	}
+}
+
+// TestDiskFaultDegradesToRevocation pins the acceptance criterion: a hard
+// disk failure on a HiPEC-managed region exhausts the region's retry budget,
+// surfaces as ErrDiskIO, and leaves the container cleanly revoked rather
+// than wedged.
+func TestDiskFaultDegradesToRevocation(t *testing.T) {
+	k := hipec.New(hipec.Config{
+		Frames: 64,
+		Faults: hipec.FaultConfig{Seed: 42, Disk: hipec.FaultRule{FailRate: 1}},
+	})
+	sp := k.NewSpace()
+	obj := k.VM.NewObject(16*4096, false)
+	k.VM.Populate(obj, nil) // contents live on disk, so page-ins hit the device
+	e, c, err := k.Map(sp, obj, 0, 16*4096,
+		hipec.WithPolicy(hipec.PolicyFIFO(8)), hipec.WithRetryBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sp.Touch(e.Start)
+	if !errors.Is(err, hipec.ErrDiskIO) {
+		t.Fatalf("touch error = %v, want ErrDiskIO", err)
+	}
+	if c.State() != hipec.StateRevoked {
+		t.Fatalf("container state = %v after exhausted recovery, want revoked", c.State())
+	}
+	if c.Allocated() != 0 {
+		t.Fatalf("revoked container still holds %d frames", c.Allocated())
+	}
+}
+
+// TestTransientDiskFaultRetries checks the other half of the ladder: when
+// failures are intermittent, the bounded retry path absorbs them and the
+// workload never sees an error.
+func TestTransientDiskFaultRetries(t *testing.T) {
+	k := hipec.New(hipec.Config{
+		Frames: 64,
+		Faults: hipec.FaultConfig{Seed: 1, Disk: hipec.FaultRule{FailEvery: 2}},
+	})
+	sp := k.NewSpace()
+	obj := k.VM.NewObject(16*4096, false)
+	k.VM.Populate(obj, nil)
+	e, err := sp.Map(obj, 0, 16*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 16; i++ {
+		if _, err := sp.Touch(e.Start + i*4096); err != nil {
+			t.Fatalf("page %d: %v (retries should absorb every-2nd failures)", i, err)
+		}
+	}
+	if got := k.Registry().Count(kevent.EvFaultRetry); got == 0 {
+		t.Fatal("no fault.retry events recorded despite injected failures")
+	}
+	if got := k.Registry().Count(kevent.EvInjectDiskError); got == 0 {
+		t.Fatal("no disk errors injected")
+	}
+}

@@ -47,7 +47,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		region, container, err := k.MapHiPEC(task, outer, 0, outer.Size, spec)
+		region, container, err := k.Map(task, outer, 0, outer.Size, hipec.WithPolicy(spec))
 		if err != nil {
 			log.Fatal(err)
 		}

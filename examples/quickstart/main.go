@@ -49,7 +49,7 @@ func main() {
 
 	// vm_allocate_hipec(): a 2 MB region managed by our policy with a
 	// guaranteed private pool of 64 frames.
-	region, container, err := k.AllocateHiPEC(task, 2<<20, spec)
+	region, container, err := k.Allocate(task, 2<<20, hipec.WithPolicy(spec))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -45,6 +45,7 @@ func main() {
 		k := hipec.New(hipec.Config{Frames: 8192, KeepData: false, StartChecker: true})
 		obj := k.VM.NewObject(outerPages*pageSize, true)
 
+		opts := []hipec.AllocOption{}
 		if cfg.remote {
 			ipc := machipc.New(k.Clock, machipc.Costs{})
 			pager := hipec.NewRemotePager("memserver", k.Clock, ipc, time.Millisecond, 100*time.Nanosecond, pageSize)
@@ -53,7 +54,7 @@ func main() {
 			for off := int64(0); off < obj.Size; off += pageSize {
 				pager.DataReturn(obj.ID, off, nil)
 			}
-			obj.ExternalPager = pager
+			opts = append(opts, hipec.WithPager(pager))
 		} else {
 			k.VM.Populate(obj, nil) // on the local paging disk
 		}
@@ -63,7 +64,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		region, container, err := k.MapHiPEC(task, obj, 0, obj.Size, spec)
+		opts = append(opts, hipec.WithPolicy(spec))
+		region, container, err := k.Map(task, obj, 0, obj.Size, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}

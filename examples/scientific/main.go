@@ -48,7 +48,7 @@ func main() {
 		var region *hipec.MapEntry
 		var err error
 		if spec != nil {
-			region, _, err = k.AllocateHiPEC(task, statePages*pageSize, spec)
+			region, _, err = k.Allocate(task, statePages*pageSize, hipec.WithPolicy(spec))
 		} else {
 			region, err = task.Allocate(statePages * pageSize)
 		}
@@ -116,11 +116,11 @@ event Donate() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, producer, err := k.AllocateHiPEC(task, 128*pageSize, producerSpec)
+	_, producer, err := k.Allocate(task, 128*pageSize, hipec.WithPolicy(producerSpec))
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, consumer, err := k.AllocateHiPEC(task, 128*pageSize, hipec.PolicyFIFO(64))
+	_, consumer, err := k.Allocate(task, 128*pageSize, hipec.WithPolicy(hipec.PolicyFIFO(64)))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func main() {
 		var region *hipec.MapEntry
 		if useHiPEC {
 			spec := hipec.PolicySequentialToss(streamPool)
-			region, _, err = k.MapHiPEC(streamer, media, 0, media.Size, spec)
+			region, _, err = k.Map(streamer, media, 0, media.Size, hipec.WithPolicy(spec))
 		} else {
 			region, err = streamer.Map(media, 0, media.Size)
 		}

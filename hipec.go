@@ -43,6 +43,8 @@ package hipec
 import (
 	"hipec/internal/core"
 	"hipec/internal/emm"
+	"hipec/internal/faultinj"
+	"hipec/internal/hiperr"
 	"hipec/internal/hpl"
 	"hipec/internal/kevent"
 	"hipec/internal/mem"
@@ -84,6 +86,19 @@ const (
 	StateActive     = core.StateActive
 	StateTerminated = core.StateTerminated
 	StateDestroyed  = core.StateDestroyed
+	StateRevoked    = core.StateRevoked
+)
+
+// Allocation options for Kernel.Allocate / Kernel.Map.
+type AllocOption = core.AllocOption
+
+var (
+	// WithPolicy places the region under a HiPEC policy (vm_allocate_hipec).
+	WithPolicy = core.WithPolicy
+	// WithPager backs the region with an external memory manager.
+	WithPager = core.WithPager
+	// WithRetryBudget overrides the fault path's retry budget per region.
+	WithRetryBudget = core.WithRetryBudget
 )
 
 // VM substrate types.
@@ -178,9 +193,39 @@ const (
 	EventUser         = core.EventUser
 )
 
-// ErrMinFrame is returned when activation cannot grant the requested
-// minimum frames.
-var ErrMinFrame = core.ErrMinFrame
+// Error is the structured kernel error: every error surfaced by the public
+// API wraps one, carrying the operation name, the space/container IDs and
+// (for policy faults) the failing command counter. Classify with errors.Is
+// against the sentinels below; recover the context with errors.As.
+type Error = hiperr.Error
+
+// Error sentinels, matchable through any wrap depth with errors.Is.
+var (
+	// ErrMinFrame is returned when activation cannot grant the requested
+	// minimum frames.
+	ErrMinFrame = hiperr.ErrMinFrame
+	// ErrDiskIO marks an (injected) paging-device transfer failure.
+	ErrDiskIO = hiperr.ErrDiskIO
+	// ErrPagerLost marks a remote-pager network loss or timeout.
+	ErrPagerLost = hiperr.ErrPagerLost
+	// ErrPolicyFault marks a policy runtime fault or activation rejection.
+	ErrPolicyFault = hiperr.ErrPolicyFault
+	// ErrRevoked marks an operation against a revoked (degraded) container.
+	ErrRevoked = hiperr.ErrRevoked
+)
+
+// Fault injection (internal/faultinj): the deterministic chaos plane.
+// Configure via Config.Faults; a zero Seed disables injection entirely.
+type (
+	// FaultConfig seeds and scopes the fault-injection plane.
+	FaultConfig = faultinj.Config
+	// FaultRule sets failure/latency rates for one injection class.
+	FaultRule = faultinj.Rule
+	// FaultPlane is the seeded deterministic decision source.
+	FaultPlane = faultinj.Plane
+	// RetryPolicy bounds the VM fault path's page-in retries.
+	RetryPolicy = vm.Retry
+)
 
 // External memory management (internal/emm): user-level pagers behind the
 // Mach EMM interface.
@@ -193,6 +238,9 @@ type (
 	RemotePager = emm.RemotePager
 	// CompressingPager keeps evicted pages deflate-compressed in memory.
 	CompressingPager = emm.CompressingPager
+	// FailoverPager pairs a lossy primary pager with a durable fallback
+	// mirror and fails over after repeated primary losses.
+	FailoverPager = emm.FailoverPager
 )
 
 var (
@@ -202,6 +250,8 @@ var (
 	NewRemotePager = emm.NewRemotePager
 	// NewCompressingPager builds a compressed-memory pager.
 	NewCompressingPager = emm.NewCompressingPager
+	// NewFailoverPager builds a primary+fallback pager pair.
+	NewFailoverPager = emm.NewFailoverPager
 )
 
 // Trace analysis (internal/trace): page-reference traces, replay, and the

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestChaosZeroSeedRejected(t *testing.T) {
+	if _, err := RunChaos(ChaosConfig{Frames: 64, Touches: 10}); err == nil {
+		t.Fatal("chaos soak accepted a zero seed")
+	}
+}
+
+// TestChaosRecoveryLadder runs the quick soak and checks that every stage of
+// the graceful-degradation ladder was actually exercised: injected faults of
+// each class, fault-path retries, abandoned faults, pager failover and
+// container revocation — with the invariants inside RunChaos all holding.
+func TestChaosRecoveryLadder(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		rep, err := RunChaos(QuickChaos(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		t.Logf("%v", rep)
+		if rep.DiskErrors == 0 {
+			t.Errorf("seed %d: no disk errors injected", seed)
+		}
+		if rep.DiskSlows == 0 {
+			t.Errorf("seed %d: no latency spikes injected", seed)
+		}
+		if rep.PagerLosses == 0 {
+			t.Errorf("seed %d: no pager losses injected", seed)
+		}
+		if rep.GrantDenials == 0 {
+			t.Errorf("seed %d: no grant denials injected", seed)
+		}
+		if rep.Retries == 0 {
+			t.Errorf("seed %d: fault path never retried", seed)
+		}
+		if rep.Abandons == 0 {
+			t.Errorf("seed %d: no fault ever exhausted its budget", seed)
+		}
+		if rep.Failovers != 1 {
+			t.Errorf("seed %d: failovers = %d, want 1", seed, rep.Failovers)
+		}
+		if rep.Revocations != 1 {
+			t.Errorf("seed %d: revocations = %d, want 1", seed, rep.Revocations)
+		}
+	}
+}
+
+// TestChaosDeterminism pins the acceptance criterion: two soaks with the
+// same seed produce byte-identical event logs.
+func TestChaosDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	na, err := CaptureChaosLog(&a, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := CaptureChaosLog(&b, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same-seed chaos logs differ: %d vs %d events", na, nb)
+	}
+	var c bytes.Buffer
+	if _, err := CaptureChaosLog(&c, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical chaos logs")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hipec/internal/hiperr"
 	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/simtime"
@@ -109,6 +110,7 @@ const (
 	StateActive     ContainerState = iota
 	StateTerminated                // killed by the checker or a runtime fault
 	StateDestroyed                 // region deallocated
+	StateRevoked                   // degraded: region handed back to the default policy
 )
 
 func (s ContainerState) String() string {
@@ -119,6 +121,8 @@ func (s ContainerState) String() string {
 		return "terminated"
 	case StateDestroyed:
 		return "destroyed"
+	case StateRevoked:
+		return "revoked"
 	}
 	return fmt.Sprintf("ContainerState(%d)", uint8(s))
 }
@@ -363,7 +367,12 @@ func (c *Container) Name() string { return fmt.Sprintf("hipec:%s", c.spec.Name) 
 // PageFault event program; its Return operand must name a free page.
 func (c *Container) PageFor(f *vm.Fault) (*mem.Page, error) {
 	if c.state != StateActive {
-		return nil, fmt.Errorf("core: container %d is %v", c.ID, c.state)
+		sentinel := hiperr.ErrPolicyFault
+		if c.state == StateRevoked {
+			sentinel = hiperr.ErrRevoked
+		}
+		return nil, &hiperr.Error{Op: "hipec.pagefor", Container: c.ID,
+			Err: fmt.Errorf("container is %v: %w", c.state, sentinel)}
 	}
 	c.operands[SlotFaultAddr].Int = f.Addr
 	c.operands[SlotFaultOffset].Int = f.Offset
@@ -373,16 +382,19 @@ func (c *Container) PageFor(f *vm.Fault) (*mem.Page, error) {
 	}
 	if res == nil || res.Kind != KindPage || res.Page == nil {
 		c.kernel.terminate(c, "PageFault event did not return a page")
-		return nil, fmt.Errorf("core: container %d PageFault returned no page", c.ID)
+		return nil, &hiperr.Error{Op: "hipec.pagefor", Container: c.ID,
+			Err: fmt.Errorf("PageFault returned no page: %w", hiperr.ErrPolicyFault)}
 	}
 	p := res.Page
 	if p.Queue() != nil {
 		c.kernel.terminate(c, "PageFault returned a page still on a queue")
-		return nil, fmt.Errorf("core: container %d returned queued page", c.ID)
+		return nil, &hiperr.Error{Op: "hipec.pagefor", Container: c.ID,
+			Err: fmt.Errorf("PageFault returned queued page: %w", hiperr.ErrPolicyFault)}
 	}
 	if p.Object != 0 {
 		c.kernel.terminate(c, "PageFault returned a page still mapped to an object")
-		return nil, fmt.Errorf("core: container %d returned resident page", c.ID)
+		return nil, &hiperr.Error{Op: "hipec.pagefor", Container: c.ID,
+			Err: fmt.Errorf("PageFault returned resident page: %w", hiperr.ErrPolicyFault)}
 	}
 	// The frame leaves the page register: it now belongs to the fault.
 	if reg := &c.operands[SlotPageReg]; reg.Page == p {
@@ -418,20 +430,23 @@ func (c *Container) Release(p *mem.Page) {
 	}
 }
 
-var _ vm.Policy = (*Container)(nil)
-
-// execError is a runtime policy fault; it terminates the container.
-type execError struct {
-	Container *Container
-	Event     int
-	CC        int
-	Reason    string
+// FaultAborted implements vm.FaultAborter: a fault the container supplied a
+// frame for failed during page-in. The frame is still granted to the
+// container, so it goes back on the private free list (or to the machine
+// pool if the container is no longer active — its grant accounting has
+// already been torn down).
+func (c *Container) FaultAborted(f *vm.Fault, p *mem.Page) {
+	if c.state == StateActive {
+		c.Free.EnqueueTail(p)
+		return
+	}
+	c.kernel.Daemon.ReturnFrame(p)
 }
 
-func (e *execError) Error() string {
-	return fmt.Sprintf("hipec: container %d (%s) event %s CC=%d: %s",
-		e.Container.ID, e.Container.spec.Name, e.Container.eventName(e.Event), e.CC, e.Reason)
-}
+var (
+	_ vm.Policy       = (*Container)(nil)
+	_ vm.FaultAborter = (*Container)(nil)
+)
 
 // Timeout durations for the security checker; see checker.go.
 const defaultExecTimeout = 100 * time.Millisecond

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hipec/internal/hiperr"
 	"hipec/internal/kevent"
 	"hipec/internal/mem"
 )
@@ -91,7 +92,12 @@ func newExecutor(k *Kernel, costs ExecCosts) *Executor {
 // returned as an error.
 func (x *Executor) Run(c *Container, ev int) (*Operand, error) {
 	if c.state != StateActive {
-		return nil, fmt.Errorf("core: container %d is %v", c.ID, c.state)
+		sentinel := hiperr.ErrPolicyFault
+		if c.state == StateRevoked {
+			sentinel = hiperr.ErrRevoked
+		}
+		return nil, &hiperr.Error{Op: "hipec.exec", Container: c.ID,
+			Err: fmt.Errorf("container is %v: %w", c.state, sentinel)}
 	}
 	c.executing = true
 	c.timestamp = x.kernel.Clock.Now()
@@ -178,8 +184,17 @@ func (x *Executor) syncClock(c *Container, ev, cc int) error {
 	return nil
 }
 
+// fail builds the typed runtime-fault error that terminates the container.
+// It wraps hiperr.ErrPolicyFault so callers can classify with errors.Is and
+// recover the container ID and command counter with errors.As.
 func (x *Executor) fail(c *Container, ev, cc int, format string, args ...any) error {
-	return &execError{Container: c, Event: ev, CC: cc, Reason: fmt.Sprintf(format, args...)}
+	return &hiperr.Error{
+		Op:        "hipec.exec",
+		Container: c.ID,
+		PC:        cc,
+		Err: fmt.Errorf("policy %q event %s: %s: %w",
+			c.spec.Name, c.eventName(ev), fmt.Sprintf(format, args...), hiperr.ErrPolicyFault),
+	}
 }
 
 // operand accessors with runtime type checking --------------------------
@@ -518,7 +533,14 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 				if q := p.Queue(); q != nil {
 					q.Remove(p)
 				}
-				x.kernel.FM.ReleaseFrame(c, p)
+				if !x.kernel.FM.ReleaseFrame(c, p) {
+					// Wired page or failed laundering: the frame stays with
+					// the container. Put it back in the register so it is
+					// not orphaned; CR tells the policy it wasn't released.
+					o.Page = p
+					c.cr = false
+					break
+				}
 				x.kernel.emit(kevent.Event{Type: kevent.EvPolicyRelease, Container: int32(c.ID), Arg: 1})
 				c.cr = true
 			case KindInt:
@@ -549,10 +571,10 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			if err := x.syncClock(c, ev, cc); err != nil {
 				return nil, err
 			}
-			np := x.kernel.FM.FlushExchange(c, reg.Page)
+			np, ok := x.kernel.FM.FlushExchange(c, reg.Page)
 			reg.Page = np
 			x.kernel.emit(kevent.Event{Type: kevent.EvPolicyFlush, Container: int32(c.ID)})
-			c.cr = np != nil
+			c.cr = ok
 
 		case OpSet:
 			p, err := x.pageOp(c, ev, cc, op1)
@@ -632,7 +654,17 @@ func (x *Executor) exec(c *Container, ev, depth int, steps *int) (*Operand, erro
 			}
 			q.Remove(victim)
 			if victim.Modified {
-				victim = x.kernel.FM.FlushExchange(c, victim)
+				nv, ok := x.kernel.FM.FlushExchange(c, victim)
+				if !ok {
+					// Write-back failed; the dirty page goes back where it
+					// was and the policy sees CR=false.
+					if nv != nil {
+						q.EnqueueTail(nv)
+					}
+					c.cr = false
+					break
+				}
+				victim = nv
 			} else if err := x.kernel.FM.retire(c, victim); err != nil {
 				return nil, x.fail(c, ev, cc, "%v: %v", dc.op, err)
 			}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 
+	"hipec/internal/faultinj"
+	"hipec/internal/hiperr"
 	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/pageout"
@@ -15,8 +17,9 @@ import (
 // minimum frame count ("If the minFrame request cannot be satisfied when
 // HiPEC is initially invoked, an error code is returned. The specific
 // application can either run as a non-specific application or terminate and
-// retry later", §4.3.1).
-var ErrMinFrame = errors.New("hipec: minFrame request cannot be satisfied")
+// retry later", §4.3.1). It is the hiperr sentinel, re-exported for
+// compatibility.
+var ErrMinFrame = hiperr.ErrMinFrame
 
 // FMStats is a snapshot of global frame manager activity, derived from the
 // kernel event spine.
@@ -159,6 +162,14 @@ func (fm *FrameManager) Request(c *Container, n int) bool {
 	if n == 0 {
 		return true
 	}
+	if dec := fm.kernel.Inject.Decide(faultinj.FrameGrant); dec.Fail {
+		// Injected denial under (simulated) pressure: policies already
+		// cope with denial via the condition register, so this exercises
+		// exactly the paper's reject path.
+		fm.emit(kevent.Event{Type: kevent.EvInjectGrantDeny, Container: int32(c.ID), Arg: int64(n)})
+		fm.emit(kevent.Event{Type: kevent.EvFMDeny, Container: int32(c.ID), Arg: int64(n), Flag: true})
+		return false
+	}
 	if fm.specificTotal+n > fm.PartitionBurst {
 		// Over the watermark: try to deallocate from other specific
 		// applications first, then re-check.
@@ -198,8 +209,12 @@ func (fm *FrameManager) retire(c *Container, p *mem.Page) error {
 		if obj != nil && obj.Resident(p.Offset) == p {
 			if p.Modified {
 				// The policy freed a dirty page without Flush; the
-				// kernel launders it rather than lose data.
-				fm.kernel.VM.PageOut(p, nil)
+				// kernel launders it rather than lose data. If the
+				// write-back fails the page stays resident and dirty —
+				// retiring it would lose the only copy.
+				if err := fm.kernel.VM.PageOut(p, nil); err != nil {
+					return fmt.Errorf("launder frame %d: %w", p.Frame, err)
+				}
 				fm.emit(kevent.Event{Type: kevent.EvFMImplicitFlush, Container: int32(c.ID), Arg: int64(p.Object), Aux: p.Offset})
 			}
 			fm.kernel.VM.Detach(p)
@@ -210,16 +225,18 @@ func (fm *FrameManager) retire(c *Container, p *mem.Page) error {
 }
 
 // ReleaseFrame returns one frame from c to the machine pool. The page must
-// be off all queues; it may still be resident (it will be retired).
-func (fm *FrameManager) ReleaseFrame(c *Container, p *mem.Page) {
+// be off all queues; it may still be resident (it will be retired). It
+// reports whether the frame was actually released: wired pages and pages
+// whose laundering write failed stay with the container.
+func (fm *FrameManager) ReleaseFrame(c *Container, p *mem.Page) bool {
 	if err := fm.retire(c, p); err != nil {
-		// Wired pages cannot be released; put the grant back.
-		return
+		return false
 	}
 	fm.Daemon.ReturnFrame(p)
 	c.allocated--
 	fm.specificTotal--
 	fm.emit(kevent.Event{Type: kevent.EvFMReturn, Container: int32(c.ID), Arg: 1})
+	return true
 }
 
 // ReleaseFromFree returns up to n frames from c's private free list to the
@@ -261,22 +278,30 @@ func (fm *FrameManager) noteReleased(c *Container, n int) {
 // replacement frame is available the write happens synchronously and the
 // same frame is handed back clean. Clean pages are simply retired and
 // returned as-is.
-func (fm *FrameManager) FlushExchange(c *Container, p *mem.Page) *mem.Page {
+//
+// ok reports whether the flush succeeded. On failure the returned page is
+// the caller's own page back (still resident and dirty when its write-back
+// failed — the contents are the only copy) or nil for a wired page; the
+// policy sees CR=false and copes.
+func (fm *FrameManager) FlushExchange(c *Container, p *mem.Page) (_ *mem.Page, ok bool) {
 	if !p.Modified {
 		fm.emit(kevent.Event{Type: kevent.EvFMFlushExchange, Container: int32(c.ID)})
 		if err := fm.retire(c, p); err != nil {
-			return nil
+			return nil, false
 		}
-		return p
+		return p, true
 	}
 	replacement := fm.Daemon.TakeFree(1)
 	if len(replacement) == 0 {
 		// Fallback: synchronous flush, reuse the same frame.
 		fm.emit(kevent.Event{Type: kevent.EvFMFlushExchange, Container: int32(c.ID)})
-		fm.kernel.VM.PageOutSync(p)
+		if err := fm.kernel.VM.PageOutSync(p); err != nil {
+			// Write-back failed: the page stays resident and dirty.
+			return p, false
+		}
 		fm.kernel.VM.Detach(p)
 		p.Object, p.Offset = 0, 0
-		return p
+		return p, true
 	}
 	np := replacement[0]
 	np.Object, np.Offset = 0, 0
@@ -286,17 +311,22 @@ func (fm *FrameManager) FlushExchange(c *Container, p *mem.Page) *mem.Page {
 	cid := int32(c.ID)
 	obj := fm.kernel.VM.Object(p.Object)
 	fm.emit(kevent.Event{Type: kevent.EvFMFlushExchange, Container: cid, Flag: true})
+	if err := fm.kernel.VM.PageOut(p, func(simtime.Time) {
+		p.Object, p.Offset = 0, 0
+		fm.Daemon.ReturnFrame(p)
+		fm.emit(kevent.Event{Type: kevent.EvFMLaunderDone, Container: cid})
+	}); err != nil {
+		// Write-back failed before anything was detached: give the
+		// replacement frame back and return the dirty page to the policy.
+		fm.Daemon.ReturnFrame(np)
+		return p, false
+	}
 	fm.emit(kevent.Event{Type: kevent.EvFMLaunderStart, Container: cid, Arg: int64(p.Object), Aux: p.Offset})
 	if obj != nil && obj.Resident(p.Offset) == p {
 		fm.kernel.VM.Detach(p)
 	}
-	fm.kernel.VM.PageOut(p, func(simtime.Time) {
-		p.Object, p.Offset = 0, 0
-		fm.Daemon.ReturnFrame(p)
-		fm.emit(kevent.Event{Type: kevent.EvFMLaunderDone, Container: cid})
-	})
 	p.Object, p.Offset = 0, 0 // identity cleared; completion callback re-clears harmlessly
-	return np
+	return np, true
 }
 
 // reclaim recovers at least want frames for the machine pool from specific
@@ -437,8 +467,12 @@ func (fm *FrameManager) reclaimForced(want int, skip *Container) int {
 		if cd.p.Queue() == nil {
 			continue // already moved by an earlier step
 		}
-		cd.p.Queue().Remove(cd.p)
+		q := cd.p.Queue()
+		q.Remove(cd.p)
 		if err := fm.retire(cd.c, cd.p); err != nil {
+			// Laundering failed; the dirty page must stay with its
+			// container, so put it back where it was.
+			q.EnqueueTail(cd.p)
 			continue
 		}
 		fm.Daemon.ReturnFrame(cd.p)

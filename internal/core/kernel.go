@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"hipec/internal/disk"
+	"hipec/internal/faultinj"
+	"hipec/internal/hiperr"
 	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/pageout"
@@ -22,6 +24,14 @@ type Config struct {
 	ExecCosts ExecCosts
 	Disk      disk.Params
 	Targets   pageout.Targets
+
+	// Faults configures the deterministic fault-injection plane (chaos
+	// testing). The zero value (Seed 0) builds no plane: no code path
+	// consults it and behaviour is bit-for-bit the non-chaos baseline.
+	Faults faultinj.Config
+	// Retry bounds the VM fault path's page-in retries; the zero value
+	// takes vm.DefaultRetry.
+	Retry vm.Retry
 
 	// BurstFraction sets partition_burst as a fraction of the free frames
 	// at startup (the paper uses 50%).
@@ -57,6 +67,9 @@ type Kernel struct {
 	FM       *FrameManager
 	Executor *Executor
 	Checker  *Checker
+	// Inject is the fault-injection plane (nil unless Config.Faults has a
+	// seed). Shared with the disk and consultable by external pagers.
+	Inject *faultinj.Plane
 
 	hipecDisabled bool
 	nextContainer int
@@ -93,12 +106,15 @@ func New(cfg Config) *Kernel {
 	if cfg.HiPECDisabled {
 		costs.RegionCheck = 0
 	}
+	inject := faultinj.New(cfg.Faults)
 	sys := vm.NewSystem(clock, vm.Config{
 		Frames:   cfg.Frames,
 		PageSize: cfg.PageSize,
 		KeepData: cfg.KeepData,
 		Costs:    costs,
 		Disk:     cfg.Disk,
+		Retry:    cfg.Retry,
+		Inject:   inject,
 	})
 	for _, s := range cfg.Sinks {
 		sys.Events.Attach(s)
@@ -109,8 +125,10 @@ func New(cfg Config) *Kernel {
 		Clock:         clock,
 		VM:            sys,
 		Daemon:        daemon,
+		Inject:        inject,
 		hipecDisabled: cfg.HiPECDisabled,
 	}
+	sys.OnFaultFailure = k.degradeFault
 	ec := cfg.ExecCosts
 	if ec == (ExecCosts{}) {
 		ec = DefaultExecCosts()
@@ -128,49 +146,45 @@ func New(cfg Config) *Kernel {
 func (k *Kernel) NewSpace() *vm.AddressSpace { return k.VM.NewSpace() }
 
 // AllocateHiPEC is vm_allocate_hipec(): allocate a fresh zero-fill region of
-// size bytes under control of the supplied policy. The kernel allocates and
-// initializes the container, obtains minFrame frames from the global frame
-// manager, and statically validates the policy commands (§4.3).
+// size bytes under control of the supplied policy.
+//
+// Deprecated: use Allocate with the WithPolicy option, which also supports
+// external pagers and per-region retry budgets.
 func (k *Kernel) AllocateHiPEC(sp *vm.AddressSpace, size int64, spec *Spec) (*vm.MapEntry, *Container, error) {
-	obj := k.VM.NewObject(size, true)
-	c, err := k.activate(obj, spec)
-	if err != nil {
-		k.VM.DestroyObject(obj)
-		return nil, nil, err
+	if spec == nil {
+		// Allocate without options legitimately builds a plain region; the
+		// legacy entry point always demanded a policy.
+		return nil, nil, &hiperr.Error{Op: "hipec.allocate",
+			Err: fmt.Errorf("nil policy spec: %w", hiperr.ErrPolicyFault)}
 	}
-	e, err := sp.Map(obj, 0, size)
-	if err != nil {
-		k.DestroyContainer(c)
-		return nil, nil, err
-	}
-	return e, c, nil
+	return k.Allocate(sp, size, WithPolicy(spec))
 }
 
 // MapHiPEC is vm_map_hipec(): map an existing (typically Populate-d) object
 // under control of the supplied policy.
+//
+// Deprecated: use Map with the WithPolicy option.
 func (k *Kernel) MapHiPEC(sp *vm.AddressSpace, obj *vm.Object, objOffset, length int64, spec *Spec) (*vm.MapEntry, *Container, error) {
-	c, err := k.activate(obj, spec)
-	if err != nil {
-		return nil, nil, err
+	if spec == nil {
+		return nil, nil, &hiperr.Error{Op: "hipec.map",
+			Err: fmt.Errorf("nil policy spec: %w", hiperr.ErrPolicyFault)}
 	}
-	e, err := sp.Map(obj, objOffset, length)
-	if err != nil {
-		k.DestroyContainer(c)
-		return nil, nil, err
-	}
-	return e, c, nil
+	return k.Map(sp, obj, objOffset, length, WithPolicy(spec))
 }
 
 // activate builds, validates and funds a container for obj.
 func (k *Kernel) activate(obj *vm.Object, spec *Spec) (*Container, error) {
 	if k.hipecDisabled {
-		return nil, fmt.Errorf("hipec: kernel built without HiPEC support")
+		return nil, &hiperr.Error{Op: "hipec.activate",
+			Err: fmt.Errorf("kernel built without HiPEC support: %w", hiperr.ErrPolicyFault)}
 	}
 	if spec == nil {
-		return nil, fmt.Errorf("hipec: nil policy spec")
+		return nil, &hiperr.Error{Op: "hipec.activate",
+			Err: fmt.Errorf("nil policy spec: %w", hiperr.ErrPolicyFault)}
 	}
 	if obj.Policy != nil {
-		return nil, fmt.Errorf("hipec: object %d already has a container", obj.ID)
+		return nil, &hiperr.Error{Op: "hipec.activate",
+			Err: fmt.Errorf("object %d already has a container: %w", obj.ID, hiperr.ErrPolicyFault)}
 	}
 	k.nextContainer++
 	c, err := newContainer(k, k.nextContainer, obj, spec)
@@ -179,8 +193,9 @@ func (k *Kernel) activate(obj *vm.Object, spec *Spec) (*Container, error) {
 	}
 	if errs := k.Checker.ValidateSpec(c); len(errs) > 0 {
 		k.emit(kevent.Event{Type: kevent.EvActivationError, Container: int32(c.ID)})
-		return nil, fmt.Errorf("hipec: policy %q rejected by security checker: %v (and %d more)",
-			spec.Name, errs[0], len(errs)-1)
+		return nil, &hiperr.Error{Op: "hipec.activate", Container: c.ID,
+			Err: fmt.Errorf("policy %q rejected by security checker: %v (and %d more): %w",
+				spec.Name, errs[0], len(errs)-1, hiperr.ErrPolicyFault)}
 	}
 	if err := k.FM.attach(c); err != nil {
 		k.emit(kevent.Event{Type: kevent.EvActivationError, Container: int32(c.ID)})
@@ -203,6 +218,35 @@ func (k *Kernel) terminate(c *Container, reason string) {
 	c.termReason = reason
 	c.timedOut = true // abort any in-flight execution at its next step
 	k.emit(kevent.Event{Type: kevent.EvCheckerKill, Container: int32(c.ID)})
+	k.releaseContainer(c, true)
+}
+
+// degradeFault is installed as the VM's OnFaultFailure hook: when a fault on
+// a HiPEC-managed region exhausts its retry budget, the region degrades
+// gracefully — the container is revoked, its resident pages revert to the
+// pageout daemon, and the fault replays once under the default policy. A
+// failure on an already-degraded (or never-HiPEC) region is final.
+func (k *Kernel) degradeFault(o *vm.Object, cause error) bool {
+	c, ok := o.Policy.(*Container)
+	if !ok || c.state != StateActive {
+		return false
+	}
+	k.RevokeContainer(c, fmt.Sprintf("fault recovery exhausted: %v", cause))
+	return true
+}
+
+// RevokeContainer degrades a specific application: the container stops
+// handling events (Run and PageFor return ErrRevoked), its free frames
+// return to the machine pool, and its resident pages revert to default
+// (pageout daemon) management — no resident page is lost. Idempotent.
+func (k *Kernel) RevokeContainer(c *Container, reason string) {
+	if c.state != StateActive {
+		return
+	}
+	c.state = StateRevoked
+	c.termReason = reason
+	c.timedOut = true // abort any in-flight execution at its next step
+	k.emit(kevent.Event{Type: kevent.EvContainerRevoked, Container: int32(c.ID)})
 	k.releaseContainer(c, true)
 }
 

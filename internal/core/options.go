@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"hipec/internal/hiperr"
+	"hipec/internal/vm"
+)
+
+// AllocOption configures a region created by Allocate or mapped by Map.
+// Options compose: a region may have a HiPEC policy, an external pager and a
+// private retry budget all at once.
+type AllocOption func(*allocOptions)
+
+type allocOptions struct {
+	spec  *Spec
+	pager vm.Pager
+	retry int
+}
+
+// WithPolicy places the region under control of a HiPEC policy: the kernel
+// allocates and initializes a container, obtains minFrame frames from the
+// global frame manager, and statically validates the policy commands (§4.3).
+// A nil spec is ignored (the region stays under the default policy).
+func WithPolicy(spec *Spec) AllocOption {
+	return func(o *allocOptions) { o.spec = spec }
+}
+
+// WithPager backs the region with an external memory manager: page-ins and
+// page-outs go through p instead of the kernel's default store/disk path.
+func WithPager(p vm.Pager) AllocOption {
+	return func(o *allocOptions) { o.pager = p }
+}
+
+// WithRetryBudget overrides the kernel's fault-path retry budget for this
+// region: a transient page-in failure is retried up to n times (with
+// virtual-time backoff) before the fault is declared failed and graceful
+// degradation kicks in. n <= 0 is ignored.
+func WithRetryBudget(n int) AllocOption {
+	return func(o *allocOptions) { o.retry = n }
+}
+
+// Allocate creates a fresh zero-fill region of size bytes in sp, configured
+// by opts. With no options it is a plain vm_allocate; WithPolicy makes it
+// vm_allocate_hipec, WithPager attaches an external memory manager, and
+// WithRetryBudget tunes fault-path resilience.
+func (k *Kernel) Allocate(sp *vm.AddressSpace, size int64, opts ...AllocOption) (*vm.MapEntry, *Container, error) {
+	obj := k.VM.NewObject(size, true)
+	e, c, err := k.mapWith(sp, obj, 0, size, opts)
+	if err != nil {
+		// mapWith destroys the object when it tears down a container; only
+		// clean up what is still alive.
+		if k.VM.Object(obj.ID) != nil {
+			k.VM.DestroyObject(obj)
+		}
+		return nil, nil, err
+	}
+	return e, c, nil
+}
+
+// Map maps a window of an existing (typically Populate-d) object into sp,
+// configured by opts. The returned Container is nil unless WithPolicy was
+// given.
+//
+// Note: when WithPolicy is given and the address-space mapping itself fails,
+// the freshly activated container is destroyed — which destroys obj too,
+// preserving the legacy vm_map_hipec teardown semantics.
+func (k *Kernel) Map(sp *vm.AddressSpace, obj *vm.Object, objOffset, length int64, opts ...AllocOption) (*vm.MapEntry, *Container, error) {
+	return k.mapWith(sp, obj, objOffset, length, opts)
+}
+
+func (k *Kernel) mapWith(sp *vm.AddressSpace, obj *vm.Object, objOffset, length int64, opts []AllocOption) (*vm.MapEntry, *Container, error) {
+	var o allocOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.pager != nil {
+		if obj.ExternalPager != nil && obj.ExternalPager != o.pager {
+			return nil, nil, &hiperr.Error{Op: "hipec.map",
+				Err: fmt.Errorf("object %d already has pager %q", obj.ID, obj.ExternalPager.PagerName())}
+		}
+		obj.ExternalPager = o.pager
+	}
+	if o.retry > 0 {
+		obj.RetryBudget = o.retry
+	}
+	var c *Container
+	if o.spec != nil {
+		var err error
+		c, err = k.activate(obj, o.spec)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	e, err := sp.Map(obj, objOffset, length)
+	if err != nil {
+		if c != nil {
+			k.DestroyContainer(c)
+		}
+		return nil, nil, err
+	}
+	return e, c, nil
+}

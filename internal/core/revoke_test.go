@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hipec/internal/hiperr"
+	"hipec/internal/kevent"
+)
+
+// TestRevokeHandsResidentPagesBack checks the graceful-degradation contract:
+// revoking a container keeps its resident pages resident (now managed by the
+// default daemon), returns its grant accounting to zero, and makes further
+// policy activity fail with ErrRevoked.
+func TestRevokeHandsResidentPagesBack(t *testing.T) {
+	k := New(Config{Frames: 256})
+	sp := k.NewSpace()
+	e, c, err := k.Allocate(sp, 64*4096, WithPolicy(simpleSpec(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const touched = 16
+	for i := int64(0); i < touched; i++ {
+		if _, err := sp.Touch(e.Start + i*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Object.ResidentCount(); got != touched {
+		t.Fatalf("resident = %d before revoke, want %d", got, touched)
+	}
+
+	k.RevokeContainer(c, "test revocation")
+
+	if c.State() != StateRevoked {
+		t.Fatalf("state = %v, want revoked", c.State())
+	}
+	if c.Allocated() != 0 {
+		t.Fatalf("revoked container still holds %d frames", c.Allocated())
+	}
+	if got := e.Object.ResidentCount(); got != touched {
+		t.Fatalf("resident = %d after revoke, want %d (no page may be lost)", got, touched)
+	}
+	if e.Object.Policy != nil {
+		t.Fatal("object still points at the revoked container")
+	}
+
+	// Every previously resident page is a hit under the default policy.
+	faultsBefore := sp.Stats().Faults
+	for i := int64(0); i < touched; i++ {
+		if _, err := sp.Touch(e.Start + i*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sp.Stats().Faults; got != faultsBefore {
+		t.Fatalf("re-touch after revoke faulted (%d -> %d): resident pages were lost", faultsBefore, got)
+	}
+	// New pages fault in under the daemon.
+	if _, err := sp.Touch(e.Start + touched*4096); err != nil {
+		t.Fatalf("fault on revoked region under default policy: %v", err)
+	}
+
+	// The executor refuses the revoked container with the typed sentinel.
+	if _, err := k.Executor.Run(c, EventReclaimFrame); !errors.Is(err, hiperr.ErrRevoked) {
+		t.Fatalf("Run on revoked container: err = %v, want ErrRevoked", err)
+	}
+	var he *hiperr.Error
+	if _, err := c.PageFor(nil); !errors.As(err, &he) || !errors.Is(err, hiperr.ErrRevoked) {
+		t.Fatalf("PageFor on revoked container: err = %v, want hiperr.Error wrapping ErrRevoked", err)
+	}
+	if he.Container != c.ID {
+		t.Fatalf("error carries container %d, want %d", he.Container, c.ID)
+	}
+}
+
+// TestRevokeIdempotent checks that revoking twice (and terminating after
+// revoking) does nothing the second time.
+func TestRevokeIdempotent(t *testing.T) {
+	k := New(Config{Frames: 128})
+	sp := k.NewSpace()
+	_, c, err := k.Allocate(sp, 16*4096, WithPolicy(simpleSpec(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RevokeContainer(c, "first")
+	k.RevokeContainer(c, "second")
+	k.terminate(c, "third")
+	if got := k.Registry().Count(kevent.EvContainerRevoked); got != 1 {
+		t.Fatalf("container.revoked events = %d, want 1", got)
+	}
+	if c.TerminationReason() != "first" {
+		t.Fatalf("reason = %q, want the first revocation's", c.TerminationReason())
+	}
+	kernelConservation(t, k)
+}
+
+// TestDestroyAfterRevoke checks the full teardown of a degraded region:
+// destroying the container after revocation returns every frame to the
+// machine pool and conserves all frames.
+func TestDestroyAfterRevoke(t *testing.T) {
+	k := New(Config{Frames: 128})
+	free := k.Daemon.FreeCount()
+	sp := k.NewSpace()
+	e, c, err := k.Allocate(sp, 32*4096, WithPolicy(simpleSpec(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 24; i++ {
+		if _, err := sp.Write(e.Start + i*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RevokeContainer(c, "degrade")
+	k.Clock.Drain(1 << 20) // let in-flight laundering I/O complete
+	kernelConservation(t, k)
+	k.DestroyContainer(c)
+	kernelConservation(t, k)
+	if got := k.Daemon.FreeCount(); got != free {
+		t.Fatalf("free = %d after destroy, want %d (all frames back)", got, free)
+	}
+	if k.FM.SpecificTotal() != 0 {
+		t.Fatalf("specific total = %d after destroy", k.FM.SpecificTotal())
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"time"
 
+	"hipec/internal/faultinj"
+	"hipec/internal/hiperr"
 	"hipec/internal/kevent"
 	"hipec/internal/simtime"
 )
@@ -64,8 +66,9 @@ type Disk struct {
 	clock    *simtime.Clock
 	events   *kevent.Emitter
 	params   Params
-	lastAddr int64 // last serviced block address, for sequential detection
-	inflight int   // outstanding async writes
+	inject   *faultinj.Plane // nil = no injection
+	lastAddr int64           // last serviced block address, for sequential detection
+	inflight int             // outstanding async writes
 }
 
 // New creates a disk attached to clock, emitting I/O events into events.
@@ -86,6 +89,12 @@ func New(clock *simtime.Clock, params Params, events *kevent.Emitter) *Disk {
 
 // Params returns the drive parameters.
 func (d *Disk) Params() Params { return d.params }
+
+// SetInjector attaches a fault-injection plane (nil detaches). Injected read
+// failures return ErrDiskIO after charging the full service time (the drive
+// worked, the transfer was bad); latency spikes add the plane's extra delay
+// to reads and writes.
+func (d *Disk) SetInjector(pl *faultinj.Plane) { d.inject = pl }
 
 // Stats returns a snapshot of the counters, derived from the event spine.
 func (d *Disk) Stats() Stats {
@@ -122,16 +131,31 @@ func (d *Disk) ServiceTime(addr int64, size int) time.Duration {
 }
 
 // Read performs a synchronous read of size bytes at block addr, advancing
-// the virtual clock by the service time. It returns the service time.
-func (d *Disk) Read(addr int64, size int) time.Duration {
+// the virtual clock by the service time. It returns the service time and,
+// when the fault-injection plane decides the transfer fails, an error
+// wrapping hiperr.ErrDiskIO — the time is still charged (the arm moved, the
+// data was bad), but the counters record an injected error instead of a
+// completed read, and lastAddr is untouched so the failed transfer does not
+// grant the next request sequential locality.
+func (d *Disk) Read(addr int64, size int) (time.Duration, error) {
 	if size <= 0 {
 		panic(fmt.Sprintf("disk: read of %d bytes", size))
 	}
 	t := d.ServiceTime(addr, size)
+	dec := d.inject.Decide(faultinj.DiskRead)
+	if dec.Slow > 0 {
+		d.events.Emit(kevent.Event{Type: kevent.EvInjectDiskSlow, Addr: addr, Aux: int64(dec.Slow)})
+		t += dec.Slow
+	}
+	if dec.Fail {
+		d.events.Emit(kevent.Event{Type: kevent.EvInjectDiskError, Addr: addr, Arg: int64(size)})
+		d.clock.Sleep(t)
+		return t, &hiperr.Error{Op: "disk.read", Err: fmt.Errorf("block %d: %w", addr, hiperr.ErrDiskIO)}
+	}
 	d.events.Emit(kevent.Event{Type: kevent.EvDiskRead, Addr: addr, Arg: int64(size), Aux: int64(t), Flag: d.sequential(addr)})
 	d.lastAddr = addr
 	d.clock.Sleep(t)
-	return t
+	return t, nil
 }
 
 // Write enqueues an asynchronous write of size bytes at block addr. The
@@ -142,6 +166,12 @@ func (d *Disk) Write(addr int64, size int, done func(now simtime.Time)) time.Dur
 		panic(fmt.Sprintf("disk: write of %d bytes", size))
 	}
 	t := d.ServiceTime(addr, size)
+	if dec := d.inject.Decide(faultinj.DiskWrite); dec.Slow > 0 {
+		// Writes never fail (the store write is immediate and durable;
+		// the disk models timing only) but they do catch latency spikes.
+		d.events.Emit(kevent.Event{Type: kevent.EvInjectDiskSlow, Addr: addr, Aux: int64(dec.Slow), Flag: true})
+		t += dec.Slow
+	}
 	d.events.Emit(kevent.Event{Type: kevent.EvDiskWrite, Addr: addr, Arg: int64(size), Aux: int64(t), Flag: d.sequential(addr)})
 	d.lastAddr = addr
 	d.inflight++

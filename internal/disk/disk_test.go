@@ -1,10 +1,13 @@
 package disk
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"hipec/internal/faultinj"
+	"hipec/internal/hiperr"
 	"hipec/internal/simtime"
 )
 
@@ -29,7 +32,7 @@ func TestDefaultPageReadNear7_66ms(t *testing.T) {
 func TestReadAdvancesClock(t *testing.T) {
 	c, d := newTestDisk()
 	before := c.Now()
-	st := d.Read(100, 4096)
+	st, _ := d.Read(100, 4096)
 	if c.Now() != before.Add(st) {
 		t.Fatalf("clock advanced %v, service time %v", c.Now().Sub(before), st)
 	}
@@ -40,12 +43,12 @@ func TestReadAdvancesClock(t *testing.T) {
 
 func TestSequentialReadsAvoidSeek(t *testing.T) {
 	_, d := newTestDisk()
-	cold := d.Read(10, 4096)
-	seq := d.Read(11, 4096)
+	cold, _ := d.Read(10, 4096)
+	seq, _ := d.Read(11, 4096)
 	if seq >= cold {
 		t.Fatalf("sequential read %v not faster than cold read %v", seq, cold)
 	}
-	random := d.Read(500, 4096)
+	random, _ := d.Read(500, 4096)
 	if random <= seq {
 		t.Fatalf("random read %v not slower than sequential %v", random, seq)
 	}
@@ -207,9 +210,51 @@ func TestPropertyStoreRoundTrip(t *testing.T) {
 
 func TestReadTimeAccumulates(t *testing.T) {
 	_, d := newTestDisk()
-	t1 := d.Read(1, 4096)
-	t2 := d.Read(100, 4096)
+	t1, _ := d.Read(1, 4096)
+	t2, _ := d.Read(100, 4096)
 	if d.Stats().ReadTime != t1+t2 {
 		t.Fatalf("ReadTime = %v, want %v", d.Stats().ReadTime, t1+t2)
+	}
+}
+
+func TestInjectedReadError(t *testing.T) {
+	c, d := newTestDisk()
+	pl := faultinj.NewPlane(3)
+	pl.SetRule(faultinj.DiskRead, faultinj.Rule{FailEvery: 2})
+	d.SetInjector(pl)
+
+	before := c.Now()
+	if _, err := d.Read(10, 4096); err != nil {
+		t.Fatalf("first read failed: %v", err)
+	}
+	st, err := d.Read(500, 4096)
+	if !errors.Is(err, hiperr.ErrDiskIO) {
+		t.Fatalf("second read err = %v, want ErrDiskIO", err)
+	}
+	if c.Now() != before.Add(st).Add(d.ServiceTime(10, 4096)) {
+		t.Error("failed read did not charge its service time")
+	}
+	// The failed transfer is not counted as a completed read and does not
+	// update sequential state.
+	if s := d.Stats(); s.Reads != 1 {
+		t.Errorf("Reads = %d after one success + one injected failure, want 1", s.Reads)
+	}
+	if d.sequential(501) {
+		t.Error("failed read granted sequential locality to its successor")
+	}
+}
+
+func TestInjectedLatencySpike(t *testing.T) {
+	_, d := newTestDisk()
+	pl := faultinj.NewPlane(3)
+	pl.SetRule(faultinj.DiskRead, faultinj.Rule{SlowRate: 1, SlowBy: 50 * time.Millisecond})
+	base := d.ServiceTime(77, 4096)
+	d.SetInjector(pl)
+	st, err := d.Read(77, 4096)
+	if err != nil {
+		t.Fatalf("read failed: %v", err)
+	}
+	if st != base+50*time.Millisecond {
+		t.Errorf("slow read service time %v, want %v", st, base+50*time.Millisecond)
 	}
 }

@@ -28,6 +28,9 @@ import (
 	"time"
 
 	"hipec/internal/disk"
+	"hipec/internal/faultinj"
+	"hipec/internal/hiperr"
+	"hipec/internal/kevent"
 	"hipec/internal/machipc"
 	"hipec/internal/simtime"
 	"hipec/internal/vm"
@@ -121,6 +124,16 @@ func (p *StorePager) allocBlock() int64 {
 	return int64((uint64(p.nextBlk) * 0x9E3779B97F4A7C15) >> 20)
 }
 
+// Disk exposes the pager's private paging device (e.g. to attach a fault
+// injector).
+func (p *StorePager) Disk() *disk.Disk { return p.disk }
+
+// Contains reports whether the pager holds a page for (obj, off).
+func (p *StorePager) Contains(obj uint64, off int64) bool {
+	_, ok := p.pages[disk.StoreKey{Object: obj, Offset: off}]
+	return ok
+}
+
 // DataRequest implements vm.Pager.
 func (p *StorePager) DataRequest(obj uint64, off int64, dst []byte) (bool, error) {
 	p.chargeIPC()
@@ -130,7 +143,9 @@ func (p *StorePager) DataRequest(obj uint64, off int64, dst []byte) (bool, error
 		p.Stats.ZeroFills++
 		return false, nil
 	}
-	p.disk.Read(p.blocks[key], p.pageSize)
+	if _, err := p.disk.Read(p.blocks[key], p.pageSize); err != nil {
+		return false, &hiperr.Error{Op: "emm.store.request", Err: fmt.Errorf("%s: %w", p.name, err)}
+	}
 	if dst != nil && data != nil {
 		copy(dst, data)
 	}
@@ -171,6 +186,14 @@ type RemotePager struct {
 	pageSize  int
 	clock     *simtime.Clock
 	available int64 // remaining remote capacity in pages (0 = unlimited)
+
+	// Inject, when non-nil, subjects the pager's network to the fault
+	// plane: a failing PagerRequest/PagerReturn decision models a lost
+	// message — the pager waits out a timeout (one RTT) and reports
+	// ErrPagerLost — and a slow decision adds network latency.
+	Inject *faultinj.Plane
+	// Events, when non-nil, records injected losses on the kernel spine.
+	Events *kevent.Emitter
 }
 
 // NewRemotePager builds a remote-memory pager.
@@ -188,9 +211,40 @@ func (p *RemotePager) transfer() {
 	p.clock.Sleep(p.RTT + time.Duration(p.pageSize)*p.PerByte)
 }
 
+// Contains reports whether the remote end holds a page for (obj, off).
+func (p *RemotePager) Contains(obj uint64, off int64) bool {
+	_, ok := p.pages[disk.StoreKey{Object: obj, Offset: off}]
+	return ok
+}
+
+// network consults the fault plane for one message exchange at pt. On loss
+// it charges the timeout (one RTT spent waiting for the reply that never
+// comes) and returns an ErrPagerLost-wrapping error.
+func (p *RemotePager) network(pt faultinj.Point, obj uint64, off int64) error {
+	dec := p.Inject.Decide(pt)
+	if dec.Slow > 0 {
+		p.clock.Sleep(dec.Slow)
+	}
+	if !dec.Fail {
+		return nil
+	}
+	if p.Events != nil {
+		p.Events.Emit(kevent.Event{Type: kevent.EvInjectPagerLoss, Arg: int64(obj), Aux: off, Flag: pt == faultinj.PagerReturn})
+	}
+	p.clock.Sleep(p.RTT)
+	op := "emm.remote.request"
+	if pt == faultinj.PagerReturn {
+		op = "emm.remote.return"
+	}
+	return &hiperr.Error{Op: op, Err: fmt.Errorf("%s: %w", p.name, hiperr.ErrPagerLost)}
+}
+
 // DataRequest implements vm.Pager.
 func (p *RemotePager) DataRequest(obj uint64, off int64, dst []byte) (bool, error) {
 	p.chargeIPC()
+	if err := p.network(faultinj.PagerRequest, obj, off); err != nil {
+		return false, err
+	}
 	key := disk.StoreKey{Object: obj, Offset: off}
 	data, ok := p.pages[key]
 	if !ok {
@@ -209,6 +263,9 @@ func (p *RemotePager) DataRequest(obj uint64, off int64, dst []byte) (bool, erro
 // DataReturn implements vm.Pager.
 func (p *RemotePager) DataReturn(obj uint64, off int64, src []byte) error {
 	p.chargeIPC()
+	if err := p.network(faultinj.PagerReturn, obj, off); err != nil {
+		return err
+	}
 	p.transfer()
 	var copyOf []byte
 	if src != nil {

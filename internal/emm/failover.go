@@ -1,0 +1,120 @@
+package emm
+
+import (
+	"hipec/internal/kevent"
+	"hipec/internal/vm"
+)
+
+// DefaultFailoverThreshold is the number of consecutive primary-pager losses
+// after which a FailoverPager abandons the primary.
+const DefaultFailoverThreshold = 3
+
+// FailoverPager pairs a fast-but-lossy primary pager (typically a
+// RemotePager over a faulty network) with a durable fallback (typically a
+// StorePager). Page-outs are written through to the fallback as well as the
+// primary, so the fallback is always a complete mirror of every page the
+// kernel has evicted; after Threshold consecutive primary losses the pager
+// fails over permanently and serves everything from the fallback.
+//
+// Caveat: pages pre-populated only into the primary (never evicted through
+// DataReturn) are not mirrored; prime the fallback too if such pages must
+// survive failover.
+type FailoverPager struct {
+	// Threshold is the consecutive-loss count that triggers failover
+	// (default DefaultFailoverThreshold).
+	Threshold int
+
+	primary  vm.Pager
+	fallback vm.Pager
+	events   *kevent.Emitter // may be nil
+
+	failures   int // consecutive primary losses
+	failedOver bool
+}
+
+// NewFailoverPager builds a failover pair. events may be nil; when set, the
+// failover transition is recorded on the spine (EvPagerFailover).
+func NewFailoverPager(primary, fallback vm.Pager, events *kevent.Emitter) *FailoverPager {
+	if primary == nil || fallback == nil {
+		panic("emm: failover pager needs both a primary and a fallback")
+	}
+	return &FailoverPager{Threshold: DefaultFailoverThreshold, primary: primary, fallback: fallback, events: events}
+}
+
+// PagerName implements vm.Pager.
+func (p *FailoverPager) PagerName() string {
+	return "failover(" + p.primary.PagerName() + "->" + p.fallback.PagerName() + ")"
+}
+
+// FailedOver reports whether the pager has abandoned its primary.
+func (p *FailoverPager) FailedOver() bool { return p.failedOver }
+
+// Primary and Fallback expose the pair for inspection.
+func (p *FailoverPager) Primary() vm.Pager  { return p.primary }
+func (p *FailoverPager) Fallback() vm.Pager { return p.fallback }
+
+// noteLoss counts a consecutive primary loss; it reports true when this loss
+// crossed the threshold and the pager just failed over.
+func (p *FailoverPager) noteLoss() bool {
+	p.failures++
+	if p.failures < p.Threshold {
+		return false
+	}
+	p.failedOver = true
+	if p.events != nil {
+		p.events.Emit(kevent.Event{Type: kevent.EvPagerFailover, Arg: int64(p.failures)})
+	}
+	return true
+}
+
+// DataRequest implements vm.Pager: serve from the primary until it is
+// declared lost, then from the fallback mirror. A primary error before
+// failover is returned to the caller (the VM retry ladder comes back), but
+// the loss that crosses the threshold is absorbed: the request is served
+// from the fallback immediately.
+func (p *FailoverPager) DataRequest(obj uint64, off int64, dst []byte) (bool, error) {
+	if !p.failedOver {
+		present, err := p.primary.DataRequest(obj, off, dst)
+		if err == nil {
+			p.failures = 0
+			return present, nil
+		}
+		if !p.noteLoss() {
+			return false, err
+		}
+	}
+	return p.fallback.DataRequest(obj, off, dst)
+}
+
+// DataReturn implements vm.Pager: write through to both sides. The fallback
+// write makes the page durable regardless of the primary's fate, so a
+// primary loss here never loses data — it only counts toward failover, and
+// the caller sees success as long as the fallback accepted the page.
+func (p *FailoverPager) DataReturn(obj uint64, off int64, src []byte) error {
+	if !p.failedOver {
+		if err := p.primary.DataReturn(obj, off, src); err != nil {
+			p.noteLoss()
+		} else {
+			p.failures = 0
+		}
+	}
+	return p.fallback.DataReturn(obj, off, src)
+}
+
+// PagerTerminate implements vm.Pager.
+func (p *FailoverPager) PagerTerminate(obj uint64) {
+	p.primary.PagerTerminate(obj)
+	p.fallback.PagerTerminate(obj)
+}
+
+// Contains reports whether the durable side of the pair holds (obj, off);
+// used by the chaos soak's no-lost-page invariant.
+func (p *FailoverPager) Contains(obj uint64, off int64) bool {
+	type container interface{ Contains(uint64, int64) bool }
+	if c, ok := p.fallback.(container); ok {
+		return c.Contains(obj, off)
+	}
+	return false
+}
+
+var _ vm.Pager = (*FailoverPager)(nil)

@@ -1,0 +1,178 @@
+// Package faultinj is the simulated kernel's deterministic fault-injection
+// plane. Subsystems consult it at well-defined points — disk I/O, external
+// pager traffic, frame-manager grants — and it answers with a Decision
+// (fail, and/or slow by some extra virtual time) drawn from a seeded PRNG.
+//
+// Determinism: the plane owns a splitmix64 stream advanced only by Decide
+// calls against non-zero rules, and the simulated kernel serializes all
+// activity on one virtual clock, so the same seed against the same workload
+// yields the same decision sequence — runs remain byte-diffable at the event
+// log level. A nil *Plane (injection disabled) is valid and decides nothing,
+// so non-chaos runs make no draws and are behaviorally unchanged.
+package faultinj
+
+import (
+	"fmt"
+	"time"
+)
+
+// Point names one injection point in the kernel.
+type Point uint8
+
+const (
+	// DiskRead is a synchronous paging-device read.
+	DiskRead Point = iota
+	// DiskWrite is an asynchronous paging-device write (latency spikes
+	// only: store writes are immediate and durable, so write failures are
+	// not modeled).
+	DiskWrite
+	// PagerRequest is a remote-pager data_request (page-in).
+	PagerRequest
+	// PagerReturn is a remote-pager data_return (page-out).
+	PagerReturn
+	// FrameGrant is a frame-manager Request-command grant.
+	FrameGrant
+	// NumPoints sizes per-point arrays.
+	NumPoints
+)
+
+// String returns the point name.
+func (p Point) String() string {
+	switch p {
+	case DiskRead:
+		return "disk.read"
+	case DiskWrite:
+		return "disk.write"
+	case PagerRequest:
+		return "pager.request"
+	case PagerReturn:
+		return "pager.return"
+	case FrameGrant:
+		return "frame.grant"
+	}
+	return fmt.Sprintf("Point(%d)", uint8(p))
+}
+
+// Rule configures injection at one point. The zero Rule injects nothing and
+// costs nothing (no PRNG draw).
+type Rule struct {
+	// FailRate is the probability in [0,1] that an operation fails.
+	FailRate float64
+	// FailEvery, when positive, fails every Nth decision at the point
+	// deterministically (no PRNG draw) and takes precedence over FailRate.
+	// It exists for tests that need exact failure schedules.
+	FailEvery int
+	// SlowRate is the probability that an operation is delayed by SlowBy.
+	SlowRate float64
+	// SlowBy is the extra virtual latency of a slow operation.
+	SlowBy time.Duration
+}
+
+func (r Rule) zero() bool {
+	return r.FailRate == 0 && r.FailEvery == 0 && (r.SlowRate == 0 || r.SlowBy == 0)
+}
+
+// Decision is the plane's answer for one operation.
+type Decision struct {
+	Fail bool          // the operation should fail
+	Slow time.Duration // extra latency to charge (0 = none)
+}
+
+// Config seeds and populates a Plane. Seed 0 disables injection entirely
+// (New returns nil, which every consumer accepts).
+type Config struct {
+	Seed uint64
+	// Disk applies to disk reads; its SlowRate/SlowBy also apply to disk
+	// writes (writes never fail — see Point).
+	Disk Rule
+	// Pager applies to remote-pager requests and returns.
+	Pager Rule
+	// Grant applies to frame-manager grants (FailRate/FailEvery only).
+	Grant Rule
+}
+
+// Plane is the injection decision engine. It is a pure function of its seed
+// and the sequence of Decide calls; it emits no events itself — consumers
+// record injected faults on the kernel event spine.
+type Plane struct {
+	state uint64
+	draws uint64
+	rules [NumPoints]Rule
+	calls [NumPoints]uint64
+}
+
+// New builds a plane from cfg, or returns nil (injection disabled) when
+// cfg.Seed is zero.
+func New(cfg Config) *Plane {
+	if cfg.Seed == 0 {
+		return nil
+	}
+	pl := NewPlane(cfg.Seed)
+	pl.SetRule(DiskRead, cfg.Disk)
+	pl.SetRule(DiskWrite, Rule{SlowRate: cfg.Disk.SlowRate, SlowBy: cfg.Disk.SlowBy})
+	pl.SetRule(PagerRequest, cfg.Pager)
+	pl.SetRule(PagerReturn, cfg.Pager)
+	pl.SetRule(FrameGrant, Rule{FailRate: cfg.Grant.FailRate, FailEvery: cfg.Grant.FailEvery})
+	return pl
+}
+
+// NewPlane builds an empty plane (no rules) with the given nonzero seed;
+// configure it with SetRule. Intended for tests.
+func NewPlane(seed uint64) *Plane {
+	if seed == 0 {
+		panic("faultinj: zero seed")
+	}
+	return &Plane{state: seed}
+}
+
+// SetRule installs the rule for one point.
+func (pl *Plane) SetRule(pt Point, r Rule) { pl.rules[pt] = r }
+
+// Draws reports how many PRNG values have been consumed (for tests pinning
+// stream stability).
+func (pl *Plane) Draws() uint64 {
+	if pl == nil {
+		return 0
+	}
+	return pl.draws
+}
+
+// next advances the splitmix64 stream.
+func (pl *Plane) next() uint64 {
+	pl.draws++
+	pl.state += 0x9E3779B97F4A7C15
+	z := pl.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// chance draws a uniform [0,1) variate and compares it to rate. It draws
+// even when rate >= 1 so that changing a rate never shifts the stream
+// consumed by other rules.
+func (pl *Plane) chance(rate float64) bool {
+	return float64(pl.next()>>11)/(1<<53) < rate
+}
+
+// Decide answers for one operation at pt. Safe on a nil receiver (injection
+// disabled): returns the zero Decision without drawing.
+func (pl *Plane) Decide(pt Point) Decision {
+	if pl == nil {
+		return Decision{}
+	}
+	r := pl.rules[pt]
+	if r.zero() {
+		return Decision{}
+	}
+	pl.calls[pt]++
+	var d Decision
+	if r.FailEvery > 0 {
+		d.Fail = pl.calls[pt]%uint64(r.FailEvery) == 0
+	} else if r.FailRate > 0 {
+		d.Fail = pl.chance(r.FailRate)
+	}
+	if r.SlowRate > 0 && r.SlowBy > 0 && pl.chance(r.SlowRate) {
+		d.Slow = r.SlowBy
+	}
+	return d
+}

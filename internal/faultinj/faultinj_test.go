@@ -1,0 +1,101 @@
+package faultinj
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilPlaneDecidesNothing(t *testing.T) {
+	var pl *Plane
+	for pt := Point(0); pt < NumPoints; pt++ {
+		if d := pl.Decide(pt); d != (Decision{}) {
+			t.Errorf("nil plane decided %+v at %v", d, pt)
+		}
+	}
+	if pl.Draws() != 0 {
+		t.Errorf("nil plane draws = %d", pl.Draws())
+	}
+}
+
+func TestZeroSeedDisables(t *testing.T) {
+	if pl := New(Config{Seed: 0, Disk: Rule{FailRate: 1}}); pl != nil {
+		t.Fatal("New with zero seed should return nil")
+	}
+}
+
+func TestZeroRuleMakesNoDraws(t *testing.T) {
+	pl := NewPlane(7)
+	pl.SetRule(DiskRead, Rule{FailRate: 0.5})
+	for i := 0; i < 100; i++ {
+		pl.Decide(PagerRequest) // no rule installed
+	}
+	if pl.Draws() != 0 {
+		t.Errorf("draws = %d after decisions against zero rules", pl.Draws())
+	}
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	run := func() []Decision {
+		pl := New(Config{Seed: 42, Disk: Rule{FailRate: 0.3, SlowRate: 0.2, SlowBy: time.Millisecond}})
+		out := make([]Decision, 200)
+		for i := range out {
+			out[i] = pl.Decide(DiskRead)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	fails := 0
+	for _, d := range a {
+		if d.Fail {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("FailRate 0.3 produced %d/%d failures", fails, len(a))
+	}
+}
+
+func TestFailEvery(t *testing.T) {
+	pl := NewPlane(1)
+	pl.SetRule(FrameGrant, Rule{FailEvery: 3})
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, pl.Decide(FrameGrant).Fail)
+	}
+	want := []bool{false, false, true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FailEvery=3 sequence %v, want %v", got, want)
+		}
+	}
+	if pl.Draws() != 0 {
+		t.Errorf("FailEvery consumed %d PRNG draws", pl.Draws())
+	}
+}
+
+func TestRateOneAlwaysAndStreamStability(t *testing.T) {
+	pl := NewPlane(9)
+	pl.SetRule(DiskRead, Rule{FailRate: 1})
+	for i := 0; i < 10; i++ {
+		if !pl.Decide(DiskRead).Fail {
+			t.Fatal("FailRate 1 did not fail")
+		}
+	}
+	if pl.Draws() != 10 {
+		t.Errorf("FailRate 1 made %d draws, want 10 (stream stability)", pl.Draws())
+	}
+}
+
+func TestWriteRuleDerivedFromDisk(t *testing.T) {
+	pl := New(Config{Seed: 5, Disk: Rule{FailRate: 1, SlowRate: 1, SlowBy: time.Millisecond}})
+	if d := pl.Decide(DiskWrite); d.Fail {
+		t.Error("disk writes must never fail")
+	} else if d.Slow != time.Millisecond {
+		t.Errorf("disk write slow = %v, want 1ms", d.Slow)
+	}
+}

@@ -1,0 +1,74 @@
+// Package hiperr defines the typed error taxonomy of the simulated kernel.
+//
+// Every failing kernel operation returns (possibly wrapped in layers of
+// context) an *Error carrying the operation name and whatever scope — address
+// space, container, policy command counter — applies, with a sentinel at the
+// bottom of the chain so callers can program against failure classes with
+// errors.Is and recover structure with errors.As. The taxonomy is re-exported
+// from the root hipec package.
+package hiperr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel errors: the failure classes the kernel distinguishes. They sit at
+// the bottom of wrap chains; match with errors.Is.
+var (
+	// ErrMinFrame is returned when HiPEC activation cannot grant the
+	// requested minimum frame count ("If the minFrame request cannot be
+	// satisfied when HiPEC is initially invoked, an error code is
+	// returned", §4.3.1).
+	ErrMinFrame = errors.New("hipec: minFrame request cannot be satisfied")
+	// ErrDiskIO is a paging-device I/O failure (real or injected).
+	ErrDiskIO = errors.New("hipec: disk I/O error")
+	// ErrPagerLost is a lost or timed-out external-pager interaction
+	// (network loss on a remote pager, injected or modeled).
+	ErrPagerLost = errors.New("hipec: external pager lost")
+	// ErrPolicyFault is a runtime fault in a HiPEC policy program (illegal
+	// command, type error, runaway execution, checker kill).
+	ErrPolicyFault = errors.New("hipec: policy runtime fault")
+	// ErrRevoked marks operations against a container whose region has been
+	// handed back to the default pageout policy by graceful degradation.
+	ErrRevoked = errors.New("hipec: container revoked")
+)
+
+// Error is the typed error for kernel operations. Op names the failing
+// operation ("vm.fault", "disk.read", "hipec.exec", ...); Space, Container
+// and PC carry scope where applicable (zero means not applicable). Err is the
+// cause chain, terminating in one of the sentinels above where the failure
+// class is known.
+type Error struct {
+	Op        string // failing operation, e.g. "vm.pagein"
+	Space     int    // address-space ID (0 = n/a)
+	Container int    // container ID (0 = n/a)
+	PC        int    // policy command counter (0 = n/a)
+	Err       error  // cause; nil is not allowed
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	var b strings.Builder
+	b.WriteString(e.Op)
+	if e.Space > 0 {
+		fmt.Fprintf(&b, " space=%d", e.Space)
+	}
+	if e.Container > 0 {
+		fmt.Fprintf(&b, " container=%d", e.Container)
+	}
+	if e.PC > 0 {
+		fmt.Fprintf(&b, " cc=%d", e.PC)
+	}
+	b.WriteString(": ")
+	if e.Err != nil {
+		b.WriteString(e.Err.Error())
+	} else {
+		b.WriteString("unknown error")
+	}
+	return b.String()
+}
+
+// Unwrap exposes the cause for errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }

@@ -1,0 +1,56 @@
+package hiperr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestErrorFormatting(t *testing.T) {
+	e := &Error{Op: "vm.fault", Space: 3, Container: 2, PC: 7, Err: ErrDiskIO}
+	s := e.Error()
+	for _, want := range []string{"vm.fault", "space=3", "container=2", "cc=7", ErrDiskIO.Error()} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Error() = %q, missing %q", s, want)
+		}
+	}
+	// Zero scope fields stay out of the message.
+	e2 := &Error{Op: "disk.read", Err: ErrDiskIO}
+	if s := e2.Error(); strings.Contains(s, "space=") || strings.Contains(s, "container=") || strings.Contains(s, "cc=") {
+		t.Errorf("Error() = %q leaks zero scope fields", s)
+	}
+}
+
+func TestUnwrapChain(t *testing.T) {
+	inner := fmt.Errorf("block 42: %w", ErrDiskIO)
+	mid := &Error{Op: "disk.read", Err: inner}
+	outer := &Error{Op: "vm.pagein", Space: 1, Err: fmt.Errorf("at 0x1000: %w", mid)}
+
+	if !errors.Is(outer, ErrDiskIO) {
+		t.Fatalf("errors.Is(outer, ErrDiskIO) = false; chain %v", outer)
+	}
+	var te *Error
+	if !errors.As(outer, &te) {
+		t.Fatal("errors.As failed to extract *Error")
+	}
+	if te.Op != "vm.pagein" || te.Space != 1 {
+		t.Errorf("errors.As extracted %+v, want outermost (vm.pagein, space 1)", te)
+	}
+	// As finds the nested Error once the outer is peeled.
+	var te2 *Error
+	if !errors.As(te.Err, &te2) || te2.Op != "disk.read" {
+		t.Errorf("nested errors.As = %+v, want disk.read", te2)
+	}
+}
+
+func TestSentinelsDistinct(t *testing.T) {
+	sentinels := []error{ErrMinFrame, ErrDiskIO, ErrPagerLost, ErrPolicyFault, ErrRevoked}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinel %v matches %v", a, b)
+			}
+		}
+	}
+}

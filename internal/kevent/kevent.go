@@ -77,6 +77,18 @@ const (
 	EvDiskRead  // synchronous read; Arg = bytes, Aux = service ns, Flag = sequential
 	EvDiskWrite // asynchronous write queued; Arg = bytes, Aux = service ns, Flag = sequential
 
+	// Fault injection (internal/faultinj consumers) and graceful
+	// degradation.
+	EvInjectDiskError  // injected disk read failure; Addr = block, Arg = bytes
+	EvInjectDiskSlow   // injected disk latency spike; Addr = block, Aux = extra ns, Flag = write
+	EvInjectPagerLoss  // injected pager loss; Arg = object ID, Aux = offset, Flag = data_return side
+	EvInjectGrantDeny  // injected frame-grant denial; Arg = frames requested
+	EvFaultRetry       // fault path retrying a failed page-in; Addr = address, Arg = attempt, Aux = backoff ns
+	EvFaultAbandon     // fault path out of retry budget; Addr = address
+	EvPageOutError     // page-out write-back failed, page kept dirty; Arg = object ID, Aux = offset
+	EvPagerFailover    // failover pager switched to its fallback; Arg = consecutive losses
+	EvContainerRevoked // container revoked, region handed back to the default policy
+
 	// NumTypes is the number of event types; Registry arrays index by Type.
 	NumTypes
 )
@@ -119,6 +131,15 @@ var typeNames = [NumTypes]string{
 	EvCheckerValidation: "checker.validate",
 	EvDiskRead:          "disk.read",
 	EvDiskWrite:         "disk.write",
+	EvInjectDiskError:   "inject.disk.err",
+	EvInjectDiskSlow:    "inject.disk.slow",
+	EvInjectPagerLoss:   "inject.pager.loss",
+	EvInjectGrantDeny:   "inject.fm.deny",
+	EvFaultRetry:        "fault.retry",
+	EvFaultAbandon:      "fault.abandon",
+	EvPageOutError:      "pageout.error",
+	EvPagerFailover:     "pager.failover",
+	EvContainerRevoked:  "container.revoked",
 }
 
 // String returns the event type's stable wire name (used by the log format).

@@ -147,7 +147,13 @@ func (d *Daemon) Balance() {
 			continue
 		}
 		if p.Modified {
-			d.sys.PageOut(p, nil)
+			if err := d.sys.PageOut(p, nil); err != nil {
+				// Write-back failed: the page holds the only copy, so it
+				// cannot be reclaimed. Re-activate it and abandon the pass —
+				// retrying the same dirty page in a loop would spin.
+				d.Active.EnqueueTail(p)
+				break
+			}
 			d.events.Emit(kevent.Event{Type: kevent.EvDaemonFlush, Arg: int64(p.Object), Aux: p.Offset})
 		}
 		d.sys.Detach(p)

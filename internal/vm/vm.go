@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"hipec/internal/disk"
+	"hipec/internal/faultinj"
+	"hipec/internal/hiperr"
 	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/simtime"
@@ -110,6 +112,31 @@ var ErrNoMemory = errors.New("vm: out of page frames")
 // ErrBadAddress is returned for accesses outside any mapped region.
 var ErrBadAddress = errors.New("vm: address not mapped")
 
+// FaultAborter is optionally implemented by policies that own frame grant
+// accounting (HiPEC containers). When a fault fails permanently after
+// PageFor — the page never became resident — the fault handler calls
+// FaultAborted so the policy can reclaim the frame into its private pool
+// instead of leaking the grant. Policies that do not implement it get the
+// frame returned to the machine free pool.
+type FaultAborter interface {
+	FaultAborted(f *Fault, p *mem.Page)
+}
+
+// Retry configures the fault path's bounded retry-with-backoff for transient
+// page-in failures (disk I/O errors, pager loss). Backoff is charged to the
+// virtual clock and doubles per attempt.
+type Retry struct {
+	Budget  int           // total page-in attempts per fault (including the first)
+	Backoff time.Duration // initial backoff before the first retry
+}
+
+// DefaultRetry returns the kernel default: three attempts with a 500 µs
+// initial backoff (a paging operation already costs milliseconds; the
+// backoff exists to separate retries in time, not to rate-limit).
+func DefaultRetry() Retry {
+	return Retry{Budget: 3, Backoff: 500 * time.Microsecond}
+}
+
 // Pager is the external-memory-management interface (Mach EMM): a memory
 // object may be backed by a user-level pager instead of the kernel's
 // default store. DataRequest supplies page contents on page-in (returning
@@ -139,6 +166,9 @@ type Object struct {
 	// ExternalPager, when set, replaces the kernel's default store/disk
 	// backing for this object (the Mach external pager of §2/§4).
 	ExternalPager Pager
+	// RetryBudget, when positive, overrides System.Retry.Budget for faults
+	// on this object (the WithRetryBudget allocation option).
+	RetryBudget int
 }
 
 // Resident returns the resident page at offset, or nil.
@@ -195,6 +225,14 @@ type System struct {
 	// kernel (fault path, pageout daemon, disk, HiPEC core) emits through
 	// it, and its Registry is the single source of truth for counters.
 	Events *kevent.Emitter
+	// Retry bounds the fault path's page-in retries (see Retry).
+	Retry Retry
+	// OnFaultFailure, when set, is called after a fault exhausts its retry
+	// budget, with the object and the final error. Returning true means the
+	// hook degraded the region (e.g. revoked its HiPEC container) and the
+	// fault should be replayed once under the replacement policy; package
+	// core installs the kernel's revocation hook here.
+	OnFaultFailure func(o *Object, cause error) bool
 
 	defaultPolicy Policy
 	objects       map[uint64]*Object
@@ -215,6 +253,11 @@ type Config struct {
 	KeepData bool // allocate and track page contents
 	Costs    Costs
 	Disk     disk.Params
+	// Retry bounds page-in retries; the zero value takes DefaultRetry.
+	Retry Retry
+	// Inject, when non-nil, attaches the fault-injection plane to the
+	// paging device (pager-side injection is configured on the pagers).
+	Inject *faultinj.Plane
 }
 
 // NewSystem builds the VM substrate on the given clock.
@@ -231,14 +274,20 @@ func NewSystem(clock *simtime.Clock, cfg Config) *System {
 	if cfg.Disk == (disk.Params{}) {
 		cfg.Disk = disk.DefaultParams()
 	}
+	if cfg.Retry == (Retry{}) {
+		cfg.Retry = DefaultRetry()
+	}
 	events := kevent.NewEmitter(clock)
+	d := disk.New(clock, cfg.Disk, events)
+	d.SetInjector(cfg.Inject)
 	return &System{
 		Clock:   clock,
 		Frames:  mem.NewFrameTable(cfg.Frames, cfg.PageSize, cfg.KeepData),
-		Disk:    disk.New(clock, cfg.Disk, events),
+		Disk:    d,
 		Store:   disk.NewStore(cfg.PageSize, cfg.KeepData),
 		Costs:   cfg.Costs,
 		Events:  events,
+		Retry:   cfg.Retry,
 		objects: make(map[uint64]*Object),
 	}
 }
@@ -395,10 +444,11 @@ func (sp *AddressSpace) fault(e *MapEntry, off, addr int64, write bool) (*mem.Pa
 	f := &Fault{Space: sp, Entry: e, Object: e.Object, Offset: off, Addr: addr, Write: write}
 	p, err := policy.PageFor(f)
 	if err != nil {
-		return nil, fmt.Errorf("vm: fault at %#x: %w", addr, err)
+		return nil, &hiperr.Error{Op: "vm.fault", Space: sp.ID, Err: fmt.Errorf("at %#x: %w", addr, err)}
 	}
 	if p == nil {
-		return nil, fmt.Errorf("vm: fault at %#x: policy %q returned no page", addr, policy.Name())
+		return nil, &hiperr.Error{Op: "vm.fault", Space: sp.ID,
+			Err: fmt.Errorf("at %#x: policy %q returned no page: %w", addr, policy.Name(), hiperr.ErrPolicyFault)}
 	}
 	if p.Queue() != nil {
 		panic(fmt.Sprintf("vm: policy %q returned %v still on a queue", policy.Name(), p))
@@ -410,39 +460,99 @@ func (sp *AddressSpace) fault(e *MapEntry, off, addr int64, write bool) (*mem.Pa
 	p.Modified = write
 	p.Wired = e.Wired
 	p.LastAccess = s.Clock.Now()
+	if err := sp.pageIn(e, off, addr, p); err != nil {
+		// The fault failed permanently (retry budget exhausted). The frame
+		// never became resident: clear its identity and hand it back to
+		// the policy's grant accounting (FaultAborter) or the machine
+		// free pool.
+		p.Object, p.Offset = 0, 0
+		p.Referenced, p.Modified, p.Wired = false, false, false
+		if ab, ok := policy.(FaultAborter); ok {
+			ab.FaultAborted(f, p)
+		} else {
+			s.Frames.Free(p)
+		}
+		s.Events.Emit(kevent.Event{Type: kevent.EvFaultAbandon, Space: int32(sp.ID), Addr: addr})
+		if s.OnFaultFailure != nil && s.OnFaultFailure(e.Object, err) {
+			// The kernel degraded the region (revoked its policy);
+			// replay the fault once under the replacement policy. The
+			// replay cannot recurse: after revocation the object's
+			// policy is the default one, whose next failure returns
+			// false from the hook.
+			return sp.fault(e, off, addr, write)
+		}
+		return nil, err
+	}
+	e.Object.resident[off] = p
+	policy.Installed(f, p)
+	return p, nil
+}
+
+// pageIn fills p with the contents for (object, off) — from the external
+// pager, the backing store, or by zero fill — retrying transient failures
+// with doubling virtual-time backoff within the object's retry budget.
+func (sp *AddressSpace) pageIn(e *MapEntry, off, addr int64, p *mem.Page) error {
+	s := sp.sys
+	budget := e.Object.RetryBudget
+	if budget <= 0 {
+		budget = s.Retry.Budget
+	}
+	if budget <= 0 {
+		budget = 1
+	}
+	backoff := s.Retry.Backoff
+	for attempt := 1; ; attempt++ {
+		err := sp.pageInOnce(e, off, addr, p)
+		if err == nil {
+			return nil
+		}
+		if attempt >= budget {
+			return err
+		}
+		s.Events.Emit(kevent.Event{Type: kevent.EvFaultRetry, Space: int32(sp.ID), Addr: addr, Arg: int64(attempt), Aux: int64(backoff)})
+		if backoff > 0 {
+			s.Clock.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// pageInOnce is one page-in attempt: exactly the paper-era fill path, plus
+// typed errors on the newly fallible disk and pager edges.
+func (sp *AddressSpace) pageInOnce(e *MapEntry, off, addr int64, p *mem.Page) error {
+	s := sp.sys
 	if pg := e.Object.ExternalPager; pg != nil {
 		// Memory-object data comes from the external pager (EMM).
 		present, perr := pg.DataRequest(e.Object.ID, off, p.Data)
 		if perr != nil {
-			p.Object, p.Offset = 0, 0
-			s.Frames.Free(p)
-			return nil, fmt.Errorf("vm: external pager %q: %w", pg.PagerName(), perr)
+			return &hiperr.Error{Op: "vm.pagein", Space: sp.ID,
+				Err: fmt.Errorf("external pager %q: %w", pg.PagerName(), perr)}
 		}
 		if present {
 			s.Events.Emit(kevent.Event{Type: kevent.EvPageIn, Space: int32(sp.ID), Addr: addr, Arg: int64(e.Object.ID), Aux: off})
 		} else {
 			s.Events.Emit(kevent.Event{Type: kevent.EvZeroFill, Space: int32(sp.ID), Addr: addr, Arg: int64(e.Object.ID), Aux: off})
 		}
-	} else {
-		// A page present in the backing store must be read back even for
-		// zero-fill objects: it was either populated (mapped file) or
-		// paged out earlier (anonymous memory gone to swap). Zero-fill
-		// only applies to never-written pages.
-		key := disk.StoreKey{Object: e.Object.ID, Offset: off}
-		if s.Store.Contains(key) {
-			// Page-in from backing store: synchronous disk read.
-			s.Disk.Read(s.diskAddr(e.Object, off), s.PageSize())
-			if data, _ := s.Store.ReadPage(key); data != nil && p.Data != nil {
-				copy(p.Data, data)
-			}
-			s.Events.Emit(kevent.Event{Type: kevent.EvPageIn, Space: int32(sp.ID), Addr: addr, Arg: int64(e.Object.ID), Aux: off})
-		} else {
-			s.Events.Emit(kevent.Event{Type: kevent.EvZeroFill, Space: int32(sp.ID), Addr: addr, Arg: int64(e.Object.ID), Aux: off})
-		}
+		return nil
 	}
-	e.Object.resident[off] = p
-	policy.Installed(f, p)
-	return p, nil
+	// A page present in the backing store must be read back even for
+	// zero-fill objects: it was either populated (mapped file) or
+	// paged out earlier (anonymous memory gone to swap). Zero-fill
+	// only applies to never-written pages.
+	key := disk.StoreKey{Object: e.Object.ID, Offset: off}
+	if s.Store.Contains(key) {
+		// Page-in from backing store: synchronous disk read.
+		if _, derr := s.Disk.Read(s.diskAddr(e.Object, off), s.PageSize()); derr != nil {
+			return &hiperr.Error{Op: "vm.pagein", Space: sp.ID, Err: fmt.Errorf("at %#x: %w", addr, derr)}
+		}
+		if data, _ := s.Store.ReadPage(key); data != nil && p.Data != nil {
+			copy(p.Data, data)
+		}
+		s.Events.Emit(kevent.Event{Type: kevent.EvPageIn, Space: int32(sp.ID), Addr: addr, Arg: int64(e.Object.ID), Aux: off})
+	} else {
+		s.Events.Emit(kevent.Event{Type: kevent.EvZeroFill, Space: int32(sp.ID), Addr: addr, Arg: int64(e.Object.ID), Aux: off})
+	}
+	return nil
 }
 
 // Detach removes a resident page from its object without freeing the frame;
@@ -474,39 +584,56 @@ func (s *System) diskAddr(o *Object, off int64) int64 {
 
 // PageOut writes the page's contents to the backing store asynchronously
 // and clears its Modified bit. done may be nil. Pages of externally-paged
-// objects are returned to their pager (memory_object_data_return) instead.
-func (s *System) PageOut(p *mem.Page, done func(simtime.Time)) {
+// objects are returned to their pager (memory_object_data_return) instead;
+// a pager write-back failure keeps the page dirty (its contents are the only
+// copy) and returns an error — the caller decides whether to keep the page
+// resident or retry. The kernel store path cannot fail: the store write is
+// immediate and durable, the disk write models timing only.
+func (s *System) PageOut(p *mem.Page, done func(simtime.Time)) error {
 	o := s.objects[p.Object]
 	s.Events.Emit(kevent.Event{Type: kevent.EvPageOut, Arg: int64(p.Object), Aux: p.Offset})
 	if o != nil && o.ExternalPager != nil {
-		o.ExternalPager.DataReturn(o.ID, p.Offset, p.Data) //nolint:errcheck // pager errors lose the write, as on Mach
+		if err := o.ExternalPager.DataReturn(o.ID, p.Offset, p.Data); err != nil {
+			s.Events.Emit(kevent.Event{Type: kevent.EvPageOutError, Arg: int64(p.Object), Aux: p.Offset})
+			return &hiperr.Error{Op: "vm.pageout",
+				Err: fmt.Errorf("external pager %q: %w", o.ExternalPager.PagerName(), err)}
+		}
 		p.Modified = false
 		if done != nil {
 			s.Clock.After(0, done)
 		}
-		return
+		return nil
 	}
 	key := disk.StoreKey{Object: p.Object, Offset: p.Offset}
 	s.Store.WritePage(key, p.Data)
 	s.Disk.Write(s.diskAddr(o, p.Offset), s.PageSize(), done)
 	p.Modified = false
+	return nil
 }
 
 // PageOutSync writes the page synchronously (clock advances by the service
-// time). Used by policies that must wait for the write.
-func (s *System) PageOutSync(p *mem.Page) {
+// time). Used by policies that must wait for the write. Error semantics
+// match PageOut.
+func (s *System) PageOutSync(p *mem.Page) error {
 	o := s.objects[p.Object]
 	s.Events.Emit(kevent.Event{Type: kevent.EvPageOut, Arg: int64(p.Object), Aux: p.Offset, Flag: true})
 	if o != nil && o.ExternalPager != nil {
-		o.ExternalPager.DataReturn(o.ID, p.Offset, p.Data) //nolint:errcheck
+		if err := o.ExternalPager.DataReturn(o.ID, p.Offset, p.Data); err != nil {
+			s.Events.Emit(kevent.Event{Type: kevent.EvPageOutError, Arg: int64(p.Object), Aux: p.Offset})
+			return &hiperr.Error{Op: "vm.pageout",
+				Err: fmt.Errorf("external pager %q: %w", o.ExternalPager.PagerName(), err)}
+		}
 		p.Modified = false
-		return
+		return nil
 	}
 	key := disk.StoreKey{Object: p.Object, Offset: p.Offset}
 	s.Store.WritePage(key, p.Data)
-	// Model as a read-shaped synchronous access (same service time).
-	s.Disk.Read(s.diskAddr(o, p.Offset), s.PageSize())
+	// Model as a read-shaped synchronous access (same service time). The
+	// store write above already made the contents durable, so an injected
+	// read error here would not lose data; the timing model ignores it.
+	s.Disk.Read(s.diskAddr(o, p.Offset), s.PageSize()) //nolint:errcheck // timing-only access, data already durable in store
 	p.Modified = false
+	return nil
 }
 
 // Populate writes initial content pages for an object into the backing
