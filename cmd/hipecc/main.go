@@ -11,6 +11,11 @@
 // -o the raw little-endian command words of each event are concatenated
 // (preceded by a one-word event count and per-event word counts) for
 // loading elsewhere.
+//
+// With -analyze the compiled policy is run through the static verifier
+// (internal/hpl/verify) before any output is produced; diagnostics go to
+// stderr and error-severity findings fail the compile, exactly as the
+// in-kernel checker would reject the policy at registration.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 
 	"hipec/internal/core"
 	"hipec/internal/hpl"
+	"hipec/internal/hpl/verify"
 	"hipec/internal/policies"
 )
 
@@ -27,6 +33,7 @@ func main() {
 	var (
 		out      = flag.String("o", "", "write encoded command words to this file")
 		list     = flag.Bool("list", true, "print the annotated listing")
+		analyze  = flag.Bool("analyze", false, "run the static verifier; error diagnostics fail the compile")
 		builtin  = flag.String("builtin", "", "show a canned policy instead of compiling a file (fifo, lru, mru, fifo2, sequential)")
 		minFrame = flag.Int("minframe", 64, "minFrame for -builtin policies")
 		name     = flag.String("name", "", "policy name (defaults to the file name)")
@@ -37,6 +44,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hipecc:", err)
 		os.Exit(1)
+	}
+	if *analyze {
+		u, err := core.UnitForSpec(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hipecc:", err)
+			os.Exit(1)
+		}
+		diags := verify.Analyze(u)
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "hipecc: %s: %s\n", spec.Name, d)
+		}
+		if verify.HasErrors(diags) {
+			fmt.Fprintln(os.Stderr, "hipecc: policy rejected by verifier")
+			os.Exit(1)
+		}
 	}
 	if *list {
 		fmt.Print(hpl.DisassembleSpec(spec))

@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	hipecdis policy.bin
+//	hipecdis [-lint] policy.bin
+//
+// With -lint the static verifier (internal/hpl/verify) runs over the
+// decoded programs in kind-inference mode and each event's listing is
+// followed by its diagnostics; error-severity findings set exit status 1.
 package main
 
 import (
@@ -13,13 +17,15 @@ import (
 
 	"hipec/internal/core"
 	"hipec/internal/hpl"
+	"hipec/internal/hpl/verify"
 )
 
 func main() {
+	lint := flag.Bool("lint", false, "annotate the listing with static-verifier diagnostics")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hipecdis policy.bin")
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "usage: hipecdis [-lint] policy.bin")
+		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -32,6 +38,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hipecdis:", err)
 		os.Exit(1)
 	}
+
+	var diags []verify.Diagnostic
+	if *lint {
+		u := verify.NewUnit(flag.Arg(0))
+		u.Events = events
+		u.Extensions = true
+		diags = verify.Analyze(u)
+	}
+
 	for i, prog := range events {
 		if len(prog) == 0 {
 			continue
@@ -43,6 +58,20 @@ func main() {
 		case core.EventReclaimFrame:
 			name = "ReclaimFrame"
 		}
-		fmt.Printf("# The %s Event\n%s\n", name, hpl.Disassemble(prog))
+		fmt.Printf("# The %s Event\n%s", name, hpl.Disassemble(prog))
+		for _, d := range diags {
+			if d.Event == i {
+				fmt.Printf("  ! %s\n", d)
+			}
+		}
+		fmt.Println()
+	}
+	for _, d := range diags {
+		if d.Event < 0 {
+			fmt.Printf("! %s\n", d)
+		}
+	}
+	if verify.HasErrors(diags) {
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,109 @@
+// Command hipeclint runs the HPL static verifier (internal/hpl/verify)
+// over policy files without loading them into a kernel.
+//
+// Usage:
+//
+//	hipeclint policy.hpl other.hpb ...
+//
+// Each argument is either HPL source or a hipecc binary (detected by the
+// "HPEC" container magic). Source files are compiled first, so the verifier
+// sees the full operand contract; binaries carry no operand table, so the
+// verifier runs in kind-inference mode and reports conflicting uses
+// instead of authoritative kind errors.
+//
+// Diagnostics print one per line as
+//
+//	file: severity: event <name> CC=<n>: message [code]
+//
+// and the exit status is 1 when any file has an error-severity finding
+// (the same findings the in-kernel checker rejects at registration),
+// 0 otherwise.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"hipec/internal/core"
+	"hipec/internal/hpl"
+	"hipec/internal/hpl/verify"
+)
+
+func main() {
+	var (
+		minFrame = flag.Int("minframe", 64, "minFrame assumed when compiling source policies")
+		ext      = flag.Bool("ext", true, "allow extension opcodes (Migrate/Age) in binary policies")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hipeclint [-minframe N] [-ext=false] policy.hpl ...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		diags, err := lintFile(path, *minFrame, *ext)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hipeclint: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", path, d)
+		}
+		if verify.HasErrors(diags) {
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// lintFile verifies one policy file, sniffing the hipecc binary container
+// magic to decide between source and binary mode.
+func lintFile(path string, minFrame int, ext bool) ([]verify.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isBinary(data) {
+		return lintBinary(path, data, ext)
+	}
+	return lintSource(path, string(data), minFrame)
+}
+
+func isBinary(data []byte) bool {
+	return len(data) >= 4 && binary.LittleEndian.Uint32(data) == hpl.BinaryMagic
+}
+
+// lintSource compiles HPL source and verifies it with the full operand
+// contract a registering kernel would see.
+func lintSource(path, src string, minFrame int) ([]verify.Diagnostic, error) {
+	spec, err := hpl.Translate(path, src)
+	if err != nil {
+		return nil, err
+	}
+	if spec.MinFrame == 0 {
+		spec.MinFrame = minFrame
+	}
+	u, err := core.UnitForSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return verify.Analyze(u), nil
+}
+
+// lintBinary decodes a hipecc binary and verifies it in kind-inference
+// mode (the container format carries no operand declarations).
+func lintBinary(path string, data []byte, ext bool) ([]verify.Diagnostic, error) {
+	events, err := hpl.DecodeBinaryBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	u := verify.NewUnit(path)
+	u.Events = events
+	u.Extensions = ext
+	return verify.Analyze(u), nil
+}

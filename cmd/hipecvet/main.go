@@ -1,0 +1,37 @@
+// Command hipecvet runs the repo's custom static-analysis passes
+// (internal/analyzers) over the source tree: wall-clock and global-rand
+// bans in simulation packages, typed-error discipline in kernel packages,
+// and the no-package-level-counters rule. It is the CI companion of the
+// HPL policy verifier — the same idea pointed at the Go sources.
+//
+// Usage:
+//
+//	hipecvet [repo-root]
+//
+// Exit status is 1 when any finding is reported.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hipec/internal/analyzers"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := analyzers.Run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hipecvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -210,8 +210,16 @@ var (
 	ErrPagerLost = hiperr.ErrPagerLost
 	// ErrPolicyFault marks a policy runtime fault or activation rejection.
 	ErrPolicyFault = hiperr.ErrPolicyFault
+	// ErrPolicyRejected marks a registration-time rejection by the static
+	// verifier (it wraps ErrPolicyFault, so both sentinels match).
+	ErrPolicyRejected = hiperr.ErrPolicyRejected
 	// ErrRevoked marks an operation against a revoked (degraded) container.
 	ErrRevoked = hiperr.ErrRevoked
+	// ErrBadSpec marks a malformed policy spec (bad operand declarations).
+	ErrBadSpec = hiperr.ErrBadSpec
+	// ErrBadOperand marks host access to a policy operand that does not
+	// exist, has the wrong kind, or cannot be written.
+	ErrBadOperand = hiperr.ErrBadOperand
 )
 
 // Fault injection (internal/faultinj): the deterministic chaos plane.

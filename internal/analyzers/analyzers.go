@@ -1,0 +1,176 @@
+// Package analyzers holds the repo's custom static-analysis passes — the
+// Go-source counterpart of the HPL policy verifier. Where internal/hpl/verify
+// proves policy programs safe before they enter the simulated kernel, this
+// package proves the kernel sources keep their own invariants:
+//
+//   - simulation packages must not read the wall clock or use the global
+//     math/rand state (determinism: every run is replayable from a seed
+//     and the simulated clock in internal/simtime);
+//   - kernel packages must return typed errors — a bare fmt.Errorf without
+//     %w or an inline errors.New loses the hiperr taxonomy callers program
+//     against with errors.Is / errors.As;
+//   - kernel packages must not grow package-level mutable counters or
+//     sync/atomic state — metrics belong to the kevent registry, and
+//     package globals break multi-kernel isolation in tests.
+//
+// The passes are deliberately pure go/ast (no go/types, no x/tools) so they
+// run anywhere the repo builds, with no module downloads. They are wired
+// into `go test ./internal/analyzers` (which walks the real source tree)
+// and the cmd/hipecvet runner for CI.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one analyzer hit, formatted like a compiler diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Msg)
+}
+
+// file is the per-file context handed to each pass.
+type file struct {
+	fset *token.FileSet
+	ast  *ast.File
+	pkg  string // package path relative to the repo root, e.g. "internal/core"
+}
+
+// pass is one analysis over a single file.
+type pass struct {
+	name string
+	run  func(*file, func(ast.Node, string, ...any))
+}
+
+var passes = []pass{
+	{"wallclock", checkWallClock},
+	{"globalrand", checkGlobalRand},
+	{"errtype", checkErrType},
+	{"globalstate", checkGlobalState},
+}
+
+// kernelPkgs are the packages whose errors must carry the hiperr taxonomy.
+var kernelPkgs = map[string]bool{
+	"internal/core":    true,
+	"internal/vm":      true,
+	"internal/mem":     true,
+	"internal/emm":     true,
+	"internal/disk":    true,
+	"internal/pageout": true,
+	"internal/machipc": true,
+}
+
+// wallClockExempt may measure real time: the benchmark harness exists to
+// report wall-clock numbers.
+var wallClockExempt = map[string]bool{
+	"internal/bench": true,
+}
+
+// Run analyzes every non-test Go file under root/internal and returns the
+// findings sorted by position.
+func Run(root string) ([]Finding, error) {
+	var findings []Finding
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		fs, err := AnalyzeSource(filepath.Dir(rel), rel, string(src))
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return findings, nil
+}
+
+// AnalyzeSource runs every pass over one file's source. pkg is the
+// repo-relative package path ("internal/core"); filename labels positions.
+func AnalyzeSource(pkg, filename, src string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &file{fset: fset, ast: f, pkg: pkg}
+	var findings []Finding
+	for _, p := range passes {
+		p := p
+		report := func(n ast.Node, format string, args ...any) {
+			findings = append(findings, Finding{
+				Pos:      fset.Position(n.Pos()),
+				Analyzer: p.name,
+				Msg:      fmt.Sprintf(format, args...),
+			})
+		}
+		p.run(ctx, report)
+	}
+	return findings, nil
+}
+
+// importName returns the local name the file uses for an import path
+// ("" if not imported). Dot and blank imports are reported as named so
+// callers fail safe.
+func (f *file) importName(path string) string {
+	for _, imp := range f.ast.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return path[strings.LastIndex(path, "/")+1:]
+	}
+	return ""
+}
+
+// pkgCall matches a call of the form <pkgName>.<fn>(...) where pkgName is
+// a plain identifier (not a local variable shadowing an import is assumed;
+// the repo does not shadow package names).
+func pkgCall(call *ast.CallExpr, pkgName string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgName {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

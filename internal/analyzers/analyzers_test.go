@@ -1,0 +1,131 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyze(t *testing.T, pkg, src string) []Finding {
+	t.Helper()
+	fs, err := AnalyzeSource(pkg, pkg+"/x.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func wantFinding(t *testing.T, fs []Finding, analyzer, frag string) {
+	t.Helper()
+	for _, f := range fs {
+		if f.Analyzer == analyzer && strings.Contains(f.Msg, frag) {
+			return
+		}
+	}
+	t.Fatalf("want %s finding containing %q, got %v", analyzer, frag, fs)
+}
+
+func TestWallClockFlagged(t *testing.T) {
+	fs := analyze(t, "internal/core", `
+package core
+import "time"
+func now() time.Time { return time.Now() }
+`)
+	wantFinding(t, fs, "wallclock", "time.Now")
+}
+
+func TestWallClockExemptInBench(t *testing.T) {
+	fs := analyze(t, "internal/bench", `
+package bench
+import "time"
+func now() time.Time { return time.Now() }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("bench is exempt, got %v", fs)
+	}
+}
+
+func TestGlobalRandFlaggedSeededAllowed(t *testing.T) {
+	fs := analyze(t, "internal/workload", `
+package workload
+import "math/rand"
+func bad() int { return rand.Intn(4) }
+func good(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`)
+	wantFinding(t, fs, "globalrand", "rand.Intn")
+	for _, f := range fs {
+		if strings.Contains(f.Msg, "rand.New") {
+			t.Fatalf("seeded constructor flagged: %v", f)
+		}
+	}
+}
+
+func TestUntypedErrorfFlagged(t *testing.T) {
+	fs := analyze(t, "internal/vm", `
+package vm
+import "fmt"
+func bad() error { return fmt.Errorf("vm: %d", 7) }
+`)
+	wantFinding(t, fs, "errtype", "without %w")
+}
+
+func TestWrappedErrorfAllowed(t *testing.T) {
+	fs := analyze(t, "internal/vm", `
+package vm
+import ("errors"; "fmt")
+var sentinel = errors.New("vm: sentinel")
+func good() error { return fmt.Errorf("vm: context: %w", sentinel) }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("wrapped Errorf and package sentinel must pass, got %v", fs)
+	}
+}
+
+func TestInlineErrorsNewFlagged(t *testing.T) {
+	fs := analyze(t, "internal/core", `
+package core
+import "errors"
+func bad() error { return errors.New("oops") }
+`)
+	wantFinding(t, fs, "errtype", "inline errors.New")
+}
+
+func TestErrTypeOnlyInKernelPackages(t *testing.T) {
+	fs := analyze(t, "internal/workload", `
+package workload
+import "fmt"
+func fine() error { return fmt.Errorf("workload: %d", 7) }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("errtype must only apply to kernel packages, got %v", fs)
+	}
+}
+
+func TestPackageCounterFlagged(t *testing.T) {
+	fs := analyze(t, "internal/core", `
+package core
+var faultCount int
+`)
+	wantFinding(t, fs, "globalstate", "faultCount")
+}
+
+func TestAtomicImportFlagged(t *testing.T) {
+	fs := analyze(t, "internal/mem", `
+package mem
+import "sync/atomic"
+var x atomic.Int64
+`)
+	wantFinding(t, fs, "globalstate", "sync/atomic")
+}
+
+// TestRepoIsClean is the real gate: the analyzers run over the actual
+// source tree and must report nothing. CI runs the same check through
+// cmd/hipecvet.
+func TestRepoIsClean(t *testing.T) {
+	findings, err := Run("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

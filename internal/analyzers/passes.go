@@ -1,0 +1,158 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// wallClockFuncs are the time-package functions that read or wait on the
+// real clock. Simulation code must use simtime.Clock so runs are
+// deterministic and replayable.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func checkWallClock(f *file, report func(ast.Node, string, ...any)) {
+	if wallClockExempt[f.pkg] {
+		return
+	}
+	timeName := f.importName("time")
+	if timeName == "" {
+		return
+	}
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pkgCall(call, timeName); ok && wallClockFuncs[fn] {
+			report(call, "time.%s reads the wall clock in a simulation package; use simtime.Clock", fn)
+		}
+		return true
+	})
+}
+
+// globalRandOK are the math/rand constructors that produce an explicitly
+// seeded generator; everything else on the package (Intn, Seed, ...) draws
+// from or mutates the shared global source.
+var globalRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func checkGlobalRand(f *file, report func(ast.Node, string, ...any)) {
+	randName := f.importName("math/rand")
+	if randName == "" {
+		return
+	}
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pkgCall(call, randName); ok && !globalRandOK[fn] {
+			report(call, "rand.%s uses the global math/rand state; use an explicitly seeded *rand.Rand", fn)
+		}
+		return true
+	})
+}
+
+// checkErrType requires kernel packages to return typed errors: a return
+// statement must not hand back a bare fmt.Errorf whose format lacks %w, or
+// an inline errors.New. Both lose the hiperr taxonomy (nothing to match
+// with errors.Is). Package-level sentinel declarations stay legal — that is
+// exactly where errors.New belongs.
+func checkErrType(f *file, report func(ast.Node, string, ...any)) {
+	if !kernelPkgs[f.pkg] {
+		return
+	}
+	fmtName := f.importName("fmt")
+	errorsName := f.importName("errors")
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := res.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn, ok := pkgCall(call, fmtName); ok && fn == "Errorf" && fmtName != "" {
+				if lit := stringLit(call.Args); lit != "" && !strings.Contains(lit, "%w") {
+					report(call, "returned fmt.Errorf without %%w drops the hiperr error taxonomy; wrap a sentinel")
+				}
+			}
+			if fn, ok := pkgCall(call, errorsName); ok && fn == "New" && errorsName != "" {
+				report(call, "returned inline errors.New is untyped; declare a package sentinel or wrap a hiperr one")
+			}
+		}
+		return true
+	})
+}
+
+func stringLit(args []ast.Expr) string {
+	if len(args) == 0 {
+		return ""
+	}
+	lit, ok := args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return ""
+	}
+	return lit.Value
+}
+
+// checkGlobalState keeps kernel packages free of package-level mutable
+// numeric state and sync/atomic: counters belong in the kevent registry
+// (or per-object Stats structs), and package globals leak between the
+// independent kernels tests construct.
+func checkGlobalState(f *file, report func(ast.Node, string, ...any)) {
+	if !kernelPkgs[f.pkg] {
+		return
+	}
+	if f.importName("sync/atomic") != "" {
+		report(f.ast.Name, "kernel package imports sync/atomic; counters belong in the kevent registry")
+	}
+	for _, decl := range f.ast.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if !numericType(vs) {
+				continue
+			}
+			for _, name := range vs.Names {
+				report(name, "package-level numeric var %s in a kernel package; use the kevent registry", name.Name)
+			}
+		}
+	}
+}
+
+var numericNames = map[string]bool{
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"uintptr": true, "float32": true, "float64": true,
+}
+
+// numericType reports whether a var spec is declared (or initialized) as a
+// basic numeric type. Untyped specs initialized from non-literal
+// expressions are left alone — without go/types we only flag the certain
+// cases.
+func numericType(vs *ast.ValueSpec) bool {
+	if id, ok := vs.Type.(*ast.Ident); ok {
+		return numericNames[id.Name]
+	}
+	if vs.Type == nil && len(vs.Values) > 0 {
+		if lit, ok := vs.Values[0].(*ast.BasicLit); ok {
+			return lit.Kind == token.INT || lit.Kind == token.FLOAT
+		}
+	}
+	return false
+}

@@ -34,6 +34,18 @@ type PerfReport struct {
 	ExecutorNsPerCommand float64 `json:"executor_ns_per_command"`
 	ExecutorAllocsPerRun float64 `json:"executor_allocs_per_run"`
 
+	// Verifier fast path: the same loop with the per-command runtime
+	// checks forced back on (ForceChecked), versus the default where the
+	// static verifier's clean bill lets the executor skip them. On typical
+	// hosts the delta sits inside measurement noise (a few percent either
+	// way): the elided checks are perfectly predicted branches on cache-hot
+	// operands, and per-command cost is dominated by the Run prologue. The
+	// measurement is kept because it bounds the cost of the checks — the
+	// verifier's value is proving their elision is safe, not a speedup.
+	CheckedNsPerCommand  float64 `json:"checked_ns_per_command"`
+	VerifiedNsPerCommand float64 `json:"verified_ns_per_command"`
+	VerifiedSpeedupPct   float64 `json:"verified_speedup_pct"`
+
 	// Event spine overhead: the same loop with no sink attached (the
 	// registry alone) versus with a counting sink attached to the spine.
 	SpineNsPerCommandNoSink   float64 `json:"spine_ns_per_command_no_sink"`
@@ -83,6 +95,9 @@ func MeasurePerf() (PerfReport, error) {
 	if err := measureExecutor(&r); err != nil {
 		return r, err
 	}
+	if err := measureVerified(&r); err != nil {
+		return r, err
+	}
 	if err := measureSpine(&r); err != nil {
 		return r, err
 	}
@@ -93,8 +108,9 @@ func MeasurePerf() (PerfReport, error) {
 // with the calibrated virtual costs charged, optionally with extra sinks
 // attached to the kernel spine. It reports wall time, commands interpreted,
 // and heap allocations per run.
-func executorLoop(iters int, sinks ...kevent.Sink) (wall time.Duration, cmds int64, allocsPerRun float64, err error) {
+func executorLoop(iters int, forceChecked bool, sinks ...kevent.Sink) (wall time.Duration, cmds int64, allocsPerRun float64, err error) {
 	k := core.New(core.Config{Frames: 4096, Sinks: sinks})
+	k.Executor.ForceChecked = forceChecked
 	sp := k.NewSpace()
 	e, c, err := k.AllocateHiPEC(sp, 64*4096, policies.FIFO(64))
 	if err != nil {
@@ -127,7 +143,7 @@ func executorLoop(iters int, sinks ...kevent.Sink) (wall time.Duration, cmds int
 // measureExecutor reports the plain hot path (registry only, no sinks).
 func measureExecutor(r *PerfReport) error {
 	const iters = 500000
-	wall, cmds, allocs, err := executorLoop(iters)
+	wall, cmds, allocs, err := executorLoop(iters, false)
 	if err != nil {
 		return err
 	}
@@ -139,12 +155,60 @@ func measureExecutor(r *PerfReport) error {
 	return nil
 }
 
+// measureVerified re-runs the loop with ForceChecked, quantifying what
+// the verified bit buys: the delta is the per-command cost of the operand
+// kind, jump-range, and command-counter checks the static verifier proves
+// redundant.
+func measureVerified(r *PerfReport) error {
+	const iters = 200000
+	const reps = 10
+	one := func(forceChecked bool) (float64, error) {
+		wall, cmds, _, err := executorLoop(iters, forceChecked)
+		if err != nil {
+			return 0, err
+		}
+		return float64(wall.Nanoseconds()) / float64(cmds), nil
+	}
+	// Interleave the two modes and take best-of-reps per mode: the delta
+	// is a few percent, smaller than cold-start and frequency drift, so
+	// back-to-back pairs keep the comparison fair.
+	if _, err := one(true); err != nil {
+		return err
+	}
+	if _, err := one(false); err != nil {
+		return err
+	}
+	checked, verified := 0.0, 0.0
+	for i := 0; i < reps; i++ {
+		c, err := one(true)
+		if err != nil {
+			return err
+		}
+		v, err := one(false)
+		if err != nil {
+			return err
+		}
+		if checked == 0 || c < checked {
+			checked = c
+		}
+		if verified == 0 || v < verified {
+			verified = v
+		}
+	}
+	r.CheckedNsPerCommand = checked
+	r.VerifiedNsPerCommand = verified
+	if checked > 0 {
+		r.VerifiedSpeedupPct = 100 * (checked - verified) / checked
+	}
+	return nil
+}
+
 // measureSpine re-runs the loop with a counting sink attached, recording
 // the per-command cost of having a spine consumer.
 func measureSpine(r *PerfReport) error {
 	const iters = 500000
 	var counting kevent.Counting
-	wall, cmds, _, err := executorLoop(iters, &counting)
+	wall, cmds, _, err := executorLoop(iters, false, &counting)
 	if err != nil {
 		return err
 	}

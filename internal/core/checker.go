@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hipec/internal/hpl/verify"
 	"hipec/internal/kevent"
 	"hipec/internal/simtime"
 )
@@ -42,6 +43,12 @@ type Checker struct {
 	// DeepSweep additionally validates queue structure on every wakeup
 	// (§6 future work #3: "the security checker could do more").
 	DeepSweep bool
+	// AllowUnbounded downgrades the verifier's boundedness errors
+	// (infinite-loop, stuck-loop, frame-leak) to warnings, accepting
+	// specs whose termination only the watchdog timeout can enforce.
+	// Intended for watchdog tests and experiments; the verifier's kind
+	// and flow errors still reject.
+	AllowUnbounded bool
 
 	started bool
 	stopped bool
@@ -127,233 +134,51 @@ func (ck *Checker) wake(now simtime.Time) {
 	ck.schedule()
 }
 
-// ValidateSpec performs the registration-time static checks on a spec
-// against the operand kinds of its (already constructed) container:
-// magic numbers, legal opcodes, operand types, jump-target ranges, event
-// references, and Return reachability. It returns every violation found.
+// ValidateSpec runs the static verifier (internal/hpl/verify) over a
+// constructed container's spec: structural and operand-kind checks, the
+// Activate call graph, page-register def-before-use, the CR-aware flow
+// walk, loop boundedness, and Request/Release frame balance. Every
+// diagnostic is emitted on the event spine; error-severity diagnostics are
+// returned and reject the registration. A spec that verifies with no
+// errors sets the container's verified bit, letting the executor skip the
+// per-command checks the verifier proved redundant.
 func (ck *Checker) ValidateSpec(c *Container) []error {
+	diags := verify.Analyze(buildUnit(c))
 	var errs []error
-	report := func(ev, cc int, format string, args ...any) {
-		errs = append(errs, fmt.Errorf("event %s CC=%d: %s", c.eventName(ev), cc, fmt.Sprintf(format, args...)))
-	}
-	if len(c.events) < 2 || c.events[EventPageFault] == nil || c.events[EventReclaimFrame] == nil {
-		errs = append(errs, fmt.Errorf("spec %q must define the PageFault and ReclaimFrame events", c.spec.Name))
-		if len(c.events) < 2 {
-			ck.noteValidation(errs)
-			return errs
+	for i := range diags {
+		d := &diags[i]
+		if ck.AllowUnbounded && d.Severity == verify.SevError && boundednessCode(d.Code) {
+			d.Severity = verify.SevWarning
 		}
-	}
-	kind := func(slot uint8) Kind { return c.operands[slot].Kind }
-	wantKind := func(ev, cc int, slot uint8, k Kind, what string) {
-		if kind(slot) != k {
-			report(ev, cc, "%s operand %#02x is %v, want %v", what, slot, kind(slot), k)
-		}
-	}
-	wantIntOrBool := func(ev, cc int, slot uint8, what string) {
-		if k := kind(slot); k != KindInt && k != KindBool {
-			report(ev, cc, "%s operand %#02x is %v, want int or bool", what, slot, k)
-		}
-	}
-
-	for ev, prog := range c.events {
-		if prog == nil {
-			continue
-		}
-		if len(prog) == 0 || prog[0] != Magic {
-			report(ev, 0, "missing HiPEC magic number")
-			continue
-		}
-		if len(prog) == 1 {
-			report(ev, 0, "empty program")
-			continue
-		}
-		hasReturn := false
-		for cc := 1; cc < len(prog); cc++ {
-			cmd := prog[cc]
-			op1, op2, flag := cmd.A(), cmd.B(), cmd.C()
-			switch cmd.Op() {
-			case OpReturn:
-				hasReturn = true
-			case OpArith:
-				wantKind(ev, cc, op1, KindInt, "Arith destination")
-				if c.operands[op1].readOnly || c.operands[op1].live != nil {
-					report(ev, cc, "Arith writes read-only operand %#02x (%s)", op1, c.operands[op1].Name)
-				}
-				if flag > ArithDec {
-					report(ev, cc, "bad Arith flag %d", flag)
-				}
-				if flag != ArithInc && flag != ArithDec {
-					wantKind(ev, cc, op2, KindInt, "Arith source")
-				}
-			case OpComp:
-				wantKind(ev, cc, op1, KindInt, "Comp")
-				wantKind(ev, cc, op2, KindInt, "Comp")
-				if flag > CompLE {
-					report(ev, cc, "bad Comp flag %d", flag)
-				}
-			case OpLogic:
-				wantIntOrBool(ev, cc, op1, "Logic")
-				if flag != LogicNot {
-					wantIntOrBool(ev, cc, op2, "Logic")
-				}
-				if flag > LogicXor {
-					report(ev, cc, "bad Logic flag %d", flag)
-				}
-			case OpEmptyQ:
-				wantKind(ev, cc, op1, KindQueue, "EmptyQ")
-			case OpInQ:
-				wantKind(ev, cc, op1, KindQueue, "InQ queue")
-				wantKind(ev, cc, op2, KindPage, "InQ page")
-			case OpJump:
-				if op1 > JumpIfTrue {
-					report(ev, cc, "bad Jump mode %d", op1)
-				}
-				if t := int(flag); t < 1 || t >= len(prog) {
-					report(ev, cc, "jump target %d out of range [1,%d)", t, len(prog))
-				}
-			case OpDeQueue:
-				wantKind(ev, cc, op1, KindPage, "DeQueue destination")
-				wantKind(ev, cc, op2, KindQueue, "DeQueue source")
-				if flag != QueueHead && flag != QueueTail {
-					report(ev, cc, "bad DeQueue flag %d", flag)
-				}
-			case OpEnQueue:
-				wantKind(ev, cc, op1, KindPage, "EnQueue page")
-				wantKind(ev, cc, op2, KindQueue, "EnQueue queue")
-				if flag != QueueHead && flag != QueueTail {
-					report(ev, cc, "bad EnQueue flag %d", flag)
-				}
-			case OpRequest:
-				wantKind(ev, cc, op1, KindInt, "Request size")
-			case OpRelease:
-				if k := kind(op1); k != KindInt && k != KindPage {
-					report(ev, cc, "Release operand %#02x is %v, want int or page", op1, k)
-				}
-			case OpFlush:
-				wantKind(ev, cc, op1, KindPage, "Flush")
-			case OpSet:
-				wantKind(ev, cc, op1, KindPage, "Set")
-				if op2 != SetBitModify && op2 != SetBitReference {
-					report(ev, cc, "bad Set bit selector %d", op2)
-				}
-				if flag != SetOpSet && flag != SetOpClear {
-					report(ev, cc, "bad Set operation %d", flag)
-				}
-			case OpRef:
-				wantKind(ev, cc, op1, KindPage, "Ref")
-			case OpMod:
-				wantKind(ev, cc, op1, KindPage, "Mod")
-			case OpFind:
-				wantKind(ev, cc, op1, KindPage, "Find destination")
-				wantKind(ev, cc, op2, KindInt, "Find address")
-			case OpActivate:
-				target := int(op1)
-				if target >= len(c.events) || c.events[target] == nil {
-					report(ev, cc, "Activate of undefined event %d", target)
-				}
-				if target == ev {
-					report(ev, cc, "Activate of the running event (unbounded recursion)")
-				}
-			case OpFIFO, OpLRU, OpMRU:
-				wantKind(ev, cc, op1, KindQueue, cmd.Op().String())
-			case OpMigrate:
-				if !c.extensions {
-					report(ev, cc, "Migrate used without EnableExtensions")
-				}
-				wantKind(ev, cc, op1, KindPage, "Migrate page")
-				wantKind(ev, cc, op2, KindInt, "Migrate target")
-			case OpAge:
-				if !c.extensions {
-					report(ev, cc, "Age used without EnableExtensions")
-				}
-				wantKind(ev, cc, op1, KindQueue, "Age")
-			default:
-				report(ev, cc, "illegal opcode %#02x", uint8(cmd.Op()))
+		ck.kernel.emit(kevent.Event{
+			Type: kevent.EvVerifyDiag, Container: int32(c.ID),
+			Arg: int64(d.Severity), Aux: int64(d.Event),
+			Flag: d.Severity == verify.SevError,
+		})
+		if d.Severity == verify.SevError {
+			if d.Event < 0 {
+				errs = append(errs, fmt.Errorf("spec %q: %s", c.spec.Name, d.Msg))
+			} else {
+				errs = append(errs, fmt.Errorf("event %s CC=%d: %s", d.EventName, d.CC, d.Msg))
 			}
 		}
-		if !hasReturn {
-			report(ev, 0, "program has no Return command")
-		}
-		if err := checkFlow(prog); err != nil {
-			report(ev, 0, "%v", err)
-		}
 	}
+	c.verified = len(errs) == 0
 	ck.noteValidation(errs)
 	return errs
+}
+
+// boundednessCode reports whether a diagnostic code is a termination
+// argument (the class AllowUnbounded waives) rather than a safety one.
+func boundednessCode(code verify.Code) bool {
+	switch code {
+	case verify.CodeInfiniteLoop, verify.CodeStuckLoop, verify.CodeFrameLeak:
+		return true
+	}
+	return false
 }
 
 // noteValidation emits the validation event; the Flag marks a rejection.
 func (ck *Checker) noteValidation(errs []error) {
 	ck.kernel.emit(kevent.Event{Type: kevent.EvCheckerValidation, Flag: len(errs) > 0})
-}
-
-// checkFlow performs a reachability analysis: starting from CC 1, following
-// fall-through and jump edges, execution must never run off the end of the
-// program — every reachable path must hit a Return.
-//
-// The analysis tracks whether CR is definitely false at each point, because
-// the paper's programs rely on the "non-test commands clear CR, so a
-// Jump-iff-false after one is unconditional" idiom (Table 2); without CR
-// tracking those programs would be falsely rejected.
-func checkFlow(prog Program) error {
-	type state struct {
-		cc      int
-		crFalse bool // CR is definitely false on entry
-	}
-	seen := make(map[state]bool, 2*len(prog))
-	stack := []state{{cc: 1}}
-	push := func(cc int, crFalse bool) error {
-		if cc >= len(prog) {
-			return fmt.Errorf("control flow can run off the end of the program")
-		}
-		s := state{cc, crFalse}
-		if cc >= 1 && !seen[s] {
-			seen[s] = true
-			stack = append(stack, s)
-		}
-		return nil
-	}
-	seen[state{1, false}] = true
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		cmd := prog[s.cc]
-		var err error
-		switch cmd.Op() {
-		case OpReturn:
-			// terminal
-		case OpComp, OpLogic, OpEmptyQ, OpInQ, OpRef, OpMod:
-			err = push(s.cc+1, false) // CR becomes unknown
-		case OpJump:
-			// The executor clears CR when evaluating a Jump, so every
-			// successor enters with CR false.
-			target := int(cmd.C())
-			taken := true
-			fall := true
-			switch cmd.A() {
-			case JumpAlways:
-				fall = false
-			case JumpIfFalse:
-				if s.crFalse {
-					fall = false // always taken
-				}
-			case JumpIfTrue:
-				if s.crFalse {
-					taken = false // never taken
-				}
-			}
-			if taken && target >= 1 && target < len(prog) {
-				err = push(target, true)
-			}
-			if err == nil && fall {
-				err = push(s.cc+1, true)
-			}
-		default:
-			err = push(s.cc+1, true) // non-test commands clear CR
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }

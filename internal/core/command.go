@@ -1,173 +1,156 @@
-// Package core implements the HiPEC mechanism itself: the 20-command policy
-// language (Table 1 of the paper), the container kernel object, the
-// in-kernel policy executor, the global frame manager (§4.3.1) and the
-// security checker (§4.3.3).
+// Package core implements the HiPEC mechanism itself: the container kernel
+// object, the in-kernel policy executor, the global frame manager (§4.3.1)
+// and the security checker (§4.3.3).
 //
-// # Encoding reconstruction
-//
-// A HiPEC command is one 32-bit word: an 8-bit operator code followed by
-// three 8-bit operand bytes (op1, op2, flag) — Figure 3 of the paper. The
-// paper leaves a few semantics implicit; this implementation reconstructs
-// them so that the printed example program (Table 2, FIFO with second
-// chance) assembles and executes exactly as annotated:
-//
-//   - Test commands (Comp, Logic, EmptyQ, InQ, Ref, Mod) set the container's
-//     condition register (CR). Every non-test command clears CR.
-//   - Jump with mode byte 0 branches iff CR is false — the paper's
-//     "/* else */ Jump" idiom. Because non-test commands clear CR, a Jump
-//     following a non-test command is effectively unconditional, which is
-//     how Table 2 uses it. Modes 1 (always) and 2 (branch if CR true) are
-//     additionally defined for translator output.
-//   - Comparison flags follow Table 2's byte values: 1 is ">", 2 is "<".
-//   - Word 0 of every event program is the HiPEC magic number.
+// The instruction-set vocabulary — command encoding, opcodes, flags,
+// well-known operand slots, event numbers, operand kinds — lives in the
+// leaf package internal/isa so that the hpl translator and the static
+// verifier (internal/hpl/verify) can share it without importing the kernel.
+// This file re-exports that vocabulary under the historical core names, so
+// policy specs and tests written against core.OpDeQueue etc. compile
+// unchanged.
 package core
 
-import "fmt"
+import "hipec/internal/isa"
 
-// Opcode is the 8-bit HiPEC operator code (Table 1).
-type Opcode uint8
+// Opcode is the 8-bit HiPEC operator code (Table 1). Alias of isa.Opcode.
+type Opcode = isa.Opcode
 
-// The 20 commands of the paper plus the extension opcodes implemented from
-// the future-work section (§6).
+// The 20 commands of the paper plus the extension opcodes (§6).
 const (
-	OpReturn   Opcode = 0x00 // end of execution; return value in op1
-	OpArith    Opcode = 0x01 // integer arithmetic, result into op1
-	OpComp     Opcode = 0x02 // integer comparison -> CR
-	OpLogic    Opcode = 0x03 // boolean logic -> CR
-	OpEmptyQ   Opcode = 0x04 // CR = queue op1 empty
-	OpInQ      Opcode = 0x05 // CR = page op2 on queue op1
-	OpJump     Opcode = 0x06 // branch to command flag; op1 = mode
-	OpDeQueue  Opcode = 0x07 // page op1 <- removed from queue op2 (flag: head/tail)
-	OpEnQueue  Opcode = 0x08 // add page op1 to queue op2 (flag: head/tail)
-	OpRequest  Opcode = 0x09 // request op1 (int operand) frames from the frame manager
-	OpRelease  Opcode = 0x0A // release frame(s) op1 to the frame manager
-	OpFlush    Opcode = 0x0B // flush page op1 to disk (asynchronous exchange)
-	OpSet      Opcode = 0x0C // set/clear reference or modify bit of page op1
-	OpRef      Opcode = 0x0D // CR = page op1 referenced
-	OpMod      Opcode = 0x0E // CR = page op1 modified
-	OpFind     Opcode = 0x0F // page op1 <- resident page at vaddr (int operand op2)
-	OpActivate Opcode = 0x10 // invoke event number op1
-	OpFIFO     Opcode = 0x11 // run canned FIFO replacement on queue op1
-	OpLRU      Opcode = 0x12 // run canned LRU replacement on queue op1
-	OpMRU      Opcode = 0x13 // run canned MRU replacement on queue op1
+	OpReturn   = isa.OpReturn
+	OpArith    = isa.OpArith
+	OpComp     = isa.OpComp
+	OpLogic    = isa.OpLogic
+	OpEmptyQ   = isa.OpEmptyQ
+	OpInQ      = isa.OpInQ
+	OpJump     = isa.OpJump
+	OpDeQueue  = isa.OpDeQueue
+	OpEnQueue  = isa.OpEnQueue
+	OpRequest  = isa.OpRequest
+	OpRelease  = isa.OpRelease
+	OpFlush    = isa.OpFlush
+	OpSet      = isa.OpSet
+	OpRef      = isa.OpRef
+	OpMod      = isa.OpMod
+	OpFind     = isa.OpFind
+	OpActivate = isa.OpActivate
+	OpFIFO     = isa.OpFIFO
+	OpLRU      = isa.OpLRU
+	OpMRU      = isa.OpMRU
+	OpMigrate  = isa.OpMigrate
+	OpAge      = isa.OpAge
 
-	// Extension opcodes (disabled unless Spec.EnableExtensions; §6
-	// "adding new HiPEC commands is easy").
-	OpMigrate Opcode = 0x14 // migrate page op1 to container id in int operand op2
-	OpAge     Opcode = 0x15 // halve the age counters of queue op1 (clock-style aging)
-
-	maxBaseOpcode Opcode = OpMRU
-	maxExtOpcode  Opcode = OpAge
+	maxBaseOpcode = isa.MaxBaseOpcode
+	maxExtOpcode  = isa.MaxExtOpcode
 )
-
-var opcodeNames = map[Opcode]string{
-	OpReturn: "Return", OpArith: "Arith", OpComp: "Comp", OpLogic: "Logic",
-	OpEmptyQ: "EmptyQ", OpInQ: "InQ", OpJump: "Jump", OpDeQueue: "DeQueue",
-	OpEnQueue: "EnQueue", OpRequest: "Request", OpRelease: "Release",
-	OpFlush: "Flush", OpSet: "Set", OpRef: "Ref", OpMod: "Mod", OpFind: "Find",
-	OpActivate: "Activate", OpFIFO: "FIFO", OpLRU: "LRU", OpMRU: "MRU",
-	OpMigrate: "Migrate", OpAge: "Age",
-}
-
-// String returns the mnemonic for the opcode.
-func (o Opcode) String() string {
-	if n, ok := opcodeNames[o]; ok {
-		return n
-	}
-	return fmt.Sprintf("Opcode(%#02x)", uint8(o))
-}
 
 // Arith flags (op1 = op1 OP op2, except Mov/Inc/Dec).
 const (
-	ArithAdd uint8 = 0 // op1 += op2
-	ArithSub uint8 = 1 // op1 -= op2
-	ArithMul uint8 = 2 // op1 *= op2
-	ArithDiv uint8 = 3 // op1 /= op2 (divide-by-zero is a runtime fault)
-	ArithMod uint8 = 4 // op1 %= op2
-	ArithMov uint8 = 5 // op1 = op2
-	ArithInc uint8 = 6 // op1++
-	ArithDec uint8 = 7 // op1--
+	ArithAdd = isa.ArithAdd
+	ArithSub = isa.ArithSub
+	ArithMul = isa.ArithMul
+	ArithDiv = isa.ArithDiv
+	ArithMod = isa.ArithMod
+	ArithMov = isa.ArithMov
+	ArithInc = isa.ArithInc
+	ArithDec = isa.ArithDec
 )
 
-// Comp flags. The values of CompGT and CompLT are fixed by Table 2 of the
-// paper (rows "if(_free_count > reserved_target)" = flag 01 and
-// "if(_free_count < free_target)" = flag 02).
+// Comp flags (Table 2 fixes CompGT=1, CompLT=2).
 const (
-	CompEQ uint8 = 0
-	CompGT uint8 = 1
-	CompLT uint8 = 2
-	CompNE uint8 = 3
-	CompGE uint8 = 4
-	CompLE uint8 = 5
+	CompEQ = isa.CompEQ
+	CompGT = isa.CompGT
+	CompLT = isa.CompLT
+	CompNE = isa.CompNE
+	CompGE = isa.CompGE
+	CompLE = isa.CompLE
 )
 
 // Logic flags.
 const (
-	LogicAnd uint8 = 0
-	LogicOr  uint8 = 1
-	LogicNot uint8 = 2 // CR = !op1
-	LogicXor uint8 = 3
+	LogicAnd = isa.LogicAnd
+	LogicOr  = isa.LogicOr
+	LogicNot = isa.LogicNot
+	LogicXor = isa.LogicXor
 )
 
 // Jump modes (op1 byte).
 const (
-	JumpIfFalse uint8 = 0 // the paper's "/* else */" conditional
-	JumpAlways  uint8 = 1
-	JumpIfTrue  uint8 = 2
+	JumpIfFalse = isa.JumpIfFalse
+	JumpAlways  = isa.JumpAlways
+	JumpIfTrue  = isa.JumpIfTrue
 )
 
-// Queue-end flags for DeQueue/EnQueue, matching Table 2's byte values
-// (de_queue_head / en_queue_head use 01, en_queue_tail uses 02).
+// Queue-end flags for DeQueue/EnQueue.
 const (
-	QueueHead uint8 = 1
-	QueueTail uint8 = 2
+	QueueHead = isa.QueueHead
+	QueueTail = isa.QueueTail
 )
 
 // Set command selectors: flag1 chooses the bit, flag2 the operation.
 const (
-	SetBitModify    uint8 = 1
-	SetBitReference uint8 = 2 // Table 2 resets the reference bit with flag1=02
-	SetOpSet        uint8 = 0
-	SetOpClear      uint8 = 1 // Table 2 uses flag2=01 to reset
+	SetBitModify    = isa.SetBitModify
+	SetBitReference = isa.SetBitReference
+	SetOpSet        = isa.SetOpSet
+	SetOpClear      = isa.SetOpClear
 )
 
-// Magic is the HiPEC magic number occupying word 0 of every event program
-// ("HiPE" in ASCII). The security checker rejects programs without it.
-const Magic Command = 0x48695045
+// Magic is the HiPEC magic number occupying word 0 of every event program.
+const Magic = isa.Magic
 
-// Command is one encoded 32-bit HiPEC command word.
-type Command uint32
+// Command is one encoded 32-bit HiPEC command word. Alias of isa.Command.
+type Command = isa.Command
 
 // Encode packs an opcode and three operand bytes into a command word.
-func Encode(op Opcode, a, b, c uint8) Command {
-	return Command(uint32(op)<<24 | uint32(a)<<16 | uint32(b)<<8 | uint32(c))
-}
+func Encode(op Opcode, a, b, c uint8) Command { return isa.Encode(op, a, b, c) }
 
-// Op extracts the opcode.
-func (c Command) Op() Opcode { return Opcode(c >> 24) }
+// Program is one event's command sequence. Alias of isa.Program.
+type Program = isa.Program
 
-// A extracts operand byte 1.
-func (c Command) A() uint8 { return uint8(c >> 16) }
+// NewProgram builds a program from commands, prepending the magic word.
+func NewProgram(cmds ...Command) Program { return isa.NewProgram(cmds...) }
 
-// B extracts operand byte 2.
-func (c Command) B() uint8 { return uint8(c >> 8) }
+// Reserved event numbers.
+const (
+	EventPageFault    = isa.EventPageFault
+	EventReclaimFrame = isa.EventReclaimFrame
+	EventUser         = isa.EventUser
+)
 
-// C extracts operand byte 3 (the flag byte).
-func (c Command) C() uint8 { return uint8(c) }
+// Well-known operand array slots (see isa.WellKnownSlots for the full
+// static contract the verifier consumes).
+const (
+	SlotScratch       = isa.SlotScratch
+	SlotFreeQueue     = isa.SlotFreeQueue
+	SlotFreeCount     = isa.SlotFreeCount
+	SlotActiveQueue   = isa.SlotActiveQueue
+	SlotActiveCount   = isa.SlotActiveCount
+	SlotInactiveQueue = isa.SlotInactiveQueue
+	SlotInactiveCount = isa.SlotInactiveCount
+	SlotAllocated     = isa.SlotAllocated
+	SlotMinFrame      = isa.SlotMinFrame
+	SlotInactiveTgt   = isa.SlotInactiveTgt
+	SlotFreeTgt       = isa.SlotFreeTgt
+	SlotPageReg       = isa.SlotPageReg
+	SlotReservedTgt   = isa.SlotReservedTgt
+	SlotFaultAddr     = isa.SlotFaultAddr
+	SlotFaultOffset   = isa.SlotFaultOffset
+	SlotZero          = isa.SlotZero
+	SlotOne           = isa.SlotOne
+	SlotUser          = isa.SlotUser
+)
 
-// String disassembles the command word.
-func (c Command) String() string {
-	if c == Magic {
-		return "HiPEC-Magic"
-	}
-	return fmt.Sprintf("%-8s %#02x %#02x %#02x", c.Op(), c.A(), c.B(), c.C())
-}
+// Kind is the runtime type of an operand-array entry. Alias of isa.Kind.
+type Kind = isa.Kind
 
-// Program is one event's command sequence: the magic word followed by
-// commands. Command counters (jump targets) index this slice directly, so
-// CC 0 is the magic word and execution starts at CC 1, matching Table 2's
-// numbering.
-type Program []Command
+const (
+	KindNone  = isa.KindNone
+	KindInt   = isa.KindInt
+	KindBool  = isa.KindBool
+	KindQueue = isa.KindQueue
+	KindPage  = isa.KindPage
+)
 
 // decodedCmd is the unpacked form of one Command word. Programs are decoded
 // once at container-load time so the executor's fetch step is a plain slice
@@ -193,47 +176,3 @@ func decodeProgram(p Program) []decodedCmd {
 	}
 	return out
 }
-
-// NewProgram builds a program from commands, prepending the magic word.
-func NewProgram(cmds ...Command) Program {
-	p := make(Program, 0, len(cmds)+1)
-	p = append(p, Magic)
-	return append(p, cmds...)
-}
-
-// Reserved event numbers (§4.2: "a specific application at least has to
-// handle the two HiPEC-defined events, PageFault and ReclaimFrame").
-const (
-	EventPageFault    = 0
-	EventReclaimFrame = 1
-	// User-defined events are numbered from EventUser upward.
-	EventUser = 2
-)
-
-// Well-known operand array slots. The byte values are reconstructed from
-// the example program in Table 2 of the paper (e.g. slot 0x02 compared
-// against 0x0C is "_free_count > reserved_target", slot 0x0B is the page
-// register that DeQueue/EnQueue/Ref/Mod operate on).
-const (
-	SlotScratch       uint8 = 0x00 // general-purpose integer scratch
-	SlotFreeQueue     uint8 = 0x01 // container's private free frame list
-	SlotFreeCount     uint8 = 0x02 // live length of the free list
-	SlotActiveQueue   uint8 = 0x03
-	SlotActiveCount   uint8 = 0x04
-	SlotInactiveQueue uint8 = 0x05
-	SlotInactiveCount uint8 = 0x06
-	SlotAllocated     uint8 = 0x07 // frames currently granted to the container
-	SlotMinFrame      uint8 = 0x08 // the container's guaranteed minimum
-	SlotInactiveTgt   uint8 = 0x09
-	SlotFreeTgt       uint8 = 0x0A
-	SlotPageReg       uint8 = 0x0B // the page register
-	SlotReservedTgt   uint8 = 0x0C
-	SlotFaultAddr     uint8 = 0x0D // faulting virtual address (int)
-	SlotFaultOffset   uint8 = 0x0E // page-aligned object offset of the fault
-	SlotZero          uint8 = 0x0F // constant 0
-	SlotOne           uint8 = 0x10 // constant 1
-
-	// SlotUser is the first slot available for application-declared
-	// operands (constants, counters, extra queues, page registers).
-	SlotUser uint8 = 0x20
-)

@@ -11,39 +11,9 @@ import (
 	"hipec/internal/vm"
 )
 
-// Kind is the runtime type of an operand-array entry. The operand array is
-// stored in the container with up to 256 entries; "each entry in the
-// operand array is a pointer to a variable. The types of the variable can
-// be as simple as an unsigned integer, or as complex as the virtual memory
-// page structure or page queue list" (§4.2).
-type Kind uint8
-
-const (
-	KindNone  Kind = iota // unregistered slot
-	KindInt               // signed integer variable or constant
-	KindBool              // boolean variable
-	KindQueue             // page queue list
-	KindPage              // page register (may be empty at runtime)
-)
-
-// String returns the kind name.
-func (k Kind) String() string {
-	switch k {
-	case KindNone:
-		return "none"
-	case KindInt:
-		return "int"
-	case KindBool:
-		return "bool"
-	case KindQueue:
-		return "queue"
-	case KindPage:
-		return "page"
-	}
-	return fmt.Sprintf("Kind(%d)", uint8(k))
-}
-
-// Operand is one entry of the container's operand array.
+// Operand is one entry of the container's operand array. Its Kind (the
+// runtime type of the slot) is defined in package isa and re-exported by
+// this package.
 type Operand struct {
 	Kind  Kind
 	Name  string
@@ -178,6 +148,11 @@ type Container struct {
 	termReason string
 
 	extensions bool
+	// verified is set by the security checker when the spec passed the
+	// static verifier with no errors; the executor then skips the
+	// per-command operand-kind and range checks the verifier proved
+	// redundant (see Executor.ForceChecked).
+	verified bool
 }
 
 // Stats reports per-container policy counters, derived from the event spine.
@@ -257,7 +232,7 @@ func newContainer(k *Kernel, id int, obj *vm.Object, spec *Spec) (*Container, er
 			// Target slots may be re-initialized but not re-typed.
 			existing := &c.operands[d.Slot]
 			if existing.readOnly || existing.Kind != KindInt || d.Kind != KindInt {
-				return nil, fmt.Errorf("core: operand decl %q cannot override reserved slot %#02x", d.Name, d.Slot)
+				return nil, fmt.Errorf("core: operand decl %q cannot override reserved slot %#02x: %w", d.Name, d.Slot, hiperr.ErrBadSpec)
 			}
 			existing.Int = d.Init
 			continue
@@ -273,7 +248,7 @@ func newContainer(k *Kernel, id int, obj *vm.Object, spec *Spec) (*Container, er
 		case KindPage:
 			// empty page register
 		default:
-			return nil, fmt.Errorf("core: operand decl %q has invalid kind", d.Name)
+			return nil, fmt.Errorf("core: operand decl %q has invalid kind: %w", d.Name, hiperr.ErrBadSpec)
 		}
 		c.operands[d.Slot] = o
 	}
@@ -290,15 +265,15 @@ func (c *Container) SetIntOperand(name string, v int64) error {
 			continue
 		}
 		if o.Kind != KindInt {
-			return fmt.Errorf("core: operand %q is %v, not int", name, o.Kind)
+			return fmt.Errorf("core: operand %q is %v, not int: %w", name, o.Kind, hiperr.ErrBadOperand)
 		}
 		if o.readOnly || o.live != nil {
-			return fmt.Errorf("core: operand %q is read-only", name)
+			return fmt.Errorf("core: operand %q is read-only: %w", name, hiperr.ErrBadOperand)
 		}
 		o.Int = v
 		return nil
 	}
-	return fmt.Errorf("core: no operand named %q", name)
+	return fmt.Errorf("core: no operand named %q: %w", name, hiperr.ErrBadOperand)
 }
 
 // IntOperand reads a declared integer operand by name.
@@ -309,7 +284,7 @@ func (c *Container) IntOperand(name string) (int64, error) {
 			return o.IntValue(), nil
 		}
 	}
-	return 0, fmt.Errorf("core: no int operand named %q", name)
+	return 0, fmt.Errorf("core: no int operand named %q: %w", name, hiperr.ErrBadOperand)
 }
 
 // AppendEventForTest registers an additional event program directly,
@@ -319,8 +294,14 @@ func (c *Container) IntOperand(name string) (int64, error) {
 func (c *Container) AppendEventForTest(p Program) int {
 	c.events = append(c.events, p)
 	c.decoded = append(c.decoded, decodeProgram(p))
+	// The new program never saw the verifier; drop the fast-path waiver.
+	c.verified = false
 	return len(c.events) - 1
 }
+
+// Verified reports whether the container's spec passed the static verifier
+// with no errors (enabling the executor's unchecked fast path).
+func (c *Container) Verified() bool { return c.verified }
 
 // eventName returns a printable name for an event number.
 func (c *Container) eventName(ev int) string {

@@ -451,6 +451,9 @@ func TestRuntimeErrorTerminatesContainer(t *testing.T) {
 
 func TestWatchdogKillsRunawayPolicy(t *testing.T) {
 	k := testKernel(64)
+	// The verifier statically proves this loop infinite; the watchdog
+	// test needs it to load anyway.
+	k.Checker.AllowUnbounded = true
 	k.Checker.TimeOut = 10 * time.Millisecond
 	k.Checker.WakeUp = 20 * time.Millisecond // first wakeup lands mid-execution
 	k.Checker.Start()
@@ -503,6 +506,9 @@ func TestWatchdogAdaptiveSleep(t *testing.T) {
 
 func TestMaxStepsBackstop(t *testing.T) {
 	k := testKernel(64)
+	// The verifier statically proves this loop infinite; the watchdog
+	// test needs it to load anyway.
+	k.Checker.AllowUnbounded = true
 	k.Executor.Costs = ExecCosts{} // zero cost: clock never advances
 	k.Executor.MaxSteps = 1000
 	sp := k.NewSpace()

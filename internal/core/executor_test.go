@@ -181,15 +181,15 @@ func TestActivateDepthLimit(t *testing.T) {
 	k := testKernel(64)
 	sp := k.NewSpace()
 	spec := simpleSpec(4)
-	// Two events activating each other: passes the static self-recursion
-	// check but exceeds depth at runtime.
-	evA := NewProgram(Encode(OpActivate, 3, 0, 0), Encode(OpReturn, 0, 0, 0))
-	evB := NewProgram(Encode(OpActivate, 2, 0, 0), Encode(OpReturn, 0, 0, 0))
-	spec.Events = append(spec.Events, evA, evB)
 	_, c, err := k.AllocateHiPEC(sp, 4096, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Two events activating each other. The verifier now rejects this at
+	// registration (activate-cycle), so inject the programs behind its
+	// back to prove the runtime nesting limit still backstops.
+	c.AppendEventForTest(NewProgram(Encode(OpActivate, 3, 0, 0), Encode(OpReturn, 0, 0, 0)))
+	c.AppendEventForTest(NewProgram(Encode(OpActivate, 2, 0, 0), Encode(OpReturn, 0, 0, 0)))
 	if _, err := k.Executor.Run(c, 2); err == nil {
 		t.Fatal("mutual recursion not caught")
 	}
@@ -280,6 +280,9 @@ func TestImplicitLaunderOnDirtyFree(t *testing.T) {
 
 func TestCheckerAdaptiveHalving(t *testing.T) {
 	k := testKernel(64)
+	// The verifier statically proves this loop infinite; the watchdog
+	// test needs it to load anyway.
+	k.Checker.AllowUnbounded = true
 	ck := k.Checker
 	ck.TimeOut = time.Millisecond
 	ck.WakeUp = 4 * time.Second

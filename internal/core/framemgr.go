@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -117,7 +116,7 @@ func (fm *FrameManager) Containers() []*Container { return fm.containers }
 func (fm *FrameManager) attach(c *Container) error {
 	need := c.MinFrame
 	if need <= 0 {
-		return fmt.Errorf("hipec: container %d declares minFrame %d", c.ID, need)
+		return fmt.Errorf("container %d declares minFrame %d: %w", c.ID, need, ErrMinFrame)
 	}
 	frames := fm.Daemon.TakeFree(need)
 	if len(frames) < need {
@@ -202,7 +201,7 @@ func (fm *FrameManager) Request(c *Container, n int) bool {
 // the frame is a clean, anonymous frame suitable for a private free list.
 func (fm *FrameManager) retire(c *Container, p *mem.Page) error {
 	if p.Wired {
-		return fmt.Errorf("hipec: cannot retire wired frame %d", p.Frame)
+		return fmt.Errorf("cannot retire wired frame %d: %w", p.Frame, hiperr.ErrPolicyFault)
 	}
 	if p.Object != 0 {
 		obj := fm.kernel.VM.Object(p.Object)
@@ -506,10 +505,10 @@ func (fm *FrameManager) Migrate(src *Container, dstID int, p *mem.Page) error {
 		}
 	}
 	if dst == nil || dst.state != StateActive {
-		return fmt.Errorf("hipec: migrate target container %d not active", dstID)
+		return fmt.Errorf("migrate target container %d not active: %w", dstID, hiperr.ErrPolicyFault)
 	}
 	if dst == src {
-		return errors.New("hipec: migrate to self")
+		return fmt.Errorf("migrate to self: %w", hiperr.ErrPolicyFault)
 	}
 	if q := p.Queue(); q != nil {
 		q.Remove(p)

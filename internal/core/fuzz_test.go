@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -127,6 +128,142 @@ func TestPropertyRandomPoliciesNeverLeakFrames(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// wildProgram builds a program from a much rougher vocabulary than
+// randomProgram: random opcodes (sometimes illegal), random slots
+// (sometimes the wrong kind), random jump targets (sometimes out of
+// range). Most of these are rejected by the verifier; the ones it accepts
+// feed the soundness fuzz below.
+func wildProgram(rng *rand.Rand, length int) Program {
+	cmds := make([]Command, 0, length+2)
+	queueSlots := []uint8{SlotFreeQueue, SlotActiveQueue, SlotInactiveQueue}
+	q := func() uint8 { return queueSlots[rng.Intn(len(queueSlots))] }
+	// Define the page register early so programs that return it have a
+	// chance of verifying; the verifier still sees plenty of rejects from
+	// the wild cases below.
+	cmds = append(cmds, Encode(OpDeQueue, SlotPageReg, SlotFreeQueue, QueueHead))
+	for i := 0; i < length; i++ {
+		switch rng.Intn(14) {
+		case 0:
+			cmds = append(cmds, Encode(OpComp, SlotFreeCount, SlotOne, uint8(rng.Intn(8))))
+		case 1:
+			cmds = append(cmds, Encode(OpEmptyQ, q(), 0, 0))
+		case 2:
+			cmds = append(cmds, Encode(OpDeQueue, SlotPageReg, q(), QueueHead))
+		case 3:
+			cmds = append(cmds, Encode(OpEnQueue, SlotPageReg, q(), QueueTail))
+		case 4:
+			cmds = append(cmds, Encode(OpRef, SlotPageReg, 0, 0))
+		case 5:
+			cmds = append(cmds, Encode(OpSet, SlotPageReg, SetBitReference, SetOpClear))
+		case 6:
+			cmds = append(cmds, Encode(OpFlush, SlotPageReg, 0, 0))
+		case 7:
+			cmds = append(cmds, Encode(OpRequest, SlotOne, 0, 0))
+		case 8:
+			cmds = append(cmds, Encode(OpRelease, SlotOne, 0, 0))
+		case 9:
+			cmds = append(cmds, Encode(uint8ToOp(rng), q(), 0, 0))
+		case 10:
+			// Arith on scratch — sometimes against the wrong kind.
+			src := SlotOne
+			if rng.Intn(4) == 0 {
+				src = SlotFreeQueue
+			}
+			cmds = append(cmds, Encode(OpArith, SlotScratch, src, ArithAdd))
+		case 11:
+			// Forward-ish jump; target may land out of range.
+			cmds = append(cmds, Encode(OpJump, uint8(rng.Intn(3)), 0, uint8(i+2+rng.Intn(4))))
+		case 12:
+			// Logic on the CR with a random flag.
+			cmds = append(cmds, Encode(OpLogic, SlotScratch, SlotScratch, uint8(rng.Intn(4))))
+		default:
+			// Fully wild: random opcode (sometimes beyond the ISA),
+			// random slots, random flag.
+			op := Opcode(rng.Intn(int(maxExtOpcode) + 3))
+			cmds = append(cmds, Encode(op, uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(16))))
+		}
+	}
+	cmds = append(cmds, Encode(OpReturn, SlotPageReg, 0, 0))
+	return NewProgram(cmds...)
+}
+
+// TestPropertyVerifierSoundness: a program the static verifier accepts must
+// never raise a runtime PolicyFault of a class the verifier claims to rule
+// out — operand-kind misuse, illegal opcodes or flags, out-of-range jumps
+// or command counters, read-only writes, undefined events, or Activate
+// nesting overflows. Runtime-state faults (empty queues and registers,
+// orphaned frames, division by zero, runaway budgets) remain legitimate.
+// The executor runs with ForceChecked so a verifier soundness hole
+// surfaces as a typed fault instead of skipping the check.
+func TestPropertyVerifierSoundness(t *testing.T) {
+	ruledOut := []string{
+		"want int", "want bool", "want queue", "want page",
+		"illegal opcode", "bad Arith flag", "bad Comp flag", "bad Logic flag",
+		"bad Jump mode", "bad DeQueue flag", "bad EnQueue flag",
+		"bad Set bit selector", "bad Set operation",
+		"jump target", "command counter out of range",
+		"read-only", "undefined event", "Activate nesting",
+	}
+	accepted := 0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := testKernel(128)
+		k.Executor.ForceChecked = true
+		sp := k.NewSpace()
+		spec := &Spec{
+			Name: "fuzz-sound",
+			Events: []Program{
+				wildProgram(rng, 2+rng.Intn(8)),
+				wildProgram(rng, 1+rng.Intn(6)),
+			},
+			MinFrame: 4,
+		}
+		e, c, err := k.AllocateHiPEC(sp, 32*4096, spec)
+		if err != nil {
+			return true // rejected: nothing to check
+		}
+		accepted++
+		if !c.Verified() {
+			t.Errorf("seed %d: accepted spec without the verified bit", seed)
+			return false
+		}
+		check := func(err error) bool {
+			if err == nil {
+				return true
+			}
+			for _, class := range ruledOut {
+				if strings.Contains(err.Error(), class) {
+					t.Errorf("seed %d: verified program raised statically-ruled-out fault: %v", seed, err)
+					return false
+				}
+			}
+			return true
+		}
+		for i := 0; i < 20; i++ {
+			_, err := sp.Touch(e.Start + int64(rng.Intn(32))*4096)
+			if !check(err) {
+				return false
+			}
+			if c.State() != StateActive {
+				break
+			}
+		}
+		if c.State() == StateActive {
+			_, err := k.Executor.Run(c, EventReclaimFrame)
+			if !check(err) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if accepted == 0 {
+		t.Skip("no wild program passed the verifier in this run (vocabulary too hostile)")
 	}
 }
 

@@ -195,7 +195,7 @@ func (k *Kernel) activate(obj *vm.Object, spec *Spec) (*Container, error) {
 		k.emit(kevent.Event{Type: kevent.EvActivationError, Container: int32(c.ID)})
 		return nil, &hiperr.Error{Op: "hipec.activate", Container: c.ID,
 			Err: fmt.Errorf("policy %q rejected by security checker: %v (and %d more): %w",
-				spec.Name, errs[0], len(errs)-1, hiperr.ErrPolicyFault)}
+				spec.Name, errs[0], len(errs)-1, hiperr.ErrPolicyRejected)}
 	}
 	if err := k.FM.attach(c); err != nil {
 		k.emit(kevent.Event{Type: kevent.EvActivationError, Container: int32(c.ID)})

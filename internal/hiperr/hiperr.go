@@ -30,9 +30,20 @@ var (
 	// ErrPolicyFault is a runtime fault in a HiPEC policy program (illegal
 	// command, type error, runaway execution, checker kill).
 	ErrPolicyFault = errors.New("hipec: policy runtime fault")
+	// ErrPolicyRejected is a registration-time rejection by the security
+	// checker's static verifier: the spec never becomes a container. It
+	// wraps ErrPolicyFault so existing errors.Is(err, ErrPolicyFault)
+	// callers keep matching.
+	ErrPolicyRejected = fmt.Errorf("hipec: policy rejected by verifier: %w", ErrPolicyFault)
 	// ErrRevoked marks operations against a container whose region has been
 	// handed back to the default pageout policy by graceful degradation.
 	ErrRevoked = errors.New("hipec: container revoked")
+	// ErrBadSpec marks a malformed policy spec (bad operand declarations,
+	// nonpositive minFrame) that cannot be registered.
+	ErrBadSpec = errors.New("hipec: malformed policy spec")
+	// ErrBadOperand marks host-API access to a policy operand that does not
+	// exist, has the wrong kind, or cannot be written.
+	ErrBadOperand = errors.New("hipec: bad operand access")
 )
 
 // Error is the typed error for kernel operations. Op names the failing

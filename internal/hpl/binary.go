@@ -1,6 +1,7 @@
 package hpl
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -16,6 +17,10 @@ import (
 //
 // Absent events are encoded with wordCount 0.
 const binaryMagic = 0x48504543 // "HPEC"
+
+// BinaryMagic is the container magic, exported so tools (hipeclint) can
+// sniff whether a file is a hipecc binary or HPL source.
+const BinaryMagic uint32 = binaryMagic
 
 // maxBinaryEvents bounds decoding (the Activate operand is 8 bits).
 const maxBinaryEvents = 256
@@ -50,6 +55,11 @@ func EncodeBinary(w io.Writer, spec *core.Spec) error {
 		}
 	}
 	return nil
+}
+
+// DecodeBinaryBytes decodes an in-memory hipecc binary container.
+func DecodeBinaryBytes(data []byte) ([]core.Program, error) {
+	return DecodeBinary(bytes.NewReader(data))
 }
 
 // DecodeBinary reads event programs in the binary container format.

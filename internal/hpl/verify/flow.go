@@ -1,0 +1,327 @@
+package verify
+
+import "hipec/internal/isa"
+
+// The symbolic flow walk explores every (CC, CR, register-emptiness) state
+// an event program can realize under a three-valued condition-register
+// abstraction. It subsumes the old checker's reachability pass and fixes
+// its unsoundness: commands that *compute* into CR (Request, Release,
+// Flush, Find, Migrate, and the canned replacements) used to be modeled as
+// clearing it, which let run-off-end paths behind "Jump if-false" hide.
+//
+// CR values: unknown, definitely-false, definitely-true. Non-test commands
+// clear CR (the Table 2 "Jump after a non-test command is unconditional"
+// idiom); Comp over two read-only constants folds to a definite value,
+// which is how busy-wait loops over constants are proven infinite.
+//
+// Up to maxTrackedRegs page registers are additionally tracked through the
+// lattice {unknown, full, empty}: DeQueue makes a register full (it faults
+// rather than continue on an empty queue), EnQueue empties it, Find and
+// Flush leave it correlated with CR until the next branch splits the two
+// outcomes. A fault-on-empty use of a definitely-empty register is a
+// warning (registers may survive across activations, so this is advisory;
+// the guaranteed-fault case is handled by pageRegDefUse).
+
+type crv uint8
+
+const (
+	crU crv = iota // unknown
+	crF            // definitely false
+	crT            // definitely true
+)
+
+type regAbs uint8
+
+const (
+	rTop   regAbs = iota // unknown contents
+	rFull                // definitely holds a page
+	rEmpty               // definitely empty
+)
+
+const maxTrackedRegs = 4
+
+// corrFalseEmpty marks a correlation whose CR-false outcome means the
+// register is empty (Find); without it the false outcome is unknown
+// (Flush, whose failure path keeps the original page).
+const corrFalseEmpty = 0x80
+
+type fstate struct {
+	cc   int
+	cr   crv
+	corr uint8 // 0 = none; else (reg index + 1) | corrFalseEmpty
+	regs [maxTrackedRegs]regAbs
+}
+
+// eventFlow is the walk result for one event.
+type eventFlow struct {
+	prog    isa.Program
+	seen    []bool                   // CC reachability
+	edges   map[int]map[int]struct{} // realizable CC -> CC transitions
+	tracked map[uint8]int            // page slot -> register index
+}
+
+func (f *eventFlow) edge(from, to int) {
+	m := f.edges[from]
+	if m == nil {
+		m = map[int]struct{}{}
+		f.edges[from] = m
+	}
+	m[to] = struct{}{}
+}
+
+// flow runs the symbolic walk over one event, emitting run-off-end errors,
+// empty-register warnings and unreachable-code warnings.
+func (a *analysis) flow(ev int, prog isa.Program) *eventFlow {
+	f := &eventFlow{
+		prog:    prog,
+		seen:    make([]bool, len(prog)),
+		edges:   map[int]map[int]struct{}{},
+		tracked: map[uint8]int{},
+	}
+	// Track the page registers the program touches, in first-use order.
+	for cc := 1; cc < len(prog) && len(f.tracked) < maxTrackedRegs; cc++ {
+		for _, slot := range []uint8{prog[cc].A(), prog[cc].B()} {
+			if k, ok := a.kindOf(slot); ok && k == isa.KindPage {
+				if _, have := f.tracked[slot]; !have && len(f.tracked) < maxTrackedRegs {
+					f.tracked[slot] = len(f.tracked)
+				}
+			}
+		}
+	}
+
+	visited := map[fstate]struct{}{}
+	var stack []fstate
+	ranOff := false
+	warned := map[int]bool{}
+
+	push := func(s fstate, from int) {
+		if s.cc >= len(prog) {
+			if !ranOff {
+				ranOff = true
+				a.report(SevError, CodeRunOffEnd, ev, from,
+					"control flow can run off the end of the program")
+			}
+			return
+		}
+		f.edge(from, s.cc)
+		if _, ok := visited[s]; !ok {
+			visited[s] = struct{}{}
+			stack = append(stack, s)
+		}
+	}
+
+	// A register's contents may survive from a previous activation, so the
+	// entry state is unknown, as is the entry CR.
+	start := fstate{cc: 1, cr: crU}
+	visited[start] = struct{}{}
+	stack = append(stack, start)
+	f.seen[1] = true
+
+	// warnEmpty reports a fault-on-empty use of a definitely-empty register.
+	warnEmpty := func(s fstate, slot uint8, what string) {
+		idx, ok := f.tracked[slot]
+		if !ok || s.regs[idx] != rEmpty || warned[s.cc] {
+			return
+		}
+		warned[s.cc] = true
+		a.report(SevWarning, CodeEmptyReg, ev, s.cc,
+			"%s of page register %s (%#02x), which is empty on this path", what, a.slotName(slot), slot)
+	}
+	setReg := func(s *fstate, slot uint8, v regAbs) {
+		if idx, ok := f.tracked[slot]; ok {
+			s.regs[idx] = v
+		}
+	}
+
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		f.seen[s.cc] = true
+		cmd := prog[s.cc]
+		op1, op2, flag := cmd.A(), cmd.B(), cmd.C()
+
+		// next is the default successor template: fall through with the
+		// registers carried over and the correlation consumed.
+		next := s
+		next.cc = s.cc + 1
+		next.corr = 0
+
+		switch cmd.Op() {
+		case isa.OpReturn:
+			if ev == isa.EventPageFault {
+				if k, ok := a.kindOf(op1); ok && k == isa.KindPage {
+					warnEmpty(s, op1, "PageFault Return")
+				}
+			}
+			continue // terminal
+
+		case isa.OpComp:
+			next.cr = a.foldComp(op1, op2, flag)
+		case isa.OpLogic, isa.OpEmptyQ, isa.OpInQ:
+			next.cr = crU
+		case isa.OpRef:
+			warnEmpty(s, op1, "Ref")
+			next.cr = crU
+		case isa.OpMod:
+			warnEmpty(s, op1, "Mod")
+			next.cr = crU
+
+		case isa.OpJump:
+			target := int(flag)
+			taken := true
+			fall := true
+			switch op1 {
+			case isa.JumpAlways:
+				fall = false
+			case isa.JumpIfFalse:
+				taken = s.cr != crT
+				fall = s.cr != crF
+			case isa.JumpIfTrue:
+				taken = s.cr != crF
+				fall = s.cr != crT
+			default:
+				continue // bad mode: runtime fault, terminal (already an error)
+			}
+			// The executor clears CR when evaluating a Jump; a pending
+			// Find/Flush correlation resolves differently on each branch.
+			mk := func(cc int, outcome crv) fstate {
+				ns := s
+				ns.cc, ns.cr, ns.corr = cc, crF, 0
+				if s.corr != 0 && s.cr == crU && op1 != isa.JumpAlways {
+					idx := int(s.corr&^corrFalseEmpty) - 1
+					switch outcome {
+					case crT:
+						ns.regs[idx] = rFull
+					case crF:
+						if s.corr&corrFalseEmpty != 0 {
+							ns.regs[idx] = rEmpty
+						} else {
+							ns.regs[idx] = rTop
+						}
+					}
+				}
+				return ns
+			}
+			if taken && target >= 1 && target < len(prog) {
+				outcome := crT
+				if op1 == isa.JumpIfFalse {
+					outcome = crF
+				}
+				push(mk(target, outcome), s.cc)
+			}
+			if fall {
+				outcome := crF
+				if op1 == isa.JumpIfFalse {
+					outcome = crT
+				}
+				push(mk(s.cc+1, outcome), s.cc)
+			}
+			continue
+
+		case isa.OpArith, isa.OpAge:
+			next.cr = crF
+		case isa.OpSet:
+			warnEmpty(s, op1, "Set")
+			next.cr = crF
+		case isa.OpDeQueue:
+			// DeQueue either fills the register or faults; the successor
+			// state is definitely full.
+			setReg(&next, op1, rFull)
+			next.cr = crF
+		case isa.OpEnQueue:
+			warnEmpty(s, op1, "EnQueue")
+			setReg(&next, op1, rEmpty)
+			next.cr = crF
+		case isa.OpActivate:
+			// The callee may rewrite any register (they are container
+			// state, not frame-locals).
+			for i := range next.regs {
+				next.regs[i] = rTop
+			}
+			next.cr = crF
+		case isa.OpRequest, isa.OpFIFO, isa.OpLRU, isa.OpMRU:
+			// CR is the operation's outcome, not cleared.
+			next.cr = crU
+		case isa.OpRelease:
+			if k, ok := a.kindOf(op1); ok && k == isa.KindPage {
+				warnEmpty(s, op1, "Release")
+				setReg(&next, op1, rTop) // failed release restores the page
+			}
+			next.cr = crU
+		case isa.OpFlush:
+			warnEmpty(s, op1, "Flush")
+			setReg(&next, op1, rTop)
+			next.cr = crU
+			if idx, ok := f.tracked[op1]; ok {
+				next.corr = uint8(idx + 1) // CR true -> exchanged page present
+			}
+		case isa.OpFind:
+			setReg(&next, op1, rTop)
+			next.cr = crU
+			if idx, ok := f.tracked[op1]; ok {
+				next.corr = uint8(idx+1) | corrFalseEmpty // CR false -> not found, empty
+			}
+		case isa.OpMigrate:
+			warnEmpty(s, op1, "Migrate")
+			setReg(&next, op1, rTop)
+			next.cr = crU
+		default:
+			// Illegal opcode: runtime fault, terminal (already an error).
+			continue
+		}
+		push(next, s.cc)
+	}
+
+	a.reportUnreachable(ev, f)
+	return f
+}
+
+// foldComp evaluates Comp when both operands are read-only constants.
+func (a *analysis) foldComp(op1, op2, flag uint8) crv {
+	x, y := &a.u.Operands[op1], &a.u.Operands[op2]
+	if !x.HasConst || !y.HasConst {
+		return crU
+	}
+	av, bv := x.ConstVal, y.ConstVal
+	var r bool
+	switch flag {
+	case isa.CompEQ:
+		r = av == bv
+	case isa.CompGT:
+		r = av > bv
+	case isa.CompLT:
+		r = av < bv
+	case isa.CompNE:
+		r = av != bv
+	case isa.CompGE:
+		r = av >= bv
+	case isa.CompLE:
+		r = av <= bv
+	default:
+		return crU
+	}
+	if r {
+		return crT
+	}
+	return crF
+}
+
+// reportUnreachable warns once per contiguous run of never-visited commands.
+func (a *analysis) reportUnreachable(ev int, f *eventFlow) {
+	for cc := 1; cc < len(f.prog); cc++ {
+		if f.seen[cc] {
+			continue
+		}
+		end := cc
+		for end+1 < len(f.prog) && !f.seen[end+1] {
+			end++
+		}
+		if end > cc {
+			a.report(SevWarning, CodeUnreachable, ev, cc,
+				"commands CC=%d..%d are unreachable", cc, end)
+		} else {
+			a.report(SevWarning, CodeUnreachable, ev, cc, "command is unreachable")
+		}
+		cc = end
+	}
+}

@@ -1,0 +1,354 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"hipec/internal/isa"
+)
+
+// The loop passes work on the realizable CFG produced by the symbolic walk:
+// Tarjan's SCC decomposition finds the loop regions, dominators identify
+// the back edges for diagnostics, and two boundedness arguments run per
+// region:
+//
+//   - A region with no exit edge can never terminate: error.
+//   - A region whose only CR producers are pure tests (Comp, Logic, EmptyQ,
+//     InQ, Ref, Mod) and whose commands write none of the state those tests
+//     read cannot make progress: every iteration re-evaluates the same
+//     predicates over unchanged state, so the loop either exits on its
+//     first pass or never does. Error.
+//
+// Loops containing kernel-outcome commands (Request, Release, Flush, Find,
+// Migrate, the canned replacements) or queue/register mutations that feed
+// their exit tests are left to the checker's wall-clock timeout — the
+// backstop, no longer the primary defense.
+
+// Abstract state keys for the progress argument: operand slots plus the
+// frame-grant account, plus a universal key for Activate (which may touch
+// anything).
+const (
+	keyAllocated = 256
+	keyUniversal = 257
+)
+
+// readKeys maps a test's operand read to the state it actually observes:
+// live queue-length counters read their queue, the allocation counters read
+// the grant account, everything else reads its own slot.
+func (a *analysis) readKeys(slot uint8, out map[int]struct{}) {
+	o := &a.u.Operands[slot]
+	if o.Live {
+		if o.LiveQueue != isa.SlotNoQueue {
+			out[int(o.LiveQueue)] = struct{}{}
+		} else {
+			out[keyAllocated] = struct{}{}
+		}
+		return
+	}
+	out[int(slot)] = struct{}{}
+}
+
+// loops runs the boundedness and frame-balance analyses over one event.
+func (a *analysis) loops(ev int, prog isa.Program, f *eventFlow) {
+	sccs := stronglyConnected(f)
+	if len(sccs) == 0 {
+		return
+	}
+	back := backEdges(f)
+
+	for _, scc := range sccs {
+		member := map[int]bool{}
+		for _, cc := range scc {
+			member[cc] = true
+		}
+		lo, hi := scc[0], scc[0]
+		for _, cc := range scc {
+			if cc < lo {
+				lo = cc
+			}
+			if cc > hi {
+				hi = cc
+			}
+		}
+		// Annotate with the dominator-identified back edge when the loop
+		// is reducible.
+		loopDesc := ""
+		for _, e := range back {
+			if member[e[0]] && member[e[1]] {
+				loopDesc = fmt.Sprintf(" (back edge CC=%d->CC=%d)", e[0], e[1])
+				break
+			}
+		}
+
+		hasExit := false
+		for _, cc := range scc {
+			for to := range f.edges[cc] {
+				if !member[to] {
+					hasExit = true
+				}
+			}
+		}
+		if !hasExit {
+			a.report(SevError, CodeInfiniteLoop, ev, lo,
+				"loop CC=%d..%d has no exit path%s", lo, hi, loopDesc)
+			continue
+		}
+
+		// Classify the loop body.
+		dynamicCR := false // CR comes from kernel outcomes -> can't reason
+		universal := false
+		hasRequest, hasRelease := false, false
+		requestCCs := []int{}
+		testReads := map[int]struct{}{}
+		writes := map[int]struct{}{}
+		for _, cc := range scc {
+			cmd := prog[cc]
+			op1, op2, flag := cmd.A(), cmd.B(), cmd.C()
+			switch cmd.Op() {
+			case isa.OpComp:
+				a.readKeys(op1, testReads)
+				a.readKeys(op2, testReads)
+			case isa.OpLogic:
+				a.readKeys(op1, testReads)
+				if flag != isa.LogicNot {
+					a.readKeys(op2, testReads)
+				}
+			case isa.OpEmptyQ:
+				testReads[int(op1)] = struct{}{}
+			case isa.OpInQ:
+				testReads[int(op1)] = struct{}{}
+				testReads[int(op2)] = struct{}{}
+			case isa.OpRef, isa.OpMod:
+				testReads[int(op1)] = struct{}{}
+			case isa.OpArith:
+				writes[int(op1)] = struct{}{}
+			case isa.OpDeQueue, isa.OpEnQueue:
+				writes[int(op1)] = struct{}{}
+				writes[int(op2)] = struct{}{}
+				if cmd.Op() == isa.OpEnQueue && op2 == isa.SlotFreeQueue {
+					writes[keyAllocated] = struct{}{}
+				}
+			case isa.OpSet, isa.OpAge:
+				writes[int(op1)] = struct{}{}
+			case isa.OpRequest:
+				hasRequest = true
+				requestCCs = append(requestCCs, cc)
+				dynamicCR = true
+				writes[int(isa.SlotFreeQueue)] = struct{}{}
+				writes[keyAllocated] = struct{}{}
+			case isa.OpRelease:
+				hasRelease = true
+				dynamicCR = true
+				writes[int(op1)] = struct{}{}
+				writes[int(isa.SlotFreeQueue)] = struct{}{}
+				writes[keyAllocated] = struct{}{}
+			case isa.OpFlush, isa.OpFind, isa.OpMigrate:
+				dynamicCR = true
+				writes[int(op1)] = struct{}{}
+			case isa.OpFIFO, isa.OpLRU, isa.OpMRU:
+				dynamicCR = true
+				writes[int(op1)] = struct{}{}
+				writes[int(isa.SlotFreeQueue)] = struct{}{}
+				writes[keyAllocated] = struct{}{}
+			case isa.OpActivate:
+				universal = true
+			}
+		}
+
+		if !dynamicCR && !universal {
+			progress := false
+			for k := range writes {
+				if _, ok := testReads[k]; ok {
+					progress = true
+					break
+				}
+			}
+			if !progress {
+				a.report(SevError, CodeStuckLoop, ev, lo,
+					"loop CC=%d..%d cannot make progress: no command in the loop changes state read by its exit tests%s",
+					lo, hi, loopDesc)
+				continue
+			}
+		}
+
+		// Frame balance inside the loop: a Request with no Release in the
+		// same loop, no branch on the request outcome that can leave the
+		// loop, and no exit test observing the grant state re-requests
+		// frames unboundedly — today this only dies at the timeout.
+		if hasRequest && !hasRelease && !universal {
+			conditioned := false
+			for _, r := range requestCCs {
+				nc := r + 1
+				if nc >= len(prog) || prog[nc].Op() != isa.OpJump {
+					continue
+				}
+				if prog[nc].A() == isa.JumpAlways {
+					continue
+				}
+				for to := range f.edges[nc] {
+					if !member[to] {
+						conditioned = true
+					}
+				}
+				if nc+1 < len(prog) && !member[nc+1] {
+					conditioned = true
+				}
+			}
+			if _, ok := testReads[int(isa.SlotFreeQueue)]; ok {
+				conditioned = true
+			}
+			if _, ok := testReads[keyAllocated]; ok {
+				conditioned = true
+			}
+			if !conditioned {
+				a.report(SevError, CodeFrameLeak, ev, requestCCs[0],
+					"Request inside loop CC=%d..%d with no Release and no exit conditioned on the grant outcome (unbounded frame requests)%s",
+					lo, hi, loopDesc)
+			}
+		}
+	}
+}
+
+// stronglyConnected returns the non-trivial SCCs (size > 1, or a single
+// node with a self-edge) of the realizable CFG, each sorted by CC.
+func stronglyConnected(f *eventFlow) [][]int {
+	index := map[int]int{}
+	low := map[int]int{}
+	onStack := map[int]bool{}
+	var stack []int
+	var out [][]int
+	next := 0
+
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for w := range f.edges[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sort.Ints(scc)
+				out = append(out, scc)
+			} else if _, self := f.edges[scc[0]][scc[0]]; self {
+				out = append(out, scc)
+			}
+		}
+	}
+	for cc := 1; cc < len(f.prog); cc++ {
+		if f.seen[cc] {
+			if _, visited := index[cc]; !visited {
+				strong(cc)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// backEdges computes the dominator relation over the realizable CFG
+// (entry CC=1) and returns the edges u->v where v dominates u — the
+// natural-loop back edges of reducible flow.
+func backEdges(f *eventFlow) [][2]int {
+	var nodes []int
+	for cc := 1; cc < len(f.prog); cc++ {
+		if f.seen[cc] {
+			nodes = append(nodes, cc)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	preds := map[int][]int{}
+	for from, tos := range f.edges {
+		for to := range tos {
+			preds[to] = append(preds[to], from)
+		}
+	}
+	// Iterative dominator sets: dom(entry) = {entry}; dom(n) = {n} ∪
+	// ⋂ dom(preds). Node counts are <= 256, so sets are cheap.
+	all := map[int]struct{}{}
+	for _, n := range nodes {
+		all[n] = struct{}{}
+	}
+	dom := map[int]map[int]struct{}{}
+	for _, n := range nodes {
+		if n == 1 {
+			dom[n] = map[int]struct{}{1: {}}
+			continue
+		}
+		d := map[int]struct{}{}
+		for k := range all {
+			d[k] = struct{}{}
+		}
+		dom[n] = d
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, n := range nodes {
+			if n == 1 {
+				continue
+			}
+			var inter map[int]struct{}
+			for _, p := range preds[n] {
+				pd := dom[p]
+				if inter == nil {
+					inter = map[int]struct{}{}
+					for k := range pd {
+						inter[k] = struct{}{}
+					}
+					continue
+				}
+				for k := range inter {
+					if _, ok := pd[k]; !ok {
+						delete(inter, k)
+					}
+				}
+			}
+			if inter == nil {
+				inter = map[int]struct{}{}
+			}
+			inter[n] = struct{}{}
+			if len(inter) != len(dom[n]) {
+				dom[n] = inter
+				changed = true
+			}
+		}
+	}
+	var back [][2]int
+	for from, tos := range f.edges {
+		for to := range tos {
+			if _, ok := dom[from][to]; ok {
+				back = append(back, [2]int{from, to})
+			}
+		}
+	}
+	sort.Slice(back, func(i, j int) bool {
+		if back[i][0] != back[j][0] {
+			return back[i][0] < back[j][0]
+		}
+		return back[i][1] < back[j][1]
+	})
+	return back
+}

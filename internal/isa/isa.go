@@ -1,0 +1,297 @@
+// Package isa defines the HiPEC instruction-set architecture: the 32-bit
+// command word encoding (Figure 3 of the paper), the 20 operators of Table 1
+// plus the §6 extension opcodes, the well-known operand-array slots
+// reconstructed from Table 2, the reserved event numbers, and the operand
+// kinds. It is the shared leaf vocabulary of the stack: the core kernel,
+// the hpl translator and the static verifier all speak in these types
+// without importing each other.
+//
+// # Encoding reconstruction
+//
+// A HiPEC command is one 32-bit word: an 8-bit operator code followed by
+// three 8-bit operand bytes (op1, op2, flag). The paper leaves a few
+// semantics implicit; this implementation reconstructs them so that the
+// printed example program (Table 2, FIFO with second chance) assembles and
+// executes exactly as annotated:
+//
+//   - Test commands (Comp, Logic, EmptyQ, InQ, Ref, Mod) set the container's
+//     condition register (CR). Every non-test command clears CR.
+//   - Jump with mode byte 0 branches iff CR is false — the paper's
+//     "/* else */ Jump" idiom. Because non-test commands clear CR, a Jump
+//     following a non-test command is effectively unconditional, which is
+//     how Table 2 uses it. Modes 1 (always) and 2 (branch if CR true) are
+//     additionally defined for translator output.
+//   - Comparison flags follow Table 2's byte values: 1 is ">", 2 is "<".
+//   - Word 0 of every event program is the HiPEC magic number.
+package isa
+
+import "fmt"
+
+// Opcode is the 8-bit HiPEC operator code (Table 1).
+type Opcode uint8
+
+// The 20 commands of the paper plus the extension opcodes implemented from
+// the future-work section (§6).
+const (
+	OpReturn   Opcode = 0x00 // end of execution; return value in op1
+	OpArith    Opcode = 0x01 // integer arithmetic, result into op1
+	OpComp     Opcode = 0x02 // integer comparison -> CR
+	OpLogic    Opcode = 0x03 // boolean logic -> CR
+	OpEmptyQ   Opcode = 0x04 // CR = queue op1 empty
+	OpInQ      Opcode = 0x05 // CR = page op2 on queue op1
+	OpJump     Opcode = 0x06 // branch to command flag; op1 = mode
+	OpDeQueue  Opcode = 0x07 // page op1 <- removed from queue op2 (flag: head/tail)
+	OpEnQueue  Opcode = 0x08 // add page op1 to queue op2 (flag: head/tail)
+	OpRequest  Opcode = 0x09 // request op1 (int operand) frames from the frame manager
+	OpRelease  Opcode = 0x0A // release frame(s) op1 to the frame manager
+	OpFlush    Opcode = 0x0B // flush page op1 to disk (asynchronous exchange)
+	OpSet      Opcode = 0x0C // set/clear reference or modify bit of page op1
+	OpRef      Opcode = 0x0D // CR = page op1 referenced
+	OpMod      Opcode = 0x0E // CR = page op1 modified
+	OpFind     Opcode = 0x0F // page op1 <- resident page at vaddr (int operand op2)
+	OpActivate Opcode = 0x10 // invoke event number op1
+	OpFIFO     Opcode = 0x11 // run canned FIFO replacement on queue op1
+	OpLRU      Opcode = 0x12 // run canned LRU replacement on queue op1
+	OpMRU      Opcode = 0x13 // run canned MRU replacement on queue op1
+
+	// Extension opcodes (disabled unless Spec.EnableExtensions; §6
+	// "adding new HiPEC commands is easy").
+	OpMigrate Opcode = 0x14 // migrate page op1 to container id in int operand op2
+	OpAge     Opcode = 0x15 // halve the age counters of queue op1 (clock-style aging)
+
+	// MaxBaseOpcode and MaxExtOpcode bound the paper's command set and the
+	// extended command set respectively.
+	MaxBaseOpcode Opcode = OpMRU
+	MaxExtOpcode  Opcode = OpAge
+)
+
+var opcodeNames = map[Opcode]string{
+	OpReturn: "Return", OpArith: "Arith", OpComp: "Comp", OpLogic: "Logic",
+	OpEmptyQ: "EmptyQ", OpInQ: "InQ", OpJump: "Jump", OpDeQueue: "DeQueue",
+	OpEnQueue: "EnQueue", OpRequest: "Request", OpRelease: "Release",
+	OpFlush: "Flush", OpSet: "Set", OpRef: "Ref", OpMod: "Mod", OpFind: "Find",
+	OpActivate: "Activate", OpFIFO: "FIFO", OpLRU: "LRU", OpMRU: "MRU",
+	OpMigrate: "Migrate", OpAge: "Age",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Opcode) String() string {
+	if n, ok := opcodeNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Opcode(%#02x)", uint8(o))
+}
+
+// Arith flags (op1 = op1 OP op2, except Mov/Inc/Dec).
+const (
+	ArithAdd uint8 = 0 // op1 += op2
+	ArithSub uint8 = 1 // op1 -= op2
+	ArithMul uint8 = 2 // op1 *= op2
+	ArithDiv uint8 = 3 // op1 /= op2 (divide-by-zero is a runtime fault)
+	ArithMod uint8 = 4 // op1 %= op2
+	ArithMov uint8 = 5 // op1 = op2
+	ArithInc uint8 = 6 // op1++
+	ArithDec uint8 = 7 // op1--
+)
+
+// Comp flags. The values of CompGT and CompLT are fixed by Table 2 of the
+// paper (rows "if(_free_count > reserved_target)" = flag 01 and
+// "if(_free_count < free_target)" = flag 02).
+const (
+	CompEQ uint8 = 0
+	CompGT uint8 = 1
+	CompLT uint8 = 2
+	CompNE uint8 = 3
+	CompGE uint8 = 4
+	CompLE uint8 = 5
+)
+
+// Logic flags.
+const (
+	LogicAnd uint8 = 0
+	LogicOr  uint8 = 1
+	LogicNot uint8 = 2 // CR = !op1
+	LogicXor uint8 = 3
+)
+
+// Jump modes (op1 byte).
+const (
+	JumpIfFalse uint8 = 0 // the paper's "/* else */" conditional
+	JumpAlways  uint8 = 1
+	JumpIfTrue  uint8 = 2
+)
+
+// Queue-end flags for DeQueue/EnQueue, matching Table 2's byte values
+// (de_queue_head / en_queue_head use 01, en_queue_tail uses 02).
+const (
+	QueueHead uint8 = 1
+	QueueTail uint8 = 2
+)
+
+// Set command selectors: flag1 chooses the bit, flag2 the operation.
+const (
+	SetBitModify    uint8 = 1
+	SetBitReference uint8 = 2 // Table 2 resets the reference bit with flag1=02
+	SetOpSet        uint8 = 0
+	SetOpClear      uint8 = 1 // Table 2 uses flag2=01 to reset
+)
+
+// Magic is the HiPEC magic number occupying word 0 of every event program
+// ("HiPE" in ASCII). The security checker rejects programs without it.
+const Magic Command = 0x48695045
+
+// Command is one encoded 32-bit HiPEC command word.
+type Command uint32
+
+// Encode packs an opcode and three operand bytes into a command word.
+func Encode(op Opcode, a, b, c uint8) Command {
+	return Command(uint32(op)<<24 | uint32(a)<<16 | uint32(b)<<8 | uint32(c))
+}
+
+// Op extracts the opcode.
+func (c Command) Op() Opcode { return Opcode(c >> 24) }
+
+// A extracts operand byte 1.
+func (c Command) A() uint8 { return uint8(c >> 16) }
+
+// B extracts operand byte 2.
+func (c Command) B() uint8 { return uint8(c >> 8) }
+
+// C extracts operand byte 3 (the flag byte).
+func (c Command) C() uint8 { return uint8(c) }
+
+// String disassembles the command word.
+func (c Command) String() string {
+	if c == Magic {
+		return "HiPEC-Magic"
+	}
+	return fmt.Sprintf("%-8s %#02x %#02x %#02x", c.Op(), c.A(), c.B(), c.C())
+}
+
+// Program is one event's command sequence: the magic word followed by
+// commands. Command counters (jump targets) index this slice directly, so
+// CC 0 is the magic word and execution starts at CC 1, matching Table 2's
+// numbering.
+type Program []Command
+
+// NewProgram builds a program from commands, prepending the magic word.
+func NewProgram(cmds ...Command) Program {
+	p := make(Program, 0, len(cmds)+1)
+	p = append(p, Magic)
+	return append(p, cmds...)
+}
+
+// Reserved event numbers (§4.2: "a specific application at least has to
+// handle the two HiPEC-defined events, PageFault and ReclaimFrame").
+const (
+	EventPageFault    = 0
+	EventReclaimFrame = 1
+	// User-defined events are numbered from EventUser upward.
+	EventUser = 2
+)
+
+// Well-known operand array slots. The byte values are reconstructed from
+// the example program in Table 2 of the paper (e.g. slot 0x02 compared
+// against 0x0C is "_free_count > reserved_target", slot 0x0B is the page
+// register that DeQueue/EnQueue/Ref/Mod operate on).
+const (
+	SlotScratch       uint8 = 0x00 // general-purpose integer scratch
+	SlotFreeQueue     uint8 = 0x01 // container's private free frame list
+	SlotFreeCount     uint8 = 0x02 // live length of the free list
+	SlotActiveQueue   uint8 = 0x03
+	SlotActiveCount   uint8 = 0x04
+	SlotInactiveQueue uint8 = 0x05
+	SlotInactiveCount uint8 = 0x06
+	SlotAllocated     uint8 = 0x07 // frames currently granted to the container
+	SlotMinFrame      uint8 = 0x08 // the container's guaranteed minimum
+	SlotInactiveTgt   uint8 = 0x09
+	SlotFreeTgt       uint8 = 0x0A
+	SlotPageReg       uint8 = 0x0B // the page register
+	SlotReservedTgt   uint8 = 0x0C
+	SlotFaultAddr     uint8 = 0x0D // faulting virtual address (int)
+	SlotFaultOffset   uint8 = 0x0E // page-aligned object offset of the fault
+	SlotZero          uint8 = 0x0F // constant 0
+	SlotOne           uint8 = 0x10 // constant 1
+
+	// SlotUser is the first slot available for application-declared
+	// operands (constants, counters, extra queues, page registers).
+	SlotUser uint8 = 0x20
+)
+
+// Kind is the runtime type of an operand-array entry. The operand array is
+// stored in the container with up to 256 entries; "each entry in the
+// operand array is a pointer to a variable. The types of the variable can
+// be as simple as an unsigned integer, or as complex as the virtual memory
+// page structure or page queue list" (§4.2).
+type Kind uint8
+
+const (
+	KindNone  Kind = iota // unregistered slot
+	KindInt               // signed integer variable or constant
+	KindBool              // boolean variable
+	KindQueue             // page queue list
+	KindPage              // page register (may be empty at runtime)
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindInt:
+		return "int"
+	case KindBool:
+		return "bool"
+	case KindQueue:
+		return "queue"
+	case KindPage:
+		return "page"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// SlotInfo describes the static contract of one well-known operand slot:
+// its kind, its printable name, whether policies may write it, and — for
+// live counters — which queue slot its value mirrors (SlotNoQueue when the
+// counter tracks non-queue kernel state such as the grant count).
+//
+// The table is consumed by the static verifier (which must know builtin
+// kinds without constructing a container) and cross-checked against
+// core.newContainer by a core test so the two can never drift.
+type SlotInfo struct {
+	Slot     uint8
+	Kind     Kind
+	Name     string
+	ReadOnly bool
+	// LiveQueue is the queue slot whose length this live counter reads,
+	// or SlotNoQueue. Only meaningful for live (kernel-maintained) ints.
+	LiveQueue uint8
+	Live      bool
+}
+
+// SlotNoQueue marks a SlotInfo whose value is not a queue length.
+const SlotNoQueue uint8 = 0xFF
+
+// WellKnownSlots returns the static contract of the builtin operand slots,
+// indexed positionally (not by slot number).
+func WellKnownSlots() []SlotInfo {
+	return []SlotInfo{
+		{Slot: SlotScratch, Kind: KindInt, Name: "_scratch", LiveQueue: SlotNoQueue},
+		{Slot: SlotFreeQueue, Kind: KindQueue, Name: "_free_queue", ReadOnly: true, LiveQueue: SlotNoQueue},
+		{Slot: SlotFreeCount, Kind: KindInt, Name: "_free_count", ReadOnly: true, Live: true, LiveQueue: SlotFreeQueue},
+		{Slot: SlotActiveQueue, Kind: KindQueue, Name: "_active_queue", ReadOnly: true, LiveQueue: SlotNoQueue},
+		{Slot: SlotActiveCount, Kind: KindInt, Name: "_active_count", ReadOnly: true, Live: true, LiveQueue: SlotActiveQueue},
+		{Slot: SlotInactiveQueue, Kind: KindQueue, Name: "_inactive_queue", ReadOnly: true, LiveQueue: SlotNoQueue},
+		{Slot: SlotInactiveCount, Kind: KindInt, Name: "_inactive_count", ReadOnly: true, Live: true, LiveQueue: SlotInactiveQueue},
+		{Slot: SlotAllocated, Kind: KindInt, Name: "_allocated", ReadOnly: true, Live: true, LiveQueue: SlotNoQueue},
+		{Slot: SlotMinFrame, Kind: KindInt, Name: "_min_frame", ReadOnly: true, Live: true, LiveQueue: SlotNoQueue},
+		{Slot: SlotInactiveTgt, Kind: KindInt, Name: "inactive_target", LiveQueue: SlotNoQueue},
+		{Slot: SlotFreeTgt, Kind: KindInt, Name: "free_target", LiveQueue: SlotNoQueue},
+		{Slot: SlotPageReg, Kind: KindPage, Name: "_page", LiveQueue: SlotNoQueue},
+		{Slot: SlotReservedTgt, Kind: KindInt, Name: "reserved_target", LiveQueue: SlotNoQueue},
+		{Slot: SlotFaultAddr, Kind: KindInt, Name: "_fault_addr", ReadOnly: true, LiveQueue: SlotNoQueue},
+		{Slot: SlotFaultOffset, Kind: KindInt, Name: "_fault_offset", ReadOnly: true, LiveQueue: SlotNoQueue},
+		{Slot: SlotZero, Kind: KindInt, Name: "_zero", ReadOnly: true, LiveQueue: SlotNoQueue},
+		{Slot: SlotOne, Kind: KindInt, Name: "_one", ReadOnly: true, LiveQueue: SlotNoQueue},
+	}
+}

@@ -89,6 +89,9 @@ const (
 	EvPagerFailover    // failover pager switched to its fallback; Arg = consecutive losses
 	EvContainerRevoked // container revoked, region handed back to the default policy
 
+	// Static verifier (internal/hpl/verify via the security checker).
+	EvVerifyDiag // one verifier diagnostic at registration; Arg = severity, Aux = event number, Flag = error
+
 	// NumTypes is the number of event types; Registry arrays index by Type.
 	NumTypes
 )
@@ -140,6 +143,7 @@ var typeNames = [NumTypes]string{
 	EvPageOutError:      "pageout.error",
 	EvPagerFailover:     "pager.failover",
 	EvContainerRevoked:  "container.revoked",
+	EvVerifyDiag:        "verify.diag",
 }
 
 // String returns the event type's stable wire name (used by the log format).

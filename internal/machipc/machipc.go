@@ -106,11 +106,14 @@ func (i *IPC) NewPort(name string, handler Handler) *Port {
 	return &Port{Name: name, ipc: i, handler: handler}
 }
 
+// ErrNoServer is returned by Call on a port with no registered handler.
+var ErrNoServer = errors.New("machipc: port has no server")
+
 // Call performs a synchronous RPC: request out, reply back, one null-IPC
 // charge end to end (Table 4 measures the round trip).
 func (p *Port) Call(req Message) (Message, error) {
 	if p.handler == nil {
-		return Message{}, errors.New("machipc: port has no server")
+		return Message{}, ErrNoServer
 	}
 	p.ipc.Stats.RPCs++
 	p.ipc.Stats.Messages += 2

@@ -9,10 +9,16 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 
 	"hipec/internal/simtime"
 )
+
+// ErrCorrupt marks a violated memory invariant found by Validate or
+// Conservation: a broken queue link or an unaccounted/doubly-accounted
+// frame.
+var ErrCorrupt = errors.New("mem: invariant violated")
 
 // Page is one physical page frame and its machine-maintained state. A Page
 // belongs to at most one Queue at a time (intrusive links); replacement
@@ -244,22 +250,22 @@ func (q *Queue) Validate() error {
 	var prev *Page
 	for p := q.head; p != nil; p = p.next {
 		if p.queue != q {
-			return fmt.Errorf("mem: %v linked into %q but queue pointer is wrong", p, q.Name)
+			return fmt.Errorf("%w: %v linked into %q but queue pointer is wrong", ErrCorrupt, p, q.Name)
 		}
 		if p.prev != prev {
-			return fmt.Errorf("mem: broken prev link at %v in %q", p, q.Name)
+			return fmt.Errorf("%w: broken prev link at %v in %q", ErrCorrupt, p, q.Name)
 		}
 		prev = p
 		n++
 		if n > q.count {
-			return fmt.Errorf("mem: cycle or overcount in %q", q.Name)
+			return fmt.Errorf("%w: cycle or overcount in %q", ErrCorrupt, q.Name)
 		}
 	}
 	if n != q.count {
-		return fmt.Errorf("mem: %q count=%d but %d pages linked", q.Name, q.count, n)
+		return fmt.Errorf("%w: %q count=%d but %d pages linked", ErrCorrupt, q.Name, q.count, n)
 	}
 	if q.tail != prev {
-		return fmt.Errorf("mem: %q tail pointer wrong", q.Name)
+		return fmt.Errorf("%w: %q tail pointer wrong", ErrCorrupt, q.Name)
 	}
 	return nil
 }
@@ -370,7 +376,7 @@ func (ft *FrameTable) Conservation(queues []*Queue, loose map[*Page]bool) error 
 	seen := make(map[*Page]string, len(ft.pages))
 	mark := func(p *Page, where string) error {
 		if prev, dup := seen[p]; dup {
-			return fmt.Errorf("mem: frame %d in both %s and %s", p.Frame, prev, where)
+			return fmt.Errorf("%w: frame %d in both %s and %s", ErrCorrupt, p.Frame, prev, where)
 		}
 		seen[p] = where
 		return nil
@@ -398,11 +404,11 @@ func (ft *FrameTable) Conservation(queues []*Queue, loose map[*Page]bool) error 
 	}
 	for i := range ft.pages {
 		if _, ok := seen[&ft.pages[i]]; !ok {
-			return fmt.Errorf("mem: frame %d unaccounted for", i)
+			return fmt.Errorf("%w: frame %d unaccounted for", ErrCorrupt, i)
 		}
 	}
 	if len(seen) != len(ft.pages) {
-		return fmt.Errorf("mem: %d frames accounted, table has %d", len(seen), len(ft.pages))
+		return fmt.Errorf("%w: %d frames accounted, table has %d", ErrCorrupt, len(seen), len(ft.pages))
 	}
 	return nil
 }

@@ -1,0 +1,138 @@
+package policies_test
+
+import (
+	"testing"
+
+	"hipec/internal/core"
+	"hipec/internal/hpl"
+	"hipec/internal/hpl/verify"
+	"hipec/internal/policies"
+)
+
+// TestPaperPoliciesVerifyClean is the golden gate: every canned paper
+// policy must pass the static verifier with zero error-severity
+// diagnostics at every plausible minFrame.
+func TestPaperPoliciesVerifyClean(t *testing.T) {
+	for _, name := range policies.Names() {
+		for _, mf := range []int{4, 16, 64} {
+			spec, err := policies.ByName(name, mf)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			u, err := core.UnitForSpec(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			diags := verify.Analyze(u)
+			for _, d := range verify.Errors(diags) {
+				t.Errorf("%s minFrame=%d: %s", name, mf, d)
+			}
+		}
+	}
+}
+
+// TestPaperPoliciesDiagnosticBudget pins the advisory noise level: the
+// canned policies should not accumulate warnings silently. The only
+// accepted warning class is unreachable code from the compiler's implicit
+// trailing return.
+func TestPaperPoliciesDiagnosticBudget(t *testing.T) {
+	for _, name := range policies.Names() {
+		spec, err := policies.ByName(name, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := core.UnitForSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range verify.Analyze(u) {
+			if d.Code != verify.CodeUnreachable {
+				t.Errorf("%s: unexpected diagnostic %s", name, d)
+			}
+		}
+	}
+}
+
+// TestBrokenSourceDiagnostics runs deliberately broken HPL programs
+// through translate-then-verify and checks the expected diagnostic code
+// surfaces. This is the source-level golden table; command-level cases
+// live in the verify package's own tests.
+func TestBrokenSourceDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want verify.Code
+	}{
+		{
+			name: "mutual recursion",
+			want: verify.CodeActivateCycle,
+			src: `
+minframe = 4
+event PageFault() {
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() {
+    return
+}
+event A() {
+    activate B()
+}
+event B() {
+    activate A()
+}
+`,
+		},
+		{
+			name: "busy wait on constants",
+			want: verify.CodeInfiniteLoop,
+			src: `
+minframe = 4
+event PageFault() {
+    while (0 < 1) {
+    }
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() {
+    return
+}
+`,
+		},
+		{
+			name: "stuck queue poll",
+			want: verify.CodeStuckLoop,
+			src: `
+minframe = 4
+event PageFault() {
+    while (empty(_free_queue)) {
+    }
+    page = dequeue_head(_free_queue)
+    return page
+}
+event ReclaimFrame() {
+    return
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := hpl.Translate(tc.name, tc.src)
+			if err != nil {
+				t.Fatalf("translate: %v", err)
+			}
+			u, err := core.UnitForSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := verify.Analyze(u)
+			for _, d := range diags {
+				if d.Code == tc.want && d.Severity == verify.SevError {
+					return
+				}
+			}
+			t.Fatalf("want %s error, got %v", tc.want, diags)
+		})
+	}
+}

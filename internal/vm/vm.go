@@ -112,6 +112,13 @@ var ErrNoMemory = errors.New("vm: out of page frames")
 // ErrBadAddress is returned for accesses outside any mapped region.
 var ErrBadAddress = errors.New("vm: address not mapped")
 
+// ErrBadMap marks a Map/Unmap call with invalid parameters.
+var ErrBadMap = errors.New("vm: bad mapping")
+
+// ErrNoPolicy is returned when a fault finds no replacement policy
+// installed for the object or the system.
+var ErrNoPolicy = errors.New("vm: no replacement policy installed")
+
 // FaultAborter is optionally implemented by policies that own frame grant
 // accounting (HiPEC containers). When a fault fails permanently after
 // PageFor — the page never became resident — the fault handler calls
@@ -341,11 +348,11 @@ func (s *System) NewSpace() *AddressSpace {
 func (sp *AddressSpace) Map(o *Object, objOffset, length int64) (*MapEntry, error) {
 	ps := int64(sp.sys.PageSize())
 	if objOffset%ps != 0 || length <= 0 {
-		return nil, fmt.Errorf("vm: bad mapping off=%d len=%d", objOffset, length)
+		return nil, fmt.Errorf("%w: off=%d len=%d", ErrBadMap, objOffset, length)
 	}
 	length = (length + ps - 1) / ps * ps
 	if objOffset+length > o.Size {
-		return nil, fmt.Errorf("vm: mapping [%d,%d) exceeds object size %d", objOffset, objOffset+length, o.Size)
+		return nil, fmt.Errorf("%w: [%d,%d) exceeds object size %d", ErrBadMap, objOffset, objOffset+length, o.Size)
 	}
 	start := sp.nextVA
 	sp.nextVA += length + ps // one-page guard gap between regions
@@ -371,7 +378,7 @@ func (sp *AddressSpace) Unmap(e *MapEntry) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("vm: entry [%#x,%#x) not mapped in this space", e.Start, e.End)
+	return fmt.Errorf("%w: entry [%#x,%#x) not in this space", ErrBadAddress, e.Start, e.End)
 }
 
 // Lookup finds the entry containing addr.
@@ -439,7 +446,7 @@ func (sp *AddressSpace) fault(e *MapEntry, off, addr int64, write bool) (*mem.Pa
 		policy = s.defaultPolicy
 	}
 	if policy == nil {
-		return nil, errors.New("vm: no replacement policy installed")
+		return nil, ErrNoPolicy
 	}
 	f := &Fault{Space: sp, Entry: e, Object: e.Object, Offset: off, Addr: addr, Write: write}
 	p, err := policy.PageFor(f)
