@@ -30,6 +30,8 @@ import (
 	"time"
 
 	"hipec/internal/bench"
+	"hipec/internal/kevent"
+	"hipec/internal/simtime"
 )
 
 func main() {
@@ -43,9 +45,60 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "measure host performance (sweep cells/sec, executor ns/command, allocs) and write the JSON report to this file")
 		eventLog  = flag.String("event-log", "", "run the deterministic smoke workload and write its kernel event log to this file (diff two runs with cmd/replaydiff)")
 		chaos     = flag.String("chaos", "", "run the seeded chaos soak (fault injection + graceful degradation): \"seed=N\" or a bare seed number")
+		shards    = flag.Int("shards", 0, "run N independent kernels on N goroutines (the sharded scale harness) and print merged metrics; with -event-log, capture shard 0's stream")
+		shardSeed = flag.Uint64("shard-seed", 0, "master seed for the sharded harness's per-shard scatter phases (0 = every shard runs the canonical workload)")
+		shardSer  = flag.Bool("shard-serial", false, "run the shards sequentially on one goroutine (results are identical; only wall time changes)")
+		timer     = flag.String("timer", "", "simtime scheduler backend: wheel (default) or heap (reference implementation)")
 	)
 	flag.Parse()
 	bench.SetParallelism(*workers)
+
+	if *timer != "" {
+		sched, ok := simtime.SchedulerByName(*timer)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "timer: unknown scheduler %q (want wheel or heap)\n", *timer)
+			os.Exit(1)
+		}
+		simtime.SetDefaultScheduler(sched)
+	}
+
+	if *shards > 0 {
+		cfg := bench.ShardedConfig{
+			Shards: *shards,
+			Seed:   *shardSeed,
+			Quick:  *quick,
+			Serial: *shardSer,
+		}
+		var lw *kevent.LogWriter
+		var f *os.File
+		if *eventLog != "" {
+			var err error
+			f, err = os.Create(*eventLog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shards: %v\n", err)
+				os.Exit(1)
+			}
+			lw = kevent.NewLogWriter(f)
+			cfg.Shard0Sink = lw
+		}
+		res, err := bench.RunSharded(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shards: %v\n", err)
+			os.Exit(1)
+		}
+		if lw != nil {
+			if err := lw.Flush(); err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shards: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("captured %d shard-0 kernel events to %s\n", lw.Events(), *eventLog)
+		}
+		fmt.Print(res.Format())
+		return
+	}
 
 	if *chaos != "" {
 		seedStr := strings.TrimPrefix(*chaos, "seed=")

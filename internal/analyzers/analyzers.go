@@ -61,6 +61,7 @@ var passes = []pass{
 	{"globalrand", checkGlobalRand},
 	{"errtype", checkErrType},
 	{"globalstate", checkGlobalState},
+	{"mapinloop", checkMapInLoop},
 }
 
 // kernelPkgs are the packages whose errors must carry the hiperr taxonomy.

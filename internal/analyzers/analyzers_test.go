@@ -129,3 +129,65 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("%s", f)
 	}
 }
+
+func TestMapInLoopFlaggedInHotPath(t *testing.T) {
+	fs := analyze(t, "internal/vm", `package vm
+type obj struct{ resident map[int64]*int }
+
+//hipec:hotpath
+func (o *obj) get(off int64) *int { return o.resident[off] }
+`)
+	wantFinding(t, fs, "mapinloop", "resident")
+}
+
+func TestMapInLoopRangeFlagged(t *testing.T) {
+	fs := analyze(t, "internal/pageout", `package pageout
+
+//hipec:hotpath
+func sweep() {
+	seen := make(map[int]bool)
+	for k := range seen {
+		_ = k
+	}
+}
+`)
+	wantFinding(t, fs, "mapinloop", "seen")
+}
+
+func TestMapInLoopUnmarkedFunctionAllowed(t *testing.T) {
+	fs := analyze(t, "internal/vm", `package vm
+func cold(m map[int]int) int { return m[3] }
+`)
+	for _, f := range fs {
+		if f.Analyzer == "mapinloop" {
+			t.Fatalf("unmarked function flagged: %v", f)
+		}
+	}
+}
+
+func TestMapInLoopAllowlistedSparseFallback(t *testing.T) {
+	fs := analyze(t, "internal/vm", `package vm
+type obj struct{ sparse map[int64]*int }
+
+//hipec:hotpath
+func (o *obj) get(off int64) *int { return o.sparse[off] }
+`)
+	for _, f := range fs {
+		if f.Analyzer == "mapinloop" {
+			t.Fatalf("allowlisted sparse fallback flagged: %v", f)
+		}
+	}
+}
+
+func TestMapInLoopOnlyKernelPackages(t *testing.T) {
+	fs := analyze(t, "internal/workload", `package workload
+
+//hipec:hotpath
+func hot(m map[int]int) int { return m[3] }
+`)
+	for _, f := range fs {
+		if f.Analyzer == "mapinloop" {
+			t.Fatalf("non-kernel package flagged: %v", f)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package analyzers
+
+import (
+	"bufio"
+	_ "embed"
+	"go/ast"
+	"strings"
+)
+
+// The mapinloop pass guards the data-plane overhaul: the fault and pageout
+// hot paths replaced their per-access map lookups with dense page-indexed
+// slices and intrusive queues, and this pass keeps maps from creeping back.
+// Functions on the hot path carry a `//hipec:hotpath` directive in their
+// doc comment; inside such a function (kernel packages only), indexing or
+// ranging over a map-typed name is a finding.
+//
+// The pass is pure go/ast, so "map-typed" is resolved syntactically: a name
+// counts as a map if the same file declares it as one — a struct field or
+// variable of map type, a parameter of map type, or an assignment from
+// make(map...) or a map literal. That covers every map the kernel packages
+// own; cross-package map-typed expressions are invisible, which fails open
+// (no false positives) and matches the pass's job of guarding this repo's
+// own hot paths.
+//
+// mapinloop_allow.txt is the allowlist: one `pkg:name` per line for map
+// names that are legal on the hot path. The only entry is the sparse
+// page-table fallback — oversized objects (and the ForceSparseObjects
+// reference mode) deliberately keep the map, and the flat path never
+// touches it for ordinary objects.
+
+//go:embed mapinloop_allow.txt
+var mapInLoopAllowRaw string
+
+// mapInLoopAllow holds "pkg:name" entries parsed from the allowlist file.
+var mapInLoopAllow = parseMapAllow(mapInLoopAllowRaw)
+
+func parseMapAllow(raw string) map[string]bool {
+	allow := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(raw))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		allow[line] = true
+	}
+	return allow
+}
+
+// hotPathMarked reports whether a function's doc comment carries the
+// `//hipec:hotpath` directive.
+func hotPathMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//hipec:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileMapNames collects every name the file declares with a map type.
+func fileMapNames(f *ast.File) map[string]bool {
+	names := map[string]bool{}
+	declare := func(idents []*ast.Ident) {
+		for _, id := range idents {
+			if id.Name != "_" {
+				names[id.Name] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.Field: // struct fields, params, results
+			if _, ok := d.Type.(*ast.MapType); ok {
+				declare(d.Names)
+			}
+		case *ast.ValueSpec:
+			if _, ok := d.Type.(*ast.MapType); ok {
+				declare(d.Names)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range d.Rhs {
+				if i >= len(d.Lhs) || !isMapExpr(rhs) {
+					continue
+				}
+				if id, ok := d.Lhs[i].(*ast.Ident); ok {
+					declare([]*ast.Ident{id})
+				}
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// isMapExpr matches the syntactic map constructors: make(map[...]...) and
+// map literals.
+func isMapExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			_, isMap := v.Args[0].(*ast.MapType)
+			return isMap
+		}
+	case *ast.CompositeLit:
+		_, isMap := v.Type.(*ast.MapType)
+		return isMap
+	}
+	return false
+}
+
+// terminalName extracts the identifier a map access names: `m` for m[k]
+// and `o.m` alike (the field name is what the allowlist keys on).
+func terminalName(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name, true
+	case *ast.SelectorExpr:
+		return v.Sel.Name, true
+	case *ast.ParenExpr:
+		return terminalName(v.X)
+	}
+	return "", false
+}
+
+// checkMapInLoop flags map index and range expressions inside
+// //hipec:hotpath functions of kernel packages.
+func checkMapInLoop(f *file, report func(ast.Node, string, ...any)) {
+	if !kernelPkgs[f.pkg] {
+		return
+	}
+	mapNames := fileMapNames(f.ast)
+	if len(mapNames) == 0 {
+		return
+	}
+	flagged := func(x ast.Expr) (string, bool) {
+		name, ok := terminalName(x)
+		if !ok || !mapNames[name] {
+			return "", false
+		}
+		if mapInLoopAllow[f.pkg+":"+name] {
+			return "", false
+		}
+		return name, true
+	}
+	for _, decl := range f.ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || !hotPathMarked(fd) || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.IndexExpr:
+				if name, bad := flagged(v.X); bad {
+					report(v, "map lookup on %q inside hot-path function %s; use a dense index or add %s:%s to mapinloop_allow.txt",
+						name, fd.Name.Name, f.pkg, name)
+				}
+			case *ast.RangeStmt:
+				if name, bad := flagged(v.X); bad {
+					report(v, "map iteration over %q inside hot-path function %s is allocation- and order-hazardous; use a dense index or add %s:%s to mapinloop_allow.txt",
+						name, fd.Name.Name, f.pkg, name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hipec/internal/core"
+	"hipec/internal/kevent"
+)
+
+// The sharded harness answers the scale question the per-cell sweeps do
+// not: how many page faults per second of simulated kernel work can this
+// host sustain when it runs many independent kernels at once? Each shard
+// is one complete simulated machine — private core.Kernel, private
+// simtime.Clock, private kevent spine — driven by the canonical spine
+// smoke workload plus an optional shard-seeded scatter phase. Shards
+// share nothing, so K shards on K goroutines scale until the host runs
+// out of cores or memory bandwidth, and every shard's event stream is
+// individually deterministic: shard i's log depends only on (config,
+// shard seed), never on K, goroutine interleaving, or wall time.
+
+// ShardedConfig sizes a sharded multi-kernel run.
+type ShardedConfig struct {
+	Shards int    // kernel count; <= 0 means 1
+	Seed   uint64 // master seed; 0 disables the per-shard scatter phase
+	Quick  bool   // use the -quick smoke scaling
+	Serial bool   // run shards sequentially on the calling goroutine
+
+	// Shard0Sink, when non-nil, is attached to shard 0's kernel spine —
+	// the hook the replaydiff determinism gate uses to prove the sharded
+	// path emits exactly the unsharded event stream at Shards=1, Seed=0.
+	Shard0Sink kevent.Sink
+}
+
+// ShardResult is one shard's contribution.
+type ShardResult struct {
+	Shard     int
+	Seed      uint64 // derived per-shard seed (0 when scatter is disabled)
+	Faults    int64  // EvFault count on the shard's spine
+	Events    int64  // total events on the shard's spine
+	VirtualNs int64  // shard's final virtual clock reading
+}
+
+// ShardedResult aggregates a sharded run.
+type ShardedResult struct {
+	Shards       []ShardResult
+	Merged       *kevent.Registry // all shard registries merged
+	Faults       int64            // total simulated page faults
+	WallSeconds  float64          // host wall-clock for the whole fleet
+	FaultsPerSec float64          // Faults / WallSeconds: the scale headline
+}
+
+// splitmix64 advances *x and returns the next value of the stream
+// (Steele et al., "Fast Splittable Pseudorandom Number Generators").
+// The per-shard seeds and the scatter phase's reference string both come
+// from it, so shard workloads are decorrelated but fully determined by
+// the master seed.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ShardSeeds derives the n per-shard seeds from a master seed. A zero
+// master seed yields all-zero shard seeds (scatter disabled everywhere),
+// keeping shard 0 byte-identical to the unsharded smoke workload.
+func ShardSeeds(master uint64, n int) []uint64 {
+	seeds := make([]uint64, n)
+	if master == 0 {
+		return seeds
+	}
+	x := master
+	for i := range seeds {
+		seeds[i] = splitmix64(&x)
+	}
+	return seeds
+}
+
+// RunShardWorkload drives one shard's kernel: the canonical spine smoke
+// workload, then — for a non-zero seed — a scatter phase touching a
+// shard-private region in a splitmix64-derived order, so different shards
+// stress different reference strings. With seed 0 it is exactly
+// RunSpineSmoke.
+func RunShardWorkload(cfg SpineSmokeConfig, seed uint64, sinks ...kevent.Sink) (*core.Kernel, error) {
+	k, err := RunSpineSmoke(cfg, sinks...)
+	if err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		return k, nil
+	}
+	sp := k.NewSpace()
+	ps := int64(k.VM.PageSize())
+	pages := int64(2 * cfg.Frames)
+	e, err := sp.Allocate(pages * ps)
+	if err != nil {
+		return nil, err
+	}
+	x := seed
+	for i := 0; i < cfg.Touches/2; i++ {
+		r := splitmix64(&x)
+		addr := e.Start + int64(r%uint64(pages))*ps
+		if r&7 == 0 {
+			_, err = sp.Write(addr)
+		} else {
+			_, err = sp.Touch(addr)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return k, nil
+}
+
+// RunSharded runs cfg.Shards independent kernels, one goroutine per shard
+// (or serially with cfg.Serial), and merges their registries. The
+// per-shard results and the merged counters are identical at any
+// parallelism; only WallSeconds and FaultsPerSec depend on the host.
+func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	smoke := DefaultSpineSmoke()
+	if cfg.Quick {
+		smoke = QuickSpineSmoke()
+	}
+	seeds := ShardSeeds(cfg.Seed, n)
+	res := &ShardedResult{
+		Shards: make([]ShardResult, n),
+		Merged: &kevent.Registry{},
+	}
+	regs := make([]*kevent.Registry, n)
+	errs := make([]error, n)
+
+	runShard := func(i int) {
+		var sinks []kevent.Sink
+		var counting kevent.Counting
+		sinks = append(sinks, &counting)
+		if i == 0 && cfg.Shard0Sink != nil {
+			sinks = append(sinks, cfg.Shard0Sink)
+		}
+		k, err := RunShardWorkload(smoke, seeds[i], sinks...)
+		if err != nil {
+			errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			return
+		}
+		reg := k.Registry()
+		regs[i] = reg
+		res.Shards[i] = ShardResult{
+			Shard:     i,
+			Seed:      seeds[i],
+			Faults:    reg.Count(kevent.EvFault),
+			Events:    counting.N,
+			VirtualNs: int64(k.Clock.Now()),
+		}
+	}
+
+	start := time.Now()
+	if cfg.Serial || n == 1 {
+		for i := 0; i < n; i++ {
+			runShard(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func(i int) {
+				defer wg.Done()
+				runShard(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.Merged.Merge(regs[i])
+		res.Faults += res.Shards[i].Faults
+	}
+	if res.WallSeconds > 0 {
+		res.FaultsPerSec = float64(res.Faults) / res.WallSeconds
+	}
+	return res, nil
+}
+
+// Format renders the sharded run as a small table plus the headline.
+func (r *ShardedResult) Format() string {
+	var b []byte
+	b = fmt.Appendf(b, "Sharded multi-kernel run: %d shards\n", len(r.Shards))
+	b = fmt.Appendf(b, "%6s %18s %12s %12s %14s\n", "shard", "seed", "faults", "events", "virtual time")
+	for _, s := range r.Shards {
+		b = fmt.Appendf(b, "%6d %#18x %12d %12d %14s\n",
+			s.Shard, s.Seed, s.Faults, s.Events, time.Duration(s.VirtualNs).Round(time.Millisecond))
+	}
+	b = fmt.Appendf(b, "total faults: %d   wall: %.3fs   throughput: %.0f faults/sec\n",
+		r.Faults, r.WallSeconds, r.FaultsPerSec)
+	b = fmt.Appendf(b, "merged spine: %d hits, %d faults, %d pageins, %d reclaims\n",
+		r.Merged.Count(kevent.EvHit), r.Merged.Count(kevent.EvFault),
+		r.Merged.Count(kevent.EvPageIn), r.Merged.Count(kevent.EvDaemonReclaim))
+	return string(b)
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"hipec/internal/kevent"
+)
+
+// TestShardedSerialParallelIdentical pins the harness's core determinism
+// claim: per-shard results and merged counters are identical whether the
+// shards run on K goroutines or sequentially on one.
+func TestShardedSerialParallelIdentical(t *testing.T) {
+	par, err := RunSharded(ShardedConfig{Shards: 4, Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := RunSharded(ShardedConfig{Shards: 4, Seed: 7, Quick: true, Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par.Shards {
+		if par.Shards[i] != ser.Shards[i] {
+			t.Fatalf("shard %d diverged:\n  parallel: %+v\n  serial:   %+v", i, par.Shards[i], ser.Shards[i])
+		}
+	}
+	if *par.Merged.Global() != *ser.Merged.Global() {
+		t.Fatal("merged global counters diverged between serial and parallel runs")
+	}
+	if par.Faults != ser.Faults {
+		t.Fatalf("fault totals diverged: %d vs %d", par.Faults, ser.Faults)
+	}
+}
+
+// TestShardResultIndependentOfShardCount pins that shard i's outcome
+// depends only on its seed: shard 0 of a 4-shard run matches shard 0 of a
+// 1-shard run (same master seed).
+func TestShardResultIndependentOfShardCount(t *testing.T) {
+	one, err := RunSharded(ShardedConfig{Shards: 1, Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunSharded(ShardedConfig{Shards: 4, Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Shards[0] != four.Shards[0] {
+		t.Fatalf("shard 0 diverged with shard count:\n  1 shard:  %+v\n  4 shards: %+v", one.Shards[0], four.Shards[0])
+	}
+}
+
+// TestShardedSeedZeroMatchesUnshardedLog is the in-process version of the
+// CI replaydiff gate: at Shards=1, Seed=0, the sharded path's shard-0
+// event log is byte-identical to CaptureEventLog's unsharded stream.
+func TestShardedSeedZeroMatchesUnshardedLog(t *testing.T) {
+	var unsharded bytes.Buffer
+	if _, err := CaptureEventLog(&unsharded, true); err != nil {
+		t.Fatal(err)
+	}
+	var sharded bytes.Buffer
+	lw := kevent.NewLogWriter(&sharded)
+	if _, err := RunSharded(ShardedConfig{Shards: 1, Quick: true, Shard0Sink: lw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unsharded.Bytes(), sharded.Bytes()) {
+		t.Fatalf("sharded shard-0 log differs from unsharded log: %d vs %d bytes",
+			sharded.Len(), unsharded.Len())
+	}
+}
+
+// TestShardSeedsDerivation pins the splitmix64 seed schedule: non-zero
+// masters give distinct non-zero per-shard seeds, zero master disables
+// scatter everywhere.
+func TestShardSeedsDerivation(t *testing.T) {
+	seeds := ShardSeeds(42, 8)
+	seen := map[uint64]bool{}
+	for i, s := range seeds {
+		if s == 0 {
+			t.Fatalf("shard %d got zero seed from non-zero master", i)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate shard seed %#x", s)
+		}
+		seen[s] = true
+	}
+	again := ShardSeeds(42, 8)
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatal("seed schedule not deterministic")
+		}
+	}
+	for _, s := range ShardSeeds(0, 4) {
+		if s != 0 {
+			t.Fatal("zero master must yield zero shard seeds")
+		}
+	}
+}
+
+// TestRegistryMerge pins the merge semantics on a hand-built pair.
+func TestRegistryMerge(t *testing.T) {
+	var a, b kevent.Registry
+	a.Emit(kevent.Event{Type: kevent.EvFault, Space: 1, Arg: 2})
+	b.Emit(kevent.Event{Type: kevent.EvFault, Space: 1, Arg: 3})
+	b.Emit(kevent.Event{Type: kevent.EvHit, Space: 2, Flag: true})
+	var m kevent.Registry
+	m.Merge(&a)
+	m.Merge(&b)
+	if got := m.Count(kevent.EvFault); got != 2 {
+		t.Fatalf("merged fault count = %d, want 2", got)
+	}
+	if got := m.Sum(kevent.EvFault); got != 5 {
+		t.Fatalf("merged fault sum = %d, want 5", got)
+	}
+	if got := m.Space(1).Counts[kevent.EvFault]; got != 2 {
+		t.Fatalf("merged space-1 faults = %d, want 2", got)
+	}
+	if got := m.Space(2).Flags[kevent.EvHit]; got != 1 {
+		t.Fatalf("merged space-2 hit flags = %d, want 1", got)
+	}
+}
+
+// BenchmarkMultiKernelThroughput is the scale headline: GOMAXPROCS
+// independent kernels, each a complete simulated machine, run to
+// completion; the reported custom metric is simulated page faults per
+// wall-clock second across the fleet.
+func BenchmarkMultiKernelThroughput(b *testing.B) {
+	shards := runtime.GOMAXPROCS(0)
+	var faults int64
+	var wall float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunSharded(ShardedConfig{Shards: shards, Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		faults += res.Faults
+		wall += res.WallSeconds
+	}
+	if wall > 0 {
+		b.ReportMetric(float64(faults)/wall, "faults/sec")
+	}
+	b.ReportMetric(float64(shards), "shards")
+}

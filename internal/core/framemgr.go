@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"hipec/internal/faultinj"
 	"hipec/internal/hiperr"
@@ -57,6 +58,18 @@ type FrameManager struct {
 	// victimScratch backs victimOrder's candidate slice between reclaims;
 	// nil while a reclaim iteration holds it (see victimOrder).
 	victimScratch []*Container
+	// grantScratch backs Request's frame list between grants, claimed the
+	// same way so a nested Request (a ReclaimFrame policy requesting
+	// frames) allocates privately instead of clobbering the outer grant.
+	grantScratch []*mem.Page
+	// forcedScratch backs reclaimForced's candidate list between passes.
+	forcedScratch []forcedCand
+}
+
+// forcedCand is one (container, page) forced-reclamation candidate.
+type forcedCand struct {
+	c *Container
+	p *mem.Page
 }
 
 // emit sends an event down the kernel spine.
@@ -157,6 +170,8 @@ func (fm *FrameManager) detach(c *Container) {
 // on the number of the remaining free page frames and the status of the
 // requester", §4.3.1). Grants are all-or-nothing; a rejected request leaves
 // state unchanged and the executor's CR tells the policy to cope.
+//
+//hipec:hotpath
 func (fm *FrameManager) Request(c *Container, n int) bool {
 	if n == 0 {
 		return true
@@ -178,17 +193,24 @@ func (fm *FrameManager) Request(c *Container, n int) bool {
 			return false
 		}
 	}
-	frames := fm.Daemon.TakeFree(n)
-	if len(frames) < n {
-		for _, p := range frames {
+	// Claim the grant scratch (a nested Request allocates privately).
+	scratch := fm.grantScratch
+	fm.grantScratch = nil
+	frames := fm.Daemon.TakeFreeInto(scratch[:0], n)
+	granted := len(frames) >= n
+	for _, p := range frames {
+		if granted {
+			p.Object, p.Offset = 0, 0
+			c.Free.EnqueueTail(p)
+		} else {
 			fm.Daemon.ReturnFrame(p)
 		}
+	}
+	clear(frames)
+	fm.grantScratch = frames[:0]
+	if !granted {
 		fm.emit(kevent.Event{Type: kevent.EvFMDeny, Container: int32(c.ID), Arg: int64(n)})
 		return false
-	}
-	for _, p := range frames {
-		p.Object, p.Offset = 0, 0
-		c.Free.EnqueueTail(p)
 	}
 	c.allocated += n
 	fm.specificTotal += n
@@ -282,6 +304,8 @@ func (fm *FrameManager) noteReleased(c *Container, n int) {
 // the caller's own page back (still resident and dirty when its write-back
 // failed — the contents are the only copy) or nil for a wired page; the
 // policy sees CR=false and copes.
+//
+//hipec:hotpath
 func (fm *FrameManager) FlushExchange(c *Container, p *mem.Page) (_ *mem.Page, ok bool) {
 	if !p.Modified {
 		fm.emit(kevent.Event{Type: kevent.EvFMFlushExchange, Container: int32(c.ID)})
@@ -290,8 +314,8 @@ func (fm *FrameManager) FlushExchange(c *Container, p *mem.Page) (_ *mem.Page, o
 		}
 		return p, true
 	}
-	replacement := fm.Daemon.TakeFree(1)
-	if len(replacement) == 0 {
+	np := fm.Daemon.TakeOne()
+	if np == nil {
 		// Fallback: synchronous flush, reuse the same frame.
 		fm.emit(kevent.Event{Type: kevent.EvFMFlushExchange, Container: int32(c.ID)})
 		if err := fm.kernel.VM.PageOutSync(p); err != nil {
@@ -302,7 +326,6 @@ func (fm *FrameManager) FlushExchange(c *Container, p *mem.Page) (_ *mem.Page, o
 		p.Object, p.Offset = 0, 0
 		return p, true
 	}
-	np := replacement[0]
 	np.Object, np.Offset = 0, 0
 	// Asynchronous laundering: store write is immediate (contents safe),
 	// the disk write completes later, and only then does the frame rejoin
@@ -364,8 +387,8 @@ func (fm *FrameManager) victimOrder() []*Container {
 			rotateLeft(out, k)
 		}
 	case ReclaimProportional:
-		sort.SliceStable(out, func(i, j int) bool {
-			return out[i].allocated-out[i].MinFrame > out[j].allocated-out[j].MinFrame
+		slices.SortStableFunc(out, func(a, b *Container) int {
+			return cmp.Compare(b.allocated-b.MinFrame, a.allocated-a.MinFrame)
 		})
 	}
 	return out
@@ -431,12 +454,18 @@ func (fm *FrameManager) reclaimNormal(want int, skip *Container) int {
 // reclaimForced steals the oldest-allocated frames ("all the allocated page
 // frames of all specific applications are linked in the sequence of the
 // time of allocation") from containers above their minimum.
+//
+//hipec:hotpath
 func (fm *FrameManager) reclaimForced(want int, skip *Container) int {
-	type cand struct {
-		c *Container
-		p *mem.Page
-	}
-	var cands []cand
+	// Claim the candidate scratch for this pass (nested passes allocate
+	// privately), reusing its backing array across reclaim rounds.
+	cands := fm.forcedScratch
+	fm.forcedScratch = nil
+	cands = cands[:0]
+	defer func() {
+		clear(cands)
+		fm.forcedScratch = cands[:0]
+	}()
 	for _, c := range fm.containers {
 		if c == skip || c.state != StateActive {
 			continue
@@ -448,13 +477,13 @@ func (fm *FrameManager) reclaimForced(want int, skip *Container) int {
 		for _, q := range c.queues() {
 			q.Each(func(p *mem.Page) bool {
 				if !p.Wired {
-					cands = append(cands, cand{c, p})
+					cands = append(cands, forcedCand{c, p})
 				}
 				return true
 			})
 		}
 	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].p.AllocSeq < cands[j].p.AllocSeq })
+	slices.SortStableFunc(cands, func(a, b forcedCand) int { return cmp.Compare(a.p.AllocSeq, b.p.AllocSeq) })
 	taken := 0
 	for _, cd := range cands {
 		if taken >= want {

@@ -191,3 +191,35 @@ func BenchmarkExecutorCommandLoop(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(k.Executor.TotalCommands()), "ns/command")
 }
+
+// --- frame-manager hot paths: allocation pins ---------------------------
+
+// TestRequestReleaseCycleDoesNotAllocate pins the global frame manager's
+// grant path: a steady Request/ReleaseFromFree cycle reuses the manager's
+// scratch buffers and must not allocate.
+func TestRequestReleaseCycleDoesNotAllocate(t *testing.T) {
+	k := testKernel(256)
+	sp := k.NewSpace()
+	_, c, err := k.AllocateHiPEC(sp, 8*4096, simpleSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm one cycle so lazy structures (registry scopes, queue nodes)
+	// exist before measuring.
+	if !k.FM.Request(c, 4) {
+		t.Fatal("warm-up request denied")
+	}
+	if got := k.FM.ReleaseFromFree(c, 4); got != 4 {
+		t.Fatalf("warm-up release returned %d, want 4", got)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		if !k.FM.Request(c, 4) {
+			t.Fatal("request denied")
+		}
+		if got := k.FM.ReleaseFromFree(c, 4); got != 4 {
+			t.Fatalf("released %d, want 4", got)
+		}
+	}); avg != 0 {
+		t.Fatalf("request/release cycle allocates %.2f/op, want 0", avg)
+	}
+}

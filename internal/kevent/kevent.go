@@ -274,6 +274,33 @@ func (r *Registry) Container(id int) *ScopeCounters {
 // emitting space ID + 1; index 0 is unused).
 func (r *Registry) Spaces() int { return len(r.spaces) }
 
+// add accumulates every counter of o into sc.
+func (sc *ScopeCounters) add(o *ScopeCounters) {
+	for t := range sc.Counts {
+		sc.Counts[t] += o.Counts[t]
+		sc.Sums[t] += o.Sums[t]
+		sc.Auxs[t] += o.Auxs[t]
+		sc.Flags[t] += o.Flags[t]
+	}
+}
+
+// Merge accumulates every counter of other into r: the global scope and
+// each space/container scope by ID. It exists for the sharded multi-kernel
+// harness, which merges K per-shard registries into one machine-wide view
+// after the shards complete. Space and container IDs are per-kernel, so
+// merged scoped counters aggregate "the i-th space of every shard"; the
+// global scope is the meaningful fleet-wide total. other must not be
+// receiving events concurrently.
+func (r *Registry) Merge(other *Registry) {
+	r.global.add(&other.global)
+	for id := 1; id < len(other.spaces); id++ {
+		r.scope(&r.spaces, id).add(&other.spaces[id])
+	}
+	for id := 1; id < len(other.containers); id++ {
+		r.scope(&r.containers, id).add(&other.containers[id])
+	}
+}
+
 // Emitter is one kernel's event spine: it stamps each event with the
 // virtual clock, feeds the Registry, and fans out to attached sinks. Each
 // simulated kernel owns exactly one Emitter (parallel experiment sweeps

@@ -97,6 +97,8 @@ func (d *Daemon) FreeCount() int { return d.sys.Frames.FreeCount() }
 
 // PageFor implements vm.Policy: produce one free frame for a fault,
 // balancing the queues if the free pool is at or below reserve.
+//
+//hipec:hotpath
 func (d *Daemon) PageFor(f *vm.Fault) (*mem.Page, error) {
 	if d.FreeCount() <= d.Targets.Reserved {
 		d.Balance()
@@ -134,6 +136,8 @@ func (d *Daemon) Release(p *mem.Page) {
 // from the head of the active queue (clearing reference bits), then free
 // inactive pages, giving referenced ones a second chance on the active
 // queue and flushing dirty ones.
+//
+//hipec:hotpath
 func (d *Daemon) Balance() {
 	d.events.Emit(kevent.Event{Type: kevent.EvDaemonBalance})
 	d.refillInactive()
@@ -166,6 +170,7 @@ func (d *Daemon) Balance() {
 	}
 }
 
+//hipec:hotpath
 func (d *Daemon) refillInactive() {
 	for d.Inactive.Len() < d.Targets.Inactive && !d.Active.Empty() {
 		p := d.Active.DequeueHead()
@@ -180,23 +185,44 @@ func (d *Daemon) refillInactive() {
 // non-specific pages) as needed while honouring the reserve. It returns
 // fewer than n frames when memory genuinely cannot be reclaimed.
 func (d *Daemon) TakeFree(n int) []*mem.Page {
-	out := make([]*mem.Page, 0, n)
-	for len(out) < n {
-		if d.FreeCount() <= d.Targets.Reserved {
-			before := d.FreeCount()
-			d.Balance()
-			if d.FreeCount() <= d.Targets.Reserved && d.FreeCount() <= before {
-				break // no progress possible
-			}
-			continue
-		}
-		p := d.sys.Frames.Alloc()
+	return d.TakeFreeInto(make([]*mem.Page, 0, n), n)
+}
+
+// TakeFreeInto is TakeFree appending into a caller-supplied buffer, so
+// steady-state callers (the frame manager's grant path) can reuse scratch
+// across rounds instead of allocating a slice per call.
+//
+//hipec:hotpath
+func (d *Daemon) TakeFreeInto(out []*mem.Page, n int) []*mem.Page {
+	want := len(out) + n
+	for len(out) < want {
+		p := d.TakeOne()
 		if p == nil {
 			break
 		}
 		out = append(out, p)
 	}
 	return out
+}
+
+// TakeOne extracts a single frame from the machine free pool (balancing as
+// TakeFree does), or nil when memory cannot be reclaimed. It never
+// allocates: single-frame consumers (FlushExchange) call it directly
+// rather than taking a one-element slice.
+//
+//hipec:hotpath
+func (d *Daemon) TakeOne() *mem.Page {
+	for {
+		if d.FreeCount() <= d.Targets.Reserved {
+			before := d.FreeCount()
+			d.Balance()
+			if d.FreeCount() <= d.Targets.Reserved && d.FreeCount() <= before {
+				return nil // no progress possible
+			}
+			continue
+		}
+		return d.sys.Frames.Alloc()
+	}
 }
 
 // ReturnFrame accepts a frame back into the machine free pool. The frame

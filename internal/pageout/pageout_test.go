@@ -240,3 +240,55 @@ func TestPropertyRandomAccessConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSteadyStateBalanceLoopDoesNotAllocate pins the daemon's steady-state
+// hot loop at zero heap allocations: under memory pressure every touch
+// faults, runs PageFor -> Balance -> reclaim, and installs the page, and
+// none of it may allocate. Clean zero-fill pages are used so the loop
+// exercises deactivate/reclaim without the (allocating) disk write path.
+func TestSteadyStateBalanceLoopDoesNotAllocate(t *testing.T) {
+	_, sys, d := newSys(16)
+	sp := sys.NewSpace()
+	e, err := sp.Allocate(64 * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime: cycle every page once so queues, counters and the free pool
+	// reach steady state before measuring.
+	for a := e.Start; a < e.End; a += 4096 {
+		if _, err := sp.Touch(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := int64(0)
+	if avg := testing.AllocsPerRun(2000, func() {
+		if _, err := sp.Touch(e.Start + (i%64)*4096); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state balance loop allocates %.2f/op, want 0", avg)
+	}
+	if d.Stats().Balances == 0 || d.Stats().Reclaims == 0 {
+		t.Fatalf("loop never balanced: %+v", d.Stats())
+	}
+}
+
+// TestTakeFreeIntoReusesScratch pins the frame-manager grant path's
+// supplier: repeatedly taking frames into a caller-owned buffer and
+// returning them must not allocate.
+func TestTakeFreeIntoReusesScratch(t *testing.T) {
+	_, _, d := newSys(64)
+	buf := make([]*mem.Page, 0, 8)
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = d.TakeFreeInto(buf[:0], 4)
+		if len(buf) != 4 {
+			t.Fatalf("took %d frames, want 4", len(buf))
+		}
+		for _, p := range buf {
+			d.ReturnFrame(p)
+		}
+	}); avg != 0 {
+		t.Fatalf("TakeFreeInto allocates %.2f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,291 @@
+package simtime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// runBoth runs the same scripted scenario against a wheel clock and a heap
+// clock and fails if their observable traces differ. The scenario callback
+// receives the clock and an emit function for recording observations.
+func runBoth(t *testing.T, name string, scenario func(c *Clock, emit func(string))) {
+	t.Helper()
+	traces := make(map[Scheduler][]string)
+	for _, sched := range []Scheduler{SchedWheel, SchedHeap} {
+		c := NewClockSched(sched)
+		var trace []string
+		scenario(c, func(s string) { trace = append(trace, s) })
+		traces[sched] = trace
+	}
+	w, h := traces[SchedWheel], traces[SchedHeap]
+	if len(w) != len(h) {
+		t.Fatalf("%s: wheel trace has %d entries, heap %d", name, len(w), len(h))
+	}
+	for i := range w {
+		if w[i] != h[i] {
+			t.Fatalf("%s: trace diverges at %d:\n  wheel: %s\n  heap:  %s", name, i, w[i], h[i])
+		}
+	}
+}
+
+// TestWheelHeapDifferentialRandom drives both schedulers through identical
+// random schedule/cancel/advance/drain sequences and requires identical
+// firing traces — timestamps, FIFO order among equal timestamps, pending
+// counts, and clock positions.
+func TestWheelHeapDifferentialRandom(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runBoth(t, "random", func(c *Clock, emit func(string)) {
+				rng := rand.New(rand.NewSource(seed))
+				var live []*Event
+				id := 0
+				for op := 0; op < 400; op++ {
+					switch rng.Intn(10) {
+					case 0, 1, 2, 3: // schedule
+						id++
+						eid := id
+						// Mix of near, far, and beyond-horizon delays to
+						// exercise every wheel level and the overflow list.
+						var d Duration
+						switch rng.Intn(4) {
+						case 0:
+							d = Duration(rng.Int63n(64)) // level 0
+						case 1:
+							d = Duration(rng.Int63n(1 << 18)) // mid levels
+						case 2:
+							d = Duration(rng.Int63n(1 << 40)) // high levels
+						case 3:
+							d = Duration(1<<50 + rng.Int63n(1<<50)) // overflow
+						}
+						live = append(live, c.After(d, func(now Time) {
+							emit(fmt.Sprintf("fire %d at %v", eid, now))
+						}))
+					case 4: // cancel a random live handle
+						if len(live) > 0 {
+							i := rng.Intn(len(live))
+							emit(fmt.Sprintf("cancel -> %v", c.Cancel(live[i])))
+							live = append(live[:i], live[i+1:]...)
+						}
+					case 5, 6, 7: // advance
+						c.Advance(Duration(rng.Int63n(1 << 20)))
+						// Fired handles are recycled; drop stale references.
+						live = live[:0]
+						emit(fmt.Sprintf("now %v pending %d", c.Now(), c.Pending()))
+					case 8: // run one event
+						emit(fmt.Sprintf("runnext %v now %v", c.RunNext(), c.Now()))
+						live = live[:0]
+					case 9: // peek
+						when, ok := c.PeekNext()
+						emit(fmt.Sprintf("peek %v %v", when, ok))
+					}
+				}
+				emit(fmt.Sprintf("drain %d end %v", c.Drain(0), c.Now()))
+			})
+		})
+	}
+}
+
+// TestWheelHeapDifferentialNestedAdvance exercises the pastDue machinery:
+// a callback performs a nested advance that jumps the clock past pending
+// events, which must still fire afterwards in (when, seq) order on both
+// backends.
+func TestWheelHeapDifferentialNestedAdvance(t *testing.T) {
+	runBoth(t, "nested", func(c *Clock, emit func(string)) {
+		for i, d := range []Duration{5, 10, 15, 70, 200, 1 << 30} {
+			i := i
+			c.After(d, func(now Time) { emit(fmt.Sprintf("fire %d at %v", i, now)) })
+		}
+		// The event at t=5 sleeps re-entrantly far past every other
+		// pending event, stranding them all.
+		c.After(5, func(Time) {
+			c.Sleep(1 << 31)
+			emit(fmt.Sprintf("nested slept to %v", c.Now()))
+		})
+		// Schedule during the nested window too.
+		c.After(10, func(Time) {
+			c.After(3, func(now Time) { emit(fmt.Sprintf("late fire at %v", now)) })
+		})
+		c.Advance(1 << 32)
+		emit(fmt.Sprintf("end %v pending %d", c.Now(), c.Pending()))
+	})
+}
+
+// TestWheelHeapDifferentialEqualTimestamps pins FIFO tie-breaking across
+// backends when many events share deadlines, including events scheduled at
+// the current instant.
+func TestWheelHeapDifferentialEqualTimestamps(t *testing.T) {
+	runBoth(t, "ties", func(c *Clock, emit func(string)) {
+		for i := 0; i < 8; i++ {
+			i := i
+			c.After(100, func(now Time) { emit(fmt.Sprintf("a%d %v", i, now)) })
+			c.After(50, func(now Time) { emit(fmt.Sprintf("b%d %v", i, now)) })
+			c.At(c.Now(), func(now Time) { emit(fmt.Sprintf("imm%d %v", i, now)) })
+		}
+		c.Advance(100)
+		emit(c.Now().String())
+	})
+}
+
+func TestWheelOverflowEventsFire(t *testing.T) {
+	c := NewClockSched(SchedWheel)
+	const far = Duration(1) << 52 // beyond the 64^8 ns horizon
+	fired := false
+	c.After(far, func(now Time) { fired = true })
+	c.Advance(far - 1)
+	if fired {
+		t.Fatal("overflow event fired early")
+	}
+	c.Advance(1)
+	if !fired {
+		t.Fatal("overflow event never fired")
+	}
+}
+
+// TestCancelledEventsAreRecycled pins the satellite fix for event
+// retention: cancelled timers must return to the freelist (not stay
+// pinned by heap slices or wheel slots), and the freelist must actually be
+// reused by subsequent schedules.
+func TestCancelledEventsAreRecycled(t *testing.T) {
+	for _, sched := range []Scheduler{SchedWheel, SchedHeap} {
+		c := NewClockSched(sched)
+		evs := make([]*Event, 100)
+		for i := range evs {
+			evs[i] = c.After(Duration(i+1), func(Time) {})
+		}
+		for _, e := range evs {
+			c.Cancel(e)
+		}
+		if got := c.FreelistLen(); got != 100 {
+			t.Fatalf("%v: FreelistLen after 100 cancels = %d, want 100", sched, got)
+		}
+		e := c.After(1, func(Time) {})
+		if got := c.FreelistLen(); got != 99 {
+			t.Fatalf("%v: FreelistLen after reuse = %d, want 99", sched, got)
+		}
+		if e != evs[99] {
+			t.Fatalf("%v: schedule did not reuse the freelist head", sched)
+		}
+	}
+}
+
+// TestSteadyStateTimerLoopDoesNotAllocate pins the hot-path contract: a
+// schedule/fire cycle (the shape of disk completions and daemon wakeups)
+// runs allocation-free once the freelist is primed. The callback closure
+// is hoisted outside the loop — closures capturing loop state would
+// allocate in the caller, not the clock.
+func TestSteadyStateTimerLoopDoesNotAllocate(t *testing.T) {
+	for _, sched := range []Scheduler{SchedWheel, SchedHeap} {
+		c := NewClockSched(sched)
+		fired := 0
+		fn := func(Time) { fired++ }
+		c.After(1, fn)
+		c.Advance(1) // prime the freelist
+		avg := testing.AllocsPerRun(1000, func() {
+			c.After(7, fn)
+			c.Advance(7)
+		})
+		if avg != 0 {
+			t.Fatalf("%v: schedule/fire cycle allocates %.1f/op, want 0", sched, avg)
+		}
+		avg = testing.AllocsPerRun(1000, func() {
+			c.Cancel(c.After(1<<40, fn))
+		})
+		if avg != 0 {
+			t.Fatalf("%v: schedule/cancel cycle allocates %.1f/op, want 0", sched, avg)
+		}
+	}
+}
+
+// TestFreelistIsBounded guards against the pool itself becoming a leak.
+func TestFreelistIsBounded(t *testing.T) {
+	c := NewClock()
+	for i := 0; i < 10*maxFreelist; i++ {
+		c.Cancel(c.After(1, func(Time) {}))
+	}
+	if got := c.FreelistLen(); got > maxFreelist {
+		t.Fatalf("FreelistLen = %d, want <= %d", got, maxFreelist)
+	}
+}
+
+// TestHeapPopClearsSlot guards the retention fix on the reference backend:
+// firing all events must leave no *Event pointers behind in the heap
+// slice's spare capacity.
+func TestHeapPopClearsSlot(t *testing.T) {
+	c := NewClockSched(SchedHeap)
+	for i := 0; i < 32; i++ {
+		c.After(Duration(i+1), func(Time) {})
+	}
+	c.Advance(100)
+	spare := c.events[:cap(c.events)]
+	for i, e := range spare {
+		if e != nil {
+			t.Fatalf("heap slice slot %d still holds an event after drain", i)
+		}
+	}
+}
+
+func TestSchedulerByName(t *testing.T) {
+	if s, ok := SchedulerByName("heap"); !ok || s != SchedHeap {
+		t.Fatal("heap")
+	}
+	if s, ok := SchedulerByName("wheel"); !ok || s != SchedWheel {
+		t.Fatal("wheel")
+	}
+	if _, ok := SchedulerByName("bogus"); ok {
+		t.Fatal("bogus accepted")
+	}
+	if SchedWheel.String() != "wheel" || SchedHeap.String() != "heap" {
+		t.Fatal("String")
+	}
+}
+
+func TestDefaultSchedulerSwitch(t *testing.T) {
+	old := DefaultScheduler()
+	defer SetDefaultScheduler(old)
+	SetDefaultScheduler(SchedHeap)
+	if NewClock().SchedulerKind() != SchedHeap {
+		t.Fatal("NewClock ignored default heap")
+	}
+	SetDefaultScheduler(SchedWheel)
+	if NewClock().SchedulerKind() != SchedWheel {
+		t.Fatal("NewClock ignored default wheel")
+	}
+}
+
+func BenchmarkSchedulerScheduleFire(b *testing.B) {
+	for _, sched := range []Scheduler{SchedWheel, SchedHeap} {
+		b.Run(sched.String(), func(b *testing.B) {
+			c := NewClockSched(sched)
+			fn := func(Time) {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.After(100*time.Microsecond, fn)
+				c.Advance(100 * time.Microsecond)
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerPendingSet measures schedule/fire with a standing set
+// of outstanding timers (the multi-container steady state).
+func BenchmarkSchedulerPendingSet(b *testing.B) {
+	for _, sched := range []Scheduler{SchedWheel, SchedHeap} {
+		b.Run(sched.String(), func(b *testing.B) {
+			c := NewClockSched(sched)
+			fn := func(Time) {}
+			for i := 0; i < 256; i++ {
+				c.After(Duration(1+i)*time.Millisecond, fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.After(50*time.Microsecond, fn)
+				c.Advance(50 * time.Microsecond)
+			}
+		})
+	}
+}

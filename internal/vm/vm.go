@@ -14,6 +14,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -157,6 +158,12 @@ type Pager interface {
 	PagerTerminate(obj uint64)
 }
 
+// flatMaxPages bounds the dense page table: objects above this page count
+// (4 GiB of 4 KiB pages — none of the paper's workloads come close) fall
+// back to a sparse map so a huge, thinly-touched object does not pay a
+// pointer slot per possible page.
+const flatMaxPages = 1 << 20
+
 // Object is a Mach VM object: a pager-backed or zero-fill segment of data.
 type Object struct {
 	ID       uint64
@@ -164,8 +171,18 @@ type Object struct {
 	ZeroFill bool  // anonymous memory: first touch zero-fills, no page-in
 	DiskBase int64 // block address of the object's first page on disk
 
-	resident map[int64]*mem.Page
-	sys      *System
+	// The resident-page table. Objects are contiguous, so the common case
+	// is the flat slice indexed by off>>pageShift — the fault path's
+	// resident lookup is then a shift and a bounds-checked load, no
+	// hashing. Objects beyond flatMaxPages (and every object when the
+	// system's ForceSparseObjects reference mode is on) use sparse
+	// instead; exactly one of flat/sparse is non-nil.
+	flat      []*mem.Page
+	sparse    map[int64]*mem.Page
+	nres      int
+	pageShift uint8
+
+	sys *System
 	// Policy optionally overrides the system default for every region
 	// mapping this object (HiPEC mounts a container here, mirroring the
 	// paper's container-under-VM-object design).
@@ -179,15 +196,70 @@ type Object struct {
 }
 
 // Resident returns the resident page at offset, or nil.
-func (o *Object) Resident(off int64) *mem.Page { return o.resident[off] }
+//
+//hipec:hotpath
+func (o *Object) Resident(off int64) *mem.Page {
+	if o.flat != nil {
+		if i := uint64(off) >> o.pageShift; i < uint64(len(o.flat)) {
+			return o.flat[i]
+		}
+		return nil
+	}
+	return o.sparse[off]
+}
+
+// setResident installs p as the resident page at off.
+//
+//hipec:hotpath
+func (o *Object) setResident(off int64, p *mem.Page) {
+	if o.flat != nil {
+		if prev := o.flat[uint64(off)>>o.pageShift]; prev == nil {
+			o.nres++
+		}
+		o.flat[uint64(off)>>o.pageShift] = p
+	} else {
+		if _, had := o.sparse[off]; !had {
+			o.nres++
+		}
+		o.sparse[off] = p
+	}
+}
+
+// clearResident removes the resident page at off.
+//
+//hipec:hotpath
+func (o *Object) clearResident(off int64) {
+	if o.flat != nil {
+		if o.flat[uint64(off)>>o.pageShift] != nil {
+			o.nres--
+		}
+		o.flat[uint64(off)>>o.pageShift] = nil
+	} else {
+		if _, had := o.sparse[off]; had {
+			o.nres--
+		}
+		delete(o.sparse, off)
+	}
+}
 
 // ResidentCount reports the number of resident pages.
-func (o *Object) ResidentCount() int { return len(o.resident) }
+func (o *Object) ResidentCount() int { return o.nres }
 
-// EachResident calls fn for every resident (offset, page) pair in
-// unspecified order; fn returning false stops the walk.
+// EachResident calls fn for every resident (offset, page) pair; fn
+// returning false stops the walk. Flat objects walk in ascending offset
+// order; sparse objects walk in map order. Callers must not rely on
+// either — the order is unspecified, as it was when every object was
+// map-backed.
 func (o *Object) EachResident(fn func(off int64, p *mem.Page) bool) {
-	for off, p := range o.resident {
+	if o.flat != nil {
+		for i, p := range o.flat {
+			if p != nil && !fn(int64(i)<<o.pageShift, p) {
+				return
+			}
+		}
+		return
+	}
+	for off, p := range o.sparse {
 		if !fn(off, p) {
 			return
 		}
@@ -214,6 +286,10 @@ type AddressSpace struct {
 	sys     *System
 	entries []*MapEntry // sorted by Start, non-overlapping
 	nextVA  int64       // simple bump allocator for vm_allocate
+	// hot is a one-entry translation cache (a software TLB): the entry the
+	// last access resolved to. Accesses have strong region locality, so
+	// the common case skips the binary search. Invalidated on Unmap.
+	hot *MapEntry
 }
 
 // Stats reports the space's VM activity, derived from the event spine.
@@ -241,11 +317,54 @@ type System struct {
 	// core installs the kernel's revocation hook here.
 	OnFaultFailure func(o *Object, cause error) bool
 
+	// ForceSparseObjects restores the pre-overhaul reference data plane:
+	// every subsequently created object uses the sparse (map-backed) page
+	// table regardless of size, and address spaces skip the one-entry
+	// hot-entry cache, binary-searching the map list on every access as
+	// the old code did. It exists as the reference mode for the
+	// flat-vs-sparse differential fuzz and for same-host before/after
+	// benchmarking; production configurations leave it false. The mode is
+	// behaviour-preserving — only speed differs — which is exactly what
+	// the differential fuzz proves.
+	ForceSparseObjects bool
+
 	defaultPolicy Policy
-	objects       map[uint64]*Object
-	nextObjID     uint64
-	nextSpaceID   int
-	nextDiskBase  int64
+	// objects is indexed by object ID. IDs are never reused (the slot of a
+	// destroyed object stays nil forever), so the monotonically increasing
+	// ID doubles as its generation: a stale ID can only ever resolve to
+	// nil, never to a recycled object.
+	objects      []*Object
+	nextSpaceID  int
+	nextDiskBase int64
+
+	pageShift uint8
+	pageMask  int64 // PageSize-1
+
+	// faultScratch pools Fault records so the fault path does not allocate
+	// per fault. Depth exceeds 1 only on the degrade-replay recursion;
+	// deeper nesting (a pathological policy) falls back to the heap.
+	faultScratch [4]Fault
+	faultDepth   int
+}
+
+// takeFault returns a zeroed Fault record, pooled up to the scratch depth.
+func (s *System) takeFault() *Fault {
+	if s.faultDepth < len(s.faultScratch) {
+		f := &s.faultScratch[s.faultDepth]
+		s.faultDepth++
+		return f
+	}
+	s.faultDepth++
+	return &Fault{}
+}
+
+// putFault releases the most recently taken Fault record, clearing the
+// pooled slot so it does not pin the space/entry/object it referenced.
+func (s *System) putFault() {
+	s.faultDepth--
+	if s.faultDepth < len(s.faultScratch) {
+		s.faultScratch[s.faultDepth] = Fault{}
+	}
 }
 
 // Stats reports machine-wide VM activity, derived from the event spine.
@@ -272,6 +391,9 @@ func NewSystem(clock *simtime.Clock, cfg Config) *System {
 	if cfg.PageSize <= 0 {
 		cfg.PageSize = 4096
 	}
+	if cfg.PageSize&(cfg.PageSize-1) != 0 {
+		panic(fmt.Sprintf("vm: page size %d is not a power of two", cfg.PageSize))
+	}
 	if cfg.Frames <= 0 {
 		panic("vm: config needs a positive frame count")
 	}
@@ -288,14 +410,17 @@ func NewSystem(clock *simtime.Clock, cfg Config) *System {
 	d := disk.New(clock, cfg.Disk, events)
 	d.SetInjector(cfg.Inject)
 	return &System{
-		Clock:   clock,
-		Frames:  mem.NewFrameTable(cfg.Frames, cfg.PageSize, cfg.KeepData),
-		Disk:    d,
-		Store:   disk.NewStore(cfg.PageSize, cfg.KeepData),
-		Costs:   cfg.Costs,
-		Events:  events,
-		Retry:   cfg.Retry,
-		objects: make(map[uint64]*Object),
+		Clock:  clock,
+		Frames: mem.NewFrameTable(cfg.Frames, cfg.PageSize, cfg.KeepData),
+		Disk:   d,
+		Store:  disk.NewStore(cfg.PageSize, cfg.KeepData),
+		Costs:  cfg.Costs,
+		Events: events,
+		Retry:  cfg.Retry,
+		// Slot 0 is a permanent nil: object IDs start at 1.
+		objects:   make([]*Object, 1, 64),
+		pageShift: uint8(bits.TrailingZeros64(uint64(cfg.PageSize))),
+		pageMask:  int64(cfg.PageSize) - 1,
 	}
 }
 
@@ -319,22 +444,33 @@ func (s *System) NewObject(size int64, zeroFill bool) *Object {
 	}
 	ps := int64(s.PageSize())
 	size = (size + ps - 1) / ps * ps
-	s.nextObjID++
 	o := &Object{
-		ID:       s.nextObjID,
-		Size:     size,
-		ZeroFill: zeroFill,
-		DiskBase: s.nextDiskBase,
-		resident: make(map[int64]*mem.Page),
-		sys:      s,
+		ID:        uint64(len(s.objects)),
+		Size:      size,
+		ZeroFill:  zeroFill,
+		DiskBase:  s.nextDiskBase,
+		pageShift: s.pageShift,
+		sys:       s,
+	}
+	if pages := size / ps; pages > flatMaxPages || s.ForceSparseObjects {
+		o.sparse = make(map[int64]*mem.Page)
+	} else {
+		o.flat = make([]*mem.Page, pages)
 	}
 	s.nextDiskBase += size / ps
-	s.objects[o.ID] = o
+	s.objects = append(s.objects, o)
 	return o
 }
 
-// Object looks up an object by ID.
-func (s *System) Object(id uint64) *Object { return s.objects[id] }
+// Object looks up an object by ID; destroyed or never-issued IDs return
+// nil. IDs index the object table directly (they are assigned densely and
+// never reused), so the lookup is a bounds-checked load.
+func (s *System) Object(id uint64) *Object {
+	if id < uint64(len(s.objects)) {
+		return s.objects[id]
+	}
+	return nil
+}
 
 // NewSpace creates an empty address space.
 func (s *System) NewSpace() *AddressSpace {
@@ -375,6 +511,9 @@ func (sp *AddressSpace) Unmap(e *MapEntry) error {
 	for i, cand := range sp.entries {
 		if cand == e {
 			sp.entries = append(sp.entries[:i], sp.entries[i+1:]...)
+			if sp.hot == e {
+				sp.hot = nil
+			}
 			return nil
 		}
 	}
@@ -404,16 +543,24 @@ func (sp *AddressSpace) Write(addr int64) (*mem.Page, error) { return sp.access(
 // address, fault (plus its page-in or zero-fill resolution) — is a single
 // event emission on the spine; the access count is derived, never
 // separately tracked.
+//
+//hipec:hotpath
 func (sp *AddressSpace) access(addr int64, write bool) (*mem.Page, error) {
 	s := sp.sys
-	e, ok := sp.Lookup(addr)
-	if !ok {
-		s.Events.Emit(kevent.Event{Type: kevent.EvBadAddress, Space: int32(sp.ID), Addr: addr})
-		return nil, fmt.Errorf("%w: %#x", ErrBadAddress, addr)
+	e := sp.hot
+	if e == nil || !e.Contains(addr) {
+		var ok bool
+		e, ok = sp.Lookup(addr)
+		if !ok {
+			s.Events.Emit(kevent.Event{Type: kevent.EvBadAddress, Space: int32(sp.ID), Addr: addr})
+			return nil, fmt.Errorf("%w: %#x", ErrBadAddress, addr)
+		}
+		if !s.ForceSparseObjects {
+			sp.hot = e
+		}
 	}
-	ps := int64(s.PageSize())
-	off := e.ObjOffset + (addr-e.Start)/ps*ps
-	if p := e.Object.resident[off]; p != nil {
+	off := e.ObjOffset + ((addr - e.Start) &^ s.pageMask)
+	if p := e.Object.Resident(off); p != nil {
 		// Resident: hardware sets reference (and modify) bits.
 		p.Referenced = true
 		if write {
@@ -432,6 +579,7 @@ func (sp *AddressSpace) access(addr int64, write bool) (*mem.Page, error) {
 	return sp.fault(e, off, addr, write)
 }
 
+//hipec:hotpath
 func (sp *AddressSpace) fault(e *MapEntry, off, addr int64, write bool) (*mem.Page, error) {
 	s := sp.sys
 	s.Events.Emit(kevent.Event{Type: kevent.EvFault, Space: int32(sp.ID), Addr: addr, Flag: write})
@@ -448,7 +596,9 @@ func (sp *AddressSpace) fault(e *MapEntry, off, addr int64, write bool) (*mem.Pa
 	if policy == nil {
 		return nil, ErrNoPolicy
 	}
-	f := &Fault{Space: sp, Entry: e, Object: e.Object, Offset: off, Addr: addr, Write: write}
+	f := s.takeFault()
+	defer s.putFault()
+	*f = Fault{Space: sp, Entry: e, Object: e.Object, Offset: off, Addr: addr, Write: write}
 	p, err := policy.PageFor(f)
 	if err != nil {
 		return nil, &hiperr.Error{Op: "vm.fault", Space: sp.ID, Err: fmt.Errorf("at %#x: %w", addr, err)}
@@ -490,7 +640,7 @@ func (sp *AddressSpace) fault(e *MapEntry, off, addr int64, write bool) (*mem.Pa
 		}
 		return nil, err
 	}
-	e.Object.resident[off] = p
+	e.Object.setResident(off, p)
 	policy.Installed(f, p)
 	return p, nil
 }
@@ -566,11 +716,11 @@ func (sp *AddressSpace) pageInOnce(e *MapEntry, off, addr int64, p *mem.Page) er
 // the caller (a replacement policy evicting the page) takes ownership. If
 // the page is dirty the caller is responsible for writing it back (PageOut).
 func (s *System) Detach(p *mem.Page) {
-	o := s.objects[p.Object]
-	if o == nil || o.resident[p.Offset] != p {
+	o := s.Object(p.Object)
+	if o == nil || o.Resident(p.Offset) != p {
 		panic(fmt.Sprintf("vm: Detach of non-resident %v", p))
 	}
-	delete(o.resident, p.Offset)
+	o.clearResident(p.Offset)
 	s.Events.Emit(kevent.Event{Type: kevent.EvEviction, Arg: int64(p.Object), Aux: p.Offset})
 }
 
@@ -597,7 +747,7 @@ func (s *System) diskAddr(o *Object, off int64) int64 {
 // resident or retry. The kernel store path cannot fail: the store write is
 // immediate and durable, the disk write models timing only.
 func (s *System) PageOut(p *mem.Page, done func(simtime.Time)) error {
-	o := s.objects[p.Object]
+	o := s.Object(p.Object)
 	s.Events.Emit(kevent.Event{Type: kevent.EvPageOut, Arg: int64(p.Object), Aux: p.Offset})
 	if o != nil && o.ExternalPager != nil {
 		if err := o.ExternalPager.DataReturn(o.ID, p.Offset, p.Data); err != nil {
@@ -622,7 +772,7 @@ func (s *System) PageOut(p *mem.Page, done func(simtime.Time)) error {
 // time). Used by policies that must wait for the write. Error semantics
 // match PageOut.
 func (s *System) PageOutSync(p *mem.Page) error {
-	o := s.objects[p.Object]
+	o := s.Object(p.Object)
 	s.Events.Emit(kevent.Event{Type: kevent.EvPageOut, Arg: int64(p.Object), Aux: p.Offset, Flag: true})
 	if o != nil && o.ExternalPager != nil {
 		if err := o.ExternalPager.DataReturn(o.ID, p.Offset, p.Data); err != nil {
@@ -693,8 +843,7 @@ func (s *System) DestroyObject(o *Object) {
 	if policy == nil {
 		policy = s.defaultPolicy
 	}
-	for off, p := range o.resident {
-		delete(o.resident, off)
+	o.EachResident(func(_ int64, p *mem.Page) bool {
 		if policy != nil {
 			policy.Release(p)
 		}
@@ -702,9 +851,12 @@ func (s *System) DestroyObject(o *Object) {
 			p.Queue().Remove(p)
 		}
 		s.Frames.Free(p)
-	}
+		return true
+	})
+	o.flat, o.sparse, o.nres = nil, nil, 0
 	if o.ExternalPager != nil {
 		o.ExternalPager.PagerTerminate(o.ID)
 	}
-	delete(s.objects, o.ID)
+	// The slot is retired, never reused: stale IDs resolve to nil.
+	s.objects[o.ID] = nil
 }
