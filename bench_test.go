@@ -20,7 +20,7 @@ import (
 	"hipec/internal/hpl"
 	"hipec/internal/machipc"
 	"hipec/internal/policies"
-	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 	"hipec/internal/vm"
 	"hipec/internal/workload"
 )
@@ -203,7 +203,7 @@ func BenchmarkCommandQueueOps(b *testing.B) {
 // pager over IPC. Virtual costs are zeroed so the benchmark isolates the
 // real interpreter/IPC machinery.
 func benchmarkFaultPath(b *testing.B, mode string) {
-	clock := simtime.NewClock()
+	clock := substrate.NewSimClock()
 	const pool = 64
 	switch mode {
 	case "hipec":

@@ -49,6 +49,7 @@ func main() {
 		shardSeed = flag.Uint64("shard-seed", 0, "master seed for the sharded harness's per-shard scatter phases (0 = every shard runs the canonical workload)")
 		shardSer  = flag.Bool("shard-serial", false, "run the shards sequentially on one goroutine (results are identical; only wall time changes)")
 		timer     = flag.String("timer", "", "simtime scheduler backend: wheel (default) or heap (reference implementation)")
+		substr    = flag.String("substrate", "sim", "substrate: sim (deterministic virtual time) or real (wall clock, file-backed store, concurrent clients)")
 	)
 	flag.Parse()
 	bench.SetParallelism(*workers)
@@ -60,6 +61,25 @@ func main() {
 			os.Exit(1)
 		}
 		simtime.SetDefaultScheduler(sched)
+	}
+
+	if *substr != "" && *substr != "sim" {
+		if *substr != "real" {
+			fmt.Fprintf(os.Stderr, "substrate: unknown substrate %q (want sim or real)\n", *substr)
+			os.Exit(1)
+		}
+		cfg := bench.DefaultRealtime()
+		if *quick {
+			cfg.PagesPerClient = 16
+			cfg.Rounds = 2
+		}
+		res, err := bench.RunRealtime(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "substrate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Format())
+		return
 	}
 
 	if *shards > 0 {

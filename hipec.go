@@ -32,9 +32,20 @@
 //	if err != nil { ... }
 //	task.Touch(region.Start) // faults run the policy
 //
-// Everything is driven by a virtual clock (k.Clock): elapsed times reported
-// by the simulation are deterministic virtual nanoseconds calibrated to the
-// paper's testbed, so experiments reproduce bit-for-bit.
+// # Two substrates
+//
+// The engine runs on a pluggable substrate (Config.Substrate):
+//
+//   - Simulation (the zero value): everything is driven by a deterministic
+//     virtual clock (k.Clock) — elapsed times are virtual nanoseconds
+//     calibrated to the paper's testbed, experiments reproduce bit-for-bit,
+//     and the kernel is single-goroutine.
+//   - Realtime (SubstrateConfig{Kind: SubstrateReal, Store: ...}): the same
+//     engine on wall-clock time — frames carry real 4 KB payloads, a
+//     file-backed store (NewFileStore) does genuine I/O, cost models default
+//     to zero because time is measured rather than modeled, and concurrent
+//     callers drive the kernel through the serialized command loop
+//     (NewLoop). See examples/realcache.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure.
@@ -42,6 +53,7 @@ package hipec
 
 import (
 	"hipec/internal/core"
+	"hipec/internal/disk/filestore"
 	"hipec/internal/emm"
 	"hipec/internal/faultinj"
 	"hipec/internal/hiperr"
@@ -51,6 +63,7 @@ import (
 	"hipec/internal/pageout"
 	"hipec/internal/policies"
 	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 	"hipec/internal/trace"
 	"hipec/internal/vm"
 )
@@ -149,6 +162,46 @@ var (
 	NewEventLogWriter = kevent.NewLogWriter
 	// ReadEventLog parses a serialized event log.
 	ReadEventLog = kevent.ReadLog
+)
+
+// Substrate selection (internal/substrate): the seam between the engine and
+// the world it runs in. The zero SubstrateConfig is the deterministic
+// simulation; SubstrateReal runs the same engine on wall-clock time.
+type (
+	// SubstrateConfig selects the substrate a kernel is assembled on
+	// (Config.Substrate).
+	SubstrateConfig = substrate.Config
+	// SubstrateKind names a substrate backend family.
+	SubstrateKind = substrate.Kind
+	// Store is page-granular backing storage; the realtime substrate
+	// accepts a file-backed implementation via SubstrateConfig.Store.
+	Store = substrate.Store
+	// FileStore is the realtime substrate's file-backed page store.
+	FileStore = filestore.Store
+	// Loop is the actor-style serialized command loop that makes a
+	// (typically realtime) kernel safe for concurrent callers.
+	Loop = core.Loop
+)
+
+// Substrate kinds.
+const (
+	// SubstrateSim is the deterministic discrete-event simulation (default).
+	SubstrateSim = substrate.KindSim
+	// SubstrateReal is the wall-clock realtime substrate.
+	SubstrateReal = substrate.KindReal
+)
+
+var (
+	// NewFileStore opens (truncating) a file-backed page store.
+	NewFileStore = filestore.Open
+	// NewTempFileStore opens a file-backed page store on a fresh temp file
+	// that Close removes.
+	NewTempFileStore = filestore.OpenTemp
+	// NewLoop starts a kernel's serialized command loop; concurrent
+	// goroutines submit work with Loop.Call / Loop.Async.
+	NewLoop = core.NewLoop
+	// ErrLoopClosed is returned by Loop.Call after Loop.Close.
+	ErrLoopClosed = core.ErrLoopClosed
 )
 
 // New builds a simulated kernel. Zero-valued Config fields take calibrated

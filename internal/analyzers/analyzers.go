@@ -6,6 +6,10 @@
 //   - simulation packages must not read the wall clock or use the global
 //     math/rand state (determinism: every run is replayable from a seed
 //     and the simulated clock in internal/simtime);
+//   - kernel packages must not dereference the concrete simulation clock —
+//     only the substrate package may touch simtime.Clock directly; everyone
+//     else depends on the substrate.Clock seam so the same engine runs on
+//     the deterministic simulation or the wall clock;
 //   - kernel packages must return typed errors — a bare fmt.Errorf without
 //     %w or an inline errors.New loses the hiperr taxonomy callers program
 //     against with errors.Is / errors.As;
@@ -58,6 +62,7 @@ type pass struct {
 
 var passes = []pass{
 	{"wallclock", checkWallClock},
+	{"simclock", checkSimClock},
 	{"globalrand", checkGlobalRand},
 	{"errtype", checkErrType},
 	{"globalstate", checkGlobalState},
@@ -76,9 +81,11 @@ var kernelPkgs = map[string]bool{
 }
 
 // wallClockExempt may measure real time: the benchmark harness exists to
-// report wall-clock numbers.
+// report wall-clock numbers, and the substrate package owns the realtime
+// backend (RealClock is built from time.Now/Sleep/AfterFunc by design).
 var wallClockExempt = map[string]bool{
-	"internal/bench": true,
+	"internal/bench":     true,
+	"internal/substrate": true,
 }
 
 // Run analyzes every non-test Go file under root/internal and returns the

@@ -44,6 +44,52 @@ func now() time.Time { return time.Now() }
 	}
 }
 
+func TestSimClockFlagged(t *testing.T) {
+	fs := analyze(t, "internal/core", `
+package core
+import "hipec/internal/simtime"
+func mk() *simtime.Clock { return simtime.NewClock() }
+`)
+	wantFinding(t, fs, "simclock", "simtime.Clock")
+	wantFinding(t, fs, "simclock", "simtime.NewClock")
+}
+
+func TestSimClockEventHandleFlagged(t *testing.T) {
+	fs := analyze(t, "internal/vm", `
+package vm
+import "hipec/internal/simtime"
+type holder struct{ ev *simtime.Event }
+`)
+	wantFinding(t, fs, "simclock", "simtime.Event")
+}
+
+func TestSimClockNeutralVocabularyAllowed(t *testing.T) {
+	fs := analyze(t, "internal/core", `
+package core
+import "hipec/internal/simtime"
+func stamp(t simtime.Time) simtime.Time { return t }
+func sched() string { return simtime.DefaultScheduler().String() }
+`)
+	for _, f := range fs {
+		if f.Analyzer == "simclock" {
+			t.Fatalf("substrate-neutral simtime vocabulary flagged: %v", f)
+		}
+	}
+}
+
+func TestSimClockExemptInSubstrate(t *testing.T) {
+	fs := analyze(t, "internal/substrate", `
+package substrate
+import "hipec/internal/simtime"
+func mk() *simtime.Clock { return simtime.NewClock() }
+`)
+	for _, f := range fs {
+		if f.Analyzer == "simclock" {
+			t.Fatalf("substrate package is the seam and must be exempt, got %v", f)
+		}
+	}
+}
+
 func TestGlobalRandFlaggedSeededAllowed(t *testing.T) {
 	fs := analyze(t, "internal/workload", `
 package workload

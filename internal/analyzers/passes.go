@@ -35,6 +35,50 @@ func checkWallClock(f *file, report func(ast.Node, string, ...any)) {
 	})
 }
 
+// simClockExempt may hold concrete simulation-clock references: the
+// substrate package IS the seam — it wraps *simtime.Clock behind
+// substrate.Clock and is the one place allowed to name it.
+var simClockExempt = map[string]bool{
+	"internal/substrate": true,
+}
+
+// simClockIdents are the simtime identifiers that pin code to the concrete
+// simulation backend. The value types (simtime.Time, simtime.Duration) and
+// the scheduler selectors stay legal everywhere: they are substrate-neutral
+// vocabulary, not a backend dependency.
+var simClockIdents = map[string]bool{
+	"Clock": true, "NewClock": true, "NewClockSched": true, "Event": true,
+}
+
+// checkSimClock keeps the substrate seam tight: outside internal/substrate,
+// engine code must depend on substrate.Clock, never on the concrete
+// *simtime.Clock (or its *simtime.Event timer handles). A direct reference
+// re-welds the kernel to the simulation and silently breaks the realtime
+// backend.
+func checkSimClock(f *file, report func(ast.Node, string, ...any)) {
+	if simClockExempt[f.pkg] {
+		return
+	}
+	name := f.importName("hipec/internal/simtime")
+	if name == "" {
+		return
+	}
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != name {
+			return true
+		}
+		if simClockIdents[sel.Sel.Name] {
+			report(sel, "simtime.%s pins this package to the simulation backend; depend on substrate.Clock", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
 // globalRandOK are the math/rand constructors that produce an explicitly
 // seeded generator; everything else on the package (Intn, Seed, ...) draws
 // from or mutates the shared global source.

@@ -9,7 +9,7 @@ import (
 	"hipec/internal/machipc"
 	"hipec/internal/mem"
 	"hipec/internal/policies"
-	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 	"hipec/internal/vm"
 	"hipec/internal/workload"
 )
@@ -92,7 +92,7 @@ func runHiPECMechanism(jc workload.JoinConfig, pool, frames int) (MechanismResul
 // runExtPagerMechanism: the MRU decision behind a null IPC per replacement
 // (the PREMO approach discussed in §2).
 func runExtPagerMechanism(jc workload.JoinConfig, pool, frames int) (MechanismResult, error) {
-	clock := simtime.NewClock()
+	clock := substrate.NewSimClock()
 	sys := vm.NewSystem(clock, vm.Config{Frames: frames})
 	ipc := machipc.New(clock, machipc.Costs{})
 	// The pager's resident queue is recency-ordered: MRU is the tail.
@@ -126,7 +126,7 @@ func runExtPagerMechanism(jc workload.JoinConfig, pool, frames int) (MechanismRe
 // runUpcallMechanism: upcall-based control — two boundary crossings per
 // replacement.
 func runUpcallMechanism(jc workload.JoinConfig, pool, frames int) (MechanismResult, error) {
-	clock := simtime.NewClock()
+	clock := substrate.NewSimClock()
 	sys := vm.NewSystem(clock, vm.Config{Frames: frames})
 	ipc := machipc.New(clock, machipc.Costs{})
 	pol := &upcallPolicy{sys: sys, ipc: ipc, resident: mem.NewQueue("upcall")}

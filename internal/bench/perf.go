@@ -10,6 +10,7 @@ import (
 	"hipec/internal/pageout"
 	"hipec/internal/policies"
 	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 	"hipec/internal/vm"
 )
 
@@ -24,6 +25,10 @@ type PerfReport struct {
 	Parallelism int `json:"parallelism"`
 
 	// Sweep harness: a reduced Figure 5 grid (3 mixes x 4 user counts).
+	// At parallelism 1 the parallel and serial configurations are the same
+	// run, so no speedup is measurable: the serial re-run is skipped and
+	// SweepSerialWallS/SweepSpeedup report 0 ("n/a") instead of a noise
+	// ratio of two identical measurements.
 	SweepCells       int     `json:"sweep_cells"`
 	SweepWallSeconds float64 `json:"sweep_wall_seconds"`
 	SweepCellsPerSec float64 `json:"sweep_cells_per_sec"`
@@ -105,17 +110,18 @@ func MeasurePerf() (PerfReport, error) {
 	r.SweepWallSeconds = time.Since(start).Seconds()
 	r.SweepCellsPerSec = float64(r.SweepCells) / r.SweepWallSeconds
 
-	saved := Parallelism()
-	SetParallelism(1)
-	start = time.Now()
-	_, err := RunFigure5(perfSweepConfig())
-	SetParallelism(saved)
-	if err != nil {
-		return r, err
-	}
-	r.SweepSerialWallS = time.Since(start).Seconds()
-	if r.SweepWallSeconds > 0 {
-		r.SweepSpeedup = r.SweepSerialWallS / r.SweepWallSeconds
+	if saved := Parallelism(); saved > 1 {
+		SetParallelism(1)
+		start = time.Now()
+		_, err := RunFigure5(perfSweepConfig())
+		SetParallelism(saved)
+		if err != nil {
+			return r, err
+		}
+		r.SweepSerialWallS = time.Since(start).Seconds()
+		if r.SweepWallSeconds > 0 {
+			r.SweepSpeedup = r.SweepSerialWallS / r.SweepWallSeconds
+		}
 	}
 
 	if err := measureExecutor(&r); err != nil {
@@ -141,7 +147,7 @@ func MeasurePerf() (PerfReport, error) {
 // operation the simulator models — on a system in the given page-table
 // mode, and reports ns/op and allocs/op.
 func residentHitLoop(forceSparse bool) (nsPerOp, allocsPerOp float64, err error) {
-	clock := simtime.NewClock()
+	clock := substrate.NewSimClock()
 	sys := vm.NewSystem(clock, vm.Config{Frames: 2048, PageSize: 4096})
 	sys.ForceSparseObjects = forceSparse
 	d := pageout.New(sys, pageout.Targets{})

@@ -9,7 +9,7 @@ import (
 	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/pageout"
-	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 	"hipec/internal/vm"
 )
 
@@ -48,6 +48,14 @@ type Config struct {
 	// grants, checker wakeups, ...) is delivered to each sink in order,
 	// after the metrics registry. See package kevent.
 	Sinks []kevent.Sink
+
+	// Substrate selects the world the kernel runs in. The zero value is the
+	// deterministic simulation on an in-memory store — byte-identical to the
+	// pre-seam kernel. substrate.Config{Kind: substrate.KindReal} runs on
+	// wall-clock time: cost models default to zero (real time is measured,
+	// not modeled), frames carry real page payloads cut from one arena, and
+	// Substrate.Store (e.g. a filestore) supplies persistent backing.
+	Substrate substrate.Config
 }
 
 // KernelStats is a snapshot of top-level counters, derived from the kernel
@@ -61,7 +69,7 @@ type KernelStats struct {
 // pageout daemon (doubling as the global frame manager engine), the policy
 // executor and the security checker.
 type Kernel struct {
-	Clock    *simtime.Clock
+	Clock    substrate.Clock
 	VM       *vm.System
 	Daemon   *pageout.Daemon
 	FM       *FrameManager
@@ -98,23 +106,41 @@ func (k *Kernel) emit(e kevent.Event) { k.VM.Events.Emit(e) }
 
 // New builds a kernel.
 func New(cfg Config) *Kernel {
-	clock := simtime.NewClock()
+	real := cfg.Substrate.Kind == substrate.KindReal
+	var clock substrate.Clock
+	if real {
+		clock = substrate.NewRealClock()
+	} else {
+		clock = substrate.NewSimClock()
+	}
 	costs := cfg.VMCosts
-	if costs == (vm.Costs{}) {
+	if costs == (vm.Costs{}) && !real {
+		// Realtime keeps zero costs zero: real time is measured by the
+		// wall clock, not modeled by charges.
 		costs = vm.DefaultCosts()
 	}
 	if cfg.HiPECDisabled {
 		costs.RegionCheck = 0
 	}
+	dp := cfg.Disk
+	if real && dp == (disk.Params{}) {
+		// The timing model is vestigial on the realtime substrate (the
+		// store's actual I/O takes real time); keep the charge negligible
+		// while satisfying the positive-PerByte invariant.
+		dp = disk.Params{PerByte: 1}
+	}
 	inject := faultinj.New(cfg.Faults)
 	sys := vm.NewSystem(clock, vm.Config{
-		Frames:   cfg.Frames,
-		PageSize: cfg.PageSize,
-		KeepData: cfg.KeepData,
-		Costs:    costs,
-		Disk:     cfg.Disk,
-		Retry:    cfg.Retry,
-		Inject:   inject,
+		Frames:       cfg.Frames,
+		PageSize:     cfg.PageSize,
+		KeepData:     cfg.KeepData || real,
+		Costs:        costs,
+		Disk:         dp,
+		Retry:        cfg.Retry,
+		Inject:       inject,
+		Store:        cfg.Substrate.Store,
+		PayloadArena: real,
+		RawCosts:     real,
 	})
 	for _, s := range cfg.Sinks {
 		sys.Events.Attach(s)
@@ -130,7 +156,7 @@ func New(cfg Config) *Kernel {
 	}
 	sys.OnFaultFailure = k.degradeFault
 	ec := cfg.ExecCosts
-	if ec == (ExecCosts{}) {
+	if ec == (ExecCosts{}) && !real {
 		ec = DefaultExecCosts()
 	}
 	k.Executor = newExecutor(k, ec)

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+
+	"hipec/internal/substrate"
+)
+
+// ErrLoopClosed is returned by Loop.Call after Close.
+var ErrLoopClosed = errors.New("core: kernel loop closed")
+
+// Loop makes a kernel safe for concurrent callers without putting a single
+// lock inside the engine: an actor-style serialized command loop. The
+// kernel stays a single-writer structure — exactly the discipline the
+// simulation gets for free from its one virtual clock — and concurrency
+// lives entirely at this boundary: callers enqueue closures into a mailbox,
+// one engine goroutine applies them in arrival order. This is the same
+// shape as the sharded scale harness (bench.RunSharded), with the shard
+// count fixed at one and the workload arriving live instead of replayed.
+//
+// On the realtime substrate the loop also captures the clock's timer
+// callbacks (disk write completions, checker wakeups, pageout balancing):
+// it installs itself as the RealClock gate, so expirations are delivered
+// through the same mailbox and take their turn with commands instead of
+// touching the kernel from a timer goroutine.
+type Loop struct {
+	k    *Kernel
+	mbox chan func()
+	done chan struct{} // closed when the engine goroutine has exited
+}
+
+// DefaultMailboxDepth bounds how many commands may queue before senders
+// block — enough to absorb bursts, small enough to apply backpressure
+// instead of hiding latency in an unbounded queue.
+const DefaultMailboxDepth = 128
+
+// NewLoop starts the engine goroutine for k and, when k runs on the
+// realtime substrate, installs the timer-callback gate. The kernel must not
+// be touched directly (outside Call/Async closures) from then on.
+func NewLoop(k *Kernel) *Loop {
+	l := &Loop{
+		k:    k,
+		mbox: make(chan func(), DefaultMailboxDepth),
+		done: make(chan struct{}),
+	}
+	if rc, ok := k.Clock.Backend().(*substrate.RealClock); ok {
+		rc.SetGate(l.enqueue)
+	}
+	go l.run()
+	return l
+}
+
+// run is the engine goroutine: apply mailbox closures in order until one of
+// them (enqueued by Close) reports stop.
+func (l *Loop) run() {
+	defer close(l.done)
+	for fn := range l.mbox {
+		if fn == nil { // Close's stop sentinel
+			return
+		}
+		fn()
+	}
+}
+
+// enqueue is the RealClock gate: deliver a timer expiration through the
+// mailbox. After Close the mailbox is no longer drained; late expirations
+// run inline on the timer goroutine, which is safe because Close has
+// already detached the gate for future timers and the closer owns the
+// kernel again.
+func (l *Loop) enqueue(run func()) {
+	select {
+	case l.mbox <- run:
+	case <-l.done:
+		run()
+	}
+}
+
+// Call runs fn on the engine goroutine and returns its error. It blocks
+// until fn has run (or the loop closes first, returning ErrLoopClosed).
+func (l *Loop) Call(fn func(k *Kernel) error) error {
+	select {
+	case <-l.done: // engine already gone; don't park fn in a dead mailbox
+		return ErrLoopClosed
+	default:
+	}
+	errc := make(chan error, 1)
+	select {
+	case l.mbox <- func() { errc <- fn(l.k) }:
+	case <-l.done:
+		return ErrLoopClosed
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-l.done:
+		// The loop shut down while fn was queued; it may still have been
+		// the last closure applied before the sentinel.
+		select {
+		case err := <-errc:
+			return err
+		default:
+			return ErrLoopClosed
+		}
+	}
+}
+
+// Async enqueues fn without waiting for it to run. It reports false after
+// Close.
+func (l *Loop) Async(fn func(k *Kernel)) bool {
+	select {
+	case <-l.done:
+		return false
+	default:
+	}
+	select {
+	case l.mbox <- func() { fn(l.k) }:
+		return true
+	case <-l.done:
+		return false
+	}
+}
+
+// Close stops the engine goroutine after the commands already enqueued have
+// been applied, detaches the timer gate, and waits for the engine to exit.
+// Idempotent; concurrent Calls that lose the race return ErrLoopClosed.
+func (l *Loop) Close() {
+	select {
+	case <-l.done:
+		return
+	default:
+	}
+	if rc, ok := l.k.Clock.Backend().(*substrate.RealClock); ok {
+		rc.SetGate(nil)
+	}
+	select {
+	case l.mbox <- nil:
+	case <-l.done:
+		return
+	}
+	<-l.done
+}

@@ -22,6 +22,7 @@ import (
 	"hipec/internal/hiperr"
 	"hipec/internal/kevent"
 	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 )
 
 // Params describes the drive's performance characteristics.
@@ -63,7 +64,7 @@ type Stats struct {
 // Disk is the simulated paging device. It is not safe for concurrent use;
 // the simulated kernel serializes on one clock.
 type Disk struct {
-	clock    *simtime.Clock
+	clock    substrate.Clock
 	events   *kevent.Emitter
 	params   Params
 	inject   *faultinj.Plane // nil = no injection
@@ -74,9 +75,9 @@ type Disk struct {
 // New creates a disk attached to clock, emitting I/O events into events.
 // A nil events builds a private spine (standalone disks, e.g. inside a
 // user-level pager); the VM substrate passes its shared kernel spine.
-func New(clock *simtime.Clock, params Params, events *kevent.Emitter) *Disk {
-	if clock == nil {
-		panic("disk: nil clock")
+func New(clock substrate.Clock, params Params, events *kevent.Emitter) *Disk {
+	if clock.IsZero() {
+		panic("disk: zero clock")
 	}
 	if params.PerByte <= 0 {
 		panic("disk: PerByte must be positive")
@@ -193,65 +194,19 @@ func (d *Disk) PageReadTime(pageSize int) time.Duration {
 	return d.params.AvgSeek + d.params.HalfRotate + time.Duration(pageSize)*d.params.PerByte
 }
 
-// Store is the backing store: page-granular content addressed by
-// (object, offset). It models the paging file that VM objects page to and
-// from. Content is optional — experiments that only count faults can run
-// with data disabled to avoid the memory traffic.
-type Store struct {
-	pageSize int
-	keepData bool
-	pages    map[StoreKey][]byte
-}
+// Store is the in-memory backing store: page-granular content addressed by
+// (object, offset), modeling the paging file that VM objects page to and
+// from. The implementation lives in the substrate package (it is the
+// simulation substrate's store backend); the alias keeps this package's
+// historical surface.
+type Store = substrate.MemStore
 
 // StoreKey addresses one page of backing store.
-type StoreKey struct {
-	Object uint64
-	Offset int64 // page-aligned byte offset within the object
-}
+type StoreKey = substrate.PageKey
 
 // NewStore creates a backing store for pages of pageSize bytes. If keepData
 // is false, page contents are not retained (reads return nil) but presence
 // is still tracked.
 func NewStore(pageSize int, keepData bool) *Store {
-	if pageSize <= 0 {
-		panic("disk: non-positive page size")
-	}
-	return &Store{pageSize: pageSize, keepData: keepData, pages: make(map[StoreKey][]byte)}
+	return substrate.NewMemStore(pageSize, keepData)
 }
-
-// PageSize returns the store's page size.
-func (s *Store) PageSize() int { return s.pageSize }
-
-// WritePage stores data (length <= pageSize) for key. A nil data argument
-// records presence without content.
-func (s *Store) WritePage(key StoreKey, data []byte) {
-	if key.Offset%int64(s.pageSize) != 0 {
-		panic(fmt.Sprintf("disk: unaligned store offset %d", key.Offset))
-	}
-	if len(data) > s.pageSize {
-		panic(fmt.Sprintf("disk: page data %d bytes exceeds page size %d", len(data), s.pageSize))
-	}
-	if !s.keepData || data == nil {
-		s.pages[key] = nil
-		return
-	}
-	buf := make([]byte, s.pageSize)
-	copy(buf, data)
-	s.pages[key] = buf
-}
-
-// ReadPage fetches the page for key. ok reports whether the page exists in
-// the store (an absent page models a zero-fill page).
-func (s *Store) ReadPage(key StoreKey) (data []byte, ok bool) {
-	d, ok := s.pages[key]
-	return d, ok
-}
-
-// Contains reports whether the store holds a page for key.
-func (s *Store) Contains(key StoreKey) bool {
-	_, ok := s.pages[key]
-	return ok
-}
-
-// Len reports the number of pages present.
-func (s *Store) Len() int { return len(s.pages) }

@@ -9,11 +9,12 @@ import (
 	"hipec/internal/faultinj"
 	"hipec/internal/hiperr"
 	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 )
 
 func newTestDisk() (*simtime.Clock, *Disk) {
 	c := simtime.NewClock()
-	return c, New(c, DefaultParams(), nil)
+	return c, New(substrate.Sim(c), DefaultParams(), nil)
 }
 
 func TestDefaultPageReadNear7_66ms(t *testing.T) {
@@ -99,10 +100,10 @@ func TestZeroSizePanics(t *testing.T) {
 func TestNilClockPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("New(nil, ...) did not panic")
+			t.Fatal("New(zero clock, ...) did not panic")
 		}
 	}()
-	New(nil, DefaultParams(), nil)
+	New(substrate.Clock{}, DefaultParams(), nil)
 }
 
 func TestStoreRoundTrip(t *testing.T) {

@@ -1,0 +1,164 @@
+// Package filestore is the realtime substrate's backing store: pages live
+// in one flat file on the host filesystem, so page-ins and page-outs take
+// genuine I/O time instead of a modeled disk charge. It plays the role the
+// paging partition plays under the real HiPEC kernel — the store the
+// default pager and policy-managed regions page to and from.
+//
+// Layout is a dense slot file: the first time a (object, offset) key is
+// written it is assigned the next free page-sized slot, and an in-memory
+// index maps keys to slots (the index is rebuildable state, not durable
+// metadata — the store is a cache backend, not a database). ReadPage
+// returns a buffer reused per store; callers copy into frames immediately,
+// which is exactly what the VM page-in path does.
+//
+// The store itself is not safe for concurrent use; in realtime mode every
+// access is serialized by the kernel's actor loop (core.Loop), the same
+// single-writer discipline the simulated kernel gets from its one clock.
+package filestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hipec/internal/hiperr"
+	"hipec/internal/substrate"
+)
+
+// Store is a file-backed substrate.Store.
+type Store struct {
+	f        *os.File
+	path     string
+	pageSize int
+	slots    map[substrate.PageKey]int64 // key -> slot index
+	nextSlot int64
+	readBuf  []byte
+	zeroBuf  []byte
+	temp     bool // backing file is removed on Close
+
+	// Reads/Writes count page transfers that actually hit the file.
+	Reads  int64
+	Writes int64
+}
+
+// Open creates (or truncates) a backing file for pages of pageSize bytes.
+// The parent directory must exist.
+func Open(path string, pageSize int) (*Store, error) {
+	if pageSize <= 0 {
+		return nil, &hiperr.Error{Op: "filestore.open",
+			Err: fmt.Errorf("non-positive page size %d: %w", pageSize, hiperr.ErrPolicyFault)}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, &hiperr.Error{Op: "filestore.open", Err: fmt.Errorf("%s: %w", path, hiperr.ErrDiskIO)}
+	}
+	return &Store{
+		f:        f,
+		path:     path,
+		pageSize: pageSize,
+		slots:    make(map[substrate.PageKey]int64),
+		readBuf:  make([]byte, pageSize),
+		zeroBuf:  make([]byte, pageSize),
+	}, nil
+}
+
+// OpenTemp creates a store backed by a fresh file in dir (or the OS temp
+// directory when dir is empty). Close removes it.
+func OpenTemp(dir string, pageSize int) (*Store, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "hipec-pages-*.dat")
+	if err != nil {
+		return nil, &hiperr.Error{Op: "filestore.open", Err: fmt.Errorf("%s: %w", dir, hiperr.ErrDiskIO)}
+	}
+	name := f.Name()
+	f.Close()
+	s, err := Open(name, pageSize)
+	if err != nil {
+		os.Remove(name)
+		return nil, err
+	}
+	s.temp = true
+	return s, nil
+}
+
+// Path returns the backing file's path.
+func (s *Store) Path() string { return filepath.Clean(s.path) }
+
+// Close flushes and closes the backing file, removing it if the store was
+// opened with OpenTemp.
+func (s *Store) Close() error {
+	err := s.f.Close()
+	if s.temp {
+		os.Remove(s.path)
+	}
+	return err
+}
+
+// PageSize implements substrate.Store.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// slot returns the file slot for key, allocating one on first use.
+func (s *Store) slot(key substrate.PageKey) int64 {
+	if n, ok := s.slots[key]; ok {
+		return n
+	}
+	n := s.nextSlot
+	s.nextSlot++
+	s.slots[key] = n
+	return n
+}
+
+// WritePage implements substrate.Store: the page is written to its slot at
+// real I/O cost. Nil data writes zeroes (presence must be durable — unlike
+// the simulation there is no metadata-only mode; a cache that forgot its
+// bytes would serve garbage).
+func (s *Store) WritePage(key substrate.PageKey, data []byte) {
+	if key.Offset%int64(s.pageSize) != 0 {
+		panic(fmt.Sprintf("filestore: unaligned store offset %d", key.Offset))
+	}
+	if len(data) > s.pageSize {
+		panic(fmt.Sprintf("filestore: page data %d bytes exceeds page size %d", len(data), s.pageSize))
+	}
+	buf := s.zeroBuf
+	if len(data) > 0 {
+		if len(data) == s.pageSize {
+			buf = data
+		} else {
+			copy(s.readBuf, data)
+			copy(s.readBuf[len(data):], s.zeroBuf[len(data):])
+			buf = s.readBuf
+		}
+	}
+	if _, err := s.f.WriteAt(buf, s.slot(key)*int64(s.pageSize)); err != nil {
+		panic(fmt.Sprintf("filestore: write %s slot %d: %v", s.path, s.slots[key], err))
+	}
+	s.Writes++
+}
+
+// ReadPage implements substrate.Store. The returned slice is the store's
+// reusable read buffer, valid until the next ReadPage — the VM copies it
+// into the destination frame immediately.
+func (s *Store) ReadPage(key substrate.PageKey) ([]byte, bool) {
+	n, ok := s.slots[key]
+	if !ok {
+		return nil, false
+	}
+	if _, err := s.f.ReadAt(s.readBuf, n*int64(s.pageSize)); err != nil {
+		panic(fmt.Sprintf("filestore: read %s slot %d: %v", s.path, n, err))
+	}
+	s.Reads++
+	return s.readBuf, true
+}
+
+// Contains implements substrate.Store.
+func (s *Store) Contains(key substrate.PageKey) bool {
+	_, ok := s.slots[key]
+	return ok
+}
+
+// Len implements substrate.Store.
+func (s *Store) Len() int { return len(s.slots) }
+
+var _ substrate.Store = (*Store)(nil)

@@ -1,0 +1,110 @@
+package filestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hipec/internal/substrate"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "pages.dat"), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := newStore(t)
+	key := substrate.PageKey{Object: 7, Offset: 8192}
+	page := bytes.Repeat([]byte{0xAB}, 4096)
+	s.WritePage(key, page)
+	got, ok := s.ReadPage(key)
+	if !ok || !bytes.Equal(got, page) {
+		t.Fatalf("round trip lost data (ok=%v)", ok)
+	}
+	if s.Len() != 1 || !s.Contains(key) {
+		t.Fatalf("Len=%d Contains=%v", s.Len(), s.Contains(key))
+	}
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("Reads=%d Writes=%d", s.Reads, s.Writes)
+	}
+}
+
+func TestAbsentPage(t *testing.T) {
+	s := newStore(t)
+	if _, ok := s.ReadPage(substrate.PageKey{Object: 1}); ok {
+		t.Fatal("absent page read as present")
+	}
+}
+
+func TestRewriteReusesSlot(t *testing.T) {
+	s := newStore(t)
+	key := substrate.PageKey{Object: 1, Offset: 0}
+	s.WritePage(key, bytes.Repeat([]byte{1}, 4096))
+	s.WritePage(key, bytes.Repeat([]byte{2}, 4096))
+	if s.Len() != 1 {
+		t.Fatalf("rewrite grew the store to %d slots", s.Len())
+	}
+	got, _ := s.ReadPage(key)
+	if got[0] != 2 {
+		t.Fatalf("rewrite not visible, got %d", got[0])
+	}
+}
+
+func TestShortWriteZeroPads(t *testing.T) {
+	s := newStore(t)
+	key := substrate.PageKey{Object: 3, Offset: 4096}
+	s.WritePage(key, []byte{9, 9})
+	got, ok := s.ReadPage(key)
+	if !ok || got[0] != 9 || got[1] != 9 || got[2] != 0 || got[4095] != 0 {
+		t.Fatalf("short write not zero-padded (ok=%v)", ok)
+	}
+}
+
+func TestNilDataDurablePresence(t *testing.T) {
+	s := newStore(t)
+	key := substrate.PageKey{Object: 4, Offset: 0}
+	s.WritePage(key, nil)
+	got, ok := s.ReadPage(key)
+	if !ok {
+		t.Fatal("nil write did not record presence")
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("nil write must read back as zeroes")
+		}
+	}
+}
+
+func TestUnalignedOffsetPanics(t *testing.T) {
+	s := newStore(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned offset did not panic")
+		}
+	}()
+	s.WritePage(substrate.PageKey{Object: 1, Offset: 100}, nil)
+}
+
+func TestOpenTempRemovesOnClose(t *testing.T) {
+	s, err := OpenTemp(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := s.Path()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("backing file missing while open: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("backing file survived Close: %v", err)
+	}
+}

@@ -32,7 +32,7 @@ import (
 	"hipec/internal/hiperr"
 	"hipec/internal/kevent"
 	"hipec/internal/machipc"
-	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 	"hipec/internal/vm"
 )
 
@@ -90,7 +90,7 @@ type StorePager struct {
 }
 
 // NewStorePager builds a disk-backed pager on the given clock and costs.
-func NewStorePager(name string, clock *simtime.Clock, ipc *machipc.IPC, params disk.Params, pageSize int) *StorePager {
+func NewStorePager(name string, clock substrate.Clock, ipc *machipc.IPC, params disk.Params, pageSize int) *StorePager {
 	return &StorePager{
 		common:   newCommon(name, ipc),
 		disk:     disk.New(clock, params, nil),
@@ -184,7 +184,7 @@ type RemotePager struct {
 	RTT       time.Duration
 	PerByte   time.Duration
 	pageSize  int
-	clock     *simtime.Clock
+	clock     substrate.Clock
 	available int64 // remaining remote capacity in pages (0 = unlimited)
 
 	// Inject, when non-nil, subjects the pager's network to the fault
@@ -197,7 +197,7 @@ type RemotePager struct {
 }
 
 // NewRemotePager builds a remote-memory pager.
-func NewRemotePager(name string, clock *simtime.Clock, ipc *machipc.IPC, rtt time.Duration, perByte time.Duration, pageSize int) *RemotePager {
+func NewRemotePager(name string, clock substrate.Clock, ipc *machipc.IPC, rtt time.Duration, perByte time.Duration, pageSize int) *RemotePager {
 	return &RemotePager{
 		common:   newCommon(name, ipc),
 		RTT:      rtt,
@@ -288,7 +288,7 @@ var _ vm.Pager = (*RemotePager)(nil)
 type CompressingPager struct {
 	common
 	pageSize       int
-	clock          *simtime.Clock
+	clock          substrate.Clock
 	CompressCPU    time.Duration // per page
 	DecompressCPU  time.Duration // per page
 	CompressedSize int64         // total bytes held compressed
@@ -296,7 +296,7 @@ type CompressingPager struct {
 
 // NewCompressingPager builds the compressed-memory pager. Costs default to
 // i486-era zlib throughput (≈1 MB/s compress, ≈4 MB/s decompress).
-func NewCompressingPager(name string, clock *simtime.Clock, ipc *machipc.IPC, pageSize int) *CompressingPager {
+func NewCompressingPager(name string, clock substrate.Clock, ipc *machipc.IPC, pageSize int) *CompressingPager {
 	return &CompressingPager{
 		common:        newCommon(name, ipc),
 		pageSize:      pageSize,

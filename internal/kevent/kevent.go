@@ -17,6 +17,7 @@ package kevent
 
 import (
 	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 )
 
 // Type identifies one kind of kernel event.
@@ -306,15 +307,15 @@ func (r *Registry) Merge(other *Registry) {
 // simulated kernel owns exactly one Emitter (parallel experiment sweeps
 // build one kernel per cell, so spines never race).
 type Emitter struct {
-	clock *simtime.Clock
+	clock substrate.Clock
 	reg   Registry
 	sinks []Sink
 }
 
 // NewEmitter builds a spine stamping events from clock.
-func NewEmitter(clock *simtime.Clock) *Emitter {
-	if clock == nil {
-		panic("kevent: nil clock")
+func NewEmitter(clock substrate.Clock) *Emitter {
+	if clock.IsZero() {
+		panic("kevent: zero clock")
 	}
 	return &Emitter{clock: clock}
 }

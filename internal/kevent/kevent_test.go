@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 )
 
 func TestEventSpineTypeNames(t *testing.T) {
@@ -32,7 +33,7 @@ func TestEventSpineTypeNames(t *testing.T) {
 
 func TestEventSpineRegistryScopes(t *testing.T) {
 	clock := simtime.NewClock()
-	m := NewEmitter(clock)
+	m := NewEmitter(substrate.Sim(clock))
 	m.Emit(Event{Type: EvFault, Space: 1, Flag: true})
 	m.Emit(Event{Type: EvFault, Space: 2})
 	m.Emit(Event{Type: EvPageIn, Space: 1, Arg: 7, Aux: 100})
@@ -71,7 +72,7 @@ func TestEventSpineRegistryScopes(t *testing.T) {
 
 func TestEventSpineEmitterStampsAndFansOut(t *testing.T) {
 	clock := simtime.NewClock()
-	m := NewEmitter(clock)
+	m := NewEmitter(substrate.Sim(clock))
 	var log Log
 	var n Counting
 	m.Attach(&log)

@@ -16,7 +16,7 @@ import (
 	"time"
 
 	"hipec/internal/mem"
-	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 	"hipec/internal/vm"
 )
 
@@ -49,13 +49,13 @@ type Stats struct {
 
 // IPC charges mechanism costs to the virtual clock.
 type IPC struct {
-	Clock *simtime.Clock
+	Clock substrate.Clock
 	Costs Costs
 	Stats Stats
 }
 
 // New creates an IPC cost model on clock.
-func New(clock *simtime.Clock, costs Costs) *IPC {
+func New(clock substrate.Clock, costs Costs) *IPC {
 	if costs == (Costs{}) {
 		costs = DefaultCosts()
 	}

@@ -1,17 +1,19 @@
 package machipc
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
 	"hipec/internal/mem"
 	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 	"hipec/internal/vm"
 )
 
 func newIPC() (*simtime.Clock, *IPC) {
 	c := simtime.NewClock()
-	return c, New(c, Costs{})
+	return c, New(substrate.Sim(c), Costs{})
 }
 
 func TestDefaultCostsMatchTable4(t *testing.T) {
@@ -100,8 +102,8 @@ func TestQueuePortSendReceive(t *testing.T) {
 func newPagerSystem(t *testing.T, frames, pool int, victim VictimFunc) (*simtime.Clock, *vm.System, *IPC, *ExtPagerPolicy) {
 	t.Helper()
 	clock := simtime.NewClock()
-	sys := vm.NewSystem(clock, vm.Config{Frames: frames})
-	ipc := New(clock, Costs{})
+	sys := vm.NewSystem(substrate.Sim(clock), vm.Config{Frames: frames})
+	ipc := New(substrate.Sim(clock), Costs{})
 	pol, err := NewExtPager("test", ipc, sys, pool, victim)
 	if err != nil {
 		t.Fatal(err)
@@ -176,8 +178,8 @@ func TestExtPagerDirtyVictimWritesBack(t *testing.T) {
 
 func TestExtPagerPoolExhaustion(t *testing.T) {
 	clock := simtime.NewClock()
-	sys := vm.NewSystem(clock, vm.Config{Frames: 4})
-	ipc := New(clock, Costs{})
+	sys := vm.NewSystem(substrate.Sim(clock), vm.Config{Frames: 4})
+	ipc := New(substrate.Sim(clock), Costs{})
 	if _, err := NewExtPager("big", ipc, sys, 10, nil); err == nil {
 		t.Fatal("oversized pool accepted")
 	}
@@ -193,5 +195,32 @@ func TestRealPortRoundTrip(t *testing.T) {
 		if got := p.Call(i); got != i {
 			t.Fatalf("Call(%d) = %d", i, got)
 		}
+	}
+}
+
+// TestRealPortCloseStopsServer is the lifecycle contract: Close must
+// actually terminate the echo-server goroutine, not just make Call hang.
+func TestRealPortCloseStopsServer(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ports := make([]*RealPort, 16)
+	for i := range ports {
+		ports[i] = NewRealPort()
+	}
+	// The servers are live: well above the baseline goroutine count.
+	if n := runtime.NumGoroutine(); n < before+len(ports) {
+		t.Fatalf("expected %d server goroutines, NumGoroutine %d -> %d", len(ports), before, n)
+	}
+	for _, p := range ports {
+		p.Call(1)
+		p.Close()
+	}
+	// Termination is asynchronous; poll until the servers are gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("echo servers leaked: NumGoroutine %d -> %d after Close", before, n)
 	}
 }

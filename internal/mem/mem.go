@@ -279,10 +279,14 @@ type FrameTable struct {
 	free     *Queue
 	keepData bool
 	allocSeq uint64
+	// arena is the contiguous payload backing when the table was built
+	// with NewFrameTableArena; frame i's Data is the i-th pageSize slice.
+	arena []byte
 }
 
 // NewFrameTable creates a table of frames frames of pageSize bytes each.
-// If keepData is set, each allocated frame carries a pageSize byte buffer.
+// If keepData is set, each allocated frame carries a pageSize byte buffer
+// (allocated lazily, per frame, on first Alloc).
 func NewFrameTable(frames, pageSize int, keepData bool) *FrameTable {
 	if frames <= 0 || pageSize <= 0 {
 		panic(fmt.Sprintf("mem: invalid frame table %d x %d", frames, pageSize))
@@ -299,6 +303,23 @@ func NewFrameTable(frames, pageSize int, keepData bool) *FrameTable {
 	}
 	return ft
 }
+
+// NewFrameTableArena creates a table whose frames carry real payloads cut
+// from one contiguous frames×pageSize arena — physical memory for the
+// realtime substrate. Every frame's Data is assigned up front (Alloc never
+// allocates), adjacent frames are adjacent in memory, and the whole arena
+// is one object to the collector.
+func NewFrameTableArena(frames, pageSize int) *FrameTable {
+	ft := NewFrameTable(frames, pageSize, true)
+	ft.arena = make([]byte, frames*pageSize)
+	for i := range ft.pages {
+		ft.pages[i].Data = ft.arena[i*pageSize : (i+1)*pageSize : (i+1)*pageSize]
+	}
+	return ft
+}
+
+// HasArena reports whether the table's payloads are arena-backed.
+func (ft *FrameTable) HasArena() bool { return ft.arena != nil }
 
 // Frames reports the total number of frames.
 func (ft *FrameTable) Frames() int { return len(ft.pages) }

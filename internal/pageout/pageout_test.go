@@ -7,12 +7,13 @@ import (
 
 	"hipec/internal/mem"
 	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 	"hipec/internal/vm"
 )
 
 func newSys(frames int) (*simtime.Clock, *vm.System, *Daemon) {
 	clock := simtime.NewClock()
-	sys := vm.NewSystem(clock, vm.Config{Frames: frames, PageSize: 4096})
+	sys := vm.NewSystem(substrate.Sim(clock), vm.Config{Frames: frames, PageSize: 4096})
 	d := New(sys, Targets{})
 	sys.SetDefaultPolicy(d)
 	return clock, sys, d

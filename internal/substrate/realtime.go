@@ -1,0 +1,154 @@
+package substrate
+
+import (
+	"sync"
+	"time"
+
+	"hipec/internal/simtime"
+)
+
+// RealClock is the wall-clock backend: Now is elapsed real time since
+// construction, Sleep genuinely sleeps, and After arms an OS timer. Unlike
+// the simulation there is no event queue to introspect — PeekNext reports
+// nothing pending and the executor's event-boundary batching degenerates to
+// a single charge, which is correct because nothing needs the clock to be
+// advanced for it: real timers fire on their own.
+//
+// Timer callbacks fire on the Go runtime's timer goroutines. A kernel is a
+// single-writer structure, so before sharing a realtime kernel with
+// concurrent callers a serialization gate must be installed with SetGate:
+// the actor loop (core.Loop) routes every callback through its mailbox,
+// making timer completions take their turn with commands. Without a gate,
+// callbacks run inline on the timer goroutine — fine for single-goroutine
+// use, unsafe under concurrency.
+type RealClock struct {
+	start time.Time
+
+	mu      sync.Mutex
+	gate    func(run func())
+	pending int
+}
+
+// NewRealClock returns a wall-clock substrate clock positioned at time zero
+// (times read as nanoseconds since construction, mirroring the sim clock's
+// nanoseconds since boot).
+func NewRealClock() Clock { return Clock{impl: &RealClock{start: time.Now()}} }
+
+// SetGate installs the callback serialization gate: every timer callback is
+// handed to gate as a ready-to-run closure instead of running inline on the
+// timer goroutine. The actor loop installs its mailbox here. A nil gate
+// restores inline dispatch.
+func (c *RealClock) SetGate(gate func(run func())) {
+	c.mu.Lock()
+	c.gate = gate
+	c.mu.Unlock()
+}
+
+// Now implements Impl: wall nanoseconds since construction.
+func (c *RealClock) Now() simtime.Time { return simtime.Time(time.Since(c.start)) }
+
+// Sleep implements Impl: a genuine sleep.
+func (c *RealClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Advance implements Impl. Wall time advances on its own; Advance (the test
+// harness's "run the event queue" verb) is just a sleep long enough for the
+// timers in the window to have fired.
+func (c *RealClock) Advance(d time.Duration) { c.Sleep(d) }
+
+// realTimer is the Timer handle for one armed wall-clock timer.
+type realTimer struct {
+	when  simtime.Time
+	clock *RealClock
+	t     *time.Timer
+}
+
+// When implements Timer.
+func (rt *realTimer) When() simtime.Time { return rt.when }
+
+// After implements Impl: arm a wall-clock timer. The callback observes the
+// clock at its fire time and runs through the gate when one is installed.
+func (c *RealClock) After(d time.Duration, fn func(now simtime.Time)) Timer {
+	if d < 0 {
+		d = 0
+	}
+	rt := &realTimer{when: c.Now().Add(d), clock: c}
+	c.mu.Lock()
+	c.pending++
+	c.mu.Unlock()
+	rt.t = time.AfterFunc(d, func() { c.fire(fn) })
+	return rt
+}
+
+// At implements Impl.
+func (c *RealClock) At(t simtime.Time, fn func(now simtime.Time)) Timer {
+	return c.After(time.Duration(t.Sub(c.Now())), fn)
+}
+
+// fire runs one expired timer callback, through the gate when installed.
+func (c *RealClock) fire(fn func(now simtime.Time)) {
+	c.mu.Lock()
+	c.pending--
+	gate := c.gate
+	c.mu.Unlock()
+	run := func() { fn(c.Now()) }
+	if gate != nil {
+		gate(run)
+		return
+	}
+	run()
+}
+
+// Cancel implements Impl: stop the timer, reporting whether it was revoked
+// before firing.
+func (c *RealClock) Cancel(t Timer) bool {
+	rt, ok := t.(*realTimer)
+	if !ok || rt == nil || rt.clock != c {
+		return false
+	}
+	if rt.t.Stop() {
+		c.mu.Lock()
+		c.pending--
+		c.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// PeekNext implements Impl: wall-clock timers fire on their own, there is
+// no queue to step through, so nothing is ever "due" from the caller's
+// point of view.
+func (c *RealClock) PeekNext() (simtime.Time, bool) { return 0, false }
+
+// Pending implements Impl: armed, unfired timers.
+func (c *RealClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending
+}
+
+// RunUntil implements Impl: sleep until wall time t.
+func (c *RealClock) RunUntil(t simtime.Time) {
+	if d := time.Duration(t.Sub(c.Now())); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// RunNext implements Impl: timers cannot be fired early; report none run.
+func (c *RealClock) RunNext() bool { return false }
+
+// Drain implements Impl: timers cannot be fired early. Give briefly-due
+// timers a chance to land (bounded wait for the pending count to reach
+// zero), then report 0 fired by Drain itself.
+func (c *RealClock) Drain(limit int) int {
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for c.Pending() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	return 0
+}
+
+var _ Impl = (*RealClock)(nil)

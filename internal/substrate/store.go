@@ -1,0 +1,88 @@
+package substrate
+
+import "fmt"
+
+// PageKey addresses one page of backing store: the owning VM object and the
+// page-aligned byte offset within it.
+type PageKey struct {
+	Object uint64
+	Offset int64
+}
+
+// Store is page-granular backing storage. The simulated kernel's paging
+// store (MemStore), the realtime file-backed store (disk/filestore) and any
+// future backend (networked, multi-tier) implement it.
+//
+// WritePage with nil data records presence without content (the simulation
+// runs data-free by default); ReadPage's ok distinguishes "absent" (a
+// zero-fill page) from "present with nil content".
+type Store interface {
+	// PageSize reports the store's page size in bytes.
+	PageSize() int
+	// WritePage stores data (length <= PageSize) for key; nil data records
+	// presence only.
+	WritePage(key PageKey, data []byte)
+	// ReadPage fetches the page for key; ok is false for absent pages.
+	ReadPage(key PageKey) (data []byte, ok bool)
+	// Contains reports whether the store holds a page for key.
+	Contains(key PageKey) bool
+	// Len reports the number of pages present.
+	Len() int
+}
+
+// MemStore is the in-memory backing store of the simulation substrate: the
+// paging file that VM objects page to and from. Content is optional —
+// experiments that only count faults run with data disabled to avoid the
+// memory traffic.
+type MemStore struct {
+	pageSize int
+	keepData bool
+	pages    map[PageKey][]byte
+}
+
+// NewMemStore creates a backing store for pages of pageSize bytes. If
+// keepData is false, page contents are not retained (reads return nil) but
+// presence is still tracked.
+func NewMemStore(pageSize int, keepData bool) *MemStore {
+	if pageSize <= 0 {
+		panic("substrate: non-positive page size")
+	}
+	return &MemStore{pageSize: pageSize, keepData: keepData, pages: make(map[PageKey][]byte)}
+}
+
+// PageSize implements Store.
+func (s *MemStore) PageSize() int { return s.pageSize }
+
+// WritePage implements Store.
+func (s *MemStore) WritePage(key PageKey, data []byte) {
+	if key.Offset%int64(s.pageSize) != 0 {
+		panic(fmt.Sprintf("substrate: unaligned store offset %d", key.Offset))
+	}
+	if len(data) > s.pageSize {
+		panic(fmt.Sprintf("substrate: page data %d bytes exceeds page size %d", len(data), s.pageSize))
+	}
+	if !s.keepData || data == nil {
+		s.pages[key] = nil
+		return
+	}
+	buf := make([]byte, s.pageSize)
+	copy(buf, data)
+	s.pages[key] = buf
+}
+
+// ReadPage implements Store.
+func (s *MemStore) ReadPage(key PageKey) (data []byte, ok bool) {
+	d, ok := s.pages[key]
+	return d, ok
+}
+
+// Contains implements Store.
+func (s *MemStore) Contains(key PageKey) bool {
+	_, ok := s.pages[key]
+	return ok
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int { return len(s.pages) }
+
+var _ Store = (*MemStore)(nil)

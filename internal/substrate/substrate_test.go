@@ -1,0 +1,197 @@
+package substrate
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hipec/internal/simtime"
+)
+
+func TestZeroClockIsZero(t *testing.T) {
+	var c Clock
+	if !c.IsZero() || c.IsSim() {
+		t.Fatalf("zero clock: IsZero=%v IsSim=%v", c.IsZero(), c.IsSim())
+	}
+	if NewSimClock().IsZero() || NewRealClock().IsZero() {
+		t.Fatal("constructed clocks report zero")
+	}
+}
+
+// TestSimFastPathMatchesConcreteClock: the devirtualized wrapper must be
+// observationally identical to the concrete clock it wraps.
+func TestSimFastPathMatchesConcreteClock(t *testing.T) {
+	raw := simtime.NewClock()
+	c := Sim(raw)
+	if !c.IsSim() || c.Backend() != nil {
+		t.Fatal("sim clock misreports its backend")
+	}
+	fired := simtime.Time(-1)
+	tm := c.After(5*time.Millisecond, func(now simtime.Time) { fired = now })
+	if want := simtime.Time(5 * time.Millisecond); tm.When() != want {
+		t.Fatalf("When() = %v, want %v", tm.When(), want)
+	}
+	if next, ok := c.PeekNext(); !ok || next != simtime.Time(5*time.Millisecond) {
+		t.Fatalf("PeekNext = %v,%v", next, ok)
+	}
+	c.Sleep(2 * time.Millisecond)
+	if c.Now() != raw.Now() || c.Now() != simtime.Time(2*time.Millisecond) {
+		t.Fatalf("Now diverged: wrapper %v raw %v", c.Now(), raw.Now())
+	}
+	c.Advance(10 * time.Millisecond)
+	if fired != simtime.Time(5*time.Millisecond) {
+		t.Fatalf("event fired at %v", fired)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+}
+
+func TestSimCancel(t *testing.T) {
+	c := NewSimClock()
+	ran := false
+	tm := c.After(time.Millisecond, func(simtime.Time) { ran = true })
+	if !c.Cancel(tm) {
+		t.Fatal("Cancel reported not pending")
+	}
+	if c.Cancel(nil) {
+		t.Fatal("Cancel(nil) reported pending")
+	}
+	c.Advance(5 * time.Millisecond)
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRealClockNowAdvances(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	c.Sleep(2 * time.Millisecond)
+	if b := c.Now(); b.Sub(a) < time.Millisecond {
+		t.Fatalf("wall clock barely moved: %v -> %v", a, b)
+	}
+}
+
+func TestRealClockAfterFires(t *testing.T) {
+	c := NewRealClock()
+	done := make(chan simtime.Time, 1)
+	tm := c.After(time.Millisecond, func(now simtime.Time) { done <- now })
+	if tm.When() <= 0 {
+		t.Fatalf("When() = %v", tm.When())
+	}
+	select {
+	case now := <-done:
+		if now < simtime.Time(time.Millisecond) {
+			t.Fatalf("fired at %v, before its deadline", now)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestRealClockCancel(t *testing.T) {
+	c := NewRealClock()
+	fired := make(chan struct{})
+	tm := c.After(time.Hour, func(simtime.Time) { close(fired) })
+	if c.Pending() != 1 {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+	if !c.Cancel(tm) {
+		t.Fatal("Cancel reported not pending")
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending after cancel = %d", c.Pending())
+	}
+	if c.Cancel(tm) {
+		t.Fatal("double Cancel reported pending")
+	}
+	select {
+	case <-fired:
+		t.Fatal("cancelled timer fired")
+	case <-time.After(10 * time.Millisecond):
+	}
+}
+
+// TestRealClockGate: with a gate installed, callbacks are delivered to the
+// gate instead of running on the timer goroutine.
+func TestRealClockGate(t *testing.T) {
+	raw := &RealClock{start: time.Now()}
+	c := NewClock(raw)
+	var mu sync.Mutex
+	var gated []func()
+	raw.SetGate(func(run func()) {
+		mu.Lock()
+		gated = append(gated, run)
+		mu.Unlock()
+	})
+	ran := false
+	c.After(time.Millisecond, func(simtime.Time) { ran = true })
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(gated)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gate never received the callback")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ran {
+		t.Fatal("callback ran before the gate released it")
+	}
+	gated[0]()
+	if !ran {
+		t.Fatal("gated callback did not run when released")
+	}
+}
+
+// TestRealClockNoQueueSemantics: the introspection verbs degrade as
+// documented — nothing peekable, nothing runnable early.
+func TestRealClockNoQueueSemantics(t *testing.T) {
+	c := NewRealClock()
+	if _, ok := c.PeekNext(); ok {
+		t.Fatal("PeekNext reported a deadline")
+	}
+	if c.RunNext() {
+		t.Fatal("RunNext fired something")
+	}
+	done := make(chan struct{})
+	c.After(time.Millisecond, func(simtime.Time) { close(done) })
+	if n := c.Drain(0); n != 0 {
+		t.Fatalf("Drain fired %d", n)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer lost")
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore(4096, true)
+	key := PageKey{Object: 7, Offset: 8192}
+	if s.Contains(key) {
+		t.Fatal("empty store contains a page")
+	}
+	s.WritePage(key, []byte{1, 2, 3})
+	data, ok := s.ReadPage(key)
+	if !ok || len(data) != 4096 || data[0] != 1 || data[2] != 3 {
+		t.Fatalf("read back ok=%v len=%d", ok, len(data))
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestMemStoreMetadataOnly(t *testing.T) {
+	s := NewMemStore(4096, false)
+	key := PageKey{Object: 1, Offset: 0}
+	s.WritePage(key, []byte{1})
+	data, ok := s.ReadPage(key)
+	if !ok || data != nil {
+		t.Fatalf("metadata-only store kept data: ok=%v data=%v", ok, data)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 )
 
 // traceSink records every kernel event as a comparable string.
@@ -56,7 +57,7 @@ func (g *greedyPolicy) Release(p *mem.Page) {
 // page-table mode and returns it with its trace sink.
 func buildFuzzSystem(forceSparse bool) (*System, *traceSink) {
 	clock := simtime.NewClock()
-	s := NewSystem(clock, Config{Frames: 24, PageSize: 4096})
+	s := NewSystem(substrate.Sim(clock), Config{Frames: 24, PageSize: 4096})
 	s.ForceSparseObjects = forceSparse
 	sink := &traceSink{}
 	s.Events.Attach(sink)
@@ -200,7 +201,7 @@ func TestObjectIDsNeverReused(t *testing.T) {
 // buildQuietSystem is buildFuzzSystem without the string-building trace
 // sink, for allocation measurements.
 func buildQuietSystem() *System {
-	s := NewSystem(simtime.NewClock(), Config{Frames: 24, PageSize: 4096})
+	s := NewSystem(substrate.NewSimClock(), Config{Frames: 24, PageSize: 4096})
 	s.SetDefaultPolicy(&greedyPolicy{sys: s, queue: mem.NewQueue("fuzz")})
 	return s
 }

@@ -24,6 +24,7 @@ import (
 	"hipec/internal/kevent"
 	"hipec/internal/mem"
 	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 )
 
 // Costs are the calibrated CPU costs charged to the virtual clock by the VM
@@ -299,10 +300,10 @@ func (sp *AddressSpace) Stats() Stats {
 
 // System owns physical memory, the paging device, all objects and spaces.
 type System struct {
-	Clock  *simtime.Clock
+	Clock  substrate.Clock
 	Frames *mem.FrameTable
 	Disk   *disk.Disk
-	Store  *disk.Store
+	Store  substrate.Store
 	Costs  Costs
 	// Events is the kernel event spine; every layer of the simulated
 	// kernel (fault path, pageout daemon, disk, HiPEC core) emits through
@@ -384,10 +385,25 @@ type Config struct {
 	// Inject, when non-nil, attaches the fault-injection plane to the
 	// paging device (pager-side injection is configured on the pagers).
 	Inject *faultinj.Plane
+	// Store overrides the backing store (nil = the in-memory MemStore).
+	// The realtime substrate passes a file-backed store here.
+	Store substrate.Store
+	// PayloadArena backs every frame with a real page-sized payload cut
+	// from one contiguous arena (implies KeepData). The realtime substrate
+	// sets it so cached pages hold actual bytes.
+	PayloadArena bool
+
+	// RawCosts keeps a zero Costs value as-is instead of substituting the
+	// calibrated 1994 defaults. The realtime substrate sets it: real time
+	// is measured by the clock, not modeled by charges.
+	RawCosts bool
 }
 
 // NewSystem builds the VM substrate on the given clock.
-func NewSystem(clock *simtime.Clock, cfg Config) *System {
+func NewSystem(clock substrate.Clock, cfg Config) *System {
+	if clock.IsZero() {
+		panic("vm: zero substrate clock")
+	}
 	if cfg.PageSize <= 0 {
 		cfg.PageSize = 4096
 	}
@@ -397,7 +413,7 @@ func NewSystem(clock *simtime.Clock, cfg Config) *System {
 	if cfg.Frames <= 0 {
 		panic("vm: config needs a positive frame count")
 	}
-	if cfg.Costs == (Costs{}) {
+	if cfg.Costs == (Costs{}) && !cfg.RawCosts {
 		cfg.Costs = DefaultCosts()
 	}
 	if cfg.Disk == (disk.Params{}) {
@@ -409,11 +425,19 @@ func NewSystem(clock *simtime.Clock, cfg Config) *System {
 	events := kevent.NewEmitter(clock)
 	d := disk.New(clock, cfg.Disk, events)
 	d.SetInjector(cfg.Inject)
+	frames := mem.NewFrameTable(cfg.Frames, cfg.PageSize, cfg.KeepData)
+	if cfg.PayloadArena {
+		frames = mem.NewFrameTableArena(cfg.Frames, cfg.PageSize)
+	}
+	store := cfg.Store
+	if store == nil {
+		store = disk.NewStore(cfg.PageSize, cfg.KeepData)
+	}
 	return &System{
 		Clock:  clock,
-		Frames: mem.NewFrameTable(cfg.Frames, cfg.PageSize, cfg.KeepData),
+		Frames: frames,
 		Disk:   d,
-		Store:  disk.NewStore(cfg.PageSize, cfg.KeepData),
+		Store:  store,
 		Costs:  cfg.Costs,
 		Events: events,
 		Retry:  cfg.Retry,

@@ -6,6 +6,7 @@ import (
 
 	"hipec/internal/mem"
 	"hipec/internal/simtime"
+	"hipec/internal/substrate"
 )
 
 // stubPolicy hands out frames straight from the frame table and keeps an
@@ -56,7 +57,7 @@ func (s *stubPolicy) Release(p *mem.Page) {
 func newTestSystem(t *testing.T, frames int) (*simtime.Clock, *System, *stubPolicy) {
 	t.Helper()
 	clock := simtime.NewClock()
-	sys := NewSystem(clock, Config{Frames: frames, PageSize: 4096, KeepData: true})
+	sys := NewSystem(substrate.Sim(clock), Config{Frames: frames, PageSize: 4096, KeepData: true})
 	pol := newStub(sys)
 	sys.SetDefaultPolicy(pol)
 	return clock, sys, pol
