@@ -134,7 +134,9 @@ func benchmarkJoin(b *testing.B, policy string) {
 			b.Fatal(err)
 		}
 		obj := k.VM.NewObject(cfg.OuterBytes, false)
-		k.VM.Populate(obj, nil)
+		if err := k.VM.Populate(obj, nil); err != nil {
+			b.Fatal(err)
+		}
 		e, _, err := k.MapHiPEC(sp, obj, 0, obj.Size, spec)
 		if err != nil {
 			b.Fatal(err)

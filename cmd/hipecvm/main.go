@@ -102,15 +102,21 @@ func run(policy, hplFile string, baseline bool, wl string, pages int64, pool, ac
 	var entry *vm.MapEntry
 	var container *core.Container
 	var err error
+	var popErr error
 	makeObj := func() *vm.Object {
 		obj := k.VM.NewObject(size, !fromDisk)
 		if fromDisk {
-			k.VM.Populate(obj, nil)
+			if perr := k.VM.Populate(obj, nil); perr != nil && popErr == nil {
+				popErr = perr
+			}
 		}
 		return obj
 	}
 	if baseline {
 		entry, err = sp.Map(makeObj(), 0, size)
+		if err == nil {
+			err = popErr
+		}
 		if err != nil {
 			return err
 		}
@@ -136,6 +142,9 @@ func run(policy, hplFile string, baseline bool, wl string, pages int64, pool, ac
 			}
 		}
 		entry, container, err = k.Map(sp, makeObj(), 0, size, core.WithPolicy(spec))
+		if err == nil {
+			err = popErr
+		}
 		if err != nil {
 			return err
 		}

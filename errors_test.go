@@ -37,7 +37,9 @@ func TestDiskFaultDegradesToRevocation(t *testing.T) {
 	})
 	sp := k.NewSpace()
 	obj := k.VM.NewObject(16*4096, false)
-	k.VM.Populate(obj, nil) // contents live on disk, so page-ins hit the device
+	if err := k.VM.Populate(obj, nil); err != nil { // contents live on disk, so page-ins hit the device
+		t.Fatal(err)
+	}
 	e, c, err := k.Map(sp, obj, 0, 16*4096,
 		hipec.WithPolicy(hipec.PolicyFIFO(8)), hipec.WithRetryBudget(2))
 	if err != nil {
@@ -65,7 +67,9 @@ func TestTransientDiskFaultRetries(t *testing.T) {
 	})
 	sp := k.NewSpace()
 	obj := k.VM.NewObject(16*4096, false)
-	k.VM.Populate(obj, nil)
+	if err := k.VM.Populate(obj, nil); err != nil {
+		t.Fatal(err)
+	}
 	e, err := sp.Map(obj, 0, 16*4096)
 	if err != nil {
 		t.Fatal(err)

@@ -42,7 +42,9 @@ func main() {
 
 		// The outer table is a disk-resident file mapped through HiPEC.
 		outer := k.VM.NewObject(outerBytes, false)
-		k.VM.Populate(outer, nil)
+		if err := k.VM.Populate(outer, nil); err != nil {
+			log.Fatal(err)
+		}
 		spec, err := hipec.PolicyByName(policy, poolFrames)
 		if err != nil {
 			log.Fatal(err)

@@ -56,7 +56,9 @@ func main() {
 			}
 			opts = append(opts, hipec.WithPager(pager))
 		} else {
-			k.VM.Populate(obj, nil) // on the local paging disk
+			if err := k.VM.Populate(obj, nil); err != nil { // on the local paging disk
+				log.Fatal(err)
+			}
 		}
 
 		task := k.NewSpace()

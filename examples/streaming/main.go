@@ -41,7 +41,9 @@ func main() {
 
 		// The media file lives on disk.
 		media := k.VM.NewObject(fileMB<<20, false)
-		k.VM.Populate(media, nil)
+		if err := k.VM.Populate(media, nil); err != nil {
+			log.Fatal(err)
+		}
 
 		var region *hipec.MapEntry
 		if useHiPEC {

@@ -71,7 +71,9 @@ func runHiPECMechanism(jc workload.JoinConfig, pool, frames int) (MechanismResul
 	k := core.New(core.Config{Frames: frames, StartChecker: true})
 	sp := k.NewSpace()
 	obj := k.VM.NewObject(jc.OuterBytes, false)
-	k.VM.Populate(obj, nil)
+	if err := k.VM.Populate(obj, nil); err != nil {
+		return MechanismResult{}, err
+	}
 	e, _, err := k.MapHiPEC(sp, obj, 0, obj.Size, policies.MRU(pool))
 	if err != nil {
 		return MechanismResult{}, err
@@ -104,7 +106,9 @@ func runExtPagerMechanism(jc workload.JoinConfig, pool, frames int) (MechanismRe
 	sys.SetDefaultPolicy(pol)
 	sp := sys.NewSpace()
 	obj := sys.NewObject(jc.OuterBytes, false)
-	sys.Populate(obj, nil)
+	if err := sys.Populate(obj, nil); err != nil {
+		return MechanismResult{}, err
+	}
 	e, err := sp.Map(obj, 0, obj.Size)
 	if err != nil {
 		return MechanismResult{}, err
@@ -139,7 +143,9 @@ func runUpcallMechanism(jc workload.JoinConfig, pool, frames int) (MechanismResu
 	sys.SetDefaultPolicy(pol)
 	sp := sys.NewSpace()
 	obj := sys.NewObject(jc.OuterBytes, false)
-	sys.Populate(obj, nil)
+	if err := sys.Populate(obj, nil); err != nil {
+		return MechanismResult{}, err
+	}
 	e, err := sp.Map(obj, 0, obj.Size)
 	if err != nil {
 		return MechanismResult{}, err

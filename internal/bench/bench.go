@@ -76,7 +76,9 @@ func RunTable3(cfg Table3Config) (Table3Result, error) {
 			spec := policies.FIFOSecondChance(poolFrames)
 			if withIO {
 				obj := k.VM.NewObject(cfg.RegionBytes, false)
-				k.VM.Populate(obj, nil)
+				if perr := k.VM.Populate(obj, nil); perr != nil {
+					return 0, perr
+				}
 				e, _, err = k.MapHiPEC(sp, obj, 0, obj.Size, spec)
 			} else {
 				e, _, err = k.AllocateHiPEC(sp, cfg.RegionBytes, spec)
@@ -84,7 +86,9 @@ func RunTable3(cfg Table3Config) (Table3Result, error) {
 		} else {
 			if withIO {
 				obj := k.VM.NewObject(cfg.RegionBytes, false)
-				k.VM.Populate(obj, nil)
+				if perr := k.VM.Populate(obj, nil); perr != nil {
+					return 0, perr
+				}
 				e, err = sp.Map(obj, 0, obj.Size)
 			} else {
 				e, err = sp.Allocate(cfg.RegionBytes)
@@ -386,7 +390,9 @@ func RunFigure6(cfg Figure6Config) ([]Figure6Point, error) {
 			return err
 		}
 		obj := k.VM.NewObject(jc.OuterBytes, false)
-		k.VM.Populate(obj, nil) // outer table lives on disk
+		if perr := k.VM.Populate(obj, nil); perr != nil { // outer table lives on disk
+			return perr
+		}
 		e, c, err := k.MapHiPEC(sp, obj, 0, obj.Size, spec)
 		if err != nil {
 			return err

@@ -777,7 +777,9 @@ func TestMapHiPECOnPopulatedObject(t *testing.T) {
 	obj := k.VM.NewObject(8*4096, false)
 	data := make([]byte, 8*4096)
 	data[5*4096] = 0x5A
-	k.VM.Populate(obj, data)
+	if err := k.VM.Populate(obj, data); err != nil {
+		t.Fatal(err)
+	}
 	e, c, err := k.MapHiPEC(sp, obj, 0, obj.Size, simpleSpec(8))
 	if err != nil {
 		t.Fatal(err)

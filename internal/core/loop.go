@@ -63,15 +63,20 @@ func (l *Loop) run() {
 }
 
 // enqueue is the RealClock gate: deliver a timer expiration through the
-// mailbox. After Close the mailbox is no longer drained; late expirations
-// run inline on the timer goroutine, which is safe because Close has
-// already detached the gate for future timers and the closer owns the
-// kernel again.
+// mailbox. Expirations are NEVER run inline on the timer goroutine — while
+// the engine is draining toward Close's stop sentinel an inline callback
+// would race with the closures still being applied, and after the engine
+// has exited it would race with the closer, who owns the kernel again (and
+// may be tearing down the backing store). So once the engine is gone the
+// callback is deliberately dropped: a disk-completion or wakeup for a
+// kernel that is shutting down has no one left to serve. A callback that
+// lands in the mailbox behind the stop sentinel is dropped the same way
+// when the engine exits without draining it.
 func (l *Loop) enqueue(run func()) {
 	select {
 	case l.mbox <- run:
 	case <-l.done:
-		run()
+		// Dropped: engine exited, kernel ownership has passed to the closer.
 	}
 }
 
@@ -105,7 +110,9 @@ func (l *Loop) Call(fn func(k *Kernel) error) error {
 }
 
 // Async enqueues fn without waiting for it to run. It reports false after
-// Close.
+// Close. True means "enqueued", not "will run": if Close wins the race and
+// its stop sentinel lands ahead of fn in the mailbox, fn is discarded
+// without running. Callers that must know their command applied use Call.
 func (l *Loop) Async(fn func(k *Kernel)) bool {
 	select {
 	case <-l.done:
@@ -121,16 +128,22 @@ func (l *Loop) Async(fn func(k *Kernel)) bool {
 }
 
 // Close stops the engine goroutine after the commands already enqueued have
-// been applied, detaches the timer gate, and waits for the engine to exit.
-// Idempotent; concurrent Calls that lose the race return ErrLoopClosed.
+// been applied and waits for it to exit. Idempotent; concurrent Calls that
+// lose the race return ErrLoopClosed.
+//
+// The timer gate stays installed: detaching it (before OR after the engine
+// exits) would let late wall-clock expirations run inline on Go timer
+// goroutines — racing with the drain while it is still in progress, or with
+// the closer tearing down the kernel and its store afterwards. Instead the
+// gate itself goes dead with the loop: once done is closed, enqueue drops
+// every callback deliberately (see enqueue). A kernel is not reusable for
+// ungated single-goroutine timer work after its loop closes; wrap it in a
+// new Loop instead, which installs a fresh gate.
 func (l *Loop) Close() {
 	select {
 	case <-l.done:
 		return
 	default:
-	}
-	if rc, ok := l.k.Clock.Backend().(*substrate.RealClock); ok {
-		rc.SetGate(nil)
 	}
 	select {
 	case l.mbox <- nil:

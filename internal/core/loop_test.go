@@ -142,6 +142,61 @@ func TestLoopCloseDrainsAndRejects(t *testing.T) {
 	}
 }
 
+// TestLoopCloseNeverRunsTimerCallbacksInline is the shutdown-race
+// regression: timers armed before Close that expire around or after it must
+// either be applied by the engine goroutine or dropped — never run inline
+// on a Go timer goroutine, where they would race with the drain still in
+// progress or with the closer, who owns the kernel after Close. The
+// callbacks and the closer both mutate the same engine-owned state; under
+// -race an inline delivery is flagged immediately.
+func TestLoopCloseNeverRunsTimerCallbacksInline(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		k := realKernel(64)
+		l := NewLoop(k)
+		state := 0 // engine-owned until Close returns, then closer-owned
+		if err := l.Call(func(k *Kernel) error {
+			for i := 0; i < 8; i++ {
+				k.Clock.After(time.Duration(i)*50*time.Microsecond, func(simtime.Time) {
+					state++
+				})
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		// Ownership has passed to us; a late inline callback would race.
+		state++
+		_ = state
+	}
+}
+
+// TestLoopCloseKeepsGateInstalled: after Close the RealClock gate must not
+// revert to inline dispatch — late expirations are dropped by the dead
+// loop's gate instead of running on timer goroutines.
+func TestLoopCloseKeepsGateInstalled(t *testing.T) {
+	k := realKernel(64)
+	l := NewLoop(k)
+	rc := k.Clock.Backend().(*substrate.RealClock)
+	ran := make(chan struct{})
+	if err := l.Call(func(k *Kernel) error {
+		k.Clock.After(20*time.Millisecond, func(simtime.Time) { close(ran) })
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	select {
+	case <-ran:
+		t.Fatal("timer callback ran after Close")
+	case <-time.After(60 * time.Millisecond):
+	}
+	// The dropped callback's pending entry deliberately never clears.
+	if rc.Pending() == 0 {
+		t.Fatal("dropped callback vanished from Pending")
+	}
+}
+
 // TestLoopOnSimKernel: the loop is substrate-agnostic — a simulated kernel
 // can be driven through it too (there is just no gate to install).
 func TestLoopOnSimKernel(t *testing.T) {

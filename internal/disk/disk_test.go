@@ -110,8 +110,13 @@ func TestStoreRoundTrip(t *testing.T) {
 	s := NewStore(4096, true)
 	key := StoreKey{Object: 7, Offset: 8192}
 	data := []byte("hello backing store")
-	s.WritePage(key, data)
-	got, ok := s.ReadPage(key)
+	if err := s.WritePage(key, data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.ReadPage(key)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("page missing after write")
 	}
@@ -129,8 +134,10 @@ func TestStoreRoundTrip(t *testing.T) {
 func TestStoreWithoutData(t *testing.T) {
 	s := NewStore(4096, false)
 	key := StoreKey{Object: 1, Offset: 0}
-	s.WritePage(key, []byte("discarded"))
-	got, ok := s.ReadPage(key)
+	if err := s.WritePage(key, []byte("discarded")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := s.ReadPage(key)
 	if !ok {
 		t.Fatal("presence not tracked")
 	}
@@ -141,7 +148,7 @@ func TestStoreWithoutData(t *testing.T) {
 
 func TestStoreMissingPage(t *testing.T) {
 	s := NewStore(4096, true)
-	if _, ok := s.ReadPage(StoreKey{Object: 9, Offset: 0}); ok {
+	if _, ok, _ := s.ReadPage(StoreKey{Object: 9, Offset: 0}); ok {
 		t.Fatal("absent page reported present")
 	}
 }
@@ -192,9 +199,11 @@ func TestPropertyStoreRoundTrip(t *testing.T) {
 			payload = payload[:4096]
 		}
 		key := StoreKey{Object: obj, Offset: int64(pageIdx) * 4096}
-		s.WritePage(key, payload)
-		got, ok := s.ReadPage(key)
-		if !ok {
+		if err := s.WritePage(key, payload); err != nil {
+			return false
+		}
+		got, ok, err := s.ReadPage(key)
+		if !ok || err != nil {
 			return false
 		}
 		for i, b := range payload {

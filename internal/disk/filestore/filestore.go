@@ -33,6 +33,7 @@ type Store struct {
 	slots    map[substrate.PageKey]int64 // key -> slot index
 	nextSlot int64
 	readBuf  []byte
+	writeBuf []byte // scratch for padding partial writes; never aliased to readBuf
 	zeroBuf  []byte
 	temp     bool // backing file is removed on Close
 
@@ -58,6 +59,7 @@ func Open(path string, pageSize int) (*Store, error) {
 		pageSize: pageSize,
 		slots:    make(map[substrate.PageKey]int64),
 		readBuf:  make([]byte, pageSize),
+		writeBuf: make([]byte, pageSize),
 		zeroBuf:  make([]byte, pageSize),
 	}, nil
 }
@@ -99,22 +101,27 @@ func (s *Store) Close() error {
 // PageSize implements substrate.Store.
 func (s *Store) PageSize() int { return s.pageSize }
 
-// slot returns the file slot for key, allocating one on first use.
-func (s *Store) slot(key substrate.PageKey) int64 {
+// slot returns the file slot for key, allocating one on first use; fresh
+// reports whether the slot was allocated by this call (so a failed first
+// write can release it again).
+func (s *Store) slot(key substrate.PageKey) (n int64, fresh bool) {
 	if n, ok := s.slots[key]; ok {
-		return n
+		return n, false
 	}
-	n := s.nextSlot
+	n = s.nextSlot
 	s.nextSlot++
 	s.slots[key] = n
-	return n
+	return n, true
 }
 
 // WritePage implements substrate.Store: the page is written to its slot at
 // real I/O cost. Nil data writes zeroes (presence must be durable — unlike
 // the simulation there is no metadata-only mode; a cache that forgot its
-// bytes would serve garbage).
-func (s *Store) WritePage(key substrate.PageKey, data []byte) {
+// bytes would serve garbage). A real I/O failure (ENOSPC, EIO) comes back
+// as a typed hiperr error wrapping ErrDiskIO — the VM's pageout path keeps
+// the page dirty and resident, so no data is lost; a first write that fails
+// does not record the key as present.
+func (s *Store) WritePage(key substrate.PageKey, data []byte) error {
 	if key.Offset%int64(s.pageSize) != 0 {
 		panic(fmt.Sprintf("filestore: unaligned store offset %d", key.Offset))
 	}
@@ -126,30 +133,41 @@ func (s *Store) WritePage(key substrate.PageKey, data []byte) {
 		if len(data) == s.pageSize {
 			buf = data
 		} else {
-			copy(s.readBuf, data)
-			copy(s.readBuf[len(data):], s.zeroBuf[len(data):])
-			buf = s.readBuf
+			copy(s.writeBuf, data)
+			copy(s.writeBuf[len(data):], s.zeroBuf[len(data):])
+			buf = s.writeBuf
 		}
 	}
-	if _, err := s.f.WriteAt(buf, s.slot(key)*int64(s.pageSize)); err != nil {
-		panic(fmt.Sprintf("filestore: write %s slot %d: %v", s.path, s.slots[key], err))
+	n, fresh := s.slot(key)
+	if _, err := s.f.WriteAt(buf, n*int64(s.pageSize)); err != nil {
+		if fresh {
+			delete(s.slots, key)
+			s.nextSlot--
+		}
+		return &hiperr.Error{Op: "filestore.write",
+			Err: fmt.Errorf("%s slot %d: %v: %w", s.path, n, err, hiperr.ErrDiskIO)}
 	}
 	s.Writes++
+	return nil
 }
 
 // ReadPage implements substrate.Store. The returned slice is the store's
-// reusable read buffer, valid until the next ReadPage — the VM copies it
-// into the destination frame immediately.
-func (s *Store) ReadPage(key substrate.PageKey) ([]byte, bool) {
+// reusable read buffer, valid until the next ReadPage (WritePage uses a
+// separate scratch buffer and never clobbers it) — the VM copies it into
+// the destination frame immediately. A real I/O failure returns ok=true
+// (the page is present) with a typed hiperr error wrapping ErrDiskIO, which
+// feeds the VM's fault retry ladder.
+func (s *Store) ReadPage(key substrate.PageKey) ([]byte, bool, error) {
 	n, ok := s.slots[key]
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	if _, err := s.f.ReadAt(s.readBuf, n*int64(s.pageSize)); err != nil {
-		panic(fmt.Sprintf("filestore: read %s slot %d: %v", s.path, n, err))
+		return nil, true, &hiperr.Error{Op: "filestore.read",
+			Err: fmt.Errorf("%s slot %d: %v: %w", s.path, n, err, hiperr.ErrDiskIO)}
 	}
 	s.Reads++
-	return s.readBuf, true
+	return s.readBuf, true, nil
 }
 
 // Contains implements substrate.Store.

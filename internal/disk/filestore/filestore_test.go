@@ -2,10 +2,12 @@ package filestore
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"hipec/internal/hiperr"
 	"hipec/internal/substrate"
 )
 
@@ -19,12 +21,22 @@ func newStore(t *testing.T) *Store {
 	return s
 }
 
+func mustWrite(t *testing.T, s *Store, key substrate.PageKey, data []byte) {
+	t.Helper()
+	if err := s.WritePage(key, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRoundTrip(t *testing.T) {
 	s := newStore(t)
 	key := substrate.PageKey{Object: 7, Offset: 8192}
 	page := bytes.Repeat([]byte{0xAB}, 4096)
-	s.WritePage(key, page)
-	got, ok := s.ReadPage(key)
+	mustWrite(t, s, key, page)
+	got, ok, err := s.ReadPage(key)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok || !bytes.Equal(got, page) {
 		t.Fatalf("round trip lost data (ok=%v)", ok)
 	}
@@ -38,20 +50,20 @@ func TestRoundTrip(t *testing.T) {
 
 func TestAbsentPage(t *testing.T) {
 	s := newStore(t)
-	if _, ok := s.ReadPage(substrate.PageKey{Object: 1}); ok {
-		t.Fatal("absent page read as present")
+	if _, ok, err := s.ReadPage(substrate.PageKey{Object: 1}); ok || err != nil {
+		t.Fatalf("absent page read as present (ok=%v err=%v)", ok, err)
 	}
 }
 
 func TestRewriteReusesSlot(t *testing.T) {
 	s := newStore(t)
 	key := substrate.PageKey{Object: 1, Offset: 0}
-	s.WritePage(key, bytes.Repeat([]byte{1}, 4096))
-	s.WritePage(key, bytes.Repeat([]byte{2}, 4096))
+	mustWrite(t, s, key, bytes.Repeat([]byte{1}, 4096))
+	mustWrite(t, s, key, bytes.Repeat([]byte{2}, 4096))
 	if s.Len() != 1 {
 		t.Fatalf("rewrite grew the store to %d slots", s.Len())
 	}
-	got, _ := s.ReadPage(key)
+	got, _, _ := s.ReadPage(key)
 	if got[0] != 2 {
 		t.Fatalf("rewrite not visible, got %d", got[0])
 	}
@@ -60,8 +72,8 @@ func TestRewriteReusesSlot(t *testing.T) {
 func TestShortWriteZeroPads(t *testing.T) {
 	s := newStore(t)
 	key := substrate.PageKey{Object: 3, Offset: 4096}
-	s.WritePage(key, []byte{9, 9})
-	got, ok := s.ReadPage(key)
+	mustWrite(t, s, key, []byte{9, 9})
+	got, ok, _ := s.ReadPage(key)
 	if !ok || got[0] != 9 || got[1] != 9 || got[2] != 0 || got[4095] != 0 {
 		t.Fatalf("short write not zero-padded (ok=%v)", ok)
 	}
@@ -70,8 +82,8 @@ func TestShortWriteZeroPads(t *testing.T) {
 func TestNilDataDurablePresence(t *testing.T) {
 	s := newStore(t)
 	key := substrate.PageKey{Object: 4, Offset: 0}
-	s.WritePage(key, nil)
-	got, ok := s.ReadPage(key)
+	mustWrite(t, s, key, nil)
+	got, ok, _ := s.ReadPage(key)
 	if !ok {
 		t.Fatal("nil write did not record presence")
 	}
@@ -90,6 +102,59 @@ func TestUnalignedOffsetPanics(t *testing.T) {
 		}
 	}()
 	s.WritePage(substrate.PageKey{Object: 1, Offset: 100}, nil)
+}
+
+// TestPartialWriteDoesNotClobberReadBuffer pins ReadPage's contract: the
+// returned buffer stays valid until the next ReadPage, even across a
+// partial-page WritePage (which pads in its own scratch buffer).
+func TestPartialWriteDoesNotClobberReadBuffer(t *testing.T) {
+	s := newStore(t)
+	keyA := substrate.PageKey{Object: 1, Offset: 0}
+	keyB := substrate.PageKey{Object: 2, Offset: 0}
+	mustWrite(t, s, keyA, bytes.Repeat([]byte{0xAA}, 4096))
+	held, ok, err := s.ReadPage(keyA)
+	if !ok || err != nil {
+		t.Fatalf("read back: ok=%v err=%v", ok, err)
+	}
+	mustWrite(t, s, keyB, []byte{0xBB, 0xBB}) // partial: pads via writeBuf
+	for i, b := range held {
+		if b != 0xAA {
+			t.Fatalf("partial WritePage clobbered held read buffer at %d: %#x", i, b)
+		}
+	}
+}
+
+// TestIOErrorsAreTypedNotPanics: real I/O failures surface as hiperr-typed
+// ErrDiskIO errors, not process-killing panics, and a failed first write
+// does not record the key as present.
+func TestIOErrorsAreTypedNotPanics(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "pages.dat"), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := substrate.PageKey{Object: 1, Offset: 0}
+	mustWrite(t, s, key, []byte{1, 2, 3})
+	// Close the fd underneath the store: every subsequent transfer fails
+	// the way EIO/ENOSPC would.
+	if err := s.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, rerr := s.ReadPage(key); !ok || !errors.Is(rerr, hiperr.ErrDiskIO) {
+		t.Fatalf("ReadPage on dead fd: ok=%v err=%v, want present + ErrDiskIO", ok, rerr)
+	}
+	werr := s.WritePage(substrate.PageKey{Object: 9, Offset: 0}, []byte{7})
+	if !errors.Is(werr, hiperr.ErrDiskIO) {
+		t.Fatalf("WritePage on dead fd: err=%v, want ErrDiskIO", werr)
+	}
+	if s.Contains(substrate.PageKey{Object: 9, Offset: 0}) {
+		t.Fatal("failed first write recorded the key as present")
+	}
+	if werr := s.WritePage(key, []byte{7}); !errors.Is(werr, hiperr.ErrDiskIO) {
+		t.Fatalf("rewrite on dead fd: err=%v, want ErrDiskIO", werr)
+	}
+	if !s.Contains(key) {
+		t.Fatal("failed rewrite dropped an already-durable key")
+	}
 }
 
 func TestOpenTempRemovesOnClose(t *testing.T) {

@@ -37,7 +37,9 @@ func NewRealClock() Clock { return Clock{impl: &RealClock{start: time.Now()}} }
 // SetGate installs the callback serialization gate: every timer callback is
 // handed to gate as a ready-to-run closure instead of running inline on the
 // timer goroutine. The actor loop installs its mailbox here. A nil gate
-// restores inline dispatch.
+// restores inline dispatch. A gate is allowed to drop a closure outright (a
+// closed actor loop does, deliberately — see core.Loop.Close); the dropped
+// timer's pending entry then never clears.
 func (c *RealClock) SetGate(gate func(run func())) {
 	c.mu.Lock()
 	c.gate = gate
@@ -89,12 +91,24 @@ func (c *RealClock) At(t simtime.Time, fn func(now simtime.Time)) Timer {
 }
 
 // fire runs one expired timer callback, through the gate when installed.
+// The pending count drops only once the callback has actually run, not when
+// the OS timer expires: a gated callback parked in an actor-loop mailbox is
+// still outstanding work, and Drain's wait-for-pending-zero must not report
+// quiescence while expirations sit queued undelivered. A gate that drops a
+// callback (an actor loop after Close) leaves it counted forever — Drain's
+// wait is deadline-bounded, so that cannot hang anyone.
 func (c *RealClock) fire(fn func(now simtime.Time)) {
 	c.mu.Lock()
-	c.pending--
 	gate := c.gate
 	c.mu.Unlock()
-	run := func() { fn(c.Now()) }
+	run := func() {
+		defer func() {
+			c.mu.Lock()
+			c.pending--
+			c.mu.Unlock()
+		}()
+		fn(c.Now())
+	}
 	if gate != nil {
 		gate(run)
 		return
@@ -123,7 +137,8 @@ func (c *RealClock) Cancel(t Timer) bool {
 // point of view.
 func (c *RealClock) PeekNext() (simtime.Time, bool) { return 0, false }
 
-// Pending implements Impl: armed, unfired timers.
+// Pending implements Impl: timers whose callbacks have not yet completed —
+// armed, in flight, or parked behind the serialization gate.
 func (c *RealClock) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -141,8 +156,13 @@ func (c *RealClock) RunUntil(t simtime.Time) {
 func (c *RealClock) RunNext() bool { return false }
 
 // Drain implements Impl: timers cannot be fired early. Give briefly-due
-// timers a chance to land (bounded wait for the pending count to reach
-// zero), then report 0 fired by Drain itself.
+// timers a chance to land — a bounded wait for the pending count to reach
+// zero, which since pending only drops after a callback completes means
+// "all timer work settled", not merely "all OS timers expired" — then
+// report 0 fired by Drain itself. The limit parameter is meaningless on
+// this backend (Drain never fires anything) and is ignored. The wait can
+// time out without quiescence when a closed actor loop's gate has dropped
+// callbacks; their pending entries never clear.
 func (c *RealClock) Drain(limit int) int {
 	deadline := time.Now().Add(100 * time.Millisecond)
 	for c.Pending() > 0 && time.Now().Before(deadline) {

@@ -16,14 +16,23 @@ type PageKey struct {
 // WritePage with nil data records presence without content (the simulation
 // runs data-free by default); ReadPage's ok distinguishes "absent" (a
 // zero-fill page) from "present with nil content".
+//
+// Errors are real I/O failures (ENOSPC, EIO on a file-backed store, a lost
+// peer on a networked one), wrapped in the hiperr taxonomy terminating in
+// ErrDiskIO. The in-memory store cannot fail and always returns nil;
+// misuse (unaligned offset, oversize data) is a caller bug and panics on
+// every backend.
 type Store interface {
 	// PageSize reports the store's page size in bytes.
 	PageSize() int
 	// WritePage stores data (length <= PageSize) for key; nil data records
-	// presence only.
-	WritePage(key PageKey, data []byte)
-	// ReadPage fetches the page for key; ok is false for absent pages.
-	ReadPage(key PageKey) (data []byte, ok bool)
+	// presence only. On error the page's previous durable content (if any)
+	// is unspecified per-backend, but the key is never recorded as present
+	// with garbage.
+	WritePage(key PageKey, data []byte) error
+	// ReadPage fetches the page for key; ok is false for absent pages. A
+	// non-nil err means the page is present but could not be read.
+	ReadPage(key PageKey) (data []byte, ok bool, err error)
 	// Contains reports whether the store holds a page for key.
 	Contains(key PageKey) bool
 	// Len reports the number of pages present.
@@ -53,8 +62,8 @@ func NewMemStore(pageSize int, keepData bool) *MemStore {
 // PageSize implements Store.
 func (s *MemStore) PageSize() int { return s.pageSize }
 
-// WritePage implements Store.
-func (s *MemStore) WritePage(key PageKey, data []byte) {
+// WritePage implements Store; memory writes cannot fail.
+func (s *MemStore) WritePage(key PageKey, data []byte) error {
 	if key.Offset%int64(s.pageSize) != 0 {
 		panic(fmt.Sprintf("substrate: unaligned store offset %d", key.Offset))
 	}
@@ -63,17 +72,18 @@ func (s *MemStore) WritePage(key PageKey, data []byte) {
 	}
 	if !s.keepData || data == nil {
 		s.pages[key] = nil
-		return
+		return nil
 	}
 	buf := make([]byte, s.pageSize)
 	copy(buf, data)
 	s.pages[key] = buf
+	return nil
 }
 
-// ReadPage implements Store.
-func (s *MemStore) ReadPage(key PageKey) (data []byte, ok bool) {
+// ReadPage implements Store; memory reads cannot fail.
+func (s *MemStore) ReadPage(key PageKey) (data []byte, ok bool, err error) {
 	d, ok := s.pages[key]
-	return d, ok
+	return d, ok, nil
 }
 
 // Contains implements Store.

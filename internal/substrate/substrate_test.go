@@ -142,9 +142,18 @@ func TestRealClockGate(t *testing.T) {
 	if ran {
 		t.Fatal("callback ran before the gate released it")
 	}
+	// The expired-but-undelivered callback is still outstanding work: it
+	// must stay in Pending until the gate actually runs it, so a
+	// Drain-style wait for quiescence cannot return early.
+	if got := raw.Pending(); got != 1 {
+		t.Fatalf("Pending while parked in gate = %d, want 1", got)
+	}
 	gated[0]()
 	if !ran {
 		t.Fatal("gated callback did not run when released")
+	}
+	if got := raw.Pending(); got != 0 {
+		t.Fatalf("Pending after delivery = %d, want 0", got)
 	}
 }
 
@@ -176,8 +185,13 @@ func TestMemStoreRoundTrip(t *testing.T) {
 	if s.Contains(key) {
 		t.Fatal("empty store contains a page")
 	}
-	s.WritePage(key, []byte{1, 2, 3})
-	data, ok := s.ReadPage(key)
+	if err := s.WritePage(key, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := s.ReadPage(key)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok || len(data) != 4096 || data[0] != 1 || data[2] != 3 {
 		t.Fatalf("read back ok=%v len=%d", ok, len(data))
 	}
@@ -189,8 +203,13 @@ func TestMemStoreRoundTrip(t *testing.T) {
 func TestMemStoreMetadataOnly(t *testing.T) {
 	s := NewMemStore(4096, false)
 	key := PageKey{Object: 1, Offset: 0}
-	s.WritePage(key, []byte{1})
-	data, ok := s.ReadPage(key)
+	if err := s.WritePage(key, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := s.ReadPage(key)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok || data != nil {
 		t.Fatalf("metadata-only store kept data: ok=%v data=%v", ok, data)
 	}

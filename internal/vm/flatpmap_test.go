@@ -83,7 +83,9 @@ func driveFuzz(t *testing.T, s *System, seed int64) {
 		pages := int64(rng.Intn(12) + 1)
 		o := s.NewObject(pages*ps, rng.Intn(2) == 0)
 		if !o.ZeroFill {
-			s.Populate(o, nil)
+			if err := s.Populate(o, nil); err != nil {
+				t.Fatal(err)
+			}
 		}
 		e, err := sp.Map(o, 0, pages*ps)
 		if err != nil {

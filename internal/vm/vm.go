@@ -726,7 +726,13 @@ func (sp *AddressSpace) pageInOnce(e *MapEntry, off, addr int64, p *mem.Page) er
 		if _, derr := s.Disk.Read(s.diskAddr(e.Object, off), s.PageSize()); derr != nil {
 			return &hiperr.Error{Op: "vm.pagein", Space: sp.ID, Err: fmt.Errorf("at %#x: %w", addr, derr)}
 		}
-		if data, _ := s.Store.ReadPage(key); data != nil && p.Data != nil {
+		// A real store (file-backed) can fail the transfer itself; feed the
+		// error into the same retry ladder as a modeled device error.
+		data, _, serr := s.Store.ReadPage(key)
+		if serr != nil {
+			return &hiperr.Error{Op: "vm.pagein", Space: sp.ID, Err: fmt.Errorf("at %#x: %w", addr, serr)}
+		}
+		if data != nil && p.Data != nil {
 			copy(p.Data, data)
 		}
 		s.Events.Emit(kevent.Event{Type: kevent.EvPageIn, Space: int32(sp.ID), Addr: addr, Arg: int64(e.Object.ID), Aux: off})
@@ -768,8 +774,10 @@ func (s *System) diskAddr(o *Object, off int64) int64 {
 // objects are returned to their pager (memory_object_data_return) instead;
 // a pager write-back failure keeps the page dirty (its contents are the only
 // copy) and returns an error — the caller decides whether to keep the page
-// resident or retry. The kernel store path cannot fail: the store write is
-// immediate and durable, the disk write models timing only.
+// resident or retry. The kernel store path has the same contract: on the
+// simulation substrate the in-memory store write cannot fail (the disk
+// write models timing only), while a realtime store's genuine I/O failure
+// (ENOSPC, EIO) keeps the page dirty and surfaces as a typed error.
 func (s *System) PageOut(p *mem.Page, done func(simtime.Time)) error {
 	o := s.Object(p.Object)
 	s.Events.Emit(kevent.Event{Type: kevent.EvPageOut, Arg: int64(p.Object), Aux: p.Offset})
@@ -786,7 +794,10 @@ func (s *System) PageOut(p *mem.Page, done func(simtime.Time)) error {
 		return nil
 	}
 	key := disk.StoreKey{Object: p.Object, Offset: p.Offset}
-	s.Store.WritePage(key, p.Data)
+	if err := s.Store.WritePage(key, p.Data); err != nil {
+		s.Events.Emit(kevent.Event{Type: kevent.EvPageOutError, Arg: int64(p.Object), Aux: p.Offset})
+		return &hiperr.Error{Op: "vm.pageout", Err: err}
+	}
 	s.Disk.Write(s.diskAddr(o, p.Offset), s.PageSize(), done)
 	p.Modified = false
 	return nil
@@ -808,7 +819,10 @@ func (s *System) PageOutSync(p *mem.Page) error {
 		return nil
 	}
 	key := disk.StoreKey{Object: p.Object, Offset: p.Offset}
-	s.Store.WritePage(key, p.Data)
+	if err := s.Store.WritePage(key, p.Data); err != nil {
+		s.Events.Emit(kevent.Event{Type: kevent.EvPageOutError, Arg: int64(p.Object), Aux: p.Offset})
+		return &hiperr.Error{Op: "vm.pageout", Err: err}
+	}
 	// Model as a read-shaped synchronous access (same service time). The
 	// store write above already made the contents durable, so an injected
 	// read error here would not lose data; the timing model ignores it.
@@ -819,8 +833,10 @@ func (s *System) PageOutSync(p *mem.Page) error {
 
 // Populate writes initial content pages for an object into the backing
 // store so that subsequent faults page in from disk (a "memory-mapped data
-// file"). With nil data only presence is recorded.
-func (s *System) Populate(o *Object, data []byte) {
+// file"). With nil data only presence is recorded. On a store write error
+// (realtime substrate) population stops at the failing page and the typed
+// error is returned; pages already written stay present.
+func (s *System) Populate(o *Object, data []byte) error {
 	ps := int64(s.PageSize())
 	for off := int64(0); off < o.Size; off += ps {
 		var chunk []byte
@@ -836,8 +852,11 @@ func (s *System) Populate(o *Object, data []byte) {
 				chunk = data[lo:hi]
 			}
 		}
-		s.Store.WritePage(disk.StoreKey{Object: o.ID, Offset: off}, chunk)
+		if err := s.Store.WritePage(disk.StoreKey{Object: o.ID, Offset: off}, chunk); err != nil {
+			return &hiperr.Error{Op: "vm.populate", Err: err}
+		}
 	}
+	return nil
 }
 
 // WireRange faults in and wires every page of the entry, making the range

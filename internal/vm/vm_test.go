@@ -124,7 +124,9 @@ func TestMappedFileFaultsPageIn(t *testing.T) {
 	content := make([]byte, 2*4096)
 	content[0] = 0xAB
 	content[4096] = 0xCD
-	sys.Populate(obj, content)
+	if err := sys.Populate(obj, content); err != nil {
+		t.Fatal(err)
+	}
 	sp := sys.NewSpace()
 	e, err := sp.Map(obj, 0, obj.Size)
 	if err != nil {
@@ -365,7 +367,9 @@ func TestEntriesAndSize(t *testing.T) {
 func TestDiskAddrScatter(t *testing.T) {
 	_, sys, _ := newTestSystem(t, 8)
 	o := sys.NewObject(16*4096, false)
-	sys.Populate(o, nil)
+	if err := sys.Populate(o, nil); err != nil {
+		t.Fatal(err)
+	}
 	sp := sys.NewSpace()
 	e, _ := sp.Map(o, 0, o.Size)
 	// Sequential page-ins of consecutive pages must NOT hit the disk's
