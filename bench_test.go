@@ -49,7 +49,7 @@ func BenchmarkTable4HiPECSimpleFault(b *testing.B) {
 	k := core.New(core.Config{Frames: 1024})
 	k.Executor.Costs = core.ExecCosts{}
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 64*4096, policies.FIFO(64))
+	e, c, err := k.Allocate(sp, 64*4096, hipec.WithPolicy(policies.FIFO(64)))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func benchmarkJoin(b *testing.B, policy string) {
 		if err := k.VM.Populate(obj, nil); err != nil {
 			b.Fatal(err)
 		}
-		e, _, err := k.MapHiPEC(sp, obj, 0, obj.Size, spec)
+		e, _, err := k.Map(sp, obj, 0, obj.Size, hipec.WithPolicy(spec))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +159,7 @@ func benchmarkCommandLoop(b *testing.B, body ...core.Command) {
 	k := core.New(core.Config{Frames: 256})
 	k.Executor.Costs = core.ExecCosts{}
 	sp := k.NewSpace()
-	_, c, err := k.AllocateHiPEC(sp, 4096, policies.FIFO(8))
+	_, c, err := k.Allocate(sp, 4096, hipec.WithPolicy(policies.FIFO(8)))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func benchmarkFaultPath(b *testing.B, mode string) {
 		k := core.New(core.Config{Frames: 1024, VMCosts: vm.Costs{FaultService: 1}})
 		k.Executor.Costs = core.ExecCosts{}
 		sp := k.NewSpace()
-		e, _, err := k.AllocateHiPEC(sp, 128*4096, policies.FIFO(pool))
+		e, _, err := k.Allocate(sp, 128*4096, hipec.WithPolicy(policies.FIFO(pool)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -291,7 +291,7 @@ event ReclaimFrame() { if (!empty(_free_queue)) { release(1) } return }
 	k := core.New(core.Config{Frames: 2048})
 	k.Executor.Costs = core.ExecCosts{}
 	sp := k.NewSpace()
-	e, _, err := k.AllocateHiPEC(sp, 1024*4096, spec)
+	e, _, err := k.Allocate(sp, 1024*4096, hipec.WithPolicy(spec))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func benchmarkReclaim(b *testing.B, pol core.ReclaimPolicy) {
 		k.FM.ReclaimPolicy = pol
 		sp := k.NewSpace()
 		for j := 0; j < 4; j++ {
-			_, c, err := k.AllocateHiPEC(sp, 64*4096, policies.FIFO(32))
+			_, c, err := k.Allocate(sp, 64*4096, hipec.WithPolicy(policies.FIFO(32)))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -354,7 +354,7 @@ func BenchmarkReclaimProportional(b *testing.B) {
 func BenchmarkSimulatedAccessHit(b *testing.B) {
 	k := core.New(core.Config{Frames: 256})
 	sp := k.NewSpace()
-	e, _, err := k.AllocateHiPEC(sp, 64*4096, policies.FIFO(64))
+	e, _, err := k.Allocate(sp, 64*4096, hipec.WithPolicy(policies.FIFO(64)))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,65 @@
+// Hipecd is the HiPEC cache daemon: a realtime kernel with a file-backed
+// page store, served over the wire protocol on a TCP listener. Clients
+// connect with hipec.Dial (or anything speaking internal/wire) and drive the
+// typed command surface — open regions under HPL policies, read/write/touch
+// pages, pull stats — while the server batches each connection's pipeline
+// into single command-loop hops.
+//
+// Run with: go run ./cmd/hipecd -addr 127.0.0.1:7070 -store /tmp/hipec.pages
+// Then point examples/netcache at it: go run ./examples/netcache -addr 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"hipec"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	storePath := flag.String("store", "", "backing store file (default: fresh temp file, removed on exit)")
+	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
+	frames := flag.Int("frames", 4096, "physical memory size in frames")
+	maxConns := flag.Int("max-conns", 64, "max concurrently served connections")
+	batchWindow := flag.Duration("batch-window", 0, "linger this long for more requests before submitting a non-full batch")
+	flag.Parse()
+
+	var (
+		store *hipec.FileStore
+		err   error
+	)
+	if *storePath != "" {
+		store, err = hipec.NewFileStore(*storePath, *pageSize)
+	} else {
+		store, err = hipec.NewTempFileStore("", *pageSize)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	opts := []hipec.ServeOption{
+		hipec.WithFrames(*frames),
+		hipec.WithMaxConns(*maxConns),
+	}
+	if *batchWindow > 0 {
+		opts = append(opts, hipec.WithBatchWindow(*batchWindow))
+	}
+	srv, err := hipec.Serve(*addr, store, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("hipecd: serving %s on %s (%d frames x %d B pages)",
+		store.Path(), srv.Addr(), *frames, *pageSize)
+
+	// Serve until interrupted, then drain connections and close the loop.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("hipecd: %v: shutting down", s)
+	srv.Close()
+}

@@ -29,7 +29,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	region, container, err := k.AllocateHiPEC(task, 16*4096, spec)
+	region, container, err := k.Allocate(task, 16*4096, hipec.WithPolicy(spec))
 	if err != nil {
 		panic(err)
 	}

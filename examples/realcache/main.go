@@ -6,35 +6,44 @@
 // the only synchronization; inside, the kernel is the same single-writer
 // engine the simulation runs.
 //
-// Each client owns one region under the paper's Figure 4 policy (FIFO with
-// a second chance) sized to overflow its frame grant, so a working set
-// bigger than memory keeps pages round-tripping through the backing file.
-// Clients stamp every page and verify the payload whenever a page comes
-// back from the store.
+// The workload itself lives in internal/demo and is written against the
+// transport-agnostic hipec.Client seam: this binary hands it the in-process
+// client, examples/netcache hands it the wire client, and the two run the
+// same stamp/verify rounds. Each client owns one region under the paper's
+// Figure 4 policy (FIFO with a second chance) sized to overflow its frame
+// grant, so a working set bigger than memory keeps pages round-tripping
+// through the backing file.
 //
 // Run with: go run ./examples/realcache
 // Race-check with: go run -race ./examples/realcache
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"sync"
-	"time"
 
 	"hipec"
+	"hipec/internal/demo"
 )
 
-const (
-	clients  = 8
-	pages    = 96 // per client; frame grant is 16, so the file works hard
-	rounds   = 3
-	pageSize = 4096
-)
+const pageSize = 4096
 
 func main() {
-	// The backing store is a real file; Close removes it.
-	store, err := hipec.NewTempFileStore("", pageSize)
+	cfg := demo.Flags(flag.CommandLine, demo.Config{Clients: 8, Pages: 96, Rounds: 3, Pool: 16})
+	storePath := flag.String("store", "", "backing store file (default: fresh temp file, removed on exit)")
+	flag.Parse()
+
+	// The backing store is a real file; Close removes temp stores.
+	var (
+		store *hipec.FileStore
+		err   error
+	)
+	if *storePath != "" {
+		store, err = hipec.NewFileStore(*storePath, pageSize)
+	} else {
+		store, err = hipec.NewTempFileStore("", pageSize)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +53,7 @@ func main() {
 	// Half the fleet's total working set fits in memory: the rest lives in
 	// the file and pages in and out on demand.
 	k := hipec.New(hipec.Config{
-		Frames:        clients * pages / 2,
+		Frames:        cfg.KernelFrames(),
 		PageSize:      pageSize,
 		BurstFraction: 0.5,
 		Substrate: hipec.SubstrateConfig{
@@ -52,93 +61,17 @@ func main() {
 			Store: store,
 		},
 	})
-	loop := hipec.NewLoop(k)
-	defer loop.Close()
+	client := hipec.NewClient(k)
+	defer client.Close()
 
-	// The paper's Figure 4 policy — FIFO with a second chance — translated
-	// from its HPL source, now deciding evictions for a real cache.
-	spec := hipec.PolicyFIFOSecondChance(16)
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	verified, misses := 0, 0
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			var task *hipec.AddressSpace
-			var base int64
-			if err := loop.Call(func(k *hipec.Kernel) error {
-				task = k.NewSpace()
-				region, _, err := k.Allocate(task, pages*pageSize, hipec.WithPolicy(spec))
-				if err != nil {
-					return err
-				}
-				base = region.Start
-				return nil
-			}); err != nil {
-				log.Fatalf("client %d: %v", id, err)
-			}
-			stamp := byte(id + 1)
-			for round := 0; round < rounds; round++ {
-				for i := 0; i < pages; i++ {
-					addr := base + int64(i)*pageSize
-					pageNo := byte(i)
-					err := loop.Call(func(k *hipec.Kernel) error {
-						p, err := task.Write(addr)
-						if err != nil {
-							return err
-						}
-						if round == 0 {
-							p.Data[0], p.Data[1] = stamp, pageNo
-							return nil
-						}
-						if p.Data[0] != stamp || p.Data[1] != pageNo {
-							return fmt.Errorf("client %d page %d: payload corrupt: % x", id, i, p.Data[:2])
-						}
-						mu.Lock()
-						verified++
-						mu.Unlock()
-						return nil
-					})
-					if err != nil {
-						log.Fatalf("client %d: %v", id, err)
-					}
-				}
-			}
-			// A few read-only probes of the hot tail: hits are served
-			// without touching the file.
-			for i := pages - 4; i < pages; i++ {
-				addr := base + int64(i)*pageSize
-				if err := loop.Call(func(k *hipec.Kernel) error {
-					_, err := task.Touch(addr)
-					return err
-				}); err != nil {
-					mu.Lock()
-					misses++
-					mu.Unlock()
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	if err := loop.Call(func(k *hipec.Kernel) error {
-		s := k.VM.Stats()
-		fmt.Printf("%d clients x %d pages x %d rounds in %v (wall clock)\n",
-			clients, pages, rounds, elapsed.Round(time.Millisecond))
-		fmt.Printf("  accesses %d: %d hits, %d faults (%d page-ins, %d zero-fills)\n",
-			s.Accesses, s.Hits, s.Faults, s.PageIns, s.ZeroFills)
-		fmt.Printf("  page-outs %d; store now holds %d pages (%d reads, %d writes)\n",
-			s.PageOuts, store.Len(), store.Reads, store.Writes)
-		fmt.Printf("  payload integrity: %d pages verified after store round trips\n", verified)
-		return nil
-	}); err != nil {
+	// Every demo client shares the one in-process Client; the mailbox
+	// serializes them.
+	res, err := demo.Run(*cfg, func(int) (hipec.Client, func(), error) {
+		return client, func() {}, nil
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	if misses > 0 {
-		log.Fatalf("%d hot-tail probes failed", misses)
-	}
+	fmt.Print(res.Report(*cfg, "in-process"))
+	fmt.Printf("  store I/O: %d reads, %d writes\n", store.Reads, store.Writes)
 }

@@ -28,7 +28,7 @@
 //	    }`)
 //	if err != nil { ... }
 //
-//	region, container, err := k.AllocateHiPEC(task, 8<<20, spec)
+//	region, container, err := k.Allocate(task, 8<<20, hipec.WithPolicy(spec))
 //	if err != nil { ... }
 //	task.Touch(region.Start) // faults run the policy
 //
@@ -45,7 +45,23 @@
 //     file-backed store (NewFileStore) does genuine I/O, cost models default
 //     to zero because time is measured rather than modeled, and concurrent
 //     callers drive the kernel through the serialized command loop
-//     (NewLoop). See examples/realcache.
+//     (NewClient). See examples/realcache.
+//
+// # Serving over the network
+//
+// A realtime cache can serve remote clients: Serve puts a tiny
+// length-prefixed binary wire protocol in front of the command loop, and
+// Dial returns a network client speaking it. Both the in-process loop and
+// the network client satisfy the transport-agnostic Client interface, so
+// cache code runs unchanged against either (compare examples/realcache and
+// examples/netcache):
+//
+//	srv, err := hipec.Serve("127.0.0.1:0", store,
+//	    hipec.WithMaxConns(128), hipec.WithBatchWindow(100*time.Microsecond))
+//	...
+//	cli, err := hipec.Dial(srv.Addr().String())
+//	region, err := cli.Open(64, hipec.WithPolicySource("mru", hipec.PolicyMRUSource(16)))
+//	err = cli.WritePage(region, 3, payload)
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure.
@@ -62,6 +78,7 @@ import (
 	"hipec/internal/mem"
 	"hipec/internal/pageout"
 	"hipec/internal/policies"
+	"hipec/internal/server"
 	"hipec/internal/simtime"
 	"hipec/internal/substrate"
 	"hipec/internal/trace"
@@ -179,7 +196,9 @@ type (
 	// FileStore is the realtime substrate's file-backed page store.
 	FileStore = filestore.Store
 	// Loop is the actor-style serialized command loop that makes a
-	// (typically realtime) kernel safe for concurrent callers.
+	// (typically realtime) kernel safe for concurrent callers. Its typed
+	// methods satisfy Client; Call/Async additionally accept closures for
+	// in-process callers that need the full kernel.
 	Loop = core.Loop
 )
 
@@ -197,12 +216,121 @@ var (
 	// NewTempFileStore opens a file-backed page store on a fresh temp file
 	// that Close removes.
 	NewTempFileStore = filestore.OpenTemp
-	// NewLoop starts a kernel's serialized command loop; concurrent
-	// goroutines submit work with Loop.Call / Loop.Async.
-	NewLoop = core.NewLoop
 	// ErrLoopClosed is returned by Loop.Call after Loop.Close.
 	ErrLoopClosed = core.ErrLoopClosed
 )
+
+// Client is the transport-agnostic command surface of a HiPEC cache: open a
+// region (optionally under a policy), drive pages by index, snapshot
+// counters. Two implementations exist and application code should accept
+// the interface so it runs against either:
+//
+//   - *Loop (NewClient): in-process — every method is one hop through the
+//     serialized command loop onto the kernel.
+//   - *NetClient (Dial): remote — every method is a wire-protocol exchange
+//     with a Serve-d cache; concurrent goroutines pipeline over one
+//     connection and the server batches their commands per Loop hop.
+//
+// Async contract: TouchAsync returns true when the command was ENQUEUED
+// (in-process: placed in the loop mailbox; remote: accepted for
+// transmission), NOT when it was applied. A command enqueued as the loop or
+// connection shuts down may be discarded without running; callers that must
+// know their command applied use the synchronous methods.
+type Client interface {
+	// Open allocates a region of pages pages and returns its handle.
+	// WithPolicySource attaches a HiPEC policy, translated and verified
+	// where the kernel lives; WithPolicySpec is in-process only.
+	Open(pages int, opts ...RegionOption) (RegionID, error)
+	// WritePage write-faults one page and stores data (length <=
+	// PageSize) at its head.
+	WritePage(r RegionID, page int, data []byte) error
+	// ReadPage touch-faults one page and copies up to len(buf) payload
+	// bytes into buf, returning the count.
+	ReadPage(r RegionID, page int, buf []byte) (int, error)
+	// TouchPage read-faults one page without moving payload.
+	TouchPage(r RegionID, page int) error
+	// TouchAsync enqueues a touch and reports whether it was enqueued —
+	// see the interface comment for the (non-)guarantee.
+	TouchAsync(r RegionID, page int) bool
+	// FreeRegion releases a region and everything it holds.
+	FreeRegion(r RegionID) error
+	// Stats snapshots machine-wide cache counters.
+	Stats() (CacheStats, error)
+	// PageSize reports the cache's page size in bytes.
+	PageSize() int
+	// Close releases the client. In-process this stops the command loop;
+	// remote it drops the connection and the server frees the session's
+	// regions.
+	Close()
+}
+
+// Client-seam types.
+type (
+	// RegionID is a session-scoped region handle.
+	RegionID = core.RegionID
+	// RegionOption configures Client.Open.
+	RegionOption = core.RegionOption
+	// CacheStats is the Client.Stats counter snapshot.
+	CacheStats = core.CacheStats
+	// NetClient is the network implementation of Client, returned by Dial.
+	NetClient = server.Client
+	// Server serves the wire protocol in front of a realtime kernel.
+	Server = server.Server
+	// ServeOption configures Serve.
+	ServeOption = server.Option
+)
+
+// Both implementations must keep satisfying the seam.
+var (
+	_ Client = (*Loop)(nil)
+	_ Client = (*NetClient)(nil)
+)
+
+var (
+	// WithPolicySpec places an opened region under an already-translated
+	// policy (in-process clients only).
+	WithPolicySpec = core.WithPolicySpec
+	// WithPolicySource places an opened region under the policy whose HPL
+	// source is given; translation and static verification happen where
+	// the kernel lives, so it works across the wire.
+	WithPolicySource = core.WithPolicySource
+	// WithRegionRetryBudget tunes the opened region's page-in retry budget.
+	WithRegionRetryBudget = core.WithRegionRetryBudget
+
+	// WithMaxConns bounds a server's concurrently served connections.
+	WithMaxConns = server.WithMaxConns
+	// WithMaxBatch bounds how many wire commands one Loop hop applies.
+	WithMaxBatch = server.WithMaxBatch
+	// WithBatchWindow lets a connection linger for stragglers before
+	// submitting a non-full batch.
+	WithBatchWindow = server.WithBatchWindow
+	// WithFrames sets a served kernel's physical memory in frames.
+	WithFrames = server.WithFrames
+	// WithBurstFraction sets a served kernel's partition_burst fraction.
+	WithBurstFraction = server.WithBurstFraction
+)
+
+// NewClient wraps a kernel in a serialized command loop and returns it as
+// the in-process Client. The concrete *Loop also exposes Call/Async for
+// code that needs closures over the raw kernel; the kernel must not be
+// touched outside them from then on.
+func NewClient(k *Kernel) *Loop { return core.NewLoop(k) }
+
+// Serve builds a realtime kernel over store (page size taken from the
+// store), wraps it in a command loop, and serves the wire protocol on addr
+// (":0" picks a port — see Server.Addr). Close the returned server before
+// closing the store.
+func Serve(addr string, store Store, opts ...ServeOption) (*Server, error) {
+	srv := server.New(store, opts...)
+	if err := srv.ListenAndServe(addr); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return srv, nil
+}
+
+// Dial connects to a Serve-d cache and returns the network Client.
+func Dial(addr string) (*NetClient, error) { return server.Dial(addr) }
 
 // New builds a simulated kernel. Zero-valued Config fields take calibrated
 // defaults (4 KB pages, the paper's fault/disk cost model, partition_burst
@@ -239,6 +367,22 @@ var (
 	PolicyByName = policies.ByName
 )
 
+// Canned policy HPL sources: the same policies in their wire-portable form,
+// for Client.Open's WithPolicySource (a *Spec does not serialize; source
+// does, and is translated and verified server-side).
+var (
+	// PolicyFIFOSource is the plain FIFO policy's HPL source.
+	PolicyFIFOSource = policies.FIFOSource
+	// PolicyLRUSource is the LRU policy's HPL source.
+	PolicyLRUSource = policies.LRUSource
+	// PolicyMRUSource is the §5.3 MRU policy's HPL source.
+	PolicyMRUSource = policies.MRUSource
+	// PolicyFIFOSecondChanceSource is the Figure 4 policy's HPL source.
+	PolicyFIFOSecondChanceSource = policies.FIFOSecondChanceSource
+	// PolicySequentialTossSource is the streaming policy's HPL source.
+	PolicySequentialTossSource = policies.SequentialTossSource
+)
+
 // Reserved event numbers.
 const (
 	EventPageFault    = core.EventPageFault
@@ -273,6 +417,10 @@ var (
 	// ErrBadOperand marks host access to a policy operand that does not
 	// exist, has the wrong kind, or cannot be written.
 	ErrBadOperand = hiperr.ErrBadOperand
+	// ErrBadRequest marks a malformed command on the client seam (unknown
+	// region handle, page index out of range, oversized payload). It
+	// round-trips the wire: a remote rejection still matches errors.Is.
+	ErrBadRequest = hiperr.ErrBadRequest
 )
 
 // Fault injection (internal/faultinj): the deterministic chaos plane.

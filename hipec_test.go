@@ -29,7 +29,7 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	region, container, err := k.AllocateHiPEC(task, 1<<20, spec)
+	region, container, err := k.Allocate(task, 1<<20, hipec.WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestCannedPoliciesViaFacade(t *testing.T) {
 		spec := mk(16)
 		k := hipec.New(hipec.Config{Frames: 1024})
 		task := k.NewSpace()
-		region, _, err := k.AllocateHiPEC(task, 32*4096, spec)
+		region, _, err := k.Allocate(task, 32*4096, hipec.WithPolicy(spec))
 		if err != nil {
 			t.Fatalf("%s: %v", spec.Name, err)
 		}
@@ -90,7 +90,7 @@ func TestVirtualTimeDeterminism(t *testing.T) {
 	elapsed := func() time.Duration {
 		k := hipec.New(hipec.Config{Frames: 512})
 		task := k.NewSpace()
-		region, _, err := k.AllocateHiPEC(task, 64*4096, hipec.PolicyFIFO(32))
+		region, _, err := k.Allocate(task, 64*4096, hipec.WithPolicy(hipec.PolicyFIFO(32)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,7 +109,7 @@ func TestVirtualTimeDeterminism(t *testing.T) {
 func TestMinFrameErrorExposed(t *testing.T) {
 	k := hipec.New(hipec.Config{Frames: 64})
 	task := k.NewSpace()
-	_, _, err := k.AllocateHiPEC(task, 1<<20, hipec.PolicyFIFO(10000))
+	_, _, err := k.Allocate(task, 1<<20, hipec.WithPolicy(hipec.PolicyFIFO(10000)))
 	if err == nil {
 		t.Fatal("oversized minFrame accepted")
 	}
@@ -122,7 +122,7 @@ func TestEMMFacade(t *testing.T) {
 	obj := k.VM.NewObject(8*4096, true)
 	obj.ExternalPager = pager
 	task := k.NewSpace()
-	region, _, err := k.MapHiPEC(task, obj, 0, obj.Size, hipec.PolicyFIFO(4))
+	region, _, err := k.Map(task, obj, 0, obj.Size, hipec.WithPolicy(hipec.PolicyFIFO(4)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,7 +39,7 @@ func TestPartitionedPoolsPreventInterference(t *testing.T) {
 
 		var region *hipec.MapEntry
 		if scannerUsesHiPEC {
-			region, _, err = k.AllocateHiPEC(scanner, scanSize, hipec.PolicySequentialToss(64))
+			region, _, err = k.Allocate(scanner, scanSize, hipec.WithPolicy(hipec.PolicySequentialToss(64)))
 		} else {
 			region, err = scanner.Allocate(scanSize)
 		}
@@ -84,7 +84,7 @@ func TestManyContainersCoexist(t *testing.T) {
 	var apps []app
 	for i, mk := range mks {
 		sp := k.NewSpace()
-		e, c, err := k.AllocateHiPEC(sp, 256*4096, mk(64+i*16))
+		e, c, err := k.Allocate(sp, 256*4096, hipec.WithPolicy(mk(64+i*16)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +175,7 @@ func TestMaliciousPoliciesAreContained(t *testing.T) {
 			if err != nil {
 				t.Fatalf("translate: %v", err)
 			}
-			e, c, err := k.AllocateHiPEC(sp, 16*4096, spec)
+			e, c, err := k.Allocate(sp, 16*4096, hipec.WithPolicy(spec))
 			if err != nil {
 				t.Fatalf("activation: %v", err)
 			}
@@ -203,7 +203,7 @@ func TestLongHaulStability(t *testing.T) {
 	k := hipec.New(hipec.Config{Frames: 2048, StartChecker: true})
 	k.Checker.DeepSweep = true
 	specific := k.NewSpace()
-	e1, c1, err := k.AllocateHiPEC(specific, 512*4096, hipec.PolicyFIFOSecondChance(128))
+	e1, c1, err := k.Allocate(specific, 512*4096, hipec.WithPolicy(hipec.PolicyFIFOSecondChance(128)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,19 +54,23 @@ type file struct {
 	pkg  string // package path relative to the repo root, e.g. "internal/core"
 }
 
-// pass is one analysis over a single file.
+// pass is one analysis over a single file. internalOnly passes keep their
+// historical scope (files under internal/); the rest also see cmd/,
+// examples/ and the root package.
 type pass struct {
-	name string
-	run  func(*file, func(ast.Node, string, ...any))
+	name         string
+	internalOnly bool
+	run          func(*file, func(ast.Node, string, ...any))
 }
 
 var passes = []pass{
-	{"wallclock", checkWallClock},
-	{"simclock", checkSimClock},
-	{"globalrand", checkGlobalRand},
-	{"errtype", checkErrType},
-	{"globalstate", checkGlobalState},
-	{"mapinloop", checkMapInLoop},
+	{"wallclock", true, checkWallClock},
+	{"simclock", true, checkSimClock},
+	{"globalrand", true, checkGlobalRand},
+	{"errtype", true, checkErrType},
+	{"globalstate", true, checkGlobalState},
+	{"mapinloop", true, checkMapInLoop},
+	{"loopseam", false, checkLoopSeam},
 }
 
 // kernelPkgs are the packages whose errors must carry the hiperr taxonomy.
@@ -86,19 +90,20 @@ var kernelPkgs = map[string]bool{
 var wallClockExempt = map[string]bool{
 	"internal/bench":     true,
 	"internal/substrate": true,
+	// The network layer and its demo harness live on the realtime substrate
+	// by definition: batch windows are real timers and throughput is wall
+	// time.
+	"internal/server": true,
+	"internal/demo":   true,
 }
 
-// Run analyzes every non-test Go file under root/internal and returns the
-// findings sorted by position.
+// Run analyzes every non-test Go file under root/internal, root/cmd and
+// root/examples, plus the root package itself, and returns the findings
+// sorted by position. Internal-scoped passes only fire under internal/; the
+// seam passes (loopseam) cover the whole tree.
 func Run(root string) ([]Finding, error) {
 	var findings []Finding
-	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
+	analyzeFile := func(path string) error {
 		rel, err := filepath.Rel(root, path)
 		if err != nil {
 			return err
@@ -113,9 +118,35 @@ func Run(root string) ([]Finding, error) {
 		}
 		findings = append(findings, fs...)
 		return nil
-	})
+	}
+	for _, dir := range []string{"internal", "cmd", "examples"} {
+		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			return analyzeFile(path)
+		})
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+	}
+	ents, err := os.ReadDir(root)
 	if err != nil {
 		return nil, err
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		if err := analyzeFile(filepath.Join(root, e.Name())); err != nil {
+			return nil, err
+		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
@@ -139,6 +170,9 @@ func AnalyzeSource(pkg, filename, src string) ([]Finding, error) {
 	var findings []Finding
 	for _, p := range passes {
 		p := p
+		if p.internalOnly && !strings.HasPrefix(pkg, "internal") {
+			continue
+		}
 		report := func(n ast.Node, format string, args ...any) {
 			findings = append(findings, Finding{
 				Pos:      fset.Position(n.Pos()),

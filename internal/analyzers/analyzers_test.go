@@ -237,3 +237,58 @@ func hot(m map[int]int) int { return m[3] }
 		}
 	}
 }
+
+func TestLoopSeamFlagsConstructionInCmd(t *testing.T) {
+	src := `
+package main
+import "hipec/internal/core"
+func main() {
+	l := core.NewLoop(nil)
+	_ = l
+	_ = &core.Loop{}
+	_ = new(core.Loop)
+}
+`
+	fs := analyze(t, "cmd/badtool", src)
+	wantFinding(t, fs, "loopseam", "core.NewLoop")
+	wantFinding(t, fs, "loopseam", "core.Loop literal")
+	wantFinding(t, fs, "loopseam", "new(core.Loop)")
+}
+
+func TestLoopSeamAllowsInternalAndRoot(t *testing.T) {
+	src := `
+package x
+import "hipec/internal/core"
+func mk(k *core.Kernel) *core.Loop { return core.NewLoop(k) }
+`
+	if fs := analyze(t, "internal/bench", src); len(fs) != 0 {
+		t.Fatalf("internal package flagged: %v", fs)
+	}
+	if fs := analyze(t, ".", src); len(fs) != 0 {
+		t.Fatalf("root package flagged: %v", fs)
+	}
+}
+
+func TestLoopSeamAllowsInspectionOnlyCoreUse(t *testing.T) {
+	src := `
+package main
+import "hipec/internal/core"
+func dump(s *core.Spec) { _ = s }
+`
+	if fs := analyze(t, "cmd/hipecdis", src); len(fs) != 0 {
+		t.Fatalf("inspection-only use flagged: %v", fs)
+	}
+}
+
+func TestInternalPassesSkipNonInternalPackages(t *testing.T) {
+	src := `
+package main
+import "time"
+func main() { _ = time.Now() }
+`
+	for _, f := range analyze(t, "examples/netcache", src) {
+		if f.Analyzer == "wallclock" {
+			t.Fatalf("wallclock fired outside internal/: %v", f)
+		}
+	}
+}

@@ -200,3 +200,43 @@ func numericType(vs *ast.ValueSpec) bool {
 	}
 	return false
 }
+
+// checkLoopSeam protects the client seam: outside internal/ and the root
+// hipec package, nothing may construct a core.Loop directly (core.NewLoop,
+// a core.Loop composite literal, or new(core.Loop)). Application code —
+// cmd/, examples/ — goes through hipec.NewClient, hipec.Serve or hipec.Dial
+// so every entry point carries the Client contract. Inspection-only use of
+// internal/core (the compiler and VM tools) stays legal.
+func checkLoopSeam(f *file, report func(ast.Node, string, ...any)) {
+	if f.pkg == "." || strings.HasPrefix(f.pkg, "internal") {
+		return
+	}
+	coreName := f.importName("hipec/internal/core")
+	if coreName == "" {
+		return
+	}
+	isCoreSel := func(e ast.Expr, name string) bool {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && id.Name == coreName && sel.Sel.Name == name
+	}
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn, ok := pkgCall(n, coreName); ok && fn == "NewLoop" {
+				report(n, "core.NewLoop outside internal/; construct clients through hipec.NewClient / hipec.Serve / hipec.Dial")
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 && isCoreSel(n.Args[0], "Loop") {
+				report(n, "new(core.Loop) outside internal/; construct clients through hipec.NewClient / hipec.Serve / hipec.Dial")
+			}
+		case *ast.CompositeLit:
+			if isCoreSel(n.Type, "Loop") {
+				report(n, "core.Loop literal outside internal/; construct clients through hipec.NewClient / hipec.Serve / hipec.Dial")
+			}
+		}
+		return true
+	})
+}

@@ -74,7 +74,7 @@ func runHiPECMechanism(jc workload.JoinConfig, pool, frames int) (MechanismResul
 	if err := k.VM.Populate(obj, nil); err != nil {
 		return MechanismResult{}, err
 	}
-	e, _, err := k.MapHiPEC(sp, obj, 0, obj.Size, policies.MRU(pool))
+	e, _, err := k.Map(sp, obj, 0, obj.Size, core.WithPolicy(policies.MRU(pool)))
 	if err != nil {
 		return MechanismResult{}, err
 	}

@@ -79,9 +79,9 @@ func RunTable3(cfg Table3Config) (Table3Result, error) {
 				if perr := k.VM.Populate(obj, nil); perr != nil {
 					return 0, perr
 				}
-				e, _, err = k.MapHiPEC(sp, obj, 0, obj.Size, spec)
+				e, _, err = k.Map(sp, obj, 0, obj.Size, core.WithPolicy(spec))
 			} else {
-				e, _, err = k.AllocateHiPEC(sp, cfg.RegionBytes, spec)
+				e, _, err = k.Allocate(sp, cfg.RegionBytes, core.WithPolicy(spec))
 			}
 		} else {
 			if withIO {
@@ -176,7 +176,7 @@ func RunTable4(measureIters int) (Table4Result, error) {
 	k.Executor.Costs = core.ExecCosts{}
 	sp := k.NewSpace()
 	spec := policies.FIFO(64)
-	e, c, err := k.AllocateHiPEC(sp, 64*4096, spec)
+	e, c, err := k.Allocate(sp, 64*4096, core.WithPolicy(spec))
 	if err != nil {
 		return r, err
 	}
@@ -393,7 +393,7 @@ func RunFigure6(cfg Figure6Config) ([]Figure6Point, error) {
 		if perr := k.VM.Populate(obj, nil); perr != nil { // outer table lives on disk
 			return perr
 		}
-		e, c, err := k.MapHiPEC(sp, obj, 0, obj.Size, spec)
+		e, c, err := k.Map(sp, obj, 0, obj.Size, core.WithPolicy(spec))
 		if err != nil {
 			return err
 		}

@@ -239,7 +239,7 @@ func executorLoop(iters int, forceChecked bool, sinks ...kevent.Sink) (wall time
 	k := core.New(core.Config{Frames: 4096, Sinks: sinks})
 	k.Executor.ForceChecked = forceChecked
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 64*4096, policies.FIFO(64))
+	e, c, err := k.Allocate(sp, 64*4096, core.WithPolicy(policies.FIFO(64)))
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -58,7 +58,7 @@ func RunSpineSmoke(cfg SpineSmokeConfig, sinks ...kevent.Sink) (*core.Kernel, er
 	// paper's pathological-for-LRU pattern), sized over its minFrame so
 	// the policy requests, flushes and reclaims.
 	hip := k.NewSpace()
-	he, hc, err := k.AllocateHiPEC(hip, 256*ps, policies.MRU(64))
+	he, hc, err := k.Allocate(hip, 256*ps, core.WithPolicy(policies.MRU(64)))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"hipec/internal/hiperr"
+)
+
+// The in-process client surface end to end: *Loop's typed methods on a
+// realtime kernel, payloads round-tripping through the fault path.
+func TestLoopClientSurface(t *testing.T) {
+	l := NewLoop(realKernel(64))
+	defer l.Close()
+
+	if ps := l.PageSize(); ps != 4096 {
+		t.Fatalf("PageSize = %d, want 4096", ps)
+	}
+	r, err := l.Open(8)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	payload := []byte("client surface payload")
+	if err := l.WritePage(r, 3, payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(payload))
+	n, err := l.ReadPage(r, 3, buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf[:n], payload) {
+		t.Fatalf("read back %q, want %q", buf[:n], payload)
+	}
+	if err := l.TouchPage(r, 0); err != nil {
+		t.Fatalf("touch: %v", err)
+	}
+	st, err := l.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Accesses < 3 || st.Faults == 0 {
+		t.Fatalf("stats show no traffic: %+v", st)
+	}
+	if err := l.FreeRegion(r); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	if err := l.TouchPage(r, 0); !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("touch after free: got %v, want ErrBadRequest", err)
+	}
+}
+
+// TouchAsync is enqueued-not-guaranteed: true means the touch is in the
+// mailbox, and it lands eventually.
+func TestLoopTouchAsync(t *testing.T) {
+	l := NewLoop(realKernel(64))
+	defer l.Close()
+	r, err := l.Open(2)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	before, _ := l.Stats()
+	if !l.TouchAsync(r, 1) {
+		t.Fatal("TouchAsync refused on an open loop")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := l.Stats()
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		if st.Accesses > before.Accesses {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async touch never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The session's request validation: every malformed command is a typed
+// ErrBadRequest, and none of them disturb kernel state.
+func TestCacheSessionBadRequests(t *testing.T) {
+	k := New(Config{Frames: 64})
+	s := NewCacheSession()
+
+	if _, err := s.Open(k, 0); !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("zero pages: got %v, want ErrBadRequest", err)
+	}
+	if err := s.Touch(k, 42, 0); !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("unknown region: got %v, want ErrBadRequest", err)
+	}
+	r, err := s.Open(k, 4)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := s.Touch(k, r, 4); !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("page out of range: got %v, want ErrBadRequest", err)
+	}
+	if err := s.Touch(k, r, -1); !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("negative page: got %v, want ErrBadRequest", err)
+	}
+	if err := s.Write(k, r, 0, make([]byte, k.VM.PageSize()+1)); !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("oversize payload: got %v, want ErrBadRequest", err)
+	}
+	if _, err := s.Open(k, 4, WithPolicySpec(&Spec{}), WithPolicySource("x", "y")); !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("spec and source together: got %v, want ErrBadRequest", err)
+	}
+}
+
+// WithPolicySource without a linked translator (this test binary does not
+// import hpl) fails typed, not silently.
+func TestCacheSessionSourceNeedsTranslator(t *testing.T) {
+	saved := policyTranslator
+	policyTranslator = nil
+	defer func() { policyTranslator = saved }()
+
+	k := New(Config{Frames: 64})
+	s := NewCacheSession()
+	if _, err := s.Open(k, 4, WithPolicySource("lru", "policy lru { }")); !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("got %v, want ErrBadRequest", err)
+	}
+}
+
+// On the data-free simulation, the client surface still drives residency and
+// policy state — writes fault, reads return no payload, nothing panics.
+func TestCacheSessionDataFreeSim(t *testing.T) {
+	k := New(Config{Frames: 64}) // sim default: KeepData false
+	s := NewCacheSession()
+	r, err := s.Open(k, 4)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := s.Write(k, r, 0, []byte("dropped")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	n, err := s.Read(k, r, 0, make([]byte, 8))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("data-free read returned %d bytes", n)
+	}
+	if st := s.Stats(k); st.Faults == 0 {
+		t.Fatalf("no faults recorded: %+v", st)
+	}
+}
+
+// FreeAll is connection teardown: every region goes, frames return to the
+// machine pool, and the space can be refilled.
+func TestCacheSessionFreeAll(t *testing.T) {
+	k := New(Config{Frames: 32})
+	s := NewCacheSession()
+	for i := 0; i < 3; i++ {
+		r, err := s.Open(k, 8)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		for p := 0; p < 8; p++ {
+			if err := s.Touch(k, r, p); err != nil {
+				t.Fatalf("region %d touch %d: %v", i, p, err)
+			}
+		}
+	}
+	if got := s.Regions(); got != 3 {
+		t.Fatalf("Regions = %d, want 3", got)
+	}
+	s.FreeAll(k)
+	if got := s.Regions(); got != 0 {
+		t.Fatalf("Regions after FreeAll = %d, want 0", got)
+	}
+	// The machine is whole again: a fresh session can fault a full region.
+	s2 := NewCacheSession()
+	r, err := s2.Open(k, 8)
+	if err != nil {
+		t.Fatalf("open after FreeAll: %v", err)
+	}
+	for p := 0; p < 8; p++ {
+		if err := s2.Touch(k, r, p); err != nil {
+			t.Fatalf("touch after FreeAll: %v", err)
+		}
+	}
+}

@@ -72,7 +72,7 @@ func TestOpcodeNames(t *testing.T) {
 func TestActivateAndFaultBasics(t *testing.T) {
 	k := testKernel(256)
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 16*4096, simpleSpec(8))
+	e, c, err := k.Allocate(sp, 16*4096, WithPolicy(simpleSpec(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestActivateAndFaultBasics(t *testing.T) {
 func TestFIFOReplacementCyclesWithinPrivatePool(t *testing.T) {
 	k := testKernel(256)
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 32*4096, simpleSpec(8))
+	e, c, err := k.Allocate(sp, 32*4096, WithPolicy(simpleSpec(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestTable2ProgramRunsVerbatim(t *testing.T) {
 	}
 	k := testKernel(256)
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 64*4096, spec)
+	e, c, err := k.Allocate(sp, 64*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestTable2ProgramRunsVerbatim(t *testing.T) {
 func TestMinFrameRejected(t *testing.T) {
 	k := testKernel(64) // burst = 32 frames; minFrame below must fail on free frames
 	sp := k.NewSpace()
-	_, _, err := k.AllocateHiPEC(sp, 16*4096, simpleSpec(1000))
+	_, _, err := k.Allocate(sp, 16*4096, WithPolicy(simpleSpec(1000)))
 	if err == nil {
 		t.Fatal("oversized minFrame accepted")
 	}
@@ -228,7 +228,7 @@ func TestMinFrameRejected(t *testing.T) {
 func TestHiPECDisabledKernelRejectsActivation(t *testing.T) {
 	k := New(Config{Frames: 64, HiPECDisabled: true})
 	sp := k.NewSpace()
-	if _, _, err := k.AllocateHiPEC(sp, 4096, simpleSpec(4)); err == nil {
+	if _, _, err := k.Allocate(sp, 4096, WithPolicy(simpleSpec(4))); err == nil {
 		t.Fatal("HiPEC-disabled kernel accepted a container")
 	}
 }
@@ -250,7 +250,7 @@ func TestRequestGrantsAndPartitionBurst(t *testing.T) {
 		Encode(OpFIFO, SlotActiveQueue, 0, 0), // denied: recycle own pages
 		Encode(OpJump, JumpAlways, 0, 3),
 	)
-	e, c, err := k.AllocateHiPEC(sp, 256*4096, spec)
+	e, c, err := k.Allocate(sp, 256*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestNormalReclamationFAFR(t *testing.T) {
 	k := testKernel(128) // burst 64
 	sp := k.NewSpace()
 	// First container guarantees 16 frames but grows to 40.
-	_, c1, err := k.AllocateHiPEC(sp, 64*4096, simpleSpec(16))
+	_, c1, err := k.Allocate(sp, 64*4096, WithPolicy(simpleSpec(16)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestNormalReclamationFAFR(t *testing.T) {
 		t.Fatalf("allocated = %d, want 40", c1.Allocated())
 	}
 	// Second container takes 40 more: 80 > burst(64).
-	_, c2, err := k.AllocateHiPEC(sp, 64*4096, simpleSpec(40))
+	_, c2, err := k.Allocate(sp, 64*4096, WithPolicy(simpleSpec(40)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +324,7 @@ func TestForcedReclamationWhenPolicyWontGive(t *testing.T) {
 	spec.Events[EventReclaimFrame] = NewProgram(
 		Encode(OpReturn, SlotScratch, 0, 0),
 	)
-	e, c1, err := k.AllocateHiPEC(sp, 64*4096, spec)
+	e, c1, err := k.Allocate(sp, 64*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func TestForcedReclamationWhenPolicyWontGive(t *testing.T) {
 	for i := int64(0); i < 20; i++ {
 		sp.Touch(e.Start + i*4096)
 	}
-	_, _, err = k.AllocateHiPEC(sp, 64*4096, simpleSpec(40))
+	_, _, err = k.Allocate(sp, 64*4096, WithPolicy(simpleSpec(40)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +407,7 @@ func TestValidationRejectsMalformedPrograms(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			spec := simpleSpec(4)
 			tc.mutate(spec)
-			if _, _, err := k.AllocateHiPEC(sp, 4096, spec); err == nil {
+			if _, _, err := k.Allocate(sp, 4096, WithPolicy(spec)); err == nil {
 				t.Fatalf("%s: accepted", tc.name)
 			}
 		})
@@ -426,7 +426,7 @@ func TestRuntimeErrorTerminatesContainer(t *testing.T) {
 		Encode(OpDeQueue, SlotPageReg, SlotInactiveQueue, QueueHead),
 		Encode(OpReturn, SlotPageReg, 0, 0),
 	)
-	e, c, err := k.AllocateHiPEC(sp, 4*4096, spec)
+	e, c, err := k.Allocate(sp, 4*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,7 +467,7 @@ func TestWatchdogKillsRunawayPolicy(t *testing.T) {
 		Encode(OpDeQueue, SlotPageReg, SlotFreeQueue, QueueHead),
 		Encode(OpReturn, SlotPageReg, 0, 0),
 	)
-	e, c, err := k.AllocateHiPEC(sp, 4*4096, spec)
+	e, c, err := k.Allocate(sp, 4*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -519,7 +519,7 @@ func TestMaxStepsBackstop(t *testing.T) {
 		Encode(OpDeQueue, SlotPageReg, SlotFreeQueue, QueueHead),
 		Encode(OpReturn, SlotPageReg, 0, 0),
 	)
-	e, c, err := k.AllocateHiPEC(sp, 4*4096, spec)
+	e, c, err := k.Allocate(sp, 4*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -535,7 +535,7 @@ func TestFlushExchangeKeepsPoolSizeConstant(t *testing.T) {
 	k := testKernel(256)
 	sp := k.NewSpace()
 	spec := simpleSpec(8)
-	e, c, err := k.AllocateHiPEC(sp, 8*4096, spec)
+	e, c, err := k.Allocate(sp, 8*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -578,11 +578,11 @@ func TestMigrateExtension(t *testing.T) {
 	sp := k.NewSpace()
 	specA := simpleSpec(8)
 	specA.EnableExtensions = true
-	_, ca, err := k.AllocateHiPEC(sp, 8*4096, specA)
+	_, ca, err := k.Allocate(sp, 8*4096, WithPolicy(specA))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cb, err := k.AllocateHiPEC(sp, 8*4096, simpleSpec(8))
+	_, cb, err := k.Allocate(sp, 8*4096, WithPolicy(simpleSpec(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -612,7 +612,7 @@ func TestMigrateExtension(t *testing.T) {
 func TestDestroyContainerReturnsEverything(t *testing.T) {
 	k := testKernel(128)
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 16*4096, simpleSpec(16))
+	e, c, err := k.Allocate(sp, 16*4096, WithPolicy(simpleSpec(16)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -647,7 +647,7 @@ func TestArithAndLogicCommands(t *testing.T) {
 		{Slot: va, Kind: KindInt, Name: "a", Init: 10},
 		{Slot: vb, Kind: KindInt, Name: "b", Init: 3},
 	}
-	_, c, err := k.AllocateHiPEC(sp, 4096, spec)
+	_, c, err := k.Allocate(sp, 4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -693,7 +693,7 @@ func TestArithAndLogicCommands(t *testing.T) {
 func TestExecCostsChargedToClock(t *testing.T) {
 	k := testKernel(64)
 	sp := k.NewSpace()
-	e, _, err := k.AllocateHiPEC(sp, 4096, simpleSpec(4))
+	e, _, err := k.Allocate(sp, 4096, WithPolicy(simpleSpec(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -711,7 +711,7 @@ func TestLRUAndMRUVictimSelection(t *testing.T) {
 	k := testKernel(128)
 	sp := k.NewSpace()
 	spec := simpleSpec(4)
-	e, c, err := k.AllocateHiPEC(sp, 16*4096, spec)
+	e, c, err := k.Allocate(sp, 16*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -750,7 +750,7 @@ func TestFindCommand(t *testing.T) {
 	k := testKernel(64)
 	sp := k.NewSpace()
 	spec := simpleSpec(4)
-	e, c, err := k.AllocateHiPEC(sp, 4*4096, spec)
+	e, c, err := k.Allocate(sp, 4*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -771,7 +771,7 @@ func TestFindCommand(t *testing.T) {
 	}
 }
 
-func TestMapHiPECOnPopulatedObject(t *testing.T) {
+func TestMapWithPolicyOnPopulatedObject(t *testing.T) {
 	k := New(Config{Frames: 256, KeepData: true})
 	sp := k.NewSpace()
 	obj := k.VM.NewObject(8*4096, false)
@@ -780,7 +780,7 @@ func TestMapHiPECOnPopulatedObject(t *testing.T) {
 	if err := k.VM.Populate(obj, data); err != nil {
 		t.Fatal(err)
 	}
-	e, c, err := k.MapHiPEC(sp, obj, 0, obj.Size, simpleSpec(8))
+	e, c, err := k.Map(sp, obj, 0, obj.Size, WithPolicy(simpleSpec(8)))
 	if err != nil {
 		t.Fatal(err)
 	}

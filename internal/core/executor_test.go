@@ -19,7 +19,7 @@ func newExecFixture(t *testing.T) (*Kernel, *Container) {
 	t.Helper()
 	k := testKernel(128)
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 16*4096, simpleSpec(8))
+	e, c, err := k.Allocate(sp, 16*4096, WithPolicy(simpleSpec(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestLogicCommands(t *testing.T) {
 		{Slot: bt, Kind: KindBool, Name: "t", Init: 1},
 		{Slot: bf, Kind: KindBool, Name: "f", Init: 0},
 	}
-	_, c, err := k.AllocateHiPEC(sp, 4096, spec)
+	_, c, err := k.Allocate(sp, 4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestActivateDepthLimit(t *testing.T) {
 	k := testKernel(64)
 	sp := k.NewSpace()
 	spec := simpleSpec(4)
-	_, c, err := k.AllocateHiPEC(sp, 4096, spec)
+	_, c, err := k.Allocate(sp, 4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestFlushFallbackWhenMachineExhausted(t *testing.T) {
 	// return the same frame.
 	k := testKernel(16)
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 8*4096, simpleSpec(8))
+	e, c, err := k.Allocate(sp, 8*4096, WithPolicy(simpleSpec(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestImplicitLaunderOnDirtyFree(t *testing.T) {
 	// launder it rather than lose the data.
 	k := New(Config{Frames: 128, KeepData: true})
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 8*4096, simpleSpec(8))
+	e, c, err := k.Allocate(sp, 8*4096, WithPolicy(simpleSpec(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestCheckerAdaptiveHalving(t *testing.T) {
 		Encode(OpReturn, SlotPageReg, 0, 0),
 	)
 	k.Executor.MaxSteps = 1 << 30 // let the checker do the killing
-	e, _, err := k.AllocateHiPEC(sp, 4096, spec)
+	e, _, err := k.Allocate(sp, 4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}

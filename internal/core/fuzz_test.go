@@ -95,7 +95,7 @@ func TestPropertyRandomPoliciesNeverLeakFrames(t *testing.T) {
 			},
 			MinFrame: 4 + rng.Intn(12),
 		}
-		e, c, err := k.AllocateHiPEC(sp, 64*4096, spec)
+		e, c, err := k.Allocate(sp, 64*4096, WithPolicy(spec))
 		if err != nil {
 			// Static checker rejected it: nothing was granted.
 			return k.FM.SpecificTotal() == 0
@@ -221,7 +221,7 @@ func TestPropertyVerifierSoundness(t *testing.T) {
 			},
 			MinFrame: 4,
 		}
-		e, c, err := k.AllocateHiPEC(sp, 32*4096, spec)
+		e, c, err := k.Allocate(sp, 32*4096, WithPolicy(spec))
 		if err != nil {
 			return true // rejected: nothing to check
 		}
@@ -279,7 +279,7 @@ func TestPropertyRandomPoliciesAfterDestroy(t *testing.T) {
 			Events:   []Program{randomProgram(rng, 6), randomProgram(rng, 3)},
 			MinFrame: 8,
 		}
-		e, c, err := k.AllocateHiPEC(sp, 32*4096, spec)
+		e, c, err := k.Allocate(sp, 32*4096, WithPolicy(spec))
 		if err != nil {
 			return k.Daemon.FreeCount() == 128
 		}

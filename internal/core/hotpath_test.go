@@ -31,7 +31,7 @@ func chargeFixture(t testing.TB, spins int64, quantum time.Duration) (*Kernel, *
 		Encode(OpDeQueue, SlotPageReg, SlotFreeQueue, QueueHead), // CC4
 		Encode(OpReturn, SlotPageReg, 0, 0),                      // CC5
 	)
-	e, c, err := k.AllocateHiPEC(sp, 8*4096, spec)
+	e, c, err := k.Allocate(sp, 8*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func runawayKillTime(t *testing.T, quantum time.Duration) (int64, string) {
 		Encode(OpDeQueue, SlotPageReg, SlotFreeQueue, QueueHead),
 		Encode(OpReturn, SlotPageReg, 0, 0),
 	)
-	e, c, err := k.AllocateHiPEC(sp, 4*4096, spec)
+	e, c, err := k.Allocate(sp, 4*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestPredecodeCoversAppendedEvents(t *testing.T) {
 func BenchmarkExecutorSimpleFault(b *testing.B) {
 	k := testKernel(1024)
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 64*4096, simpleSpec(64))
+	e, c, err := k.Allocate(sp, 64*4096, WithPolicy(simpleSpec(64)))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func BenchmarkExecutorCommandLoop(b *testing.B) {
 		{Slot: ctr, Kind: KindInt, Name: "ctr"},
 		{Slot: limit, Kind: KindInt, Name: "limit", Init: 1024, Const: true},
 	}
-	_, c, err := k.AllocateHiPEC(sp, 8*4096, spec)
+	_, c, err := k.Allocate(sp, 8*4096, WithPolicy(spec))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func BenchmarkExecutorCommandLoop(b *testing.B) {
 func TestRequestReleaseCycleDoesNotAllocate(t *testing.T) {
 	k := testKernel(256)
 	sp := k.NewSpace()
-	_, c, err := k.AllocateHiPEC(sp, 8*4096, simpleSpec(8))
+	_, c, err := k.Allocate(sp, 8*4096, WithPolicy(simpleSpec(8)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -171,33 +171,6 @@ func New(cfg Config) *Kernel {
 // NewSpace creates a task address space.
 func (k *Kernel) NewSpace() *vm.AddressSpace { return k.VM.NewSpace() }
 
-// AllocateHiPEC is vm_allocate_hipec(): allocate a fresh zero-fill region of
-// size bytes under control of the supplied policy.
-//
-// Deprecated: use Allocate with the WithPolicy option, which also supports
-// external pagers and per-region retry budgets.
-func (k *Kernel) AllocateHiPEC(sp *vm.AddressSpace, size int64, spec *Spec) (*vm.MapEntry, *Container, error) {
-	if spec == nil {
-		// Allocate without options legitimately builds a plain region; the
-		// legacy entry point always demanded a policy.
-		return nil, nil, &hiperr.Error{Op: "hipec.allocate",
-			Err: fmt.Errorf("nil policy spec: %w", hiperr.ErrPolicyFault)}
-	}
-	return k.Allocate(sp, size, WithPolicy(spec))
-}
-
-// MapHiPEC is vm_map_hipec(): map an existing (typically Populate-d) object
-// under control of the supplied policy.
-//
-// Deprecated: use Map with the WithPolicy option.
-func (k *Kernel) MapHiPEC(sp *vm.AddressSpace, obj *vm.Object, objOffset, length int64, spec *Spec) (*vm.MapEntry, *Container, error) {
-	if spec == nil {
-		return nil, nil, &hiperr.Error{Op: "hipec.map",
-			Err: fmt.Errorf("nil policy spec: %w", hiperr.ErrPolicyFault)}
-	}
-	return k.Map(sp, obj, objOffset, length, WithPolicy(spec))
-}
-
 // activate builds, validates and funds a container for obj.
 func (k *Kernel) activate(obj *vm.Object, spec *Spec) (*Container, error) {
 	if k.hipecDisabled {

@@ -27,6 +27,9 @@ type Loop struct {
 	k    *Kernel
 	mbox chan func()
 	done chan struct{} // closed when the engine goroutine has exited
+	// sess backs the loop's typed client methods (Open/WritePage/...);
+	// touched only from closures running on the engine goroutine.
+	sess *CacheSession
 }
 
 // DefaultMailboxDepth bounds how many commands may queue before senders
@@ -42,6 +45,7 @@ func NewLoop(k *Kernel) *Loop {
 		k:    k,
 		mbox: make(chan func(), DefaultMailboxDepth),
 		done: make(chan struct{}),
+		sess: NewCacheSession(),
 	}
 	if rc, ok := k.Clock.Backend().(*substrate.RealClock); ok {
 		rc.SetGate(l.enqueue)

@@ -20,7 +20,7 @@ func TestRegressionRegisterOverwriteOrphansFrame(t *testing.T) {
 		Encode(OpDeQueue, SlotPageReg, SlotFreeQueue, QueueHead), // would orphan the first frame
 		Encode(OpReturn, SlotPageReg, 0, 0),
 	)
-	e, c, err := k.AllocateHiPEC(sp, 32*4096, spec)
+	e, c, err := k.Allocate(sp, 32*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 func TestEventSpineFaultPathZeroAlloc(t *testing.T) {
 	k := testKernel(1024)
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 64*4096, simpleSpec(64))
+	e, c, err := k.Allocate(sp, 64*4096, WithPolicy(simpleSpec(64)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestEventSpineCommandLoopZeroAlloc(t *testing.T) {
 		{Slot: ctr, Kind: KindInt, Name: "ctr"},
 		{Slot: limit, Kind: KindInt, Name: "limit", Init: 1024, Const: true},
 	}
-	_, c, err := k.AllocateHiPEC(sp, 8*4096, spec)
+	_, c, err := k.Allocate(sp, 8*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestEventSpineCommandLoopZeroAlloc(t *testing.T) {
 func TestEventSpineTextTraceAdapter(t *testing.T) {
 	k := testKernel(64)
 	sp := k.NewSpace()
-	e, _, err := k.AllocateHiPEC(sp, 8*4096, simpleSpec(8))
+	e, _, err := k.Allocate(sp, 8*4096, WithPolicy(simpleSpec(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func goldenWorkload(t *testing.T) *Kernel {
 	t.Helper()
 	k := testKernel(64)
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 8*4096, simpleSpec(8))
+	e, c, err := k.Allocate(sp, 8*4096, WithPolicy(simpleSpec(8)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,7 +67,7 @@ func TestVerifierRejectsMutualActivate(t *testing.T) {
 	evA := NewProgram(Encode(OpActivate, 3, 0, 0), Encode(OpReturn, 0, 0, 0))
 	evB := NewProgram(Encode(OpActivate, 2, 0, 0), Encode(OpReturn, 0, 0, 0))
 	spec.Events = append(spec.Events, evA, evB)
-	_, _, err := k.AllocateHiPEC(sp, 4096, spec)
+	_, _, err := k.Allocate(sp, 4096, WithPolicy(spec))
 	if err == nil {
 		t.Fatal("mutual Activate recursion accepted at registration")
 	}
@@ -93,7 +93,7 @@ func TestVerifierRejectsUndefinedPageRegister(t *testing.T) {
 		Encode(OpEnQueue, SlotUser, SlotFreeQueue, QueueTail),
 		Encode(OpReturn, SlotScratch, 0, 0),
 	)
-	_, _, err := k.AllocateHiPEC(sp, 4096, spec)
+	_, _, err := k.Allocate(sp, 4096, WithPolicy(spec))
 	if err == nil {
 		t.Fatal("undefined page register accepted at registration")
 	}
@@ -115,7 +115,7 @@ func TestVerifierRejectsFrameLeakLoop(t *testing.T) {
 		Encode(OpJump, JumpIfTrue, 0, 1),
 		Encode(OpReturn, SlotScratch, 0, 0),
 	)
-	_, _, err := k.AllocateHiPEC(sp, 4096, spec)
+	_, _, err := k.Allocate(sp, 4096, WithPolicy(spec))
 	if err == nil {
 		t.Fatal("unbounded Request loop accepted at registration")
 	}
@@ -129,7 +129,7 @@ func TestVerifierRejectsFrameLeakLoop(t *testing.T) {
 func TestVerifiedBitLifecycle(t *testing.T) {
 	k := testKernel(64)
 	sp := k.NewSpace()
-	_, c, err := k.AllocateHiPEC(sp, 4*4096, simpleSpec(4))
+	_, c, err := k.Allocate(sp, 4*4096, WithPolicy(simpleSpec(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestAllowUnboundedDowngrade(t *testing.T) {
 		Encode(OpReturn, SlotPageReg, 0, 0),
 	)
 	k.Executor.MaxSteps = 100 // terminate quickly if executed
-	_, c, err := k.AllocateHiPEC(sp, 4*4096, spec)
+	_, c, err := k.Allocate(sp, 4*4096, WithPolicy(spec))
 	if err != nil {
 		t.Fatalf("AllowUnbounded must accept the infinite loop: %v", err)
 	}
@@ -170,7 +170,7 @@ func TestAllowUnboundedDowngrade(t *testing.T) {
 		Encode(OpDeQueue, SlotFreeCount, SlotFreeQueue, QueueHead),
 		Encode(OpReturn, SlotScratch, 0, 0),
 	)
-	if _, _, err := k.AllocateHiPEC(k.NewSpace(), 4096, bad); err == nil {
+	if _, _, err := k.Allocate(k.NewSpace(), 4096, WithPolicy(bad)); err == nil {
 		t.Fatal("AllowUnbounded must not waive operand-kind errors")
 	}
 }
@@ -184,7 +184,7 @@ func TestVerifyDiagEvents(t *testing.T) {
 		Encode(OpActivate, EventPageFault, 0, 0),
 		Encode(OpReturn, 0, 0, 0),
 	)
-	if _, _, err := k.AllocateHiPEC(sp, 4096, spec); err == nil {
+	if _, _, err := k.Allocate(sp, 4096, WithPolicy(spec)); err == nil {
 		t.Fatal("self-activation accepted")
 	}
 	g := k.Registry().Global()
@@ -203,7 +203,7 @@ func TestForceCheckedEquivalence(t *testing.T) {
 		k := testKernel(64)
 		k.Executor.ForceChecked = force
 		sp := k.NewSpace()
-		e, c, err := k.AllocateHiPEC(sp, 8*4096, simpleSpec(8))
+		e, c, err := k.Allocate(sp, 8*4096, WithPolicy(simpleSpec(8)))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,168 @@
+// Package demo is the shared harness behind examples/realcache and
+// examples/netcache: one stamp/verify cache workload written purely against
+// the transport-agnostic hipec.Client seam, so the in-process original and
+// its networked twin run literally the same client code — the only
+// difference is the dial function handed in.
+package demo
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"time"
+
+	"hipec"
+)
+
+// Config shapes the workload. Flags installs the shared flag set so both
+// examples accept the same knobs.
+type Config struct {
+	Clients int // concurrent clients (each gets its own Client via dial)
+	Pages   int // region size per client in pages
+	Rounds  int // passes over each region; round 0 stamps, later rounds verify
+	Frames  int // suggested kernel frames (Clients*Pages/2 when 0)
+	Pool    int // per-region policy frame pool (minframe)
+}
+
+// Flags registers the workload's flags on fs with cfg's values as defaults
+// and returns pointers bound to a fresh Config.
+func Flags(fs *flag.FlagSet, def Config) *Config {
+	cfg := &Config{}
+	fs.IntVar(&cfg.Clients, "clients", def.Clients, "concurrent cache clients")
+	fs.IntVar(&cfg.Pages, "pages", def.Pages, "pages per client region")
+	fs.IntVar(&cfg.Rounds, "rounds", def.Rounds, "rounds per client (round 0 stamps, later rounds verify)")
+	fs.IntVar(&cfg.Pool, "pool", def.Pool, "policy frame pool per region (minframe)")
+	return cfg
+}
+
+// KernelFrames returns the machine size the workload wants: half the
+// fleet's total working set, so the store works hard.
+func (c Config) KernelFrames() int {
+	if c.Frames > 0 {
+		return c.Frames
+	}
+	f := c.Clients * c.Pages / 2
+	if f < 64 {
+		f = 64
+	}
+	return f
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Verified int           // payload round trips that came back intact
+	Elapsed  time.Duration // wall time for the client fleet
+	Stats    hipec.CacheStats
+}
+
+// Run drives cfg.Clients concurrent clients, each obtained from dial and
+// released via the returned cleanup. Every client opens one region under
+// the paper's Figure 4 policy (FIFO with a second chance), stamps each page
+// with a recognizable two-byte payload on round 0, and on later rounds
+// verifies the payload survived its round trips through the backing store.
+// The final Stats snapshot is taken through the last client before its
+// cleanup runs.
+func Run(cfg Config, dial func(id int) (hipec.Client, func(), error)) (Result, error) {
+	if cfg.Clients <= 0 || cfg.Pages <= 0 || cfg.Rounds <= 0 {
+		return Result{}, fmt.Errorf("demo: bad config %+v", cfg)
+	}
+	pool := cfg.Pool
+	if pool <= 0 {
+		pool = 16
+	}
+	policy := hipec.PolicyFIFOSecondChanceSource(pool)
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		verified int
+		firstErr error
+		stats    hipec.CacheStats
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cli, done, err := dial(id)
+			if err != nil {
+				fail(fmt.Errorf("client %d: dial: %w", id, err))
+				return
+			}
+			defer done()
+			region, err := cli.Open(cfg.Pages,
+				hipec.WithPolicySource("fifo-2nd-chance", policy))
+			if err != nil {
+				fail(fmt.Errorf("client %d: open: %w", id, err))
+				return
+			}
+			stamp := byte(id + 1)
+			buf := make([]byte, 2)
+			for round := 0; round < cfg.Rounds; round++ {
+				for i := 0; i < cfg.Pages; i++ {
+					if round == 0 {
+						if err := cli.WritePage(region, i, []byte{stamp, byte(i)}); err != nil {
+							fail(fmt.Errorf("client %d page %d: write: %w", id, i, err))
+							return
+						}
+						continue
+					}
+					n, err := cli.ReadPage(region, i, buf)
+					if err != nil {
+						fail(fmt.Errorf("client %d page %d: read: %w", id, i, err))
+						return
+					}
+					if n < 2 || buf[0] != stamp || buf[1] != byte(i) {
+						fail(fmt.Errorf("client %d page %d: payload corrupt: % x", id, i, buf[:n]))
+						return
+					}
+					mu.Lock()
+					verified++
+					mu.Unlock()
+				}
+			}
+			// Read-only probes of the hot tail: hits served without I/O.
+			for i := cfg.Pages - 4; i >= 0 && i < cfg.Pages; i++ {
+				if err := cli.TouchPage(region, i); err != nil {
+					fail(fmt.Errorf("client %d: hot-tail touch %d: %w", id, i, err))
+					return
+				}
+			}
+			if id == cfg.Clients-1 {
+				s, err := cli.Stats()
+				if err != nil {
+					fail(fmt.Errorf("client %d: stats: %w", id, err))
+					return
+				}
+				mu.Lock()
+				stats = s
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	return Result{Verified: verified, Elapsed: time.Since(start), Stats: stats}, nil
+}
+
+// Report renders the run like the original realcache banner.
+func (r Result) Report(cfg Config, label string) string {
+	s := r.Stats
+	return fmt.Sprintf(
+		"%d %s clients x %d pages x %d rounds in %v (wall clock)\n"+
+			"  accesses %d: %d hits, %d faults (%d page-ins, %d zero-fills)\n"+
+			"  page-outs %d; store now holds %d pages\n"+
+			"  payload integrity: %d pages verified after store round trips\n",
+		cfg.Clients, label, cfg.Pages, cfg.Rounds, r.Elapsed.Round(time.Millisecond),
+		s.Accesses, s.Hits, s.Faults, s.PageIns, s.ZeroFills,
+		s.PageOuts, s.StorePages, r.Verified)
+}

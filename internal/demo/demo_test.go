@@ -1,0 +1,44 @@
+package demo
+
+import (
+	"testing"
+
+	"hipec"
+)
+
+// The harness itself, driven through the in-process client: every stamped
+// page must verify on every later round.
+func TestRunInProcess(t *testing.T) {
+	cfg := Config{Clients: 2, Pages: 8, Rounds: 3, Pool: 4}
+	k := hipec.New(hipec.Config{
+		Frames:        cfg.KernelFrames(),
+		PageSize:      4096,
+		BurstFraction: 0.5,
+		Substrate:     hipec.SubstrateConfig{Kind: hipec.SubstrateReal},
+	})
+	client := hipec.NewClient(k)
+	defer client.Close()
+
+	res, err := Run(cfg, func(int) (hipec.Client, func(), error) {
+		return client, func() {}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Clients * cfg.Pages * (cfg.Rounds - 1)
+	if res.Verified != want {
+		t.Fatalf("verified %d pages, want %d", res.Verified, want)
+	}
+	if res.Stats.Faults == 0 {
+		t.Fatalf("stats show no traffic: %+v", res.Stats)
+	}
+	if rep := res.Report(cfg, "test"); rep == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{}, nil); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

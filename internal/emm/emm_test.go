@@ -21,7 +21,7 @@ func attach(t *testing.T, mk func(k *core.Kernel, ipc *machipc.IPC) vm.Pager, pa
 	obj := k.VM.NewObject(pages*4096, true)
 	obj.ExternalPager = pager
 	sp := k.NewSpace()
-	e, _, err := k.MapHiPEC(sp, obj, 0, obj.Size, policies.FIFO(8))
+	e, _, err := k.Map(sp, obj, 0, obj.Size, core.WithPolicy(policies.FIFO(8)))
 	if err != nil {
 		t.Fatal(err)
 	}

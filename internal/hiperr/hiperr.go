@@ -44,6 +44,11 @@ var (
 	// ErrBadOperand marks host-API access to a policy operand that does not
 	// exist, has the wrong kind, or cannot be written.
 	ErrBadOperand = errors.New("hipec: bad operand access")
+	// ErrBadRequest marks a malformed client command on the typed command
+	// surface (unknown region handle, page index out of range, oversized
+	// payload, unparseable wire frame). It is the taxonomy's "caller sent
+	// nonsense" class: the kernel state is untouched.
+	ErrBadRequest = errors.New("hipec: bad client request")
 )
 
 // Error is the typed error for kernel operations. Op names the failing

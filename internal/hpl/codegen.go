@@ -7,6 +7,12 @@ import (
 	"hipec/internal/core"
 )
 
+// The client seam's WithPolicySource needs HPL translation where the kernel
+// lives, but core cannot import hpl (hpl imports core). Register Translate
+// behind core's hook: any program linking this package — everything that
+// imports hipec or internal/server — can open regions from policy source.
+func init() { core.RegisterPolicyTranslator(Translate) }
+
 // Translate compiles HPL source into a core.Spec ready for
 // vm_allocate_hipec / vm_map_hipec. name labels the policy.
 func Translate(name, src string) (*core.Spec, error) {

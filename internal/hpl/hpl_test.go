@@ -89,7 +89,7 @@ func TestFigure4RunsOnKernel(t *testing.T) {
 	spec := mustSpec(t, "fig4", figure4)
 	k := core.New(core.Config{Frames: 256})
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 64*4096, spec)
+	e, c, err := k.Allocate(sp, 64*4096, core.WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ event ReclaimFrame() {
 	spec := mustSpec(t, "mru", src)
 	k := core.New(core.Config{Frames: 256})
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 16*4096, spec)
+	e, c, err := k.Allocate(sp, 16*4096, core.WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ event ReclaimFrame() { return }
 	spec := mustSpec(t, "expr", src)
 	k := core.New(core.Config{Frames: 64})
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 4*4096, spec)
+	e, c, err := k.Allocate(sp, 4*4096, core.WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ event ReclaimFrame() { return }
 	spec := mustSpec(t, "bools", src)
 	k := core.New(core.Config{Frames: 64})
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 4*4096, spec)
+	e, c, err := k.Allocate(sp, 4*4096, core.WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ event ReclaimFrame() { return }
 	spec := mustSpec(t, "loops", src)
 	k := core.New(core.Config{Frames: 64})
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 4096, spec)
+	e, c, err := k.Allocate(sp, 4096, core.WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ event ReclaimFrame() { return }
 	spec := mustSpec(t, "userq", src)
 	k := core.New(core.Config{Frames: 64})
 	sp := k.NewSpace()
-	if _, _, err := k.AllocateHiPEC(sp, 4*4096, spec); err != nil {
+	if _, _, err := k.Allocate(sp, 4*4096, core.WithPolicy(spec)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -352,7 +352,7 @@ func TestTranslatorOutputPassesChecker(t *testing.T) {
 		}
 		k := core.New(core.Config{Frames: 128})
 		sp := k.NewSpace()
-		if _, _, err := k.AllocateHiPEC(sp, 4*4096, spec); err != nil {
+		if _, _, err := k.Allocate(sp, 4*4096, core.WithPolicy(spec)); err != nil {
 			t.Fatalf("source %d rejected by checker: %v", i, err)
 		}
 	}
@@ -412,7 +412,7 @@ event ReclaimFrame() { return }
 	spec := mustSpec(t, "neg", src)
 	k := core.New(core.Config{Frames: 64})
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 4096, spec)
+	e, c, err := k.Allocate(sp, 4096, core.WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +440,7 @@ event ReclaimFrame() { return }
 	spec := mustSpec(t, "addr", src)
 	k := core.New(core.Config{Frames: 64})
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 8*4096, spec)
+	e, c, err := k.Allocate(sp, 8*4096, core.WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,7 @@ func runPattern(t *testing.T, spec *core.Spec, regionPages int, pattern []int64)
 	t.Helper()
 	k := core.New(core.Config{Frames: 1024})
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, int64(regionPages)*4096, spec)
+	e, c, err := k.Allocate(sp, int64(regionPages)*4096, core.WithPolicy(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestClockGivesSecondChance(t *testing.T) {
 func TestClockWritebackOnDirtyVictims(t *testing.T) {
 	k := core.New(core.Config{Frames: 1024})
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, 16*4096, Clock(4))
+	e, c, err := k.Allocate(sp, 16*4096, core.WithPolicy(Clock(4)))
 	if err != nil {
 		t.Fatal(err)
 	}

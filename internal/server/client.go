@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"hipec/internal/core"
+	"hipec/internal/hiperr"
+	"hipec/internal/wire"
+)
+
+// Client is the network half of the client seam: it speaks the wire
+// protocol to a Server and exposes the same typed command surface as the
+// in-process *core.Loop, so application code written against the
+// hipec.Client interface runs unchanged against either.
+//
+// A Client is safe for concurrent use. Requests from concurrent goroutines
+// are pipelined over one connection — which is precisely what feeds the
+// server's per-connection batching: every frame already queued behind the
+// first rides the same Loop hop.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	out *bufio.Writer
+
+	mu      sync.Mutex // guards seq, pending, sticky err
+	seq     uint32
+	pending map[uint32]chan wire.Response // nil channel = fire-and-forget
+	err     error                         // sticky transport failure
+
+	pageSize int
+	closed   chan struct{}
+	readerWG sync.WaitGroup
+}
+
+// Dial connects to a HiPEC server, performs the hello exchange, and returns
+// a ready client.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		out:     bufio.NewWriter(conn),
+		pending: make(map[uint32]chan wire.Response),
+		closed:  make(chan struct{}),
+	}
+	c.readerWG.Add(1)
+	go c.readLoop()
+	resp, err := c.roundTrip(func(dst []byte, seq uint32) ([]byte, error) {
+		return wire.AppendHello(dst, seq), nil
+	})
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("server hello: %w", err)
+	}
+	c.pageSize = int(resp.PageSize)
+	if c.pageSize <= 0 {
+		c.Close()
+		return nil, fmt.Errorf("server hello: bad page size %d", resp.PageSize)
+	}
+	return c, nil
+}
+
+// errClosed is the sticky error after Close or a transport failure.
+var errClosed = fmt.Errorf("hipec client: connection closed")
+
+// send allocates a seq, registers its waiter (nil ch = discard the reply),
+// builds the frame, and writes it.
+func (c *Client) send(build func(dst []byte, seq uint32) ([]byte, error), ch chan wire.Response) (uint32, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, err
+	}
+	c.seq++
+	seq := c.seq
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	frame, err := build(nil, seq)
+	if err != nil {
+		c.forgetSeq(seq)
+		return 0, err
+	}
+	c.wmu.Lock()
+	_, werr := c.out.Write(frame)
+	if werr == nil {
+		werr = c.out.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.forgetSeq(seq)
+		c.fail(werr)
+		return 0, werr
+	}
+	return seq, nil
+}
+
+func (c *Client) forgetSeq(seq uint32) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+// roundTrip sends one request and waits for its reply.
+func (c *Client) roundTrip(build func(dst []byte, seq uint32) ([]byte, error)) (wire.Response, error) {
+	ch := make(chan wire.Response, 1)
+	if _, err := c.send(build, ch); err != nil {
+		return wire.Response{}, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return wire.Response{}, c.stickyErr()
+		}
+		if resp.Status != wire.StatusOK {
+			return resp, wire.SentinelError(resp.Status, resp.Msg)
+		}
+		return resp, nil
+	case <-c.closed:
+		// The reader may have delivered just before failing.
+		select {
+		case resp, ok := <-ch:
+			if ok {
+				if resp.Status != wire.StatusOK {
+					return resp, wire.SentinelError(resp.Status, resp.Msg)
+				}
+				return resp, nil
+			}
+		default:
+		}
+		return wire.Response{}, c.stickyErr()
+	}
+}
+
+func (c *Client) stickyErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return errClosed
+}
+
+// fail records the first transport error, wakes every waiter, and tears the
+// connection down.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.closed)
+	}
+	for seq, ch := range c.pending {
+		delete(c.pending, seq)
+		if ch != nil {
+			close(ch)
+		}
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+// readLoop delivers replies to their waiters until the connection dies.
+func (c *Client) readLoop() {
+	defer c.readerWG.Done()
+	in := bufio.NewReaderSize(c.conn, 64*1024)
+	var buf []byte
+	for {
+		frame, err := wire.ReadFrame(in, buf)
+		if err != nil {
+			c.fail(fmt.Errorf("hipec client: %w", err))
+			return
+		}
+		buf = frame[:0]
+		resp, err := wire.DecodeResponse(frame)
+		if err != nil {
+			c.fail(fmt.Errorf("hipec client: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if !ok {
+			c.fail(fmt.Errorf("hipec client: reply for unknown seq %d", resp.Seq))
+			return
+		}
+		if ch == nil {
+			continue // fire-and-forget (TouchAsync): reply discarded
+		}
+		// Data aliases the read buffer, which the next ReadFrame reuses;
+		// copy before handing off.
+		if len(resp.Data) > 0 {
+			resp.Data = append([]byte(nil), resp.Data...)
+		}
+		ch <- resp
+	}
+}
+
+// ---- the typed command surface (mirrors *core.Loop's methods) ----
+
+// Open allocates a region of pages pages on the server and returns its
+// handle. Policy must arrive as source (WithPolicySource) — a *Spec does
+// not serialize, so WithPolicySpec is rejected here.
+func (c *Client) Open(pages int, opts ...core.RegionOption) (core.RegionID, error) {
+	o := core.ResolveRegionOptions(opts)
+	if o.Spec != nil {
+		return 0, fmt.Errorf("hipec client: WithPolicySpec is in-process only; use WithPolicySource: %w", hiperr.ErrBadRequest)
+	}
+	if pages < 0 {
+		return 0, fmt.Errorf("hipec client: negative region size: %w", hiperr.ErrBadRequest)
+	}
+	resp, err := c.roundTrip(func(dst []byte, seq uint32) ([]byte, error) {
+		return wire.AppendOpen(dst, seq, uint32(pages), o.Name, o.Source, uint32(o.Retry))
+	})
+	if err != nil {
+		return 0, err
+	}
+	return core.RegionID(resp.Region), nil
+}
+
+// WritePage write-faults page page of region r and stores data (length <=
+// PageSize) at its head.
+func (c *Client) WritePage(r core.RegionID, page int, data []byte) error {
+	_, err := c.roundTrip(func(dst []byte, seq uint32) ([]byte, error) {
+		return wire.AppendWrite(dst, seq, uint32(r), uint32(page), data)
+	})
+	return err
+}
+
+// ReadPage touch-faults page page of region r and copies up to len(buf)
+// payload bytes into buf, returning the count.
+func (c *Client) ReadPage(r core.RegionID, page int, buf []byte) (int, error) {
+	resp, err := c.roundTrip(func(dst []byte, seq uint32) ([]byte, error) {
+		return wire.AppendRead(dst, seq, uint32(r), uint32(page), uint32(len(buf))), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return copy(buf, resp.Data), nil
+}
+
+// TouchPage read-faults page page of region r.
+func (c *Client) TouchPage(r core.RegionID, page int) error {
+	_, err := c.roundTrip(func(dst []byte, seq uint32) ([]byte, error) {
+		return wire.AppendTouch(dst, seq, uint32(r), uint32(page)), nil
+	})
+	return err
+}
+
+// TouchAsync sends a touch without waiting for the reply, which is
+// discarded when it arrives. True means "accepted for transmission", not
+// "applied" — the same enqueued-not-guaranteed contract as Loop.Async,
+// stretched over TCP.
+func (c *Client) TouchAsync(r core.RegionID, page int) bool {
+	_, err := c.send(func(dst []byte, seq uint32) ([]byte, error) {
+		return wire.AppendTouch(dst, seq, uint32(r), uint32(page)), nil
+	}, nil)
+	return err == nil
+}
+
+// FreeRegion releases region r on the server.
+func (c *Client) FreeRegion(r core.RegionID) error {
+	_, err := c.roundTrip(func(dst []byte, seq uint32) ([]byte, error) {
+		return wire.AppendFree(dst, seq, uint32(r)), nil
+	})
+	return err
+}
+
+// Stats snapshots the server's machine-wide counters.
+func (c *Client) Stats() (core.CacheStats, error) {
+	resp, err := c.roundTrip(func(dst []byte, seq uint32) ([]byte, error) {
+		return wire.AppendStats(dst, seq), nil
+	})
+	if err != nil {
+		return core.CacheStats{}, err
+	}
+	return core.CacheStats{
+		Accesses: resp.Stats.Accesses, Hits: resp.Stats.Hits,
+		Faults: resp.Stats.Faults, PageIns: resp.Stats.PageIns,
+		ZeroFills: resp.Stats.ZeroFills, PageOuts: resp.Stats.PageOuts,
+		Evictions: resp.Stats.Evictions, StorePages: resp.Stats.StorePages,
+	}, nil
+}
+
+// PageSize reports the server's page size (learned in the hello exchange).
+func (c *Client) PageSize() int { return c.pageSize }
+
+// Close tears down the connection. The server frees the session's regions
+// when it sees the disconnect. Idempotent; concurrent in-flight calls
+// return transport errors.
+func (c *Client) Close() {
+	c.fail(errClosed)
+	c.readerWG.Wait()
+}

@@ -1,0 +1,433 @@
+// Package server puts the wire protocol in front of a realtime HiPEC
+// kernel: a TCP listener whose connections submit the typed client command
+// surface onto the kernel's serialized command loop (core.Loop).
+//
+// The interesting part is the batching. One Loop hop (a mailbox send, a
+// channel wake, a reply channel) costs far more than applying a decoded
+// command, so paying it per request would put the boundary crossing the
+// paper eliminated right back on the hot path — this time as a channel, not
+// a syscall. Instead each connection decodes as many frames as have already
+// arrived (bounded by WithMaxBatch, optionally lingering WithBatchWindow for
+// stragglers) and applies the whole batch in ONE Loop.Call, then writes all
+// the replies with one flush. Pipelined clients amortize the crossing
+// exactly the way the policy executor amortizes clock charges across an
+// event boundary.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hipec/internal/core"
+	"hipec/internal/substrate"
+	"hipec/internal/wire"
+)
+
+// Option configures a Server (variadic-option style; there is no config
+// struct).
+type Option func(*options)
+
+type options struct {
+	frames      int
+	maxConns    int
+	maxBatch    int
+	batchWindow time.Duration
+	burst       float64
+}
+
+func defaults() options {
+	return options{frames: 4096, maxConns: 64, maxBatch: DefaultMaxBatch, burst: 0.5}
+}
+
+// DefaultMaxBatch bounds how many decoded requests one Loop.Call applies.
+const DefaultMaxBatch = 64
+
+// WithFrames sets the kernel's physical memory size in frames (default
+// 4096).
+func WithFrames(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.frames = n
+		}
+	}
+}
+
+// WithMaxConns bounds concurrently served connections (default 64); excess
+// connections wait in the listen backlog.
+func WithMaxConns(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.maxConns = n
+		}
+	}
+}
+
+// WithMaxBatch bounds how many requests one Loop hop applies (default
+// DefaultMaxBatch). 1 disables batching — every request pays its own
+// mailbox crossing; the throughput benchmark uses it as the baseline.
+func WithMaxBatch(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.maxBatch = n
+		}
+	}
+}
+
+// WithBatchWindow makes a connection linger up to d for more requests
+// before submitting a non-full batch (default 0: submit whatever has
+// already arrived). A window trades latency for fewer Loop hops under
+// bursty, non-pipelined load.
+func WithBatchWindow(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.batchWindow = d
+		}
+	}
+}
+
+// WithBurstFraction sets the kernel's partition_burst fraction (default
+// 0.5, the paper's figure).
+func WithBurstFraction(f float64) Option {
+	return func(o *options) {
+		if f > 0 {
+			o.burst = f
+		}
+	}
+}
+
+// Server serves the wire protocol over TCP. It owns the kernel and its
+// command loop; the backing store stays the caller's (close it after
+// Close returns).
+type Server struct {
+	loop *core.Loop
+	opts options
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg  sync.WaitGroup // accept loop + one handler per connection
+	sem chan struct{}  // connection slots
+}
+
+// New assembles a realtime kernel over store (page size taken from the
+// store) and wraps it in a command loop. Serve or ListenAndServe starts
+// accepting.
+func New(store substrate.Store, opts ...Option) *Server {
+	o := defaults()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	k := core.New(core.Config{
+		Frames:        o.frames,
+		PageSize:      store.PageSize(),
+		BurstFraction: o.burst,
+		Substrate:     substrate.Config{Kind: substrate.KindReal, Store: store},
+	})
+	return &Server{
+		loop:  core.NewLoop(k),
+		opts:  o,
+		conns: make(map[net.Conn]struct{}),
+		sem:   make(chan struct{}, o.maxConns),
+	}
+}
+
+// Loop exposes the server's command loop for in-process callers (tests,
+// mixed local+remote deployments). The loop is shared with the network —
+// use Call/typed methods, never touch the kernel directly.
+func (s *Server) Loop() *core.Loop { return s.loop }
+
+// Addr reports the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on addr ("host:port"; ":0" picks a port) and
+// serves until Close. It returns once the listener is bound; accepting runs
+// on a background goroutine. Use Addr for the bound address.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Serve accepts on a caller-provided listener until Close. Blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	s.acceptLoop(ln)
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.sem <- struct{}{} // connection slot (WithMaxConns)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			<-s.sem
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			s.handle(c)
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, waits for their handlers
+// to drain (each frees its session's regions through the loop), then closes
+// the loop. The store passed to New is untouched. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	s.loop.Close()
+}
+
+// forget drops a finished connection from the close set.
+func (s *Server) forget(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// handle runs one connection: a reader goroutine decodes frames into a
+// bounded queue; this goroutine batches them onto the loop and writes
+// replies. On any exit path the session's regions are freed through the
+// loop, so a connection kill mid-stream never leaks kernel state.
+func (s *Server) handle(c net.Conn) {
+	defer s.forget(c)
+	defer c.Close()
+
+	sess := core.NewCacheSession()
+	defer func() {
+		// The loop may already be closed during server shutdown; region
+		// teardown is then part of kernel teardown and nothing leaks.
+		_ = s.loop.Call(func(k *core.Kernel) error { sess.FreeAll(k); return nil })
+	}()
+
+	reqs := make(chan wire.Request, 4*s.opts.maxBatch)
+	done := make(chan struct{}) // unblocks the reader if the batcher quits first
+	defer close(done)
+	go s.readLoop(c, reqs, done)
+
+	out := bufio.NewWriter(c)
+	batch := make([]wire.Request, 0, s.opts.maxBatch)
+	var reply []byte
+	var window *time.Timer
+	for {
+		first, ok := <-reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		// Fill the batch from what has already arrived; with a window,
+		// linger for stragglers.
+		if s.opts.batchWindow > 0 && len(batch) < s.opts.maxBatch {
+			if window == nil {
+				window = time.NewTimer(s.opts.batchWindow)
+				defer window.Stop()
+			} else {
+				window.Reset(s.opts.batchWindow)
+			}
+		fill:
+			for len(batch) < s.opts.maxBatch {
+				select {
+				case r, ok := <-reqs:
+					if !ok {
+						break fill
+					}
+					batch = append(batch, r)
+				case <-window.C:
+					break fill
+				}
+			}
+			if !window.Stop() {
+				select {
+				case <-window.C:
+				default:
+				}
+			}
+		} else {
+		drain:
+			for len(batch) < s.opts.maxBatch {
+				select {
+				case r, ok := <-reqs:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, r)
+				default:
+					break drain
+				}
+			}
+		}
+
+		// One Loop hop for the whole batch.
+		reply = reply[:0]
+		err := s.loop.Call(func(k *core.Kernel) error {
+			for _, req := range batch {
+				reply = s.execute(k, sess, req, reply)
+			}
+			return nil
+		})
+		if err != nil {
+			return // loop closed: server shutting down
+		}
+		if _, err := out.Write(reply); err != nil {
+			return
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// readLoop decodes frames off the connection into reqs until the peer goes
+// away or sends garbage; either way the channel closes and the batcher
+// finishes what it has.
+func (s *Server) readLoop(c net.Conn, reqs chan<- wire.Request, done <-chan struct{}) {
+	defer close(reqs)
+	in := bufio.NewReaderSize(c, 64*1024)
+	hello := false
+	for {
+		// Each frame gets its own buffer: requests are queued past the
+		// read, so the payload (policy source, write data) must survive.
+		// Allocation stays bounded by wire.MaxFrame per frame.
+		frame, err := wire.ReadFrame(in, nil)
+		if err != nil {
+			return // EOF, reset, or malformed prefix — drop the conn
+		}
+		req, err := wire.DecodeRequest(frame)
+		if err != nil {
+			return // protocol violation: no recovery mid-stream
+		}
+		if !hello {
+			if req.Op != wire.OpHello || req.Magic != wire.Magic || req.Version != wire.Version {
+				return
+			}
+			hello = true
+		}
+		select {
+		case reqs <- req:
+		case <-done:
+			return
+		}
+	}
+}
+
+// execute applies one decoded request against the kernel (on the engine
+// goroutine) and appends its reply frame to dst.
+func (s *Server) execute(k *core.Kernel, sess *core.CacheSession, req wire.Request, dst []byte) []byte {
+	fail := func(err error) []byte {
+		return wire.AppendErrorResp(dst, req.Seq, wire.StatusFor(err), err.Error())
+	}
+	switch req.Op {
+	case wire.OpHello:
+		return wire.AppendHelloResp(dst, req.Seq, uint32(k.VM.PageSize()))
+	case wire.OpOpen:
+		var opts []core.RegionOption
+		if req.Source != "" {
+			opts = append(opts, core.WithPolicySource(req.Name, req.Source))
+		}
+		if req.Retry > 0 {
+			opts = append(opts, core.WithRegionRetryBudget(int(req.Retry)))
+		}
+		r, err := sess.Open(k, int(req.Pages), opts...)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.AppendOpenResp(dst, req.Seq, uint32(r))
+	case wire.OpFree:
+		if err := sess.Free(k, core.RegionID(req.Region)); err != nil {
+			return fail(err)
+		}
+		return wire.AppendAck(dst, req.Seq)
+	case wire.OpWrite:
+		if err := sess.Write(k, core.RegionID(req.Region), int(req.Page), req.Data); err != nil {
+			return fail(err)
+		}
+		return wire.AppendAck(dst, req.Seq)
+	case wire.OpRead:
+		maxLen := int(req.MaxLen)
+		if maxLen > k.VM.PageSize() {
+			maxLen = k.VM.PageSize()
+		}
+		buf := make([]byte, maxLen)
+		n, err := sess.Read(k, core.RegionID(req.Region), int(req.Page), buf)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.AppendReadResp(dst, req.Seq, buf[:n])
+	case wire.OpTouch:
+		if err := sess.Touch(k, core.RegionID(req.Region), int(req.Page)); err != nil {
+			return fail(err)
+		}
+		return wire.AppendAck(dst, req.Seq)
+	case wire.OpStats:
+		cs := sess.Stats(k)
+		return wire.AppendStatsResp(dst, req.Seq, wire.Stats{
+			Accesses: cs.Accesses, Hits: cs.Hits, Faults: cs.Faults,
+			PageIns: cs.PageIns, ZeroFills: cs.ZeroFills, PageOuts: cs.PageOuts,
+			Evictions: cs.Evictions, StorePages: cs.StorePages,
+		})
+	}
+	return fail(fmt.Errorf("server: unhandled op %d: %w", req.Op, errUnhandled))
+}
+
+// errUnhandled is unreachable while the decoder and this switch agree on
+// the op set; it exists so a future op added to one but not the other fails
+// loudly instead of silently.
+var errUnhandled = errors.New("op decoded but not executable")

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hipec/internal/core"
+	"hipec/internal/hiperr"
+	"hipec/internal/policies"
+	"hipec/internal/substrate"
+	"hipec/internal/wire"
+
+	_ "hipec/internal/hpl" // registers the policy translator for WithPolicySource
+)
+
+const testPageSize = 4096
+
+// newTestServer boots a server on a loopback listener over an in-memory
+// store and tears it down with the test.
+func newTestServer(t testing.TB, opts ...Option) (*Server, string) {
+	t.Helper()
+	store := substrate.NewMemStore(testPageSize, true)
+	srv := New(store, opts...)
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, srv.Addr().String()
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	_, addr := newTestServer(t, WithFrames(256))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	if got := c.PageSize(); got != testPageSize {
+		t.Fatalf("PageSize = %d, want %d", got, testPageSize)
+	}
+	r, err := c.Open(8, core.WithPolicySource("fifo2c", policies.FIFOSecondChanceSource(4)))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	payload := []byte("page zero payload")
+	if err := c.WritePage(r, 0, payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(payload))
+	n, err := c.ReadPage(r, 0, buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf[:n], payload) {
+		t.Fatalf("read back %q, want %q", buf[:n], payload)
+	}
+	if err := c.TouchPage(r, 7); err != nil {
+		t.Fatalf("touch: %v", err)
+	}
+	if !c.TouchAsync(r, 7) {
+		t.Fatal("TouchAsync refused on a healthy connection")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Accesses == 0 || st.Faults == 0 {
+		t.Fatalf("stats show no traffic: %+v", st)
+	}
+	if err := c.FreeRegion(r); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+}
+
+// Errors cross the wire as typed statuses: errors.Is must keep working on
+// the client side.
+func TestErrorsStayTypedAcrossTheWire(t *testing.T) {
+	_, addr := newTestServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	if err := c.TouchPage(99, 0); !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("unknown region: got %v, want ErrBadRequest", err)
+	}
+	r, err := c.Open(4)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := c.TouchPage(r, 4); !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("page out of range: got %v, want ErrBadRequest", err)
+	}
+	if _, err := c.Open(4, core.WithPolicySource("broken", "policy broken { not hpl")); !errors.Is(err, hiperr.ErrBadSpec) {
+		t.Fatalf("bad policy source: got %v, want ErrBadSpec", err)
+	}
+	if _, err := c.Open(4, core.WithPolicySpec(&core.Spec{})); !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("WithPolicySpec over the network: got %v, want ErrBadRequest", err)
+	}
+}
+
+// The concurrency contract, networked: many clients (and pipelining
+// goroutines within each) hammer one server. Run under -race this proves
+// the mailbox stays the only synchronization end to end.
+func TestConcurrentClients(t *testing.T) {
+	_, addr := newTestServer(t, WithFrames(128))
+	const clients = 8
+	const pages = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errc <- fmt.Errorf("client %d: %v", id, err)
+				return
+			}
+			defer c.Close()
+			r, err := c.Open(pages, core.WithPolicySource("fifo", policies.FIFOSource(4)))
+			if err != nil {
+				errc <- fmt.Errorf("client %d: open: %v", id, err)
+				return
+			}
+			// Two pipelining goroutines per client share the connection.
+			var inner sync.WaitGroup
+			for g := 0; g < 2; g++ {
+				inner.Add(1)
+				go func(g int) {
+					defer inner.Done()
+					stamp := byte(id<<1 + g + 1)
+					for p := g; p < pages; p += 2 {
+						if err := c.WritePage(r, p, []byte{stamp, byte(p)}); err != nil {
+							errc <- fmt.Errorf("client %d.%d: write %d: %v", id, g, p, err)
+							return
+						}
+					}
+					buf := make([]byte, 2)
+					for p := g; p < pages; p += 2 {
+						n, err := c.ReadPage(r, p, buf)
+						if err != nil {
+							errc <- fmt.Errorf("client %d.%d: read %d: %v", id, g, p, err)
+							return
+						}
+						if n != 2 || buf[0] != stamp || buf[1] != byte(p) {
+							errc <- fmt.Errorf("client %d.%d: page %d corrupt: % x", id, g, p, buf[:n])
+							return
+						}
+					}
+				}(g)
+			}
+			inner.Wait()
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// A connection killed mid-stream must not leak kernel state: the handler
+// frees the session's regions on its way out, so the dead client's
+// containers end up destroyed and its frames return to the pool.
+func TestMidStreamConnectionKill(t *testing.T) {
+	srv, addr := newTestServer(t, WithFrames(64))
+
+	// Speak the wire protocol by hand so the TCP connection can be severed
+	// abruptly, mid-session, with regions still open.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	var out []byte
+	out = wire.AppendHello(out, 1)
+	open, err := wire.AppendOpen(out, 2, 8, "fifo", policies.FIFOSource(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = wire.AppendTouch(open, 3, 1, 0)
+	if _, err := conn.Write(out); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Wait until the touch executed so the region is definitely open, then
+	// kill the connection without freeing anything.
+	waitFor(t, srv, func(k *core.Kernel) bool { return k.VM.Stats().Faults > 0 })
+	conn.Close()
+
+	// The handler notices, frees the session, and every container the dead
+	// connection created ends up destroyed.
+	waitFor(t, srv, func(k *core.Kernel) bool {
+		cs := k.Containers()
+		if len(cs) == 0 {
+			return false
+		}
+		for _, c := range cs {
+			if c.State() != core.StateDestroyed {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The server keeps serving: a fresh client gets the freed frames back.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial after kill: %v", err)
+	}
+	defer c.Close()
+	r, err := c.Open(8, core.WithPolicySource("fifo", policies.FIFOSource(4)))
+	if err != nil {
+		t.Fatalf("open after kill: %v", err)
+	}
+	if err := c.TouchPage(r, 0); err != nil {
+		t.Fatalf("touch after kill: %v", err)
+	}
+}
+
+// waitFor polls a kernel predicate through the loop until it holds.
+func waitFor(t *testing.T, srv *Server, pred func(*core.Kernel) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := false
+		if err := srv.Loop().Call(func(k *core.Kernel) error { ok = pred(k); return nil }); err != nil {
+			t.Fatalf("loop: %v", err)
+		}
+		if ok {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}
+
+// A first frame that is not a valid hello gets the connection dropped.
+func TestHelloIsMandatory(t *testing.T) {
+	_, addr := newTestServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(wire.AppendStats(nil, 1)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 16)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if n, err := conn.Read(buf); err == nil {
+		t.Fatalf("server answered %d bytes to a hello-less connection", n)
+	}
+}
+
+// Closing the server mid-traffic surfaces transport errors on clients, never
+// panics or hangs.
+func TestServerCloseWithLiveClients(t *testing.T) {
+	srv, addr := newTestServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	r, err := c.Open(4)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if err := c.TouchPage(r, 0); err != nil {
+				return // transport error: the expected outcome
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond) // let traffic flow
+	srv.Close()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("client call hung across server close")
+	}
+}
+
+// The batching benchmark: the same pipelined load, one server applying each
+// request in its own Loop hop (WithMaxBatch(1)) versus one batching each
+// connection's backlog (default). Compare ops/sec:
+//
+//	go test ./internal/server -bench=Submission -benchtime=2s
+func BenchmarkSubmission(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		batch int
+	}{
+		{"hop-per-request", 1},
+		{"batched", DefaultMaxBatch},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			_, addr := newTestServer(b, WithFrames(256), WithMaxBatch(bc.batch))
+			c, err := Dial(addr)
+			if err != nil {
+				b.Fatalf("dial: %v", err)
+			}
+			defer c.Close()
+			r, err := c.Open(64, core.WithPolicySource("fifo", policies.FIFOSource(16)))
+			if err != nil {
+				b.Fatalf("open: %v", err)
+			}
+			for p := 0; p < 64; p++ { // pre-fault the working set
+				if err := c.TouchPage(r, p); err != nil {
+					b.Fatalf("prefault: %v", err)
+				}
+			}
+			b.ResetTimer()
+			// Pipelined load: enough goroutines share the connection to
+			// keep a real backlog in the server's per-connection queue —
+			// that backlog is what batching turns into single Loop hops.
+			b.SetParallelism(64)
+			b.RunParallel(func(pb *testing.PB) {
+				p := 0
+				for pb.Next() {
+					if err := c.TouchPage(r, p%64); err != nil {
+						b.Errorf("touch: %v", err)
+						return
+					}
+					p++
+				}
+			})
+		})
+	}
+}

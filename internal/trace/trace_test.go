@@ -152,7 +152,7 @@ func TestReplayMatchesSimulator(t *testing.T) {
 	const pool = 16
 	k := core.New(core.Config{Frames: 512})
 	sp := k.NewSpace()
-	e, c, err := k.AllocateHiPEC(sp, tr.Pages*4096, policies.LRU(pool))
+	e, c, err := k.Allocate(sp, tr.Pages*4096, core.WithPolicy(policies.LRU(pool)))
 	if err != nil {
 		t.Fatal(err)
 	}

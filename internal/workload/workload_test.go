@@ -55,7 +55,7 @@ func TestJoinSimulationMatchesAnalyticModel(t *testing.T) {
 	run := func(spec *core.Spec) (JoinResult, *core.Container) {
 		k := core.New(core.Config{Frames: 4 * pool})
 		sp := k.NewSpace()
-		e, c, err := k.AllocateHiPEC(sp, cfg.OuterBytes, spec)
+		e, c, err := k.Allocate(sp, cfg.OuterBytes, core.WithPolicy(spec))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +136,7 @@ func TestHotColdSkew(t *testing.T) {
 func TestDriveAgainstKernel(t *testing.T) {
 	k := core.New(core.Config{Frames: 64})
 	sp := k.NewSpace()
-	e, _, err := k.AllocateHiPEC(sp, 32*4096, policies.FIFO(8))
+	e, _, err := k.Allocate(sp, 32*4096, core.WithPolicy(policies.FIFO(8)))
 	if err != nil {
 		t.Fatal(err)
 	}

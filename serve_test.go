@@ -1,0 +1,82 @@
+package hipec_test
+
+// Facade tests for the network layer: Serve and Dial through the public
+// package only, both halves of the Client seam doing the same work.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hipec"
+)
+
+// One workload, two transports: the in-process Loop and the network client
+// run the same Client code against kernels built the same way, and both
+// round-trip payloads.
+func TestClientSeamBothTransports(t *testing.T) {
+	run := func(t *testing.T, c hipec.Client) {
+		if c.PageSize() != 4096 {
+			t.Fatalf("PageSize = %d, want 4096", c.PageSize())
+		}
+		r, err := c.Open(8, hipec.WithPolicySource("fifo2c", hipec.PolicyFIFOSecondChanceSource(4)))
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		payload := []byte("seam payload")
+		if err := c.WritePage(r, 5, payload); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		buf := make([]byte, len(payload))
+		n, err := c.ReadPage(r, 5, buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(buf[:n], payload) {
+			t.Fatalf("read back %q, want %q", buf[:n], payload)
+		}
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		if st.Accesses == 0 {
+			t.Fatalf("stats show no traffic: %+v", st)
+		}
+		if err := c.FreeRegion(r); err != nil {
+			t.Fatalf("free: %v", err)
+		}
+		if err := c.TouchPage(r, 0); !errors.Is(err, hipec.ErrBadRequest) {
+			t.Fatalf("touch after free: got %v, want ErrBadRequest", err)
+		}
+	}
+
+	t.Run("in-process", func(t *testing.T) {
+		k := hipec.New(hipec.Config{
+			Frames:        64,
+			PageSize:      4096,
+			BurstFraction: 0.5,
+			Substrate:     hipec.SubstrateConfig{Kind: hipec.SubstrateReal},
+		})
+		loop := hipec.NewClient(k)
+		defer loop.Close()
+		run(t, loop)
+	})
+	t.Run("networked", func(t *testing.T) {
+		store, err := hipec.NewTempFileStore("", 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		srv, err := hipec.Serve("127.0.0.1:0", store, hipec.WithFrames(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		c, err := hipec.Dial(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		run(t, c)
+	})
+}
