@@ -1,38 +1,53 @@
 // Package analyzers holds the repo's custom static-analysis passes — the
 // Go-source counterpart of the HPL policy verifier. Where internal/hpl/verify
 // proves policy programs safe before they enter the simulated kernel, this
-// package proves the kernel sources keep their own invariants:
+// package proves the kernel sources keep their own load-bearing invariants
+// at build time, on resolved types rather than identifier spelling:
 //
-//   - simulation packages must not read the wall clock or use the global
-//     math/rand state (determinism: every run is replayable from a seed
-//     and the simulated clock in internal/simtime);
-//   - kernel packages must not dereference the concrete simulation clock —
-//     only the substrate package may touch simtime.Clock directly; everyone
-//     else depends on the substrate.Clock seam so the same engine runs on
-//     the deterministic simulation or the wall clock;
-//   - kernel packages must return typed errors — a bare fmt.Errorf without
-//     %w or an inline errors.New loses the hiperr taxonomy callers program
-//     against with errors.Is / errors.As;
-//   - kernel packages must not grow package-level mutable counters or
-//     sync/atomic state — metrics belong to the kevent registry, and
-//     package globals break multi-kernel isolation in tests.
+//   - determinism: simulation packages must not read the wall clock
+//     (wallclock) or the global math/rand state (globalrand);
+//   - the substrate seam: no package outside internal/substrate may name the
+//     concrete simulation clock (simclock);
+//   - the error taxonomy: kernel packages return typed errors, never a bare
+//     fmt.Errorf without %w or an inline errors.New (errtype);
+//   - kernel isolation: no package-level mutable counters or sync/atomic
+//     state (globalstate);
+//   - the client seam: core.Loop is constructed only inside internal/ and
+//     the facade (loopseam);
+//   - the single-writer actor: kernel state must not escape a Loop.Call
+//     closure into a goroutine, package variable, or longer-lived struct
+//     (loopcapture), and no blocking call may be statically reachable from
+//     a command body executed on the loop (blockinloop);
+//   - the zero-allocation contract: //hipec:hotpath functions must not
+//     index maps (mapinloop) or perform the allocation shapes only types
+//     reveal — interface boxing, capturing closures, append without
+//     capacity, string concatenation (hotalloc);
+//   - refuse-before-allocate: in the wire and server packages, a length
+//     decoded from the network must pass a bound check before it reaches
+//     make (wiretaint).
 //
-// The passes are deliberately pure go/ast (no go/types, no x/tools) so they
-// run anywhere the repo builds, with no module downloads. They are wired
-// into `go test ./internal/analyzers` (which walks the real source tree)
-// and the cmd/hipecvet runner for CI.
+// The engine (see load.go) type-checks whole packages with go/parser +
+// go/types and the stdlib source importer — no module downloads, no
+// x/tools — so the passes match on package paths and resolved objects:
+// renamed imports, aliased types and cross-package values are all visible.
+// Findings are suppressed inline with `//hipec:vet-ignore <pass> -- <reason>`
+// (see directives.go); the reason is mandatory and unused suppressions are
+// themselves findings.
+//
+// The passes are wired into `go test ./internal/analyzers` (fixture trees
+// under testdata/ plus a walk of the real source tree) and the cmd/hipecvet
+// runner for CI, which also emits machine-readable JSON with -json.
 package analyzers
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -47,33 +62,61 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Msg)
 }
 
-// file is the per-file context handed to each pass.
-type file struct {
-	fset *token.FileSet
-	ast  *ast.File
-	pkg  string // package path relative to the repo root, e.g. "internal/core"
+// MarshalJSON renders the finding for the -json CI artifact.
+func (f Finding) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Col  int    `json:"col"`
+		Pass string `json:"pass"`
+		Msg  string `json:"msg"`
+	}{f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Msg})
 }
 
-// pass is one analysis over a single file. internalOnly passes keep their
-// historical scope (files under internal/); the rest also see cmd/,
-// examples/ and the root package.
+// reportFunc is the callback passes emit findings through.
+type reportFunc func(ast.Node, string, ...any)
+
+// pass is one analysis over a single type-checked package.
 type pass struct {
-	name         string
-	internalOnly bool
-	run          func(*file, func(ast.Node, string, ...any))
+	name string
+	// scope decides whether the pass runs for a repo-relative package path.
+	scope func(pkgPath string) bool
+	run   func(*Pkg, reportFunc)
 }
 
+func internalOnly(pkgPath string) bool { return strings.HasPrefix(pkgPath, "internal") }
+func wholeTree(string) bool            { return true }
+func wireScope(pkgPath string) bool {
+	return pkgPath == "internal/wire" || pkgPath == "internal/server"
+}
+
+// passes is the registry, in documentation order.
 var passes = []pass{
-	{"wallclock", true, checkWallClock},
-	{"simclock", true, checkSimClock},
-	{"globalrand", true, checkGlobalRand},
-	{"errtype", true, checkErrType},
-	{"globalstate", true, checkGlobalState},
-	{"mapinloop", true, checkMapInLoop},
-	{"loopseam", false, checkLoopSeam},
+	{"wallclock", internalOnly, checkWallClock},
+	{"simclock", internalOnly, checkSimClock},
+	{"globalrand", internalOnly, checkGlobalRand},
+	{"errtype", internalOnly, checkErrType},
+	{"globalstate", internalOnly, checkGlobalState},
+	{"mapinloop", wholeTree, checkMapInLoop},
+	{"loopseam", wholeTree, checkLoopSeam},
+	{"loopcapture", wholeTree, checkLoopCapture},
+	{"blockinloop", wholeTree, checkBlockInLoop},
+	{"hotalloc", wholeTree, checkHotAlloc},
+	{"wiretaint", wireScope, checkWireTaint},
 }
 
-// kernelPkgs are the packages whose errors must carry the hiperr taxonomy.
+// knownPasses validates vet-ignore directives (the meta pass itself cannot
+// be suppressed).
+var knownPasses = func() map[string]bool {
+	m := map[string]bool{}
+	for _, p := range passes {
+		m[p.name] = true
+	}
+	return m
+}()
+
+// kernelPkgs are the packages whose errors must carry the hiperr taxonomy
+// and which must stay free of package-level mutable state.
 var kernelPkgs = map[string]bool{
 	"internal/core":    true,
 	"internal/vm":      true,
@@ -97,56 +140,51 @@ var wallClockExempt = map[string]bool{
 	"internal/demo":   true,
 }
 
-// Run analyzes every non-test Go file under root/internal, root/cmd and
+// simClockExempt may hold concrete simulation-clock references: the
+// substrate package IS the seam — it wraps *simtime.Clock behind
+// substrate.Clock and is the one place allowed to name it.
+var simClockExempt = map[string]bool{
+	"internal/substrate": true,
+}
+
+// analyze runs every in-scope pass over one package and filters the result
+// through the package's vet-ignore directives.
+func (e *Engine) analyze(p *Pkg) []Finding {
+	var raw []Finding
+	for _, ps := range passes {
+		if !ps.scope(p.Path) {
+			continue
+		}
+		name := ps.name
+		report := func(n ast.Node, format string, args ...any) {
+			raw = append(raw, Finding{
+				Pos:      e.fset.Position(n.Pos()),
+				Analyzer: name,
+				Msg:      fmt.Sprintf(format, args...),
+			})
+		}
+		ps.run(p, report)
+	}
+	return applyDirectives(p, raw)
+}
+
+// Run analyzes every package under root/internal, root/cmd and
 // root/examples, plus the root package itself, and returns the findings
-// sorted by position. Internal-scoped passes only fire under internal/; the
-// seam passes (loopseam) cover the whole tree.
+// sorted by position. testdata trees (analyzer fixtures) are skipped, as
+// the Go toolchain skips them.
 func Run(root string) ([]Finding, error) {
-	var findings []Finding
-	analyzeFile := func(path string) error {
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		fs, err := AnalyzeSource(filepath.Dir(rel), rel, string(src))
-		if err != nil {
-			return err
-		}
-		findings = append(findings, fs...)
-		return nil
-	}
-	for _, dir := range []string{"internal", "cmd", "examples"} {
-		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-				return nil
-			}
-			return analyzeFile(path)
-		})
-		if err != nil {
-			if os.IsNotExist(err) {
-				continue
-			}
-			return nil, err
-		}
-	}
-	ents, err := os.ReadDir(root)
+	e := NewEngine(root)
+	rels, err := discover(root)
 	if err != nil {
 		return nil, err
 	}
-	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
-			continue
-		}
-		if err := analyzeFile(filepath.Join(root, e.Name())); err != nil {
+	var findings []Finding
+	for _, rel := range rels {
+		p, err := e.load(rel)
+		if err != nil {
 			return nil, err
 		}
+		findings = append(findings, e.analyze(p)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
@@ -158,61 +196,51 @@ func Run(root string) ([]Finding, error) {
 	return findings, nil
 }
 
-// AnalyzeSource runs every pass over one file's source. pkg is the
-// repo-relative package path ("internal/core"); filename labels positions.
-func AnalyzeSource(pkg, filename, src string) ([]Finding, error) {
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
-	if err != nil {
-		return nil, err
-	}
-	ctx := &file{fset: fset, ast: f, pkg: pkg}
-	var findings []Finding
-	for _, p := range passes {
-		p := p
-		if p.internalOnly && !strings.HasPrefix(pkg, "internal") {
-			continue
+// discover lists the repo-relative package directories to analyze.
+func discover(root string) ([]string, error) {
+	hasGo := func(dir string) bool {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return false
 		}
-		report := func(n ast.Node, format string, args ...any) {
-			findings = append(findings, Finding{
-				Pos:      fset.Position(n.Pos()),
-				Analyzer: p.name,
-				Msg:      fmt.Sprintf(format, args...),
-			})
+		for _, ent := range ents {
+			n := ent.Name()
+			if !ent.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				return true
+			}
 		}
-		p.run(ctx, report)
+		return false
 	}
-	return findings, nil
-}
-
-// importName returns the local name the file uses for an import path
-// ("" if not imported). Dot and blank imports are reported as named so
-// callers fail safe.
-func (f *file) importName(path string) string {
-	for _, imp := range f.ast.Imports {
-		p, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || p != path {
-			continue
+	var rels []string
+	if hasGo(root) {
+		rels = append(rels, ".")
+	}
+	for _, top := range []string{"internal", "cmd", "examples"} {
+		err := filepath.WalkDir(filepath.Join(root, top), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if d.Name() == "testdata" {
+				return fs.SkipDir
+			}
+			if hasGo(path) {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				rels = append(rels, filepath.ToSlash(rel))
+			}
+			return nil
+		})
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
 		}
-		if imp.Name != nil {
-			return imp.Name.Name
-		}
-		return path[strings.LastIndex(path, "/")+1:]
 	}
-	return ""
-}
-
-// pkgCall matches a call of the form <pkgName>.<fn>(...) where pkgName is
-// a plain identifier (not a local variable shadowing an import is assumed;
-// the repo does not shadow package names).
-func pkgCall(call *ast.CallExpr, pkgName string) (string, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	if !ok || id.Name != pkgName {
-		return "", false
-	}
-	return sel.Sel.Name, true
+	return rels, nil
 }

@@ -1,0 +1,281 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The hotalloc pass enforces the zero-allocation contract of //hipec:hotpath
+// functions for the shapes only resolved types can reveal — the ones
+// benchguard catches after the fact and go/ast alone cannot see at all:
+//
+//   - interface boxing: passing or converting a non-pointer concrete value
+//     where an interface is expected heap-allocates the value's box;
+//   - capturing closures: a func literal that references enclosing
+//     variables allocates its environment (a capture-free literal compiles
+//     to a singleton and stays legal);
+//   - append without capacity: appending to a slice whose every visible
+//     initialization lacks a capacity (var s []T, s := []T{}, make with no
+//     cap) grows on the hot path;
+//   - string concatenation: non-constant string + allocates the result.
+//
+// Together with mapinloop (map lookups) this subsumes the old syntactic
+// pass: mapinloop keeps its name and its map rule, everything that needed
+// type resolution lives here.
+
+// pointerShaped reports whether boxing t into an interface stores the value
+// directly in the interface word (no allocation): pointers, channels, maps,
+// funcs, unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Basic:
+		b, ok := t.Underlying().(*types.Basic)
+		if ok {
+			return b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil
+		}
+		return true
+	}
+	return false
+}
+
+// isInterface reports whether t is an interface type.
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxesAt reports whether passing arg where an interface is expected
+// allocates: the arg's resolved type is concrete, not pointer-shaped, and
+// not a constant nil.
+func (p *Pkg) boxesAt(arg ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return "", false
+	}
+	if isInterface(tv.Type) || pointerShaped(tv.Type) {
+		return "", false
+	}
+	return tv.Type.String(), true
+}
+
+// checkHotAlloc inspects every //hipec:hotpath function in the package.
+func checkHotAlloc(p *Pkg, report reportFunc) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hotPathMarked(fd) || fd.Body == nil {
+				continue
+			}
+			p.checkHotFunc(fd, report)
+		}
+	}
+}
+
+func (p *Pkg) checkHotFunc(fd *ast.FuncDecl, report reportFunc) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if id := p.firstCapture(n, fd); id != "" {
+				report(n, "closure capturing %q allocates inside hot-path function %s; hoist the state or pass it explicitly", id, fd.Name.Name)
+			}
+			return false // the literal's body runs elsewhere; its own cost is the capture
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := p.Info.Types[n]; ok && tv.Value == nil && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n, "string concatenation allocates inside hot-path function %s; use a preallocated buffer", fd.Name.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			p.checkHotCall(n, fd, report)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags append-without-capacity, interface-boxing arguments,
+// and boxing conversions at one call site.
+func (p *Pkg) checkHotCall(call *ast.CallExpr, fd *ast.FuncDecl, report reportFunc) {
+	if p.isBuiltin(call, "append") {
+		if len(call.Args) > 0 && p.appendTargetUncapped(call.Args[0], fd) {
+			report(call, "append to a slice with no visible capacity inside hot-path function %s; preallocate with make(..., 0, n) or reuse a scratch buffer", fd.Name.Name)
+		}
+		return
+	}
+	// Conversion to an interface type: any(x), error(x), substrate.Timer(x).
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if isInterface(tv.Type) && len(call.Args) == 1 {
+			if from, boxes := p.boxesAt(call.Args[0]); boxes {
+				report(call, "conversion boxes %s into %s inside hot-path function %s", from, tv.Type.String(), fd.Name.Name)
+			}
+		}
+		return
+	}
+	sig := p.callSignature(call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		if from, boxes := p.boxesAt(arg); boxes {
+			report(arg, "argument boxes %s into %s inside hot-path function %s", from, pt.String(), fd.Name.Name)
+		}
+	}
+}
+
+// callSignature resolves the signature a call dispatches through (declared
+// function, method, or func value), nil for builtins and conversions.
+func (p *Pkg) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramTypeAt reports the type of parameter i, unwrapping the variadic
+// tail: for f(xs ...T), every trailing argument lands in a T.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if i < params.Len()-1 || (!sig.Variadic() && i < params.Len()) {
+		return params.At(i).Type()
+	}
+	if !sig.Variadic() {
+		return nil
+	}
+	last := params.At(params.Len() - 1).Type()
+	if sl, ok := last.(*types.Slice); ok {
+		return sl.Elem()
+	}
+	return nil
+}
+
+// firstCapture reports the first enclosing-function variable a func literal
+// captures ("" when capture-free).
+func (p *Pkg) firstCapture(lit *ast.FuncLit, fd *ast.FuncDecl) string {
+	capture := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if capture != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured: declared in the enclosing function but outside the
+		// literal. Package-level vars are not captures (no environment).
+		if obj.Parent() == p.Types.Scope() {
+			return true
+		}
+		if obj.Pos() >= fd.Pos() && obj.Pos() <= fd.End() && !declaredInside(obj, lit) {
+			capture = id.Name
+		}
+		return true
+	})
+	return capture
+}
+
+// appendTargetUncapped reports whether the append target is a local slice
+// variable whose every visible initialization lacks capacity. Parameters,
+// fields, package-level and cross-function slices fail open — their
+// capacity discipline is their owner's contract.
+func (p *Pkg) appendTargetUncapped(target ast.Expr, fd *ast.FuncDecl) bool {
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := p.objectOf(id).(*types.Var)
+	if !ok || obj.IsField() || obj.Parent() == p.Types.Scope() {
+		return false
+	}
+	if obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+		return false // not declared in this function
+	}
+	// A parameter: capacity is the caller's business.
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if p.Info.Defs[name] == obj {
+					return false
+				}
+			}
+		}
+	}
+	uncapped := false
+	verdict := true
+	seen := false
+	consider := func(rhs ast.Expr) {
+		rhs = ast.Unparen(rhs)
+		switch v := rhs.(type) {
+		case *ast.CallExpr:
+			if p.isBuiltin(v, "make") {
+				seen = true
+				verdict = verdict && len(v.Args) < 3 // make([]T, n): no cap
+				return
+			}
+			if p.isBuiltin(v, "append") {
+				if inner, ok := ast.Unparen(v.Args[0]).(*ast.Ident); ok && p.objectOf(inner) == obj {
+					return // self-append: growth, not initialization
+				}
+			}
+			seen, verdict = true, false // produced elsewhere: fail open
+		case *ast.CompositeLit:
+			seen = true
+			verdict = verdict && len(v.Elts) == 0 // []T{}: nil-ish, no cap
+		case *ast.SliceExpr:
+			if inner, ok := ast.Unparen(v.X).(*ast.Ident); ok && p.objectOf(inner) == obj {
+				return // s = s[:0]: reuse, capacity unchanged
+			}
+			seen, verdict = true, false
+		default:
+			seen, verdict = true, false
+		}
+	}
+	declaredBare := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || p.objectOf(lid) != obj || i >= len(n.Rhs) {
+					continue
+				}
+				consider(n.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if p.Info.Defs[name] != obj {
+					continue
+				}
+				if i < len(n.Values) {
+					consider(n.Values[i])
+				} else {
+					declaredBare = true // var s []T: nil slice
+				}
+			}
+		}
+		return true
+	})
+	if declaredBare && !seen {
+		uncapped = true
+	} else if seen && verdict {
+		uncapped = true
+	}
+	return uncapped
+}

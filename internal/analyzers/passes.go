@@ -2,12 +2,20 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
+// This file holds the seven legacy passes, ported from the old per-file
+// go/ast walker onto the type-aware engine. Each now matches on resolved
+// objects and package paths — a renamed import (`import t "time"`), an
+// aliased type, or a cross-package map value are all visible — where the old
+// passes matched identifier spelling and failed open on anything indirect.
+
 // wallClockFuncs are the time-package functions that read or wait on the
-// real clock. Simulation code must use simtime.Clock so runs are
+// real clock. Simulation code must use the substrate clock so runs are
 // deterministic and replayable.
 var wallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,
@@ -15,31 +23,23 @@ var wallClockFuncs = map[string]bool{
 	"NewTimer": true, "NewTicker": true,
 }
 
-func checkWallClock(f *file, report func(ast.Node, string, ...any)) {
-	if wallClockExempt[f.pkg] {
+func checkWallClock(p *Pkg, report reportFunc) {
+	if wallClockExempt[p.Path] {
 		return
 	}
-	timeName := f.importName("time")
-	if timeName == "" {
-		return
-	}
-	ast.Inspect(f.ast, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if ok && pkgFunc(fn, "time", fn.Name()) && wallClockFuncs[fn.Name()] {
+				report(sel, "time.%s reads the wall clock in a simulation package; use the substrate clock", fn.Name())
+			}
 			return true
-		}
-		if fn, ok := pkgCall(call, timeName); ok && wallClockFuncs[fn] {
-			report(call, "time.%s reads the wall clock in a simulation package; use simtime.Clock", fn)
-		}
-		return true
-	})
-}
-
-// simClockExempt may hold concrete simulation-clock references: the
-// substrate package IS the seam — it wraps *simtime.Clock behind
-// substrate.Clock and is the one place allowed to name it.
-var simClockExempt = map[string]bool{
-	"internal/substrate": true,
+		})
+	}
 }
 
 // simClockIdents are the simtime identifiers that pin code to the concrete
@@ -55,150 +55,186 @@ var simClockIdents = map[string]bool{
 // *simtime.Clock (or its *simtime.Event timer handles). A direct reference
 // re-welds the kernel to the simulation and silently breaks the realtime
 // backend.
-func checkSimClock(f *file, report func(ast.Node, string, ...any)) {
-	if simClockExempt[f.pkg] {
+func checkSimClock(p *Pkg, report reportFunc) {
+	if simClockExempt[p.Path] {
 		return
 	}
-	name := f.importName("hipec/internal/simtime")
-	if name == "" {
-		return
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "hipec/internal/simtime" {
+				return true
+			}
+			if simClockIdents[obj.Name()] {
+				report(sel, "simtime.%s pins this package to the simulation backend; depend on substrate.Clock", obj.Name())
+			}
+			return true
+		})
 	}
-	ast.Inspect(f.ast, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok || id.Name != name {
-			return true
-		}
-		if simClockIdents[sel.Sel.Name] {
-			report(sel, "simtime.%s pins this package to the simulation backend; depend on substrate.Clock", sel.Sel.Name)
-		}
-		return true
-	})
 }
 
 // globalRandOK are the math/rand constructors that produce an explicitly
-// seeded generator; everything else on the package (Intn, Seed, ...) draws
-// from or mutates the shared global source.
+// seeded generator; every other package-level function (Intn, Seed, ...)
+// draws from or mutates the shared global source. Methods on a *rand.Rand
+// value are always legal — that is the seeded generator itself.
 var globalRandOK = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true,
 }
 
-func checkGlobalRand(f *file, report func(ast.Node, string, ...any)) {
-	randName := f.importName("math/rand")
-	if randName == "" {
-		return
-	}
-	ast.Inspect(f.ast, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
+func checkGlobalRand(p *Pkg, report reportFunc) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if ok && pkgFunc(fn, "math/rand", fn.Name()) && !globalRandOK[fn.Name()] {
+				report(sel, "rand.%s uses the global math/rand state; use an explicitly seeded *rand.Rand", fn.Name())
+			}
 			return true
-		}
-		if fn, ok := pkgCall(call, randName); ok && !globalRandOK[fn] {
-			report(call, "rand.%s uses the global math/rand state; use an explicitly seeded *rand.Rand", fn)
-		}
-		return true
-	})
+		})
+	}
 }
 
 // checkErrType requires kernel packages to return typed errors: a return
 // statement must not hand back a bare fmt.Errorf whose format lacks %w, or
 // an inline errors.New. Both lose the hiperr taxonomy (nothing to match
 // with errors.Is). Package-level sentinel declarations stay legal — that is
-// exactly where errors.New belongs.
-func checkErrType(f *file, report func(ast.Node, string, ...any)) {
-	if !kernelPkgs[f.pkg] {
+// exactly where errors.New belongs. The format string is resolved through
+// constant folding, so a named format constant is checked too.
+func checkErrType(p *Pkg, report reportFunc) {
+	if !kernelPkgs[p.Path] {
 		return
 	}
-	fmtName := f.importName("fmt")
-	errorsName := f.importName("errors")
-	ast.Inspect(f.ast, func(n ast.Node) bool {
-		ret, ok := n.(*ast.ReturnStmt)
-		if !ok {
-			return true
-		}
-		for _, res := range ret.Results {
-			call, ok := res.(*ast.CallExpr)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
 			if !ok {
-				continue
+				return true
 			}
-			if fn, ok := pkgCall(call, fmtName); ok && fn == "Errorf" && fmtName != "" {
-				if lit := stringLit(call.Args); lit != "" && !strings.Contains(lit, "%w") {
-					report(call, "returned fmt.Errorf without %%w drops the hiperr error taxonomy; wrap a sentinel")
+			for _, res := range ret.Results {
+				call, ok := ast.Unparen(res).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn := p.funcFor(call)
+				switch {
+				case pkgFunc(fn, "fmt", "Errorf"):
+					if format, ok := p.constString(call.Args[0]); ok && !strings.Contains(format, "%w") {
+						report(call, "returned fmt.Errorf without %%w drops the hiperr error taxonomy; wrap a sentinel")
+					}
+				case pkgFunc(fn, "errors", "New"):
+					report(call, "returned inline errors.New is untyped; declare a package sentinel or wrap a hiperr one")
 				}
 			}
-			if fn, ok := pkgCall(call, errorsName); ok && fn == "New" && errorsName != "" {
-				report(call, "returned inline errors.New is untyped; declare a package sentinel or wrap a hiperr one")
-			}
-		}
-		return true
-	})
+			return true
+		})
+	}
 }
 
-func stringLit(args []ast.Expr) string {
-	if len(args) == 0 {
-		return ""
+// constString resolves e to its constant string value via the type-checker's
+// constant folding.
+func (p *Pkg) constString(e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
 	}
-	lit, ok := args[0].(*ast.BasicLit)
-	if !ok || lit.Kind != token.STRING {
-		return ""
-	}
-	return lit.Value
+	return constant.StringVal(tv.Value), true
 }
 
 // checkGlobalState keeps kernel packages free of package-level mutable
 // numeric state and sync/atomic: counters belong in the kevent registry
 // (or per-object Stats structs), and package globals leak between the
-// independent kernels tests construct.
-func checkGlobalState(f *file, report func(ast.Node, string, ...any)) {
-	if !kernelPkgs[f.pkg] {
+// independent kernels tests construct. Resolved types catch what the old
+// syntactic pass could not: `var n = computeSize()` and named integer types
+// are package counters too.
+func checkGlobalState(p *Pkg, report reportFunc) {
+	if !kernelPkgs[p.Path] {
 		return
 	}
-	if f.importName("sync/atomic") != "" {
-		report(f.ast.Name, "kernel package imports sync/atomic; counters belong in the kevent registry")
-	}
-	for _, decl := range f.ast.Decls {
-		gd, ok := decl.(*ast.GenDecl)
-		if !ok || gd.Tok != token.VAR {
-			continue
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"sync/atomic"` {
+				report(imp, "kernel package imports sync/atomic; counters belong in the kevent registry")
+			}
 		}
-		for _, spec := range gd.Specs {
-			vs, ok := spec.(*ast.ValueSpec)
-			if !ok {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
 				continue
 			}
-			if !numericType(vs) {
-				continue
-			}
-			for _, name := range vs.Names {
-				report(name, "package-level numeric var %s in a kernel package; use the kevent registry", name.Name)
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					v, ok := p.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if b, ok := v.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+						report(name, "package-level numeric var %s in a kernel package; use the kevent registry", name.Name)
+					}
+				}
 			}
 		}
 	}
 }
 
-var numericNames = map[string]bool{
-	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
-	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
-	"uintptr": true, "float32": true, "float64": true,
-}
-
-// numericType reports whether a var spec is declared (or initialized) as a
-// basic numeric type. Untyped specs initialized from non-literal
-// expressions are left alone — without go/types we only flag the certain
-// cases.
-func numericType(vs *ast.ValueSpec) bool {
-	if id, ok := vs.Type.(*ast.Ident); ok {
-		return numericNames[id.Name]
-	}
-	if vs.Type == nil && len(vs.Values) > 0 {
-		if lit, ok := vs.Values[0].(*ast.BasicLit); ok {
-			return lit.Kind == token.INT || lit.Kind == token.FLOAT
+// checkMapInLoop guards the data-plane overhaul: the fault and pageout hot
+// paths replaced their per-access map lookups with dense page-indexed slices
+// and intrusive queues, and this pass keeps maps from creeping back. Inside
+// any //hipec:hotpath function, indexing or ranging over a value whose
+// resolved type is a map is a finding — including maps declared in other
+// files or packages, which the old syntactic pass could not see. The sparse
+// page-table fallback keeps its map deliberately and carries an inline
+// vet-ignore at each probe site.
+func checkMapInLoop(p *Pkg, report reportFunc) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hotPathMarked(fd) || fd.Body == nil {
+				continue
+			}
+			isMap := func(e ast.Expr) bool {
+				t := p.exprType(e)
+				if t == nil {
+					return false
+				}
+				_, ok := t.Underlying().(*types.Map)
+				return ok
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.IndexExpr:
+					if isMap(v.X) {
+						report(v, "map lookup inside hot-path function %s; use a dense index or suppress with a vet-ignore directive", fd.Name.Name)
+					}
+				case *ast.RangeStmt:
+					if isMap(v.X) {
+						report(v, "map iteration inside hot-path function %s is allocation- and order-hazardous; use a dense index or suppress with a vet-ignore directive", fd.Name.Name)
+					}
+				}
+				return true
+			})
 		}
 	}
-	return false
+}
+
+// coreLoop reports whether t (after unwrapping pointers) is the
+// core.Loop named type.
+func coreLoop(t types.Type) bool {
+	pkgPath, name, ok := namedType(t)
+	return ok && pkgPath == "hipec/internal/core" && name == "Loop"
 }
 
 // checkLoopSeam protects the client seam: outside internal/ and the root
@@ -207,36 +243,28 @@ func numericType(vs *ast.ValueSpec) bool {
 // cmd/, examples/ — goes through hipec.NewClient, hipec.Serve or hipec.Dial
 // so every entry point carries the Client contract. Inspection-only use of
 // internal/core (the compiler and VM tools) stays legal.
-func checkLoopSeam(f *file, report func(ast.Node, string, ...any)) {
-	if f.pkg == "." || strings.HasPrefix(f.pkg, "internal") {
+func checkLoopSeam(p *Pkg, report reportFunc) {
+	if p.Path == "." || strings.HasPrefix(p.Path, "internal") {
 		return
 	}
-	coreName := f.importName("hipec/internal/core")
-	if coreName == "" {
-		return
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkgFunc(p.funcFor(n), "hipec/internal/core", "NewLoop") {
+					report(n, "core.NewLoop outside internal/; construct clients through hipec.NewClient / hipec.Serve / hipec.Dial")
+				}
+				if p.isBuiltin(n, "new") && len(n.Args) == 1 {
+					if tv, ok := p.Info.Types[n.Args[0]]; ok && tv.IsType() && coreLoop(tv.Type) {
+						report(n, "new(core.Loop) outside internal/; construct clients through hipec.NewClient / hipec.Serve / hipec.Dial")
+					}
+				}
+			case *ast.CompositeLit:
+				if t := p.exprType(n); t != nil && coreLoop(t) {
+					report(n, "core.Loop literal outside internal/; construct clients through hipec.NewClient / hipec.Serve / hipec.Dial")
+				}
+			}
+			return true
+		})
 	}
-	isCoreSel := func(e ast.Expr, name string) bool {
-		sel, ok := e.(*ast.SelectorExpr)
-		if !ok {
-			return false
-		}
-		id, ok := sel.X.(*ast.Ident)
-		return ok && id.Name == coreName && sel.Sel.Name == name
-	}
-	ast.Inspect(f.ast, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if fn, ok := pkgCall(n, coreName); ok && fn == "NewLoop" {
-				report(n, "core.NewLoop outside internal/; construct clients through hipec.NewClient / hipec.Serve / hipec.Dial")
-			}
-			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 && isCoreSel(n.Args[0], "Loop") {
-				report(n, "new(core.Loop) outside internal/; construct clients through hipec.NewClient / hipec.Serve / hipec.Dial")
-			}
-		case *ast.CompositeLit:
-			if isCoreSel(n.Type, "Loop") {
-				report(n, "core.Loop literal outside internal/; construct clients through hipec.NewClient / hipec.Serve / hipec.Dial")
-			}
-		}
-		return true
-	})
 }

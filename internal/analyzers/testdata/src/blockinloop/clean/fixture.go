@@ -1,0 +1,33 @@
+// Package fixture shows the legal shapes: spawned goroutines block
+// themselves, buffered sends absorb the burst, and genuinely blocking work
+// hides behind interface dispatch — the substrate seam — where the chain
+// deliberately breaks.
+//
+//hipec:fixture-as internal/server
+package fixture
+
+import (
+	"time"
+
+	"hipec/internal/core"
+)
+
+// ready has capacity; a send parks only when the buffer is full, which the
+// loop's backpressure contract accepts.
+var ready = make(chan struct{}, 8)
+
+// Store is the seam: the realtime backend owns the blocking consequences.
+type Store interface {
+	Sync() error
+}
+
+// run keeps the engine goroutine free.
+func run(l *core.Loop, st Store) error {
+	return l.Call(func(k *core.Kernel) error {
+		go func() {
+			time.Sleep(time.Millisecond) // blocks its own goroutine, not the loop
+		}()
+		ready <- struct{}{}
+		return st.Sync()
+	})
+}

@@ -1,0 +1,22 @@
+// Package fixture shows the legal error discipline: errors.New declares a
+// package sentinel (that is exactly where it belongs), and fmt.Errorf wraps
+// it with %w so errors.Is still matches.
+//
+//hipec:fixture-as internal/core
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStale is the package sentinel.
+var ErrStale = errors.New("stale handle")
+
+// refresh wraps the sentinel, keeping the taxonomy intact.
+func refresh(ok bool) error {
+	if !ok {
+		return fmt.Errorf("refresh: %w", ErrStale)
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package fixture exercises the errtype pass: kernel packages must return
+// typed errors — a bare fmt.Errorf without %w or an inline errors.New drops
+// the hiperr taxonomy.
+//
+//hipec:fixture-as internal/core
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// open loses the error taxonomy both ways.
+func open(name string) error {
+	if name == "" {
+		return errors.New("empty name") // want `errtype: returned inline errors\.New is untyped`
+	}
+	return fmt.Errorf("open %s failed", name) // want `errtype: returned fmt\.Errorf without %w drops the hiperr error taxonomy`
+}

@@ -1,0 +1,13 @@
+// Package fixture shows the legal form: an explicitly seeded *rand.Rand,
+// whose methods are deterministic given the seed.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+import "math/rand"
+
+// Pick draws from a private, seeded generator.
+func Pick(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}

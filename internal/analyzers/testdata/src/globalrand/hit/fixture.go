@@ -1,0 +1,12 @@
+// Package fixture exercises the globalrand pass: package-level math/rand
+// functions draw from the shared global source and make runs unrepeatable.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+import "math/rand"
+
+// Pick draws from the global generator.
+func Pick(n int) int {
+	return rand.Intn(n) // want `globalrand: rand\.Intn uses the global math/rand state`
+}

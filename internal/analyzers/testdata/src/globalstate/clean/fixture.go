@@ -1,0 +1,14 @@
+// Package fixture shows the legal shapes: constants are immutable, and
+// mutable counters live on per-object state, not at package level.
+//
+//hipec:fixture-as internal/core
+package fixture
+
+const maxRetries = 3
+
+type stats struct{ faults int64 }
+
+func (s *stats) bump() int {
+	s.faults++
+	return maxRetries
+}

@@ -1,0 +1,17 @@
+// Package fixture exercises the globalstate pass: package-level numeric
+// state (and sync/atomic wholesale) leaks between the independent kernels
+// tests construct.
+//
+//hipec:fixture-as internal/core
+package fixture
+
+import "sync/atomic" // want `globalstate: kernel package imports sync/atomic`
+
+var faultCount int64 // want `globalstate: package-level numeric var faultCount`
+
+var ops atomic.Int64
+
+func bump() {
+	faultCount++
+	ops.Add(1)
+}

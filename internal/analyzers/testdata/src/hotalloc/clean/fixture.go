@@ -1,0 +1,28 @@
+// Package fixture shows the allocation-free counterparts: pointer-shaped
+// boxing rides in the interface word, capture-free literals compile to
+// singletons, preallocated and caller-owned slices append in place, and
+// constant concatenation folds at compile time.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+// record accepts anything; pointers box for free.
+func record(v any) { _ = v }
+
+const prefix = "page:"
+
+// Touch does the same work without allocating.
+//
+//hipec:hotpath
+func Touch(off *int64, scratch []int64) int {
+	record(off)                                   // pointer-shaped: the interface word holds the pointer
+	probe := func(v int64) int64 { return v + 1 } // capture-free literal
+	_ = probe(*off)
+	buf := make([]int64, 0, 8)
+	buf = append(buf, *off)
+	scratch = append(scratch, *off) // parameter: capacity is the caller's contract
+	_ = scratch
+	const tag = prefix + "hot" // constant concatenation folds at compile time
+	_ = tag
+	return len(buf)
+}

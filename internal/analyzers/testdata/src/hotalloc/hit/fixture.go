@@ -1,0 +1,24 @@
+// Package fixture exercises the hotalloc pass: the allocation shapes only
+// resolved types reveal — interface boxing, capturing closures, append
+// without capacity, string concatenation — inside //hipec:hotpath
+// functions.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+// record accepts anything; calls from hot paths must not box.
+func record(v any) { _ = v }
+
+// Touch allocates five distinct ways.
+//
+//hipec:hotpath
+func Touch(off int64, name string) string {
+	record(off)                          // want `hotalloc: argument boxes int64 into any`
+	_ = any(off)                         // want `hotalloc: conversion boxes int64 into any`
+	probe := func() int64 { return off } // want `hotalloc: closure capturing "off" allocates`
+	_ = probe()
+	var hist []int64
+	hist = append(hist, off) // want `hotalloc: append to a slice with no visible capacity`
+	_ = hist
+	return "page:" + name // want `hotalloc: string concatenation allocates`
+}

@@ -1,0 +1,22 @@
+// Package fixture shows the legal pattern: results leave the closure by
+// value; the kernel pointer itself never escapes the call window.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+import "hipec/internal/core"
+
+// countRegions extracts a plain value from inside the call.
+func countRegions(l *core.Loop) (int, error) {
+	regions := 0
+	err := l.Call(func(k *core.Kernel) error {
+		regions = snapshot(k)
+		return nil
+	})
+	return regions, err
+}
+
+func snapshot(k *core.Kernel) int {
+	_ = k
+	return 0
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises the loopcapture pass: the kernel pointer a
+// Loop.Call closure receives must not outlive the call — no goroutines,
+// package variables, outer locals, or channels.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+import "hipec/internal/core"
+
+// leaked is where the bad closure parks the kernel.
+var leaked *core.Kernel
+
+// run leaks the kernel four ways.
+func run(l *core.Loop, sink chan *core.Kernel) error {
+	var outer *core.Kernel
+	err := l.Call(func(k *core.Kernel) error {
+		go logFaults(k) // want `loopcapture: \*core\.Kernel "k" escapes into a goroutine`
+		leaked = k      // want `loopcapture: \*core\.Kernel stored in package-level variable "leaked"`
+		outer = k       // want `loopcapture: \*core\.Kernel stored in "outer", which outlives the Loop closure`
+		sink <- k       // want `loopcapture: \*core\.Kernel sent on a channel from inside a Loop closure`
+		return nil
+	})
+	_ = outer
+	return err
+}
+
+func logFaults(k *core.Kernel) { _ = k }

@@ -1,0 +1,13 @@
+// Package fixture shows the legal use: application code may hold and drive
+// a *core.Loop it was handed — only construction is fenced behind the
+// facade.
+//
+//hipec:fixture-as cmd/fixture
+package fixture
+
+import "hipec/internal/core"
+
+// inspect drives a loop someone else built.
+func inspect(l *core.Loop) error {
+	return l.Call(func(k *core.Kernel) error { return nil })
+}

@@ -1,0 +1,16 @@
+// Package fixture exercises the loopseam pass: application code (cmd/,
+// examples/) must not construct a core.Loop directly — every entry point
+// goes through the facade so it carries the Client contract.
+//
+//hipec:fixture-as cmd/fixture
+package fixture
+
+import "hipec/internal/core"
+
+// build constructs the loop all three banned ways.
+func build() *core.Loop {
+	l := core.NewLoop(nil) // want `loopseam: core\.NewLoop outside internal/`
+	_ = new(core.Loop)     // want `loopseam: new\(core\.Loop\) outside internal/`
+	_ = core.Loop{}        // want `loopseam: core\.Loop literal outside internal/`
+	return l
+}

@@ -1,0 +1,25 @@
+// Package fixture shows the legal forms: dense slice indexing on the hot
+// path, and map use in functions without the hotpath contract.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+type table struct {
+	flat  []int
+	names map[string]int
+}
+
+// Lookup indexes the dense page table.
+//
+//hipec:hotpath
+func (t *table) Lookup(i int) int {
+	if i < len(t.flat) {
+		return t.flat[i]
+	}
+	return 0
+}
+
+// Rename is control-plane code; maps are fine off the hot path.
+func (t *table) Rename(name string, v int) {
+	t.names[name] = v
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises the mapinloop pass: map access inside a
+// //hipec:hotpath function, via index or range.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+type table struct {
+	sparse map[int64]int
+}
+
+// Lookup probes a map on the fault hot path.
+//
+//hipec:hotpath
+func (t *table) Lookup(off int64) int {
+	return t.sparse[off] // want `mapinloop: map lookup inside hot-path function Lookup`
+}
+
+// Sum iterates a map on the hot path.
+//
+//hipec:hotpath
+func (t *table) Sum() int {
+	n := 0
+	for _, v := range t.sparse { // want `mapinloop: map iteration inside hot-path function Sum`
+		n += v
+	}
+	return n
+}

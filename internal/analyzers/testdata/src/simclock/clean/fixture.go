@@ -1,0 +1,13 @@
+// Package fixture shows the legal simtime surface: the value types
+// (simtime.Time, simtime.Duration) are substrate-neutral vocabulary and may
+// appear anywhere.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+import "hipec/internal/simtime"
+
+// Deadline does pure time arithmetic on the neutral value types.
+func Deadline(now simtime.Time, d simtime.Duration) simtime.Time {
+	return now.Add(d)
+}

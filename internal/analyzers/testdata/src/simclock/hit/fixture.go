@@ -1,0 +1,15 @@
+// Package fixture exercises the simclock pass: naming the concrete
+// simulation clock outside internal/substrate re-welds the engine to the
+// sim backend.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+import "hipec/internal/simtime"
+
+// Backend leaks the concrete clock and its timer handle type.
+func Backend() (any, any) {
+	var c *simtime.Clock  // want `simclock: simtime\.Clock pins this package to the simulation backend`
+	var ev *simtime.Event // want `simclock: simtime\.Event pins this package to the simulation backend`
+	return c, ev
+}

@@ -1,0 +1,17 @@
+// Package fixture exercises the vet-ignore meta pass on malformed
+// directives: a missing reason, an unknown pass name, and no pass at all
+// are each findings.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+// Noop carries three broken suppressions.
+func Noop() int {
+	// want `vet-ignore: suppression of mapinloop has no reason`
+	//hipec:vet-ignore mapinloop
+	// want `vet-ignore: suppression names unknown pass "nosuchpass"`
+	//hipec:vet-ignore nosuchpass -- the pass does not exist
+	// want `vet-ignore: suppression names no pass`
+	//hipec:vet-ignore -- reason with no pass
+	return 0
+}

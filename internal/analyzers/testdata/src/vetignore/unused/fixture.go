@@ -1,0 +1,12 @@
+// Package fixture exercises the vet-ignore meta pass: a suppression that
+// silences nothing is itself a finding — stale waivers rot into lies.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+// Size is clean; the directive below it suppresses nothing.
+func Size(xs []int) int {
+	// want `vet-ignore: unused suppression of mapinloop`
+	//hipec:vet-ignore mapinloop -- stale waiver kept after the map was removed
+	return len(xs)
+}

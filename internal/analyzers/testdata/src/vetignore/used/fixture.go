@@ -1,0 +1,15 @@
+// Package fixture shows a working suppression: the deliberate sparse probe
+// is waived inline with its justification, so the package analyzes clean.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+type table struct{ sparse map[int64]int }
+
+// Lookup keeps its sparse map on purpose.
+//
+//hipec:hotpath
+func (t *table) Lookup(off int64) int {
+	//hipec:vet-ignore mapinloop -- deliberate sparse fallback in this fixture
+	return t.sparse[off]
+}

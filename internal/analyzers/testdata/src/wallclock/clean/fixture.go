@@ -1,0 +1,13 @@
+// Package fixture shows the legal side of the wallclock rule: duration
+// arithmetic and time constants are substrate-neutral vocabulary; only
+// reading or waiting on the real clock is banned.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+import "time"
+
+// Budget compares durations without ever consulting a clock.
+func Budget(d time.Duration) bool {
+	return d > 5*time.Millisecond
+}

@@ -1,0 +1,14 @@
+// Package fixture exercises the wallclock pass: reading or waiting on the
+// real clock inside a simulation package breaks determinism.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+import "time"
+
+// Tick reads the wall clock three ways on the simulation path.
+func Tick() time.Duration {
+	start := time.Now()          // want `wallclock: time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `wallclock: time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `wallclock: time\.Since reads the wall clock`
+}

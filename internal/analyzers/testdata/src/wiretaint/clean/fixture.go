@@ -1,0 +1,31 @@
+// Package fixture shows refuse-before-allocate done right: every decoded
+// length passes a relational bound check before it reaches an allocation.
+//
+//hipec:fixture-as internal/wire
+package fixture
+
+import (
+	"encoding/binary"
+
+	"hipec/internal/wire"
+)
+
+// decodePayload refuses oversized prefixes before allocating.
+func decodePayload(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	if n > wire.MaxFrame {
+		return nil
+	}
+	buf := make([]byte, n)
+	copy(buf, b[4:])
+	return buf
+}
+
+// replyBuffer clamps the requested size against the page size.
+func replyBuffer(req *wire.Request, pageSize int) []byte {
+	maxLen := int(req.MaxLen)
+	if maxLen > pageSize {
+		maxLen = pageSize
+	}
+	return make([]byte, maxLen)
+}

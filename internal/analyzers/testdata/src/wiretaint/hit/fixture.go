@@ -1,0 +1,25 @@
+// Package fixture exercises the wiretaint pass: integers decoded from the
+// network — raw binary reads or fields of a decoded wire message — must not
+// reach a make() size without a bound check.
+//
+//hipec:fixture-as internal/wire
+package fixture
+
+import (
+	"encoding/binary"
+
+	"hipec/internal/wire"
+)
+
+// decodePayload trusts a raw length prefix.
+func decodePayload(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	buf := make([]byte, n) // want `wiretaint: length decoded from the network reaches make without a bound check`
+	copy(buf, b[4:])
+	return buf
+}
+
+// replyBuffer trusts a field of an already-decoded message.
+func replyBuffer(req *wire.Request) []byte {
+	return make([]byte, int(req.MaxLen)) // want `wiretaint: length decoded from the network reaches make without a bound check`
+}

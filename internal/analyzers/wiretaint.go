@@ -1,0 +1,301 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The wiretaint pass turns the wire protocol's refuse-before-allocate rule
+// from a comment into a checked dataflow property: inside internal/wire and
+// internal/server, any integer decoded from the network — a cursor read
+// (u8/u16/u32/u64), a raw binary.LittleEndian/BigEndian Uint*, or a field
+// of an already-decoded wire.Request/wire.Response — is tainted, and a
+// tainted value must pass through a relational bound check (<, >, <=, >=
+// against anything) before it may reach a make() length or capacity. A
+// hostile peer controls every tainted value; an unchecked one reaching an
+// allocation is exactly the "length prefix says 4 GiB" bug MaxFrame exists
+// to refuse.
+//
+// The analysis is per-function and statement-ordered, not path-sensitive:
+// a comparison anywhere before the allocation clears the taint. That is
+// deliberately the same strength as the invariant the code claims — every
+// decoded length is checked immediately after decode, on every path.
+
+// wireTaintSourceCall classifies a call as producing attacker-controlled
+// integers.
+func (p *Pkg) wireTaintSourceCall(call *ast.CallExpr) bool {
+	fn := p.funcFor(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "encoding/binary" {
+		switch fn.Name() {
+		case "Uint16", "Uint32", "Uint64":
+			return true
+		}
+		return false
+	}
+	if pkgPath, recvName, ok := recvNamed(fn); ok &&
+		pkgPath == "hipec/internal/wire" && recvName == "cursor" {
+		switch fn.Name() {
+		case "u8", "u16", "u32", "u64":
+			return true
+		}
+	}
+	return false
+}
+
+// wireMessageField reports whether sel reads an integer field off a decoded
+// wire message (wire.Request / wire.Response / wire.Stats).
+func (p *Pkg) wireMessageField(sel *ast.SelectorExpr) bool {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	pkgPath, name, ok := namedType(s.Recv())
+	if !ok || pkgPath != "hipec/internal/wire" {
+		return false
+	}
+	switch name {
+	case "Request", "Response", "Stats":
+	default:
+		return false
+	}
+	b, ok := s.Obj().Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// taintState tracks which local variables currently hold unchecked
+// network-derived integers within one function.
+type taintState struct {
+	pkg     *Pkg
+	tainted map[*types.Var]bool
+}
+
+// exprTainted reports whether evaluating e yields an unchecked
+// network-derived integer.
+func (ts *taintState) exprTainted(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj, ok := ts.pkg.objectOf(v).(*types.Var)
+		return ok && ts.tainted[obj]
+	case *ast.SelectorExpr:
+		if ts.pkg.wireMessageField(v) {
+			return true
+		}
+		// A selector whose base is a tainted var (rare) stays clean: field
+		// taint is not tracked beyond the wire message types.
+		return false
+	case *ast.CallExpr:
+		if ts.pkg.wireTaintSourceCall(v) {
+			return true
+		}
+		// Conversions propagate: int(n), uint32(n).
+		if tv, ok := ts.pkg.Info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			return ts.exprTainted(v.Args[0])
+		}
+		return false
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+			token.SHL, token.SHR, token.AND, token.OR, token.XOR:
+			return ts.exprTainted(v.X) || ts.exprTainted(v.Y)
+		}
+		return false
+	case *ast.UnaryExpr:
+		return ts.exprTainted(v.X)
+	}
+	return false
+}
+
+// sanitize clears the taint of every variable mentioned in a relational
+// comparison: the code has inspected the value against a bound.
+func (ts *taintState) sanitize(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(m ast.Node) bool {
+					id, ok := m.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if obj, ok := ts.pkg.objectOf(id).(*types.Var); ok {
+						delete(ts.tainted, obj)
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// assign updates taint for one lhs := rhs pair.
+func (ts *taintState) assign(lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj, ok := ts.pkg.objectOf(id).(*types.Var)
+	if !ok {
+		return
+	}
+	if rhs != nil && ts.exprTainted(rhs) {
+		ts.tainted[obj] = true
+	} else {
+		delete(ts.tainted, obj)
+	}
+}
+
+// checkWireTaint runs the per-function taint walk over the package.
+func checkWireTaint(p *Pkg, report reportFunc) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ts := &taintState{pkg: p, tainted: map[*types.Var]bool{}}
+			ts.walkStmt(fd.Body, report)
+		}
+	}
+}
+
+// walkStmt processes statements in source order, updating taint and
+// reporting tainted allocation sizes.
+func (ts *taintState) walkStmt(s ast.Stmt, report reportFunc) {
+	switch n := s.(type) {
+	case nil:
+		return
+	case *ast.BlockStmt:
+		for _, sub := range n.List {
+			ts.walkStmt(sub, report)
+		}
+	case *ast.IfStmt:
+		ts.walkStmt(n.Init, report)
+		ts.checkExpr(n.Cond, report)
+		ts.sanitize(n.Cond)
+		ts.walkStmt(n.Body, report)
+		ts.walkStmt(n.Else, report)
+	case *ast.ForStmt:
+		ts.walkStmt(n.Init, report)
+		if n.Cond != nil {
+			ts.checkExpr(n.Cond, report)
+			ts.sanitize(n.Cond)
+		}
+		ts.walkStmt(n.Body, report)
+		ts.walkStmt(n.Post, report)
+	case *ast.RangeStmt:
+		ts.checkExpr(n.X, report)
+		ts.walkStmt(n.Body, report)
+	case *ast.SwitchStmt:
+		ts.walkStmt(n.Init, report)
+		if n.Tag != nil {
+			ts.checkExpr(n.Tag, report)
+		}
+		for _, clause := range n.Body.List {
+			cc := clause.(*ast.CaseClause)
+			for _, e := range cc.List {
+				ts.checkExpr(e, report)
+				ts.sanitize(e)
+			}
+			for _, sub := range cc.Body {
+				ts.walkStmt(sub, report)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		ts.walkStmt(n.Init, report)
+		ts.walkStmt(n.Assign, report)
+		for _, clause := range n.Body.List {
+			for _, sub := range clause.(*ast.CaseClause).Body {
+				ts.walkStmt(sub, report)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range n.Body.List {
+			cc := clause.(*ast.CommClause)
+			ts.walkStmt(cc.Comm, report)
+			for _, sub := range cc.Body {
+				ts.walkStmt(sub, report)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			ts.checkExpr(rhs, report)
+		}
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				ts.assign(n.Lhs[i], n.Rhs[i])
+			}
+		} else {
+			// Multi-value call: results are not wire sources; clear.
+			for _, lhs := range n.Lhs {
+				ts.assign(lhs, nil)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) {
+					ts.checkExpr(vs.Values[i], report)
+					ts.assign(name, vs.Values[i])
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		ts.checkExpr(n.X, report)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			ts.checkExpr(r, report)
+		}
+	case *ast.GoStmt:
+		ts.checkExpr(n.Call, report)
+	case *ast.DeferStmt:
+		ts.checkExpr(n.Call, report)
+	case *ast.SendStmt:
+		ts.checkExpr(n.Value, report)
+	case *ast.IncDecStmt:
+		ts.checkExpr(n.X, report)
+	case *ast.LabeledStmt:
+		ts.walkStmt(n.Stmt, report)
+	}
+}
+
+// checkExpr scans an expression for make() calls whose length or capacity
+// is tainted (including nested closures, which inherit the current state).
+func (ts *taintState) checkExpr(e ast.Expr, report reportFunc) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ts.walkStmt(lit.Body, report)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !ts.pkg.isBuiltin(call, "make") {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if ts.exprTainted(arg) {
+				report(call, "length decoded from the network reaches make without a bound check; compare against MaxFrame or a declared cap first (refuse-before-allocate)")
+				break
+			}
+		}
+		return true
+	})
+}

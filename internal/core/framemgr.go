@@ -333,6 +333,7 @@ func (fm *FrameManager) FlushExchange(c *Container, p *mem.Page) (_ *mem.Page, o
 	cid := int32(c.ID)
 	obj := fm.kernel.VM.Object(p.Object)
 	fm.emit(kevent.Event{Type: kevent.EvFMFlushExchange, Container: cid, Flag: true})
+	//hipec:vet-ignore hotalloc -- laundering completion callback rides the asynchronous disk write; its capture is noise against the I/O it tracks
 	if err := fm.kernel.VM.PageOut(p, func(simtime.Time) {
 		p.Object, p.Offset = 0, 0
 		fm.Daemon.ReturnFrame(p)
@@ -462,10 +463,6 @@ func (fm *FrameManager) reclaimForced(want int, skip *Container) int {
 	cands := fm.forcedScratch
 	fm.forcedScratch = nil
 	cands = cands[:0]
-	defer func() {
-		clear(cands)
-		fm.forcedScratch = cands[:0]
-	}()
 	for _, c := range fm.containers {
 		if c == skip || c.state != StateActive {
 			continue
@@ -475,12 +472,11 @@ func (fm *FrameManager) reclaimForced(want int, skip *Container) int {
 			continue
 		}
 		for _, q := range c.queues() {
-			q.Each(func(p *mem.Page) bool {
+			for p := q.Head(); p != nil; p = p.Next() {
 				if !p.Wired {
 					cands = append(cands, forcedCand{c, p})
 				}
-				return true
-			})
+			}
 		}
 	}
 	slices.SortStableFunc(cands, func(a, b forcedCand) int { return cmp.Compare(a.p.AllocSeq, b.p.AllocSeq) })
@@ -509,6 +505,10 @@ func (fm *FrameManager) reclaimForced(want int, skip *Container) int {
 		taken++
 		fm.emit(kevent.Event{Type: kevent.EvFMReclaimForced, Container: int32(cd.c.ID), Arg: int64(cd.p.Object), Aux: cd.p.Offset})
 	}
+	// Hand the scratch back for the next round (single exit: no defer, so
+	// the function stays closure-free on the hot path).
+	clear(cands)
+	fm.forcedScratch = cands[:0]
 	return taken
 }
 

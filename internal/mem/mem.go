@@ -53,6 +53,15 @@ type Page struct {
 // Queue returns the queue currently holding the page, or nil.
 func (p *Page) Queue() *Queue { return p.queue }
 
+// Next returns the page after p on its queue (nil at the tail or when p is
+// not enqueued). Together with Queue.Head this supports allocation-free
+// iteration on hot paths where an Each callback would capture.
+func (p *Page) Next() *Page { return p.next }
+
+// Prev returns the page before p on its queue (nil at the head or when p
+// is not enqueued).
+func (p *Page) Prev() *Page { return p.prev }
+
 // InQueue reports whether the page is currently on q.
 func (p *Page) InQueue(q *Queue) bool { return p.queue == q }
 

@@ -206,6 +206,7 @@ func (o *Object) Resident(off int64) *mem.Page {
 		}
 		return nil
 	}
+	//hipec:vet-ignore mapinloop -- sparse fallback for objects past the flat-table limit (and ForceSparseObjects runs); the flat path above is the hot one
 	return o.sparse[off]
 }
 
@@ -219,9 +220,11 @@ func (o *Object) setResident(off int64, p *mem.Page) {
 		}
 		o.flat[uint64(off)>>o.pageShift] = p
 	} else {
+		//hipec:vet-ignore mapinloop -- sparse fallback branch; flat-table objects take the branch above
 		if _, had := o.sparse[off]; !had {
 			o.nres++
 		}
+		//hipec:vet-ignore mapinloop -- sparse fallback branch; flat-table objects take the branch above
 		o.sparse[off] = p
 	}
 }
@@ -236,6 +239,7 @@ func (o *Object) clearResident(off int64) {
 		}
 		o.flat[uint64(off)>>o.pageShift] = nil
 	} else {
+		//hipec:vet-ignore mapinloop -- sparse fallback branch; flat-table objects take the branch above
 		if _, had := o.sparse[off]; had {
 			o.nres--
 		}
@@ -577,6 +581,7 @@ func (sp *AddressSpace) access(addr int64, write bool) (*mem.Page, error) {
 		e, ok = sp.Lookup(addr)
 		if !ok {
 			s.Events.Emit(kevent.Event{Type: kevent.EvBadAddress, Space: int32(sp.ID), Addr: addr})
+			//hipec:vet-ignore hotalloc -- bad-address error construction; this branch never runs on a hit
 			return nil, fmt.Errorf("%w: %#x", ErrBadAddress, addr)
 		}
 		if !s.ForceSparseObjects {
@@ -625,13 +630,16 @@ func (sp *AddressSpace) fault(e *MapEntry, off, addr int64, write bool) (*mem.Pa
 	*f = Fault{Space: sp, Entry: e, Object: e.Object, Offset: off, Addr: addr, Write: write}
 	p, err := policy.PageFor(f)
 	if err != nil {
+		//hipec:vet-ignore hotalloc -- fault-failure error construction; allocation is fine once the fault is already lost
 		return nil, &hiperr.Error{Op: "vm.fault", Space: sp.ID, Err: fmt.Errorf("at %#x: %w", addr, err)}
 	}
 	if p == nil {
-		return nil, &hiperr.Error{Op: "vm.fault", Space: sp.ID,
-			Err: fmt.Errorf("at %#x: policy %q returned no page: %w", addr, policy.Name(), hiperr.ErrPolicyFault)}
+		//hipec:vet-ignore hotalloc -- policy-misbehavior error construction; failure path only
+		err := fmt.Errorf("at %#x: policy %q returned no page: %w", addr, policy.Name(), hiperr.ErrPolicyFault)
+		return nil, &hiperr.Error{Op: "vm.fault", Space: sp.ID, Err: err}
 	}
 	if p.Queue() != nil {
+		//hipec:vet-ignore hotalloc -- invariant-violation panic; the process is crashing
 		panic(fmt.Sprintf("vm: policy %q returned %v still on a queue", policy.Name(), p))
 	}
 	// Install the frame.
