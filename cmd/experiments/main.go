@@ -49,7 +49,8 @@ func main() {
 		shardSeed = flag.Uint64("shard-seed", 0, "master seed for the sharded harness's per-shard scatter phases (0 = every shard runs the canonical workload)")
 		shardSer  = flag.Bool("shard-serial", false, "run the shards sequentially on one goroutine (results are identical; only wall time changes)")
 		timer     = flag.String("timer", "", "simtime scheduler backend: wheel (default) or heap (reference implementation)")
-		substr    = flag.String("substrate", "sim", "substrate: sim (deterministic virtual time) or real (wall clock, file-backed store, concurrent clients)")
+		substr    = flag.String("substrate", "sim", "substrate: sim (deterministic virtual time) or real (wall clock, real page store, concurrent clients)")
+		storeKind = flag.String("store", "file", "real-substrate store backend: file, mem, tiered, sharded, mmap")
 	)
 	flag.Parse()
 	bench.SetParallelism(*workers)
@@ -69,6 +70,7 @@ func main() {
 			os.Exit(1)
 		}
 		cfg := bench.DefaultRealtime()
+		cfg.StoreKind = *storeKind
 		if *quick {
 			cfg.PagesPerClient = 16
 			cfg.Rounds = 2

@@ -1,11 +1,18 @@
-// Hipecd is the HiPEC cache daemon: a realtime kernel with a file-backed
-// page store, served over the wire protocol on a TCP listener. Clients
-// connect with hipec.Dial (or anything speaking internal/wire) and drive the
-// typed command surface — open regions under HPL policies, read/write/touch
+// Hipecd is the HiPEC cache daemon: a realtime kernel with a real page
+// store, served over the wire protocol on a TCP listener. Clients connect
+// with hipec.Dial (or anything speaking internal/wire) and drive the typed
+// command surface — open regions under HPL policies, read/write/touch
 // pages, pull stats — while the server batches each connection's pipeline
 // into single command-loop hops.
 //
-// Run with: go run ./cmd/hipecd -addr 127.0.0.1:7070 -store /tmp/hipec.pages
+// The backing store is selected by kind: -store file (default) is the
+// slot-file store, tiered layers an in-memory fast tier over a file,
+// sharded fans pages across shard files, mmap maps the backing file, and
+// mem keeps everything in memory. -store-path names the backing file
+// (or the stem shard files derive from); empty means fresh temp files,
+// removed on exit.
+//
+// Run with: go run ./cmd/hipecd -addr 127.0.0.1:7070 -store tiered
 // Then point examples/netcache at it: go run ./examples/netcache -addr 127.0.0.1:7070
 package main
 
@@ -21,22 +28,15 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
-	storePath := flag.String("store", "", "backing store file (default: fresh temp file, removed on exit)")
+	storeKind := flag.String("store", "file", "store backend: file, mem, tiered, sharded, mmap")
+	storePath := flag.String("store-path", "", "backing store file or stem (default: fresh temp files, removed on exit)")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
 	frames := flag.Int("frames", 4096, "physical memory size in frames")
 	maxConns := flag.Int("max-conns", 64, "max concurrently served connections")
 	batchWindow := flag.Duration("batch-window", 0, "linger this long for more requests before submitting a non-full batch")
 	flag.Parse()
 
-	var (
-		store *hipec.FileStore
-		err   error
-	)
-	if *storePath != "" {
-		store, err = hipec.NewFileStore(*storePath, *pageSize)
-	} else {
-		store, err = hipec.NewTempFileStore("", *pageSize)
-	}
+	store, err := hipec.OpenStore(*storeKind, *storePath, *pageSize)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,8 +53,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("hipecd: serving %s on %s (%d frames x %d B pages)",
-		store.Path(), srv.Addr(), *frames, *pageSize)
+	log.Printf("hipecd: serving %s store on %s (%d frames x %d B pages)",
+		store.Label(), srv.Addr(), *frames, *pageSize)
 
 	// Serve until interrupted, then drain connections and close the loop.
 	sig := make(chan os.Signal, 1)

@@ -28,21 +28,14 @@ const pageSize = 4096
 func main() {
 	cfg := demo.Flags(flag.CommandLine, demo.Config{Clients: 8, Pages: 96, Rounds: 3, Pool: 16})
 	addr := flag.String("addr", "", "existing hipecd address (default: spawn an in-process loopback server)")
-	storePath := flag.String("store", "", "backing store file for the in-process server (default: fresh temp file)")
+	storeKind := flag.String("store", "file", "store backend for the in-process server: file, mem, tiered, sharded, mmap")
+	storePath := flag.String("store-path", "", "backing store file or stem for the in-process server (default: fresh temp files)")
 	flag.Parse()
 
 	target := *addr
 	if target == "" {
 		// Self-contained mode: boot a server on a loopback listener.
-		var (
-			store *hipec.FileStore
-			err   error
-		)
-		if *storePath != "" {
-			store, err = hipec.NewFileStore(*storePath, pageSize)
-		} else {
-			store, err = hipec.NewTempFileStore("", pageSize)
-		}
+		store, err := hipec.OpenStore(*storeKind, *storePath, pageSize)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,7 +49,7 @@ func main() {
 		}
 		defer srv.Close()
 		target = srv.Addr().String()
-		fmt.Printf("serving %s on %s\n", store.Path(), target)
+		fmt.Printf("serving %s store on %s\n", store.Label(), target)
 	}
 
 	// Every demo client dials its own TCP connection.

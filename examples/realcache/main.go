@@ -31,24 +31,17 @@ const pageSize = 4096
 
 func main() {
 	cfg := demo.Flags(flag.CommandLine, demo.Config{Clients: 8, Pages: 96, Rounds: 3, Pool: 16})
-	storePath := flag.String("store", "", "backing store file (default: fresh temp file, removed on exit)")
+	storeKind := flag.String("store", "file", "store backend: file, mem, tiered, sharded, mmap")
+	storePath := flag.String("store-path", "", "backing store file or stem (default: fresh temp files, removed on exit)")
 	flag.Parse()
 
-	// The backing store is a real file; Close removes temp stores.
-	var (
-		store *hipec.FileStore
-		err   error
-	)
-	if *storePath != "" {
-		store, err = hipec.NewFileStore(*storePath, pageSize)
-	} else {
-		store, err = hipec.NewTempFileStore("", pageSize)
-	}
+	// The backing store does real I/O; Close removes temp stores.
+	store, err := hipec.OpenStore(*storeKind, *storePath, pageSize)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer store.Close()
-	fmt.Printf("backing store: %s\n", store.Path())
+	fmt.Printf("backing store: %s\n", store.Label())
 
 	// Half the fleet's total working set fits in memory: the rest lives in
 	// the file and pages in and out on demand.
@@ -73,5 +66,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(res.Report(*cfg, "in-process"))
-	fmt.Printf("  store I/O: %d reads, %d writes\n", store.Reads, store.Writes)
+	if io, ok := store.(hipec.StoreIOStats); ok {
+		reads, writes := io.StoreIO()
+		fmt.Printf("  store I/O: %d reads, %d writes\n", reads, writes)
+	}
 }

@@ -80,6 +80,7 @@ import (
 	"hipec/internal/policies"
 	"hipec/internal/server"
 	"hipec/internal/simtime"
+	"hipec/internal/store"
 	"hipec/internal/substrate"
 	"hipec/internal/trace"
 	"hipec/internal/vm"
@@ -193,8 +194,28 @@ type (
 	// Store is page-granular backing storage; the realtime substrate
 	// accepts a file-backed implementation via SubstrateConfig.Store.
 	Store = substrate.Store
+	// StoreDeleter is the optional per-key reclamation surface of a Store.
+	StoreDeleter = substrate.Deleter
 	// FileStore is the realtime substrate's file-backed page store.
 	FileStore = filestore.Store
+	// TieredStore layers a fast store over a slow one: write-through or
+	// write-back, promotion on read, FIFO eviction at the fast-tier cap.
+	TieredStore = store.Tiered
+	// TieredMode selects a TieredStore's write policy.
+	TieredMode = store.TieredMode
+	// ShardedStore fans pages out across N child stores by a deterministic
+	// hash of the page key.
+	ShardedStore = store.Sharded
+	// MmapStore is an mmap-backed page store with explicit Sync, degrading
+	// to filestore semantics where mmap is unavailable.
+	MmapStore = store.Mmap
+	// StoreBackend is a Store opened by kind (OpenStore) that also closes
+	// and names itself — what the CLI surfaces hand around.
+	StoreBackend = store.Backend
+	// StoreIOStats is the optional transfer-counter surface of a Store.
+	StoreIOStats = store.IOStats
+	// StoreSyncer is the optional explicit-durability surface of a Store.
+	StoreSyncer = store.Syncer
 	// Loop is the actor-style serialized command loop that makes a
 	// (typically realtime) kernel safe for concurrent callers. Its typed
 	// methods satisfy Client; Call/Async additionally accept closures for
@@ -210,12 +231,37 @@ const (
 	SubstrateReal = substrate.KindReal
 )
 
+// Tiered-store write policies.
+const (
+	// WriteThrough lands every write on both tiers synchronously.
+	WriteThrough = store.WriteThrough
+	// WriteBack dirties the fast tier; the slow tier catches up on Sync
+	// and eviction.
+	WriteBack = store.WriteBack
+)
+
 var (
 	// NewFileStore opens (truncating) a file-backed page store.
 	NewFileStore = filestore.Open
 	// NewTempFileStore opens a file-backed page store on a fresh temp file
 	// that Close removes.
 	NewTempFileStore = filestore.OpenTemp
+	// NewTieredStore layers fast over slow with the given mode and
+	// fast-tier page cap (<= 0 for unbounded).
+	NewTieredStore = store.NewTiered
+	// NewShardedStore fans out across the child stores.
+	NewShardedStore = store.NewSharded
+	// NewMmapStore opens (truncating) an mmap-backed page store.
+	NewMmapStore = store.OpenMmap
+	// NewTempMmapStore opens an mmap-backed page store on a fresh temp
+	// file that Close removes.
+	NewTempMmapStore = store.OpenMmapTemp
+	// OpenStore opens a backend by kind name — "file", "mem", "tiered",
+	// "sharded" or "mmap" — the same selector the CLI -store flags take.
+	OpenStore = store.Open
+	// InjectStoreFaults wraps a store so a fault plane decides which page
+	// transfers fail (hiperr.ErrDiskIO), exercising the recovery ladder.
+	InjectStoreFaults = store.InjectFaults
 	// ErrLoopClosed is returned by Loop.Call after Loop.Close.
 	ErrLoopClosed = core.ErrLoopClosed
 )
@@ -450,11 +496,16 @@ type (
 	// FailoverPager pairs a lossy primary pager with a durable fallback
 	// mirror and fails over after repeated primary losses.
 	FailoverPager = emm.FailoverPager
+	// BackendPager adapts any Store into a Pager, so real backends
+	// (tiered, sharded, mmap) slot into the EMM recovery ladder.
+	BackendPager = emm.BackendPager
 )
 
 var (
 	// NewStorePager builds a disk-backed user-level pager.
 	NewStorePager = emm.NewStorePager
+	// NewBackendPager wraps a Store as a Pager.
+	NewBackendPager = emm.NewBackendPager
 	// NewRemotePager builds a remote-memory pager.
 	NewRemotePager = emm.NewRemotePager
 	// NewCompressingPager builds a compressed-memory pager.

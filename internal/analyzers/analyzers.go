@@ -125,6 +125,7 @@ var kernelPkgs = map[string]bool{
 	"internal/disk":    true,
 	"internal/pageout": true,
 	"internal/machipc": true,
+	"internal/store":   true,
 }
 
 // wallClockExempt may measure real time: the benchmark harness exists to

@@ -38,6 +38,17 @@ var osPkgFuncs = map[string]bool{
 	"Symlink": true, "ReadLink": true,
 }
 
+// storeIOMethods are the concrete page-store methods that perform (or may
+// perform) real I/O. Calling them on a concrete backend from inside a loop
+// closure is flagged even when the particular backend is memory-backed:
+// the seam contract says loop code reaches storage only through the
+// substrate.Store interface, dispatched on whatever the kernel was built
+// with.
+var storeIOMethods = map[string]bool{
+	"WritePage": true, "ReadPage": true, "DeletePage": true,
+	"Sync": true, "Close": true,
+}
+
 // blockingCall classifies fn as a blocking leaf, returning a display name
 // ("" = not blocking).
 func blockingCall(fn *types.Func) string {
@@ -45,6 +56,13 @@ func blockingCall(fn *types.Func) string {
 		return ""
 	}
 	switch fn.Pkg().Path() {
+	case "hipec/internal/disk/filestore", "hipec/internal/store":
+		if _, recvName, ok := recvNamed(fn); ok && storeIOMethods[fn.Name()] {
+			short := fn.Pkg().Path()
+			short = short[strings.LastIndex(short, "/")+1:]
+			return "(" + short + "." + recvName + ")." + fn.Name()
+		}
+		return ""
 	case "time":
 		if fn.Name() == "Sleep" {
 			return "time.Sleep"

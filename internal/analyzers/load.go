@@ -3,6 +3,7 @@ package analyzers
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -129,7 +130,10 @@ func (e *Engine) load(rel string) (*Pkg, error) {
 	return p, nil
 }
 
-// parseDir parses every non-test Go file in dir, sorted by name.
+// parseDir parses every non-test Go file in dir that builds on the host
+// platform, sorted by name. Build-constrained files (//go:build tags,
+// _GOOS suffixes) are filtered the way the go tool filters them, so
+// platform shim pairs don't redeclare each other under the type checker.
 func (e *Engine) parseDir(dir string) ([]*ast.File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -139,6 +143,9 @@ func (e *Engine) parseDir(dir string) ([]*ast.File, error) {
 	for _, ent := range ents {
 		n := ent.Name()
 		if ent.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, n); err != nil || !ok {
 			continue
 		}
 		names = append(names, n)

@@ -21,6 +21,14 @@ var guardedTypes = map[string]string{
 	"hipec/internal/core.Kernel":       "*core.Kernel",
 	"hipec/internal/core.CacheSession": "*core.CacheSession",
 	"hipec/internal/vm.System":         "*vm.System",
+	// Concrete page stores are loop-confined single-writer state too: a
+	// store handle that escapes the closure invites unserialized I/O on
+	// buffers the loop is still using. (The substrate.Store interface is
+	// the sanctioned way to hand a store around — before the loop starts.)
+	"hipec/internal/disk/filestore.Store": "*filestore.Store",
+	"hipec/internal/store.Tiered":         "*store.Tiered",
+	"hipec/internal/store.Sharded":        "*store.Sharded",
+	"hipec/internal/store.Mmap":           "*store.Mmap",
 }
 
 // guardName reports the display name of a guarded type, or "" when t is not

@@ -1,0 +1,22 @@
+// Package fixture shows the legal page-store pattern: backends are built
+// and handed to the kernel before the loop starts, closures read plain
+// values (counts, bytes) out through the substrate.Store seam, and no
+// concrete handle crosses the call window in either direction.
+//
+//hipec:fixture-as internal/fixture
+package fixture
+
+import (
+	"hipec/internal/core"
+	"hipec/internal/substrate"
+)
+
+// residentPages extracts a plain value from the store inside the call.
+func residentPages(l *core.Loop, st substrate.Store) (int, error) {
+	pages := 0
+	err := l.Call(func(k *core.Kernel) error {
+		pages = st.Len()
+		return nil
+	})
+	return pages, err
+}

@@ -2,23 +2,26 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"hipec/internal/core"
-	"hipec/internal/disk/filestore"
 	"hipec/internal/policies"
+	"hipec/internal/store"
 	"hipec/internal/substrate"
 	"hipec/internal/vm"
 )
 
 // RealtimeConfig sizes the realtime-substrate smoke: N client goroutines
-// hammer one file-backed HiPEC cache through the serialized command loop.
+// hammer one real-store-backed HiPEC cache through the serialized command
+// loop.
 type RealtimeConfig struct {
 	Clients        int    // concurrent client goroutines (default 8)
 	PagesPerClient int    // region size per client in pages (default 64)
 	Rounds         int    // full passes over each region (default 4)
+	StoreKind      string // backend kind per store.Open ("" = file)
 	Dir            string // backing-file directory ("" = OS temp dir)
 }
 
@@ -34,6 +37,7 @@ type RealtimeResult struct {
 	Clients     int
 	Pages       int
 	Rounds      int
+	StoreLabel  string
 	WallTime    time.Duration
 	VM          vm.Stats
 	StoreReads  int64
@@ -45,8 +49,8 @@ type RealtimeResult struct {
 // Format renders the result.
 func (r RealtimeResult) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "realtime substrate: %d clients x %d pages x %d rounds, file-backed store\n",
-		r.Clients, r.Pages, r.Rounds)
+	fmt.Fprintf(&b, "realtime substrate: %d clients x %d pages x %d rounds, %s store\n",
+		r.Clients, r.Pages, r.Rounds, r.StoreLabel)
 	fmt.Fprintf(&b, "  wall time      %v\n", r.WallTime.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  accesses       %d (%d hits, %d faults)\n", r.VM.Accesses, r.VM.Hits, r.VM.Faults)
 	fmt.Fprintf(&b, "  page-ins       %d   page-outs %d   zero-fills %d\n", r.VM.PageIns, r.VM.PageOuts, r.VM.ZeroFills)
@@ -76,11 +80,18 @@ func RunRealtime(cfg RealtimeConfig) (RealtimeResult, error) {
 	const pageSize = 4096
 	res := RealtimeResult{Clients: cfg.Clients, Pages: cfg.PagesPerClient, Rounds: cfg.Rounds}
 
-	store, err := filestore.OpenTemp(cfg.Dir, pageSize)
+	// cfg.Dir pins the backing file(s) to a directory; an empty path means
+	// fresh temp files that Close removes.
+	var path string
+	if cfg.Dir != "" {
+		path = filepath.Join(cfg.Dir, "hipec-realtime.pages")
+	}
+	st, err := store.Open(cfg.StoreKind, path, pageSize)
 	if err != nil {
 		return res, err
 	}
-	defer store.Close()
+	defer st.Close()
+	res.StoreLabel = st.Label()
 
 	// Half the frames a full fleet would want: the cache must evict.
 	frames := cfg.Clients * cfg.PagesPerClient / 2
@@ -88,7 +99,7 @@ func RunRealtime(cfg RealtimeConfig) (RealtimeResult, error) {
 		Frames:        frames,
 		PageSize:      pageSize,
 		BurstFraction: 0.5,
-		Substrate:     substrate.Config{Kind: substrate.KindReal, Store: store},
+		Substrate:     substrate.Config{Kind: substrate.KindReal, Store: st},
 	})
 	l := core.NewLoop(k)
 	defer l.Close()
@@ -166,9 +177,10 @@ func RunRealtime(cfg RealtimeConfig) (RealtimeResult, error) {
 		res.VM = k.VM.Stats()
 		return nil
 	})
-	res.StoreReads = store.Reads
-	res.StoreWrites = store.Writes
-	res.StorePages = store.Len()
+	if io, ok := st.(store.IOStats); ok {
+		res.StoreReads, res.StoreWrites = io.StoreIO()
+	}
+	res.StorePages = st.Len()
 	res.Verified = verified
 	return res, err
 }

@@ -31,6 +31,7 @@ type Store struct {
 	path     string
 	pageSize int
 	slots    map[substrate.PageKey]int64 // key -> slot index
+	free     []int64                     // slots released by DeletePage, reused first
 	nextSlot int64
 	readBuf  []byte
 	writeBuf []byte // scratch for padding partial writes; never aliased to readBuf
@@ -103,15 +104,31 @@ func (s *Store) PageSize() int { return s.pageSize }
 
 // slot returns the file slot for key, allocating one on first use; fresh
 // reports whether the slot was allocated by this call (so a failed first
-// write can release it again).
+// write can release it again). Slots freed by DeletePage are reused before
+// the file grows.
 func (s *Store) slot(key substrate.PageKey) (n int64, fresh bool) {
 	if n, ok := s.slots[key]; ok {
 		return n, false
 	}
-	n = s.nextSlot
-	s.nextSlot++
+	if l := len(s.free); l > 0 {
+		n = s.free[l-1]
+		s.free = s.free[:l-1]
+	} else {
+		n = s.nextSlot
+		s.nextSlot++
+	}
 	s.slots[key] = n
 	return n, true
+}
+
+// releaseSlot returns slot n to the allocator: the tail slot shrinks the
+// high-water mark, anything else goes on the free list for reuse.
+func (s *Store) releaseSlot(n int64) {
+	if n == s.nextSlot-1 {
+		s.nextSlot--
+		return
+	}
+	s.free = append(s.free, n)
 }
 
 // WritePage implements substrate.Store: the page is written to its slot at
@@ -142,7 +159,7 @@ func (s *Store) WritePage(key substrate.PageKey, data []byte) error {
 	if _, err := s.f.WriteAt(buf, n*int64(s.pageSize)); err != nil {
 		if fresh {
 			delete(s.slots, key)
-			s.nextSlot--
+			s.releaseSlot(n)
 		}
 		return &hiperr.Error{Op: "filestore.write",
 			Err: fmt.Errorf("%s slot %d: %v: %w", s.path, n, err, hiperr.ErrDiskIO)}
@@ -179,4 +196,34 @@ func (s *Store) Contains(key substrate.PageKey) bool {
 // Len implements substrate.Store.
 func (s *Store) Len() int { return len(s.slots) }
 
-var _ substrate.Store = (*Store)(nil)
+// DeletePage implements substrate.Deleter: the key's slot returns to the
+// free list (or shrinks the high-water mark) and is reused by later writes.
+// The slot's bytes are not scrubbed — the store is a cache backend, and a
+// freed slot is unreachable through the index.
+func (s *Store) DeletePage(key substrate.PageKey) bool {
+	n, ok := s.slots[key]
+	if !ok {
+		return false
+	}
+	delete(s.slots, key)
+	s.releaseSlot(n)
+	return true
+}
+
+// Sync flushes the backing file to stable storage (fsync).
+func (s *Store) Sync() error {
+	if err := s.f.Sync(); err != nil {
+		return &hiperr.Error{Op: "filestore.sync",
+			Err: fmt.Errorf("%s: %v: %w", s.path, err, hiperr.ErrDiskIO)}
+	}
+	return nil
+}
+
+// StoreIO reports the page transfers that hit the file, for banners and
+// harnesses that work against any backend kind.
+func (s *Store) StoreIO() (reads, writes int64) { return s.Reads, s.Writes }
+
+var (
+	_ substrate.Store   = (*Store)(nil)
+	_ substrate.Deleter = (*Store)(nil)
+)

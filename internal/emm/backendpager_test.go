@@ -1,0 +1,125 @@
+package emm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hipec/internal/faultinj"
+	"hipec/internal/hiperr"
+	"hipec/internal/store"
+	"hipec/internal/substrate"
+)
+
+const bpPS = 256
+
+func bpPage(seed byte) []byte {
+	p := make([]byte, bpPS)
+	for i := range p {
+		p[i] = seed + byte(i)*13
+	}
+	return p
+}
+
+func TestBackendPagerRoundTrip(t *testing.T) {
+	pg := NewBackendPager("mem", substrate.NewMemStore(bpPS, true))
+	if err := pg.DataReturn(7, 0, bpPage(0x21)); err != nil {
+		t.Fatalf("DataReturn: %v", err)
+	}
+	dst := make([]byte, bpPS)
+	present, err := pg.DataRequest(7, 0, dst)
+	if err != nil || !present {
+		t.Fatalf("DataRequest: present %v err %v", present, err)
+	}
+	if !bytes.Equal(dst, bpPage(0x21)) {
+		t.Fatal("page corrupted across DataReturn/DataRequest")
+	}
+	// Absent page: zero-fill signal, no error.
+	present, err = pg.DataRequest(7, int64(bpPS), dst)
+	if err != nil || present {
+		t.Fatalf("DataRequest(absent): present %v err %v", present, err)
+	}
+}
+
+func TestBackendPagerStoreErrorIsTyped(t *testing.T) {
+	plane := faultinj.NewPlane(7)
+	plane.SetRule(faultinj.DiskWrite, faultinj.Rule{FailEvery: 1})
+	pg := NewBackendPager("faulty", store.InjectFaults(substrate.NewMemStore(bpPS, true), plane))
+	err := pg.DataReturn(1, 0, bpPage(1))
+	if err == nil {
+		t.Fatal("DataReturn over failing store returned nil")
+	}
+	if !errors.Is(err, hiperr.ErrDiskIO) {
+		t.Fatalf("pager error %v does not wrap hiperr.ErrDiskIO", err)
+	}
+}
+
+// TestFailoverFromDyingTieredStore walks the full recovery ladder: a
+// tiered store whose reads start failing (injected via the fault plane)
+// sits under the primary BackendPager; the FailoverPager's write-through
+// mirror keeps a durable copy, and after the loss threshold every request
+// is served from the mirror with the right bytes.
+func TestFailoverFromDyingTieredStore(t *testing.T) {
+	plane := faultinj.NewPlane(99)
+	tiered := store.NewTiered(substrate.NewMemStore(bpPS, true),
+		substrate.NewMemStore(bpPS, true), store.WriteThrough, 4)
+	primary := NewBackendPager("tiered", store.InjectFaults(tiered, plane))
+	mirror := substrate.NewMemStore(bpPS, true)
+	fallback := NewBackendPager("mirror", mirror)
+	fp := NewFailoverPager(primary, fallback, nil)
+
+	// Healthy phase: evictions land on both sides.
+	for i := int64(0); i < 6; i++ {
+		if err := fp.DataReturn(3, i*bpPS, bpPage(byte(i))); err != nil {
+			t.Fatalf("DataReturn %d: %v", i, err)
+		}
+	}
+	if mirror.Len() != 6 {
+		t.Fatalf("mirror holds %d pages, want 6 (write-through broken)", mirror.Len())
+	}
+	dst := make([]byte, bpPS)
+	if present, err := fp.DataRequest(3, 0, dst); err != nil || !present {
+		t.Fatalf("healthy DataRequest: present %v err %v", present, err)
+	}
+
+	// The tiered store starts dying: every read fails.
+	plane.SetRule(faultinj.DiskRead, faultinj.Rule{FailEvery: 1})
+	losses := 0
+	for i := 0; i < DefaultFailoverThreshold; i++ {
+		_, err := fp.DataRequest(3, bpPS, dst)
+		if err != nil {
+			if !errors.Is(err, hiperr.ErrDiskIO) {
+				t.Fatalf("loss %d: error %v does not wrap hiperr.ErrDiskIO", i, err)
+			}
+			losses++
+			continue
+		}
+		// The loss that crosses the threshold is absorbed and served
+		// from the mirror.
+		if !fp.FailedOver() {
+			t.Fatalf("request %d succeeded without failover while primary is dying", i)
+		}
+	}
+	if !fp.FailedOver() {
+		t.Fatalf("no failover after %d consecutive losses", DefaultFailoverThreshold)
+	}
+	if losses != DefaultFailoverThreshold-1 {
+		t.Fatalf("%d caller-visible losses, want %d (threshold-crossing loss is absorbed)",
+			losses, DefaultFailoverThreshold-1)
+	}
+
+	// Failed over: every page serves from the mirror, bytes intact, and
+	// the dying primary is never consulted again.
+	for i := int64(0); i < 6; i++ {
+		present, err := fp.DataRequest(3, i*bpPS, dst)
+		if err != nil || !present {
+			t.Fatalf("post-failover DataRequest %d: present %v err %v", i, present, err)
+		}
+		if !bytes.Equal(dst, bpPage(byte(i))) {
+			t.Fatalf("post-failover page %d has wrong bytes", i)
+		}
+	}
+	if !fp.Contains(3, 0) {
+		t.Fatal("Contains lost sight of a mirrored page")
+	}
+}

@@ -1,0 +1,306 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"hipec/internal/hiperr"
+	"hipec/internal/substrate"
+)
+
+// Mmap is an mmap-backed file store: the backing file is memory-mapped and
+// page writes are memory copies into the mapping, so steady-state I/O
+// costs a copy plus page-cache writeback instead of a write syscall per
+// page. Durability is explicit — Sync flushes the mapping (and Close
+// syncs implicitly via the OS on unmap) — which is the honest contract for
+// a cache backend: the kernel's page cache owns the bytes between Syncs.
+//
+// Layout matches the filestore: dense page-sized slots assigned on first
+// write, an in-memory rebuildable index, slots recycled by DeletePage. The
+// mapping grows by doubling (ftruncate + remap); growth is the only write
+// path that can fail with a real I/O error (ENOSPC surfaces at truncate
+// time, wrapped in hiperr.ErrDiskIO).
+//
+// Where mmap is unavailable (platform or filesystem), the store falls back
+// to filestore semantics — pread/pwrite against the same slot layout —
+// so callers never need to care; Mapped reports which mode is live.
+type Mmap struct {
+	f        *os.File
+	path     string
+	pageSize int
+	temp     bool
+
+	data     []byte // the live mapping; nil in fallback mode
+	capPages int64  // mapped capacity in pages (mapping mode only)
+
+	slots    map[substrate.PageKey]int64
+	free     []int64
+	nextSlot int64
+
+	readBuf  []byte
+	writeBuf []byte // fallback-mode padding scratch; never aliased to readBuf
+	zeroBuf  []byte
+
+	// Reads/Writes count page transfers (copies in or out of the mapping,
+	// or real file I/O in fallback mode).
+	Reads  int64
+	Writes int64
+}
+
+// mmapInitialPages is the initial mapped capacity.
+const mmapInitialPages = 64
+
+// errMapUnsupported marks a platform or filesystem that cannot mmap; the
+// store falls back to pread/pwrite rather than failing. A package-level
+// sentinel, matched with errors.Is through isMapUnsupported.
+var errMapUnsupported = errors.New("store: mmap unavailable")
+
+// isMapUnsupported classifies mapFile failures that mean "degrade", not
+// "abort".
+func isMapUnsupported(err error) bool { return errors.Is(err, errMapUnsupported) }
+
+// OpenMmap creates (or truncates) an mmap-backed store at path for pages
+// of pageSize bytes.
+func OpenMmap(path string, pageSize int) (*Mmap, error) {
+	if pageSize <= 0 {
+		return nil, &hiperr.Error{Op: "store.mmap.open",
+			Err: fmt.Errorf("non-positive page size %d: %w", pageSize, hiperr.ErrPolicyFault)}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, &hiperr.Error{Op: "store.mmap.open",
+			Err: fmt.Errorf("%s: %v: %w", path, err, hiperr.ErrDiskIO)}
+	}
+	s := &Mmap{
+		f:        f,
+		path:     path,
+		pageSize: pageSize,
+		slots:    make(map[substrate.PageKey]int64),
+		readBuf:  make([]byte, pageSize),
+		writeBuf: make([]byte, pageSize),
+		zeroBuf:  make([]byte, pageSize),
+	}
+	if err := s.mapCapacity(mmapInitialPages); err != nil {
+		// Mapping unavailable here: fall back to pread/pwrite. Real
+		// truncate failures (ENOSPC) still abort.
+		if !isMapUnsupported(err) {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+		s.data = nil
+	}
+	return s, nil
+}
+
+// OpenMmapTemp creates an mmap-backed store on a fresh file in dir (or the
+// OS temp directory when dir is empty). Close removes it.
+func OpenMmapTemp(dir string, pageSize int) (*Mmap, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "hipec-mmap-*.dat")
+	if err != nil {
+		return nil, &hiperr.Error{Op: "store.mmap.open",
+			Err: fmt.Errorf("%s: %v: %w", dir, err, hiperr.ErrDiskIO)}
+	}
+	name := f.Name()
+	f.Close()
+	s, err := OpenMmap(name, pageSize)
+	if err != nil {
+		os.Remove(name)
+		return nil, err
+	}
+	s.temp = true
+	return s, nil
+}
+
+// Path returns the backing file's path.
+func (s *Mmap) Path() string { return s.path }
+
+// Mapped reports whether the mapping is live (false = filestore-style
+// pread/pwrite fallback).
+func (s *Mmap) Mapped() bool { return s.data != nil }
+
+// mapCapacity grows the file to capPages pages and (re)maps it.
+func (s *Mmap) mapCapacity(capPages int64) error {
+	if err := s.f.Truncate(capPages * int64(s.pageSize)); err != nil {
+		return &hiperr.Error{Op: "store.mmap.grow",
+			Err: fmt.Errorf("%s to %d pages: %v: %w", s.path, capPages, err, hiperr.ErrDiskIO)}
+	}
+	if s.data != nil {
+		if err := unmapFile(s.data); err != nil {
+			s.data = nil
+			return &hiperr.Error{Op: "store.mmap.grow",
+				Err: fmt.Errorf("%s unmap: %v: %w", s.path, err, hiperr.ErrDiskIO)}
+		}
+		s.data = nil
+	}
+	data, err := mapFile(s.f, capPages*int64(s.pageSize))
+	if err != nil {
+		return err
+	}
+	s.data = data
+	s.capPages = capPages
+	return nil
+}
+
+// PageSize implements substrate.Store.
+func (s *Mmap) PageSize() int { return s.pageSize }
+
+// slot assigns (or finds) key's slot; see filestore.
+func (s *Mmap) slot(key substrate.PageKey) (n int64, fresh bool) {
+	if n, ok := s.slots[key]; ok {
+		return n, false
+	}
+	if l := len(s.free); l > 0 {
+		n = s.free[l-1]
+		s.free = s.free[:l-1]
+	} else {
+		n = s.nextSlot
+		s.nextSlot++
+	}
+	s.slots[key] = n
+	return n, true
+}
+
+func (s *Mmap) releaseSlot(n int64) {
+	if n == s.nextSlot-1 {
+		s.nextSlot--
+		return
+	}
+	s.free = append(s.free, n)
+}
+
+// WritePage implements substrate.Store: a copy into the mapping (growing
+// it as needed), or a pwrite in fallback mode. Nil data writes zeroes —
+// presence must be durable, as in the filestore.
+func (s *Mmap) WritePage(key substrate.PageKey, data []byte) error {
+	checkPage("store.mmap", s.pageSize, key, data)
+	n, fresh := s.slot(key)
+	fail := func(err error) error {
+		if fresh {
+			delete(s.slots, key)
+			s.releaseSlot(n)
+		}
+		return err
+	}
+	if s.data != nil {
+		if n >= s.capPages {
+			newCap := s.capPages * 2
+			for n >= newCap {
+				newCap *= 2
+			}
+			if err := s.mapCapacity(newCap); err != nil {
+				if !isMapUnsupported(err) {
+					return fail(err)
+				}
+				// The filesystem stopped cooperating mid-run: degrade to
+				// pread/pwrite for the rest of the store's life.
+				s.data = nil
+			}
+		}
+	}
+	if s.data != nil {
+		dst := s.data[n*int64(s.pageSize) : (n+1)*int64(s.pageSize)]
+		copied := copy(dst, data)
+		copy(dst[copied:], s.zeroBuf[copied:])
+		s.Writes++
+		return nil
+	}
+	buf := s.zeroBuf
+	if len(data) > 0 {
+		if len(data) == s.pageSize {
+			buf = data
+		} else {
+			copy(s.writeBuf, data)
+			copy(s.writeBuf[len(data):], s.zeroBuf[len(data):])
+			buf = s.writeBuf
+		}
+	}
+	if _, err := s.f.WriteAt(buf, n*int64(s.pageSize)); err != nil {
+		return fail(&hiperr.Error{Op: "store.mmap.write",
+			Err: fmt.Errorf("%s slot %d: %v: %w", s.path, n, err, hiperr.ErrDiskIO)})
+	}
+	s.Writes++
+	return nil
+}
+
+// ReadPage implements substrate.Store. The returned slice is the store's
+// reusable read buffer, valid until the next ReadPage — never a window
+// into the mapping, which can move on growth or vanish on Close.
+func (s *Mmap) ReadPage(key substrate.PageKey) ([]byte, bool, error) {
+	n, ok := s.slots[key]
+	if !ok {
+		return nil, false, nil
+	}
+	if s.data != nil {
+		copy(s.readBuf, s.data[n*int64(s.pageSize):(n+1)*int64(s.pageSize)])
+		s.Reads++
+		return s.readBuf, true, nil
+	}
+	if _, err := s.f.ReadAt(s.readBuf, n*int64(s.pageSize)); err != nil {
+		return nil, true, &hiperr.Error{Op: "store.mmap.read",
+			Err: fmt.Errorf("%s slot %d: %v: %w", s.path, n, err, hiperr.ErrDiskIO)}
+	}
+	s.Reads++
+	return s.readBuf, true, nil
+}
+
+// Contains implements substrate.Store.
+func (s *Mmap) Contains(key substrate.PageKey) bool {
+	_, ok := s.slots[key]
+	return ok
+}
+
+// Len implements substrate.Store.
+func (s *Mmap) Len() int { return len(s.slots) }
+
+// DeletePage implements substrate.Deleter.
+func (s *Mmap) DeletePage(key substrate.PageKey) bool {
+	n, ok := s.slots[key]
+	if !ok {
+		return false
+	}
+	delete(s.slots, key)
+	s.releaseSlot(n)
+	return true
+}
+
+// Sync implements Syncer: flush the mapping's dirty pages (and the file)
+// to stable storage. fsync on the backing file covers mmap-dirtied page
+// cache on the platforms we map on.
+func (s *Mmap) Sync() error {
+	if err := s.f.Sync(); err != nil {
+		return &hiperr.Error{Op: "store.mmap.sync",
+			Err: fmt.Errorf("%s: %v: %w", s.path, err, hiperr.ErrDiskIO)}
+	}
+	return nil
+}
+
+// StoreIO implements IOStats.
+func (s *Mmap) StoreIO() (reads, writes int64) { return s.Reads, s.Writes }
+
+// Close unmaps, closes, and (for OpenMmapTemp stores) removes the backing
+// file. The unmap always runs; the first error wins.
+func (s *Mmap) Close() error {
+	var err error
+	if s.data != nil {
+		err = unmapFile(s.data)
+		s.data = nil
+	}
+	if cerr := s.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if s.temp {
+		os.Remove(s.path)
+	}
+	return err
+}
+
+var (
+	_ substrate.Store   = (*Mmap)(nil)
+	_ substrate.Deleter = (*Mmap)(nil)
+	_ Syncer            = (*Mmap)(nil)
+)

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hipec/internal/faultinj"
+	"hipec/internal/hiperr"
+	"hipec/internal/store/storetest"
+	"hipec/internal/substrate"
+)
+
+const testPS = 256
+
+func page(seed byte) []byte {
+	p := make([]byte, testPS)
+	for i := range p {
+		p[i] = seed ^ byte(i)
+	}
+	return p
+}
+
+func pk(obj uint64, i int64) substrate.PageKey {
+	return substrate.PageKey{Object: obj, Offset: i * testPS}
+}
+
+func TestTieredEvictionCap(t *testing.T) {
+	fast := substrate.NewMemStore(testPS, true)
+	slow := substrate.NewMemStore(testPS, true)
+	tr := NewTiered(fast, slow, WriteThrough, 3)
+	for i := int64(0); i < 10; i++ {
+		if err := tr.WritePage(pk(1, i), page(byte(i))); err != nil {
+			t.Fatalf("WritePage %d: %v", i, err)
+		}
+	}
+	if got := tr.FastLen(); got > 3 {
+		t.Fatalf("fast tier holds %d pages, cap is 3", got)
+	}
+	if got := tr.Len(); got != 10 {
+		t.Fatalf("Len() = %d, want 10", got)
+	}
+	// Every page still readable (evicted ones come from the slow tier).
+	for i := int64(0); i < 10; i++ {
+		data, ok, err := tr.ReadPage(pk(1, i))
+		if err != nil || !ok {
+			t.Fatalf("ReadPage %d: ok %v err %v", i, ok, err)
+		}
+		if !bytes.Equal(data, page(byte(i))) {
+			t.Fatalf("page %d corrupted after eviction round-trip", i)
+		}
+	}
+}
+
+func TestTieredPromotionOnRead(t *testing.T) {
+	fast := substrate.NewMemStore(testPS, true)
+	slow := substrate.NewMemStore(testPS, true)
+	tr := NewTiered(fast, slow, WriteThrough, 8)
+	// Seed the slow tier directly: a cold page not yet cached.
+	if err := slow.WritePage(pk(2, 0), page(0x42)); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Contains(pk(2, 0)) {
+		t.Fatal("page in fast tier before read")
+	}
+	data, ok, err := tr.ReadPage(pk(2, 0))
+	if err != nil || !ok {
+		t.Fatalf("ReadPage: ok %v err %v", ok, err)
+	}
+	if !bytes.Equal(data, page(0x42)) {
+		t.Fatal("read returned wrong bytes")
+	}
+	if !fast.Contains(pk(2, 0)) {
+		t.Fatal("read miss did not promote into the fast tier")
+	}
+	// A promoted page keeps serving (now from the fast tier).
+	if _, ok, err := tr.ReadPage(pk(2, 0)); err != nil || !ok {
+		t.Fatalf("second ReadPage: ok %v err %v", ok, err)
+	}
+}
+
+// TestTieredDirtyOnSlowWriteFailure pins the satellite invariant: a
+// write-through store whose slow tier rejects the write keeps the fast
+// copy resident and dirty, returns the ErrDiskIO-wrapped error, and a
+// later Sync retries the flush.
+func TestTieredDirtyOnSlowWriteFailure(t *testing.T) {
+	fast := substrate.NewMemStore(testPS, true)
+	slow := &storetest.Failing{Store: substrate.NewMemStore(testPS, true), FailWrite: 1}
+	tr := NewTiered(fast, slow, WriteThrough, 8)
+
+	err := tr.WritePage(pk(3, 0), page(0x77))
+	if err == nil {
+		t.Fatal("WritePage: slow-tier failure not surfaced")
+	}
+	if !errors.Is(err, hiperr.ErrDiskIO) {
+		t.Fatalf("error %v does not wrap hiperr.ErrDiskIO", err)
+	}
+	if !fast.Contains(pk(3, 0)) {
+		t.Fatal("fast copy dropped on slow-tier failure — data lost")
+	}
+	if got := tr.Dirty(); got != 1 {
+		t.Fatalf("Dirty() = %d, want 1 (fast copy must be marked dirty)", got)
+	}
+	// The page is still readable from the fast tier despite the failure.
+	data, ok, rerr := tr.ReadPage(pk(3, 0))
+	if rerr != nil || !ok || !bytes.Equal(data, page(0x77)) {
+		t.Fatalf("ReadPage after failed write-through: ok %v err %v", ok, rerr)
+	}
+	// Sync retries the flush; the fault has passed, so it lands.
+	if err := tr.Sync(); err != nil {
+		t.Fatalf("Sync retry: %v", err)
+	}
+	if got := tr.Dirty(); got != 0 {
+		t.Fatalf("Dirty() after Sync = %d, want 0", got)
+	}
+	if !slow.Contains(pk(3, 0)) {
+		t.Fatal("slow tier still missing the page after Sync")
+	}
+}
+
+func TestTieredWriteBackSync(t *testing.T) {
+	fast := substrate.NewMemStore(testPS, true)
+	slow := substrate.NewMemStore(testPS, true)
+	tr := NewTiered(fast, slow, WriteBack, 8)
+	for i := int64(0); i < 5; i++ {
+		if err := tr.WritePage(pk(4, i), page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := slow.Len(); got != 0 {
+		t.Fatalf("write-back leaked %d pages to the slow tier before Sync", got)
+	}
+	if got := tr.Dirty(); got != 5 {
+		t.Fatalf("Dirty() = %d, want 5", got)
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if got, want := slow.Len(), 5; got != want {
+		t.Fatalf("slow tier has %d pages after Sync, want %d", got, want)
+	}
+	if got := tr.Dirty(); got != 0 {
+		t.Fatalf("Dirty() after Sync = %d", got)
+	}
+}
+
+// TestTieredWriteBackEvictionFlush: evicting a dirty page must flush it
+// to the slow tier first — eviction never loses the only copy.
+func TestTieredWriteBackEvictionFlush(t *testing.T) {
+	fast := substrate.NewMemStore(testPS, true)
+	slow := substrate.NewMemStore(testPS, true)
+	tr := NewTiered(fast, slow, WriteBack, 2)
+	for i := int64(0); i < 6; i++ {
+		if err := tr.WritePage(pk(5, i), page(byte(i*3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 6; i++ {
+		data, ok, err := tr.ReadPage(pk(5, i))
+		if err != nil || !ok {
+			t.Fatalf("page %d: ok %v err %v", i, ok, err)
+		}
+		if !bytes.Equal(data, page(byte(i*3))) {
+			t.Fatalf("page %d lost or corrupted across dirty eviction", i)
+		}
+	}
+}
+
+func TestShardedErrorNamesShard(t *testing.T) {
+	children := []substrate.Store{
+		substrate.NewMemStore(testPS, true),
+		substrate.NewMemStore(testPS, true),
+		substrate.NewMemStore(testPS, true),
+	}
+	sh := NewSharded(children...)
+	// Find a key for each shard, then arm one shard to fail.
+	var victims [3]substrate.PageKey
+	seen := 0
+	for i := int64(0); seen < 3; i++ {
+		k := pk(uint64(i), i)
+		idx := sh.shard(k)
+		if victims[idx] == (substrate.PageKey{}) && !(idx == 0 && i == 0) {
+			victims[idx] = k
+			seen++
+		}
+	}
+	failing := &storetest.Failing{Store: children[1], FailWrite: 1}
+	sh2 := NewSharded(children[0], failing, children[2])
+	err := sh2.WritePage(victims[1], page(1))
+	if err == nil {
+		t.Fatal("write to failing shard returned nil")
+	}
+	if !errors.Is(err, hiperr.ErrDiskIO) {
+		t.Fatalf("shard error %v does not wrap hiperr.ErrDiskIO", err)
+	}
+	var he *hiperr.Error
+	if !errors.As(err, &he) {
+		t.Fatalf("shard error %v is not a *hiperr.Error", err)
+	}
+	// The healthy shards still serve.
+	if err := sh2.WritePage(victims[0], page(2)); err != nil {
+		t.Fatalf("healthy shard 0: %v", err)
+	}
+	if err := sh2.WritePage(victims[2], page(3)); err != nil {
+		t.Fatalf("healthy shard 2: %v", err)
+	}
+}
+
+func TestShardedDeterministicPlacement(t *testing.T) {
+	a := NewSharded(substrate.NewMemStore(testPS, true), substrate.NewMemStore(testPS, true),
+		substrate.NewMemStore(testPS, true), substrate.NewMemStore(testPS, true))
+	b := NewSharded(substrate.NewMemStore(testPS, true), substrate.NewMemStore(testPS, true),
+		substrate.NewMemStore(testPS, true), substrate.NewMemStore(testPS, true))
+	counts := make([]int, 4)
+	for i := int64(0); i < 256; i++ {
+		k := pk(uint64(i%7), i)
+		if a.shard(k) != b.shard(k) {
+			t.Fatalf("placement for %v differs between identical stores", k)
+		}
+		counts[a.shard(k)]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no keys out of 256 — hash not spreading", i)
+		}
+	}
+}
+
+func TestInjectFaults(t *testing.T) {
+	plane := faultinj.NewPlane(42)
+	plane.SetRule(faultinj.DiskWrite, faultinj.Rule{FailEvery: 3})
+	s := InjectFaults(substrate.NewMemStore(testPS, true), plane)
+
+	var failures int
+	for i := int64(0); i < 9; i++ {
+		err := s.WritePage(pk(8, i), page(byte(i)))
+		if err != nil {
+			if !errors.Is(err, hiperr.ErrDiskIO) {
+				t.Fatalf("injected error %v does not wrap hiperr.ErrDiskIO", err)
+			}
+			if s.Contains(pk(8, i)) {
+				t.Fatalf("failed write %d recorded as present", i)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("FailEvery=3 over 9 writes gave %d failures, want 3", failures)
+	}
+	// Nil plane is a transparent pass-through.
+	clean := InjectFaults(substrate.NewMemStore(testPS, true), nil)
+	for i := int64(0); i < 20; i++ {
+		if err := clean.WritePage(pk(9, i), page(byte(i))); err != nil {
+			t.Fatalf("nil-plane wrapper failed write: %v", err)
+		}
+	}
+}
+
+func TestOpenUnknownKind(t *testing.T) {
+	if _, err := Open("bogus", "", testPS); err == nil {
+		t.Fatal("Open(bogus) succeeded")
+	} else if !errors.Is(err, hiperr.ErrBadRequest) {
+		t.Fatalf("Open(bogus) error %v does not wrap hiperr.ErrBadRequest", err)
+	}
+}
+
+func TestOpenLabels(t *testing.T) {
+	for _, kind := range []string{"file", "mem", "tiered", "sharded", "mmap"} {
+		b, err := Open(kind, "", testPS)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", kind, err)
+		}
+		if b.Label() == "" {
+			t.Errorf("Open(%s): empty label", kind)
+		}
+		if b.PageSize() != testPS {
+			t.Errorf("Open(%s): page size %d", kind, b.PageSize())
+		}
+		if err := b.WritePage(pk(1, 1), page(0x10)); err != nil {
+			t.Errorf("Open(%s) write: %v", kind, err)
+		}
+		if err := b.Close(); err != nil {
+			t.Errorf("Open(%s) close: %v", kind, err)
+		}
+	}
+}

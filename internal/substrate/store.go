@@ -39,6 +39,18 @@ type Store interface {
 	Len() int
 }
 
+// Deleter is the optional removal surface of a Store. The paging kernel
+// never deletes (a page once written stays until the object dies), but
+// composite backends do: a tiered store's fast tier evicts pages it has
+// flushed down, and per-key reclamation needs somewhere to go. DeletePage
+// reports whether the key was present; deleting an absent key is a no-op.
+// Backends that cannot reclaim (an append-only remote, say) simply do not
+// implement it, and composites requiring eviction reject them at
+// construction.
+type Deleter interface {
+	DeletePage(key PageKey) bool
+}
+
 // MemStore is the in-memory backing store of the simulation substrate: the
 // paging file that VM objects page to and from. Content is optional —
 // experiments that only count faults run with data disabled to avoid the
@@ -95,4 +107,14 @@ func (s *MemStore) Contains(key PageKey) bool {
 // Len implements Store.
 func (s *MemStore) Len() int { return len(s.pages) }
 
-var _ Store = (*MemStore)(nil)
+// DeletePage implements Deleter; memory pages release immediately.
+func (s *MemStore) DeletePage(key PageKey) bool {
+	_, ok := s.pages[key]
+	delete(s.pages, key)
+	return ok
+}
+
+var (
+	_ Store   = (*MemStore)(nil)
+	_ Deleter = (*MemStore)(nil)
+)
